@@ -1,0 +1,187 @@
+//! Criterion micro-benchmarks for the hot paths behind the experiments:
+//! page codec and mutation, the §2 merge procedure, PSN-conditional
+//! redo, lock-manager throughput, WAL append/force, and the end-to-end
+//! single-client transaction path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fgl::{System, SystemConfig};
+use fgl_common::{ClientId, ObjectId, PageId, Psn, SlotId, TxnId};
+use fgl_locks::glm::GlmCore;
+use fgl_locks::mode::{LockTarget, ObjMode};
+use fgl_storage::merge::merge_pages;
+use fgl_storage::page::Page;
+use fgl_wal::manager::LogManager;
+use fgl_wal::records::{LogPayload, UpdateRecord};
+use fgl_wal::store::MemLogStore;
+use std::hint::black_box;
+
+fn bench_page_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page");
+    g.bench_function("insert_64B", |b| {
+        b.iter_batched(
+            || Page::format(4096, PageId(1), Psn::ZERO),
+            |mut p| {
+                for _ in 0..16 {
+                    p.insert_object(&[7u8; 64]).unwrap();
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut filled = Page::format(4096, PageId(1), Psn::ZERO);
+    let slots: Vec<SlotId> = (0..16)
+        .map(|_| filled.insert_object(&[1u8; 64]).unwrap())
+        .collect();
+    g.bench_function("overwrite_64B", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = slots[i % slots.len()];
+            i += 1;
+            filled.write_object(s, &[i as u8; 64]).unwrap();
+        })
+    });
+    g.bench_function("read_64B", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = slots[i % slots.len()];
+            i += 1;
+            black_box(filled.read_object(s).unwrap());
+        })
+    });
+    g.bench_function("codec_roundtrip_4K", |b| {
+        b.iter(|| {
+            let bytes = filled.as_bytes().to_vec();
+            black_box(Page::from_bytes(bytes).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut base = Page::format(4096, PageId(9), Psn::ZERO);
+    let slots: Vec<SlotId> = (0..16)
+        .map(|_| base.insert_object(&[0u8; 64]).unwrap())
+        .collect();
+    let mut a = base.clone();
+    let mut b2 = base.clone();
+    for (i, s) in slots.iter().enumerate() {
+        if i % 2 == 0 {
+            a.write_object(*s, &[1u8; 64]).unwrap();
+        } else {
+            b2.write_object(*s, &[2u8; 64]).unwrap();
+        }
+    }
+    c.bench_function("merge/disjoint_16x64B", |bch| {
+        bch.iter(|| black_box(merge_pages(&a, &b2).unwrap()))
+    });
+}
+
+fn bench_glm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("glm");
+    g.bench_function("uncontended_object_lock", |b| {
+        b.iter_batched(
+            GlmCore::new,
+            |mut glm| {
+                for i in 0..64u16 {
+                    let o = ObjectId::new(PageId((i / 16) as u64), SlotId(i % 16));
+                    glm.lock(
+                        ClientId(1),
+                        TxnId::compose(ClientId(1), 1),
+                        LockTarget::Object(o, ObjMode::X),
+                    );
+                }
+                glm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("shared_lock_three_clients", |b| {
+        b.iter_batched(
+            GlmCore::new,
+            |mut glm| {
+                let o = ObjectId::new(PageId(1), SlotId(0));
+                for cid in 1..=3u32 {
+                    glm.lock(
+                        ClientId(cid),
+                        TxnId::compose(ClientId(cid), 1),
+                        LockTarget::Object(o, ObjMode::S),
+                    );
+                }
+                glm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    let record = LogPayload::Update(UpdateRecord {
+        txn: TxnId::compose(ClientId(1), 1),
+        prev_lsn: fgl::Lsn::NIL,
+        object: ObjectId::new(PageId(1), SlotId(0)),
+        psn_before: Psn(3),
+        before: Some(vec![0u8; 64]),
+        after: Some(vec![1u8; 64]),
+        structural: false,
+    });
+    g.bench_function("append_64B_update", |b| {
+        b.iter_batched(
+            || LogManager::new(Box::new(MemLogStore::new()), 64 << 20),
+            |mut wal| {
+                for _ in 0..128 {
+                    wal.append(&record).unwrap();
+                }
+                wal
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("encode_decode_update", |b| {
+        b.iter(|| {
+            let bytes = record.encode();
+            black_box(LogPayload::decode(&bytes).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn");
+    g.sample_size(30);
+    let sys = System::build(SystemConfig::default(), 1).unwrap();
+    let cl = sys.client(0).clone();
+    let t = cl.begin().unwrap();
+    let page = cl.create_page(t).unwrap();
+    let obj = cl.insert(t, page, &[0u8; 64]).unwrap();
+    cl.commit(t).unwrap();
+    g.bench_function("single_client_write_commit", |b| {
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let t = cl.begin().unwrap();
+            cl.write(t, obj, &[i; 64]).unwrap();
+            cl.commit(t).unwrap();
+        })
+    });
+    g.bench_function("single_client_read_commit", |b| {
+        b.iter(|| {
+            let t = cl.begin().unwrap();
+            black_box(cl.read(t, obj).unwrap());
+            cl.commit(t).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_ops,
+    bench_merge,
+    bench_glm,
+    bench_wal,
+    bench_end_to_end
+);
+criterion_main!(benches);

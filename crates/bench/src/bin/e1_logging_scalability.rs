@@ -1,0 +1,61 @@
+//! **E1 — Logging-location scalability** (§1, §4.1; companion study \[20\]).
+//!
+//! Claim: client-based logging removes the server log from the commit
+//! path, so throughput scales with the number of clients, while
+//! ARIES/CSA-style server logging serializes every commit on the shared
+//! server log and flattens out.
+//!
+//! Sweep: clients × {client-log, server-log, ship-pages}, HOTCOLD
+//! workload. Reports commits/s, mean commit latency, messages per commit.
+
+use fgl::{CommitPolicy, System};
+use fgl_bench::{
+    banner, client_sweep, experiment_config, policy_name, standard_spec, txns_per_client,
+};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::setup::populate;
+use fgl_sim::table::{f1, f2, Table};
+use fgl_sim::workload::WorkloadKind;
+
+fn main() {
+    banner(
+        "E1: logging-location scalability",
+        "client-log commits force only the private log; server-log baselines \
+         serialize commits on the server (HOTCOLD workload)",
+    );
+    let mut table = Table::new(&[
+        "clients",
+        "policy",
+        "commits/s",
+        "p50 commit us",
+        "p95 commit us",
+        "msgs/commit",
+        "aborts",
+    ]);
+    for &n in &client_sweep() {
+        for policy in [
+            CommitPolicy::ClientLog,
+            CommitPolicy::ServerLog,
+            CommitPolicy::ShipPagesAtCommit,
+        ] {
+            let cfg = experiment_config().with_commit_policy(policy);
+            let sys = System::build(cfg, n).expect("build");
+            let spec = standard_spec(WorkloadKind::HotCold, n);
+            let layout =
+                populate(sys.client(0), spec.pages, spec.objects_per_page, 64).expect("populate");
+            let mut opts = HarnessOptions::new(spec, txns_per_client());
+            opts.seed = 0xE1;
+            let report = run_workload(&sys, &layout, None, &opts).expect("run");
+            table.row(vec![
+                n.to_string(),
+                policy_name(policy).into(),
+                f1(report.throughput()),
+                report.latency_us(50.0).to_string(),
+                report.latency_us(95.0).to_string(),
+                f2(report.messages_per_commit()),
+                report.aborts.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}

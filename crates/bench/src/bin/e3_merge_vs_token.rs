@@ -1,0 +1,86 @@
+//! **E3 — Merging page copies vs. the update token** (§3.1).
+//!
+//! Claim: the update-token approach ("an update token is acquired before
+//! updating a page") is *communication intensive* — token transfers and
+//! the page ships that accompany them dominate — while merging page
+//! copies reconciles concurrent updates with CPU work only.
+//!
+//! Reports per-workload message counts, page ships and throughput for
+//! both policies.
+
+use fgl::{System, UpdatePolicy};
+use fgl_bench::{banner, experiment_config, standard_spec, txns_per_client, update_policy_name};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::setup::populate;
+use fgl_sim::table::{f1, f2, net_breakdown, Table};
+use fgl_sim::workload::WorkloadKind;
+
+fn main() {
+    banner(
+        "E3: merge-copies vs update-token",
+        "token = page-X for every update: token ping-pong ships pages and \
+         serializes writers; merging reconciles copies at the server",
+    );
+    let clients = if fgl_bench::quick_mode() { 4 } else { 8 };
+    let mut table = Table::new(&[
+        "workload",
+        "policy",
+        "commits/s",
+        "msgs/commit",
+        "page-ships/commit",
+        "server merges",
+        "aborts",
+    ]);
+    for kind in [WorkloadKind::HiCon, WorkloadKind::Uniform, WorkloadKind::HotCold] {
+        for policy in [UpdatePolicy::MergeCopies, UpdatePolicy::UpdateToken] {
+            let mut cfg = experiment_config().with_update_policy(policy);
+            if policy == UpdatePolicy::UpdateToken {
+                // The token serializes all writers of a page; under HICON
+                // that means constant deadlock-by-timeout. Keep it short.
+                cfg.lock_timeout = std::time::Duration::from_millis(300);
+            }
+            let sys = System::build(cfg, clients).expect("build");
+            let mut spec = standard_spec(kind, clients);
+            spec.write_fraction = 0.5;
+            let layout =
+                populate(sys.client(0), spec.pages, spec.objects_per_page, 64).expect("populate");
+            let txns = if policy == UpdatePolicy::UpdateToken {
+                txns_per_client() / 4
+            } else {
+                txns_per_client()
+            };
+            let mut opts = HarnessOptions::new(spec, txns);
+            opts.seed = 0xE3;
+            let report = run_workload(&sys, &layout, None, &opts).expect("run");
+            let ships = report.net.count(fgl::MsgKind::PageShip);
+            table.row(vec![
+                kind.name().into(),
+                update_policy_name(policy).into(),
+                f1(report.throughput()),
+                f2(report.messages_per_commit()),
+                f2(ships as f64 / report.commits.max(1) as f64),
+                sys.server.stats().merges.to_string(),
+                report.aborts.to_string(),
+            ]);
+        }
+    }
+    table.print();
+
+    // Where does the update-token traffic go? One detailed breakdown.
+    println!();
+    println!("message mix, HICON / update-token:");
+    let cfg = {
+        let mut c = experiment_config().with_update_policy(UpdatePolicy::UpdateToken);
+        c.lock_timeout = std::time::Duration::from_millis(300);
+        c
+    };
+    let sys = System::build(cfg, clients).expect("build");
+    let mut spec = standard_spec(WorkloadKind::HiCon, clients);
+    spec.write_fraction = 0.5;
+    let layout =
+        populate(sys.client(0), spec.pages, spec.objects_per_page, 64).expect("populate");
+    let mut opts = HarnessOptions::new(spec, txns_per_client() / 8);
+    opts.seed = 0xE3B;
+    let report = run_workload(&sys, &layout, None, &opts).expect("run");
+    net_breakdown(&report.net, report.commits).print();
+}

@@ -1,0 +1,67 @@
+//! **E6 — Independent fuzzy checkpoints** (§3.2, conclusion (6)).
+//!
+//! Claims: each client checkpoints on its own (no synchronization with
+//! other clients or the server), checkpoints are fuzzy (no quiescing), so
+//! runtime overhead is a smooth function of the interval — and a shorter
+//! interval buys proportionally faster client restart.
+//!
+//! Sweep: checkpoint interval (records between fuzzy checkpoints) →
+//! workload throughput, checkpoints taken, then crash+restart time.
+
+// Experiment sweeps mutate one config field at a time; the
+// default-then-assign pattern is the point.
+#![allow(clippy::field_reassign_with_default)]
+
+use fgl::{System, SystemConfig};
+use fgl_bench::{banner, standard_spec, txns_per_client};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::setup::populate;
+use fgl_sim::table::{f1, Table};
+use fgl_sim::workload::WorkloadKind;
+use std::time::Duration;
+
+fn main() {
+    banner(
+        "E6: client checkpoint interval: overhead vs restart time",
+        "fuzzy checkpoints run without quiescing; the interval trades \
+         runtime log forces against restart scan length",
+    );
+    let sweep: Vec<u64> = if fgl_bench::quick_mode() {
+        vec![50, 500]
+    } else {
+        vec![25, 100, 500, 2000, 8000]
+    };
+    let clients = 2;
+    let mut table = Table::new(&[
+        "ckpt every N recs",
+        "commits/s",
+        "checkpoints",
+        "restart ms",
+        "records scanned",
+    ]);
+    for &interval in &sweep {
+        let mut cfg = SystemConfig::default();
+        cfg.client_checkpoint_every = interval;
+        cfg.disk_latency = Duration::from_micros(400);
+        let sys = System::build(cfg, clients).expect("build");
+        let mut spec = standard_spec(WorkloadKind::HotCold, clients);
+        spec.write_fraction = 0.6;
+        let layout =
+            populate(sys.client(0), spec.pages, spec.objects_per_page, 64).expect("populate");
+        let mut opts = HarnessOptions::new(spec, txns_per_client());
+        opts.seed = 0xE6;
+        let report = run_workload(&sys, &layout, None, &opts).expect("run");
+        let ckpts = sys.client(0).stats().checkpoints;
+        // Crash client 0 and measure restart.
+        sys.client(0).crash();
+        let rec = sys.client(0).recover().expect("recover");
+        table.row(vec![
+            interval.to_string(),
+            f1(report.throughput()),
+            ckpts.to_string(),
+            f1(rec.elapsed.as_secs_f64() * 1e3),
+            rec.records_scanned.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,70 @@
+//! **E7 — Private log space management** (§3.6).
+//!
+//! Claims: when a client exhausts its circular private log it reclaims
+//! space by (a) advancing the low-water mark past the minimum DPT RedoLSN
+//! and (b) asking the server to force the page holding that minimum; the
+//! remembered end-of-log at ship time lets the RedoLSN jump forward.
+//! Smaller logs mean more forced flushes and commit stalls but the system
+//! keeps running.
+//!
+//! Sweep: private log capacity → stall events, forced-flush requests,
+//! throughput.
+
+// Experiment sweeps mutate one config field at a time; the
+// default-then-assign pattern is the point.
+#![allow(clippy::field_reassign_with_default)]
+
+use fgl::{System, SystemConfig};
+use fgl_bench::{banner, standard_spec, txns_per_client};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::setup::populate;
+use fgl_sim::table::{f1, Table};
+use fgl_sim::workload::WorkloadKind;
+
+fn main() {
+    banner(
+        "E7: private-log capacity vs reclamation work",
+        "LogFull triggers §3.6: checkpoint, advance low-water, ship + force \
+         the min-RedoLSN page, retry",
+    );
+    let sweep: Vec<u64> = if fgl_bench::quick_mode() {
+        vec![64 << 10, 512 << 10]
+    } else {
+        vec![64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20]
+    };
+    let clients = 2;
+    let mut table = Table::new(&[
+        "log bytes",
+        "commits/s",
+        "stall events",
+        "forced flushes",
+        "log bytes written",
+        "aborts",
+    ]);
+    for &capacity in &sweep {
+        let mut cfg = SystemConfig::default();
+        cfg.client_log_bytes = capacity;
+        cfg.client_checkpoint_every = 100_000; // §3.6 drives checkpoints
+        let sys = System::build(cfg, clients).expect("build");
+        let mut spec = standard_spec(WorkloadKind::HotCold, clients);
+        spec.write_fraction = 0.8;
+        let layout =
+            populate(sys.client(0), spec.pages, spec.objects_per_page, 64).expect("populate");
+        let mut opts = HarnessOptions::new(spec, txns_per_client() * 2);
+        opts.seed = 0xE7;
+        let report = run_workload(&sys, &layout, None, &opts).expect("run");
+        let stats: Vec<_> = sys.clients.iter().map(|c| c.stats()).collect();
+        let stalls: u64 = stats.iter().map(|s| s.log_stall_events).sum();
+        let flushes: u64 = stats.iter().map(|s| s.forced_flush_requests).sum();
+        let log_bytes: u64 = stats.iter().map(|s| s.log_bytes).sum();
+        table.row(vec![
+            capacity.to_string(),
+            f1(report.throughput()),
+            stalls.to_string(),
+            flushes.to_string(),
+            log_bytes.to_string(),
+            report.aborts.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,115 @@
+//! Shared scaffolding for the experiment binaries (E1–E9, `DESIGN.md`)
+//! and the criterion micro-benchmarks.
+//!
+//! Every experiment binary accepts `--quick` to shrink the sweep (used by
+//! CI and the recorded `bench_output.txt`); defaults are sized to finish
+//! in tens of seconds on a laptop.
+
+// Experiment sweeps mutate one config field at a time; the
+// default-then-assign pattern is the point.
+#![allow(clippy::field_reassign_with_default)]
+
+use fgl::{CommitPolicy, LockGranularity, SystemConfig, UpdatePolicy};
+use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+use std::time::Duration;
+
+/// Simulated device/network costs shared by the experiments: a 1996-ish
+/// ratio (disk force ≫ LAN hop ≫ CPU) scaled down so sweeps finish
+/// quickly. Only *relative* shapes matter (see DESIGN.md).
+pub fn experiment_config() -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.disk_latency = Duration::from_micros(400);
+    cfg.net_latency = Duration::from_micros(40);
+    cfg.lock_timeout = Duration::from_secs(2);
+    cfg
+}
+
+/// A zero-latency config for pure-algorithm measurements.
+pub fn fast_config() -> SystemConfig {
+    SystemConfig::default()
+}
+
+/// The standard experiment workload geometry.
+pub fn standard_spec(kind: WorkloadKind, clients: usize) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new(kind);
+    spec.pages = (16 * clients.max(1)).max(32);
+    spec.objects_per_page = 16;
+    spec.ops_per_txn = 8;
+    spec.write_fraction = 0.3;
+    spec
+}
+
+/// `--quick` flag handling for experiment binaries.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Transactions per client for a sweep point.
+pub fn txns_per_client() -> usize {
+    if quick_mode() {
+        40
+    } else {
+        150
+    }
+}
+
+/// Client counts swept by the scalability experiments.
+pub fn client_sweep() -> Vec<usize> {
+    if quick_mode() {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 12, 16]
+    }
+}
+
+/// Human-readable name for a commit policy.
+pub fn policy_name(p: CommitPolicy) -> &'static str {
+    match p {
+        CommitPolicy::ClientLog => "client-log",
+        CommitPolicy::ServerLog => "server-log",
+        CommitPolicy::ShipPagesAtCommit => "ship-pages",
+    }
+}
+
+/// Human-readable name for a lock granularity.
+pub fn granularity_name(g: LockGranularity) -> &'static str {
+    match g {
+        LockGranularity::Object => "object",
+        LockGranularity::Page => "page",
+        LockGranularity::Adaptive => "adaptive",
+    }
+}
+
+/// Human-readable name for an update policy.
+pub fn update_policy_name(u: UpdatePolicy) -> &'static str {
+    match u {
+        UpdatePolicy::MergeCopies => "merge-copies",
+        UpdatePolicy::UpdateToken => "update-token",
+    }
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("==== {id} ====");
+    println!("{claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_validate() {
+        experiment_config().validate().unwrap();
+        fast_config().validate().unwrap();
+    }
+
+    #[test]
+    fn spec_scales_with_clients() {
+        let s = standard_spec(WorkloadKind::HotCold, 8);
+        assert!(s.pages >= 128);
+        let s1 = standard_spec(WorkloadKind::HotCold, 1);
+        assert!(s1.pages >= 32);
+    }
+}

@@ -1,0 +1,18 @@
+//! The `fgl` client runtime (§2, §3): page cache with inter-transaction
+//! caching, local lock manager, **private write-ahead log** (client-based
+//! logging), transaction management with savepoints, fuzzy checkpoints,
+//! the §3.6 log-space reclamation protocol, and restart recovery — both
+//! the client-crash procedure of §3.3 and the client half of server
+//! restart (§3.4).
+
+pub mod cache;
+pub mod peer;
+pub mod recovery;
+pub mod runtime;
+pub mod txn;
+
+pub use cache::ClientCache;
+pub use peer::PeerHandle;
+pub use recovery::{ClientRecoveryReport, RecoveryOptions};
+pub use runtime::{ClientCore, ClientStats, DptState};
+pub use txn::{TxnState, TxnStatus};

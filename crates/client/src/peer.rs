@@ -1,0 +1,240 @@
+//! The client's implementation of the server→client half of the protocol
+//! ([`ClientPeer`]): lock callbacks (§3.2), flush notifications (§3.6)
+//! and the restart-recovery services of §3.4.
+
+use crate::runtime::ClientCore;
+use fgl_common::{ClientId, Lsn, ObjectId, PageId, Psn};
+use fgl_locks::glm::{CallbackKind, CallbackReply};
+use fgl_net::peer::{CallbackOutcome, ClientPeer, ClientStateReport, RecoveredPageOutcome};
+use fgl_wal::records::{DptEntry, LogPayload};
+use std::sync::{Arc, Weak};
+
+/// What the server holds for each registered client. Weak so the
+/// server↔client reference cycle cannot leak.
+pub struct PeerHandle {
+    core: Weak<ClientCore>,
+    id: ClientId,
+}
+
+impl PeerHandle {
+    pub fn new(core: &Arc<ClientCore>) -> Self {
+        PeerHandle {
+            core: Arc::downgrade(core),
+            id: core.id(),
+        }
+    }
+
+    fn core(&self) -> Option<Arc<ClientCore>> {
+        self.core.upgrade()
+    }
+}
+
+impl ClientPeer for PeerHandle {
+    fn client_id(&self) -> ClientId {
+        self.id
+    }
+
+    fn deliver_callback(&self, kind: CallbackKind) -> CallbackOutcome {
+        match self.core() {
+            Some(core) => core.handle_server_callback(kind),
+            // Client object dropped: treat as released.
+            None => CallbackOutcome::Done {
+                retained: vec![],
+                page_copy: None,
+            },
+        }
+    }
+
+    fn notify_page_flushed(&self, page: PageId) {
+        if let Some(core) = self.core() {
+            core.handle_flush_notification(page);
+        }
+    }
+
+    fn report_state(&self) -> ClientStateReport {
+        self.core()
+            .map(|c| c.report_state())
+            .unwrap_or_default()
+    }
+
+    fn callback_list_for(
+        &self,
+        page: PageId,
+        for_client: ClientId,
+        from_lsn: Lsn,
+    ) -> Vec<(ObjectId, Psn)> {
+        self.core()
+            .map(|c| c.callback_list_for(page, for_client, from_lsn))
+            .unwrap_or_default()
+    }
+
+    fn ship_cached_page(&self, page: PageId) -> Option<Vec<u8>> {
+        self.core().and_then(|c| c.ship_cached_page_bytes(page))
+    }
+
+    fn recover_page(
+        &self,
+        page: PageId,
+        base: Vec<u8>,
+        install_psn: Psn,
+        callback_list: Vec<(ObjectId, Psn)>,
+    ) -> RecoveredPageOutcome {
+        match self.core() {
+            Some(core) => core.recover_page_for_server(page, base, install_psn, callback_list),
+            None => RecoveredPageOutcome::Failed("client gone".into()),
+        }
+    }
+}
+
+impl ClientCore {
+    /// Handle a lock callback from the server (§3.2). Runs on a
+    /// server-driving thread.
+    pub(crate) fn handle_server_callback(&self, kind: CallbackKind) -> CallbackOutcome {
+        let mut st = self.st.lock();
+        if st.crashed {
+            // Lost race with a crash simulation; the server will queue and
+            // re-deliver after recovery.
+            return CallbackOutcome::Done {
+                retained: vec![],
+                page_copy: None,
+            };
+        }
+        let reply = st.llm.handle_callback(kind);
+        fgl_common::fgl_trace!("{:?} callback {kind:?} -> {reply:?}", self.id());
+        let outcome = match reply {
+            CallbackReply::Done { retained } => {
+                let sheds = !matches!(kind, CallbackKind::DeEscalatePage(_));
+                let page = kind.page();
+                // Any complied callback that leaves the page visible to a
+                // competitor ships the dirty copy: the requester's fetch
+                // must observe our (committed or steal-protected) updates.
+                // An evicted-but-not-yet-shipped copy counts (in transit).
+                let page_copy = if let Some(bytes) = st.in_transit.remove(&page) {
+                    Some(bytes)
+                } else if st.cache.is_dirty(page) {
+                    // WAL: the log covering the shipped state must be
+                    // durable before the page leaves (§2).
+                    if st.wal.force().is_err() {
+                        None
+                    } else {
+                        let bytes = st.cache.peek(page).map(|p| p.as_bytes().to_vec());
+                        if bytes.is_some() {
+                            st.cache.mark_clean(page);
+                            // Remember the ship point so a later flush
+                            // advances our DPT RedoLSN (§3.6).
+                            let end = st.wal.end_lsn();
+                            if let Some(e) = st.dpt.get_mut(&page) {
+                                e.remembered = Some(end);
+                                e.updated_since_ship = false;
+                            }
+                        }
+                        bytes
+                    }
+                } else {
+                    None
+                };
+                if sheds {
+                    self.drop_if_unlocked(&mut st, page);
+                }
+                CallbackOutcome::Done { retained, page_copy }
+            }
+            CallbackReply::Deferred { blockers } => CallbackOutcome::Deferred { blockers },
+        };
+        drop(st);
+        self.cv.notify_all();
+        outcome
+    }
+
+    /// §3.6 flush notification: advance the DPT entry's RedoLSN to the
+    /// end-of-log remembered at ship time, or drop the entry when the
+    /// page was not updated since.
+    pub(crate) fn handle_flush_notification(&self, page: PageId) {
+        let mut st = self.st.lock();
+        if st.crashed {
+            return;
+        }
+        match st.dpt.get_mut(&page) {
+            Some(e) if e.updated_since_ship => {
+                if let Some(remembered) = e.remembered.take() {
+                    if remembered > e.redo_lsn {
+                        e.redo_lsn = remembered;
+                    }
+                }
+            }
+            Some(_) => {
+                st.dpt.remove(&page);
+            }
+            None => {}
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// §3.4: report DPT, cached pages and LLM entries for server restart.
+    pub(crate) fn report_state(&self) -> ClientStateReport {
+        let st = self.st.lock();
+        let mut dpt: Vec<DptEntry> = st
+            .dpt
+            .iter()
+            .map(|(p, e)| DptEntry {
+                page: *p,
+                redo_lsn: e.redo_lsn,
+            })
+            .collect();
+        dpt.sort_by_key(|e| e.page.0);
+        ClientStateReport {
+            dpt,
+            cached_pages: st.cache.cached_psns(),
+            locks: st.llm.all_locks(),
+        }
+    }
+
+    /// §3.4: this client's `CallBack_P` contribution — callback log
+    /// records it wrote for objects of `page` naming `for_client`, the
+    /// latest PSN per object winning.
+    pub(crate) fn callback_list_for(
+        &self,
+        page: PageId,
+        for_client: ClientId,
+        from_lsn: Lsn,
+    ) -> Vec<(ObjectId, Psn)> {
+        let st = self.st.lock();
+        let mut from = st
+            .dpt
+            .get(&page)
+            .map(|e| e.redo_lsn)
+            .unwrap_or(Lsn::NIL);
+        if !from_lsn.is_nil() && (from.is_nil() || from_lsn < from) {
+            from = from_lsn;
+        }
+        let ckpt = st.wal.last_checkpoint();
+        if from.is_nil() || (!ckpt.is_nil() && ckpt < from) {
+            from = ckpt;
+        }
+        let mut map: std::collections::HashMap<ObjectId, Psn> = std::collections::HashMap::new();
+        for entry in st.wal.scan_from(from) {
+            if let LogPayload::Callback(cb) = entry.payload {
+                if cb.object.page == page && cb.from_client == for_client {
+                    // Forward scan: later records overwrite earlier ones
+                    // ("the PSN stored in the most recent one", §3.4).
+                    map.insert(cb.object, cb.psn);
+                }
+            }
+        }
+        let mut out: Vec<(ObjectId, Psn)> = map.into_iter().collect();
+        out.sort_by_key(|(o, _)| (o.page.0, o.slot.0));
+        out
+    }
+
+    /// §3.4 step 4: ship the cached copy, forcing the log first (WAL).
+    pub(crate) fn ship_cached_page_bytes(&self, page: PageId) -> Option<Vec<u8>> {
+        let mut st = self.st.lock();
+        if !st.cache.contains(page) {
+            return None;
+        }
+        if st.wal.force().is_err() {
+            return None;
+        }
+        st.cache.peek(page).map(|p| p.as_bytes().to_vec())
+    }
+}

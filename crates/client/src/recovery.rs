@@ -1,0 +1,582 @@
+//! Client-side restart recovery.
+//!
+//! Two distinct duties live here:
+//!
+//! * [`ClientCore::recover`] — recovery **from the client's own crash**
+//!   (§3.3): reinstall exclusive locks, ARIES analysis over the private
+//!   log from the last complete checkpoint, a redo pass *filtered by the
+//!   server's DCT* (Property 1 — only pages with a DCT entry need work)
+//!   with PSN-conditional application, an undo pass rolling back the
+//!   loser transactions with CLRs, and final hardening (ship + force the
+//!   recovered pages so every lock can be released).
+//!
+//! * `ClientCore::recover_page_for_server` — the client's part of
+//!   **server restart recovery** (§3.4): replay the private log against a
+//!   base copy the server supplies, applying records for called-back
+//!   objects only when their PSN clears the merged `CallBack_P`
+//!   threshold, fetching partially recovered state from other recovering
+//!   clients when a foreign callback record interposes, and feeding
+//!   partial results back so parallel recoveries can make progress.
+
+use crate::peer::PeerHandle;
+use crate::runtime::{ClientCore, DptState};
+use crate::txn::{TxnState, TxnStatus};
+use fgl_common::{FglError, Lsn, ObjectId, PageId, Psn, Result, TxnId};
+use fgl_net::peer::RecoveredPageOutcome;
+use fgl_storage::merge::merge_pages;
+use fgl_storage::page::Page;
+use fgl_wal::records::LogPayload;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a client-crash restart (§3.3); experiment E4 reports these.
+#[derive(Clone, Debug, Default)]
+pub struct ClientRecoveryReport {
+    /// Transactions found committed (their effects were redone).
+    pub winners: usize,
+    /// Active transactions rolled back.
+    pub losers: usize,
+    /// Pages touched by the redo pass.
+    pub pages_recovered: usize,
+    /// Pages fetched from the server during recovery.
+    pub pages_fetched: usize,
+    /// Log records scanned (analysis + redo).
+    pub records_scanned: usize,
+    /// Update/CLR records actually re-applied.
+    pub records_applied: usize,
+    pub elapsed: Duration,
+}
+
+#[derive(Clone, Debug)]
+struct AttEntry {
+    last_lsn: Lsn,
+    first_lsn: Lsn,
+    committed: bool,
+    ended: bool,
+}
+
+/// Knobs for [`ClientCore::recover`] — the ablation surface of E4.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryOptions {
+    /// Apply Property 1: skip pages without a DCT entry (§3.3). Turning
+    /// this off redoes every page in the log-derived DPT — correct but
+    /// wasteful; E4 measures the difference.
+    pub use_dct_filter: bool,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            use_dct_filter: true,
+        }
+    }
+}
+
+impl ClientCore {
+    /// Restart recovery after this client's crash (§3.3). The paper notes
+    /// restart may run anywhere with access to the private log; here it
+    /// runs in the restarted client process.
+    pub fn recover(self: &Arc<Self>) -> Result<ClientRecoveryReport> {
+        self.recover_with(RecoveryOptions::default())
+    }
+
+    /// [`recover`](Self::recover) with explicit options.
+    pub fn recover_with(
+        self: &Arc<Self>,
+        options: RecoveryOptions,
+    ) -> Result<ClientRecoveryReport> {
+        let start = Instant::now();
+        let mut report = ClientRecoveryReport::default();
+
+        // Reconnect and receive the exclusive locks held before the crash
+        // plus the DCT view of our pages (Property 1 filter + install
+        // PSNs).
+        let peer = Arc::new(PeerHandle::new(self));
+        let (locks, dct_entries, dct_complete) =
+            self.server.client_recovery_begin(self.id(), peer)?;
+        let dct: HashMap<PageId, Option<Psn>> = dct_entries.into_iter().collect();
+        {
+            let mut st = self.st.lock();
+            st.crashed = false;
+            st.llm.reinstall_exclusive(&locks);
+        }
+
+        // ---- analysis pass ---------------------------------------------------
+        let (att, dpt, max_seq, scanned) = {
+            let st = self.st.lock();
+            let ckpt = st.wal.last_checkpoint();
+            let mut att: HashMap<TxnId, AttEntry> = HashMap::new();
+            let mut dpt: HashMap<PageId, Lsn> = HashMap::new();
+            let mut max_seq = 0u32;
+            let mut scanned = 0usize;
+            let mut start_lsn = ckpt;
+            if !ckpt.is_nil() {
+                if let Ok(entry) = st.wal.read_at(ckpt) {
+                    if let LogPayload::ClientCheckpoint { active_txns, dpt: ck_dpt } =
+                        entry.payload
+                    {
+                        for (t, l) in active_txns {
+                            att.insert(
+                                t,
+                                AttEntry {
+                                    last_lsn: l,
+                                    first_lsn: l,
+                                    committed: false,
+                                    ended: false,
+                                },
+                            );
+                            max_seq = max_seq.max(t.local_seq());
+                        }
+                        for e in ck_dpt {
+                            dpt.insert(e.page, e.redo_lsn);
+                        }
+                    }
+                }
+            } else {
+                start_lsn = Lsn::NIL; // scan_from treats NIL as the low-water mark
+            }
+            for entry in st.wal.scan_from(start_lsn) {
+                scanned += 1;
+                let lsn = entry.lsn;
+                match &entry.payload {
+                    LogPayload::Begin { txn } => {
+                        max_seq = max_seq.max(txn.local_seq());
+                        att.insert(
+                            *txn,
+                            AttEntry {
+                                last_lsn: lsn,
+                                first_lsn: lsn,
+                                committed: false,
+                                ended: false,
+                            },
+                        );
+                    }
+                    LogPayload::Update(u) => {
+                        max_seq = max_seq.max(u.txn.local_seq());
+                        let e = att.entry(u.txn).or_insert(AttEntry {
+                            last_lsn: lsn,
+                            first_lsn: lsn,
+                            committed: false,
+                            ended: false,
+                        });
+                        e.last_lsn = lsn;
+                        dpt.entry(u.object.page).or_insert(lsn);
+                    }
+                    LogPayload::Clr(c) => {
+                        max_seq = max_seq.max(c.txn.local_seq());
+                        let e = att.entry(c.txn).or_insert(AttEntry {
+                            last_lsn: lsn,
+                            first_lsn: lsn,
+                            committed: false,
+                            ended: false,
+                        });
+                        e.last_lsn = lsn;
+                        dpt.entry(c.object.page).or_insert(lsn);
+                    }
+                    LogPayload::Commit { txn, .. } => {
+                        if let Some(e) = att.get_mut(txn) {
+                            e.committed = true;
+                            e.ended = true;
+                        }
+                    }
+                    LogPayload::Abort { txn, .. } => {
+                        if let Some(e) = att.get_mut(txn) {
+                            e.ended = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            (att, dpt, max_seq, scanned)
+        };
+        report.records_scanned += scanned;
+        report.winners = att.values().filter(|e| e.committed).count();
+
+        // ---- redo pass -----------------------------------------------------
+        // Plain client crash: Property 1 lets us skip pages without a DCT
+        // entry. After a server restart (§3.5) the rebuilt DCT cannot be
+        // trusted to cover us, so every page in the log-derived
+        // ("augmented") DPT is recovered, via the §3.4 replay machinery.
+        if !dct_complete {
+            return self.recover_after_server_restart(
+                start, report, att, dpt, max_seq,
+            );
+        }
+        let redo_dpt: HashMap<PageId, Lsn> = dpt
+            .iter()
+            .filter(|(p, _)| !options.use_dct_filter || dct.contains_key(*p))
+            .map(|(p, l)| (*p, *l))
+            .collect();
+        report.pages_recovered = redo_dpt.len();
+        let redo_start = redo_dpt.values().copied().min().unwrap_or(Lsn::NIL);
+        if !redo_dpt.is_empty() {
+            let records: Vec<_> = {
+                let st = self.st.lock();
+                st.wal
+                    .scan_from(redo_start)
+                    .filter(|e| {
+                        matches!(
+                            e.payload,
+                            LogPayload::Update(_) | LogPayload::Clr(_)
+                        )
+                    })
+                    .collect()
+            };
+            let mut fetched: HashSet<PageId> = HashSet::new();
+            for entry in records {
+                report.records_scanned += 1;
+                let (object, psn_before, after) = match &entry.payload {
+                    LogPayload::Update(u) => (u.object, u.psn_before, u.after.clone()),
+                    LogPayload::Clr(c) => (c.object, c.psn_before, c.after.clone()),
+                    _ => continue,
+                };
+                let Some(&page_redo) = redo_dpt.get(&object.page) else {
+                    continue;
+                };
+                if entry.lsn < page_redo {
+                    continue;
+                }
+                // Fetch the page once, installing the DCT PSN (§3.3).
+                if !fetched.contains(&object.page) {
+                    let (bytes, dct_psn) = self.server.fetch_page(self.id(), object.page)?;
+                    let mut page = Page::from_bytes(bytes)?;
+                    if let Some(Some(psn)) = dct.get(&object.page) {
+                        page.set_psn(*psn);
+                    } else if let Some(psn) = dct_psn {
+                        page.set_psn(psn);
+                    }
+                    let evicted = {
+                        let mut st = self.st.lock();
+                        st.dpt.entry(object.page).or_insert(DptState {
+                            redo_lsn: page_redo,
+                            remembered: None,
+                            updated_since_ship: true,
+                        });
+                        st.cache.install_exact(page, true)
+                    };
+                    // Evictions cannot be shipped mid-recovery without
+                    // perturbing the DCT; the cache is sized for recovery.
+                    if evicted.is_some() {
+                        return Err(FglError::Protocol(
+                            "client cache too small for recovery working set".into(),
+                        ));
+                    }
+                    fetched.insert(object.page);
+                    report.pages_fetched += 1;
+                }
+                // Apply only updates to exclusively locked objects whose
+                // PSN clears the page PSN (§3.3).
+                let mut st = self.st.lock();
+                let x_locked = st
+                    .llm
+                    .cached_mode(object)
+                    .map(|m| m == fgl_locks::mode::ObjMode::X)
+                    .unwrap_or(false);
+                if !x_locked {
+                    continue;
+                }
+                let p = st
+                    .cache
+                    .get_mut(object.page)
+                    .ok_or(FglError::PageNotFound(object.page))?;
+                if psn_before >= p.psn() {
+                    p.install_object(object.slot, after.as_deref(), psn_before.next())?;
+                    p.set_psn(psn_before.next());
+                    report.records_applied += 1;
+                }
+            }
+        }
+
+        // ---- undo pass ---------------------------------------------------------
+        {
+            let mut st = self.st.lock();
+            st.next_seq = st.next_seq.max(max_seq);
+            for (txn, e) in &att {
+                if !e.ended {
+                    let mut t = TxnState::new(*txn);
+                    t.last_lsn = e.last_lsn;
+                    t.first_lsn = e.first_lsn;
+                    st.txns.insert(*txn, t);
+                }
+            }
+        }
+        let losers: Vec<TxnId> = att
+            .iter()
+            .filter(|(_, e)| !e.ended)
+            .map(|(t, _)| *t)
+            .collect();
+        report.losers = losers.len();
+        for txn in losers {
+            self.rollback_loser(txn)?;
+        }
+
+        // ---- harden and release --------------------------------------------------
+        let dirty: Vec<PageId> = {
+            let st = self.st.lock();
+            st.cache.dirty_ids()
+        };
+        for page in &dirty {
+            self.ship_page_copy(*page, true)?;
+            self.server.force_page(self.id(), *page)?;
+        }
+        self.checkpoint()?;
+        self.server.client_recovery_end(self.id())?;
+        {
+            let mut st = self.st.lock();
+            // Pre-crash transactions are all resolved; the server released
+            // our locks — mirror that locally.
+            st.llm.clear();
+            st.txns.clear();
+        }
+        self.cv.notify_all();
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    /// §3.5: recovery of a crashed client after the server itself
+    /// restarted. Every page of the augmented (log-derived) DPT is
+    /// replayed through the §3.4 machinery: the server supplies the base
+    /// copy, the vouched-for PSN and the merged `CallBack_P` list; the
+    /// replayed copy is shipped back and hardened.
+    fn recover_after_server_restart(
+        self: &Arc<Self>,
+        start: Instant,
+        mut report: ClientRecoveryReport,
+        att: HashMap<TxnId, AttEntry>,
+        dpt: HashMap<PageId, Lsn>,
+        max_seq: u32,
+    ) -> Result<ClientRecoveryReport> {
+        report.pages_recovered = dpt.len();
+        // Pages replay in parallel: a replay blocked on another crashed
+        // client's progress (recovery_fetch) must not stall this client's
+        // remaining pages — they are what *other* recoveries wait on.
+        let recovered_pages: Vec<Result<(PageId, Lsn, Page)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = dpt
+                .iter()
+                .map(|(&page, &redo_lsn)| {
+                    scope.spawn(move || -> Result<(PageId, Lsn, Page)> {
+                        let (base, install_psn, list) =
+                            self.server.recover_client_page(self.id(), page)?;
+                        let bytes = self.recover_page_inner_from(
+                            page,
+                            base,
+                            install_psn,
+                            list,
+                            Some(redo_lsn),
+                        )?;
+                        Ok((page, redo_lsn, Page::from_bytes(bytes)?))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in recovered_pages {
+            let (page, redo_lsn, recovered) = r?;
+            report.pages_fetched += 1;
+            let mut st = self.st.lock();
+            st.dpt.entry(page).or_insert(crate::runtime::DptState {
+                redo_lsn,
+                remembered: None,
+                updated_since_ship: true,
+            });
+            if st.cache.install_exact(recovered, true).is_some() {
+                return Err(FglError::Protocol(
+                    "client cache too small for recovery working set".into(),
+                ));
+            }
+        }
+        // Undo losers (their pages are now cached).
+        {
+            let mut st = self.st.lock();
+            st.next_seq = st.next_seq.max(max_seq);
+            for (txn, e) in &att {
+                if !e.ended {
+                    let mut t = TxnState::new(*txn);
+                    t.last_lsn = e.last_lsn;
+                    t.first_lsn = e.first_lsn;
+                    st.txns.insert(*txn, t);
+                }
+            }
+        }
+        let losers: Vec<TxnId> = att
+            .iter()
+            .filter(|(_, e)| !e.ended)
+            .map(|(t, _)| *t)
+            .collect();
+        report.losers = losers.len();
+        for txn in losers {
+            self.rollback_loser(txn)?;
+        }
+        // Harden: ship and force every recovered page.
+        let dirty: Vec<PageId> = {
+            let st = self.st.lock();
+            st.cache.dirty_ids()
+        };
+        for page in &dirty {
+            self.ship_page_copy(*page, true)?;
+            self.server.force_page(self.id(), *page)?;
+        }
+        self.checkpoint()?;
+        self.server.client_recovery_end(self.id())?;
+        {
+            let mut st = self.st.lock();
+            st.llm.clear();
+            st.txns.clear();
+        }
+        self.cv.notify_all();
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    /// Undo one loser transaction during restart (§3.3: "transaction
+    /// rollback is done by executing the ARIES undo pass").
+    fn rollback_loser(&self, txn: TxnId) -> Result<()> {
+        self.rollback_chain_public(txn)?;
+        let mut st = self.st.lock();
+        let prev = st.txns.get(&txn).map(|t| t.last_lsn).unwrap_or(Lsn::NIL);
+        self.append_critical(&mut st, &LogPayload::Abort { txn, prev_lsn: prev })?;
+        if let Some(t) = st.txns.get_mut(&txn) {
+            t.status = TxnStatus::Aborted;
+        }
+        st.txns.remove(&txn);
+        Ok(())
+    }
+
+    /// §3.4, client side: replay the private log against the base copy
+    /// the server supplied.
+    pub(crate) fn recover_page_for_server(
+        &self,
+        page: PageId,
+        base: Vec<u8>,
+        install_psn: Psn,
+        callback_list: Vec<(ObjectId, Psn)>,
+    ) -> RecoveredPageOutcome {
+        match self.recover_page_inner(page, base, install_psn, callback_list) {
+            Ok(bytes) => RecoveredPageOutcome::Done(bytes),
+            Err(e) => RecoveredPageOutcome::Failed(e.to_string()),
+        }
+    }
+
+    fn recover_page_inner(
+        &self,
+        page: PageId,
+        base: Vec<u8>,
+        install_psn: Psn,
+        callback_list: Vec<(ObjectId, Psn)>,
+    ) -> Result<Vec<u8>> {
+        self.recover_page_inner_from(page, base, install_psn, callback_list, None)
+    }
+
+    fn recover_page_inner_from(
+        &self,
+        page: PageId,
+        base: Vec<u8>,
+        install_psn: Psn,
+        callback_list: Vec<(ObjectId, Psn)>,
+        from_override: Option<Lsn>,
+    ) -> Result<Vec<u8>> {
+        let mut work = Page::from_bytes(base)?;
+        work.set_psn(install_psn);
+        let thresholds: HashMap<ObjectId, Psn> = callback_list.into_iter().collect();
+
+        // Scan window: the DPT RedoLSN for the page (§3.4), bounded by the
+        // last complete checkpoint when no entry survives.
+        let records: Vec<_> = {
+            let st = self.st.lock();
+            let mut from = match from_override {
+                Some(l) => l,
+                None => st.dpt.get(&page).map(|e| e.redo_lsn).unwrap_or(Lsn::NIL),
+            };
+            let ckpt = st.wal.last_checkpoint();
+            if from.is_nil() {
+                from = ckpt;
+            }
+            st.wal
+                .scan_from(from)
+                .filter(|e| e.payload.page() == Some(page))
+                .collect()
+        };
+
+        let mut processed = 0usize;
+        for entry in records {
+            match &entry.payload {
+                LogPayload::Update(u) => {
+                    self.replay_apply(
+                        &mut work,
+                        u.object,
+                        u.psn_before,
+                        u.after.as_deref(),
+                        &thresholds,
+                    )?;
+                }
+                LogPayload::Clr(c) => {
+                    self.replay_apply(
+                        &mut work,
+                        c.object,
+                        c.psn_before,
+                        c.after.as_deref(),
+                        &thresholds,
+                    )?;
+                }
+                LogPayload::Callback(cb) => {
+                    if thresholds.contains_key(&cb.object) {
+                        // §3.4 step 3: in the list — skip.
+                    } else {
+                        // Foreign callback: we need the state of the
+                        // responding client up to the recorded PSN. Ship
+                        // our partial progress first (breaks mutual-wait
+                        // cycles), then fetch the merged copy.
+                        self.server
+                            .install_recovered(self.id(), work.as_bytes().to_vec())?;
+                        let (bytes, _) = self.server.recovery_fetch(
+                            self.id(),
+                            page,
+                            Some((cb.from_client, cb.psn)),
+                        )?;
+                        let incoming = Page::from_bytes(bytes)?;
+                        let (merged, _) = merge_pages(&work, &incoming)?;
+                        work = merged;
+                    }
+                }
+                _ => {}
+            }
+            processed += 1;
+            if processed.is_multiple_of(4) {
+                // Serve partial-state needs from parallel recoveries.
+                for (npage, _psn) in self.server.poll_recovery_needs(self.id()) {
+                    if npage == page {
+                        self.server
+                            .install_recovered(self.id(), work.as_bytes().to_vec())?;
+                    }
+                }
+            }
+        }
+        Ok(work.into_bytes())
+    }
+
+    /// Apply one replayed record to the working copy, honouring the
+    /// `CallBack_P` thresholds (§3.4).
+    fn replay_apply(
+        &self,
+        work: &mut Page,
+        object: ObjectId,
+        psn_before: Psn,
+        after: Option<&[u8]>,
+        thresholds: &HashMap<ObjectId, Psn>,
+    ) -> Result<()> {
+        if let Some(&thresh) = thresholds.get(&object) {
+            // Apply only when the record's PSN is >= the threshold: older
+            // updates were superseded by the other client's state already
+            // present in the base copy.
+            if psn_before < thresh {
+                return Ok(());
+            }
+        }
+        work.install_object(object.slot, after, psn_before.next())?;
+        if psn_before.next() > work.psn() {
+            work.set_psn(psn_before.next());
+        }
+        Ok(())
+    }
+}

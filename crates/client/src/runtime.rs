@@ -1,0 +1,1199 @@
+//! The client runtime: the application-facing transactional API plus the
+//! client half of every protocol in the paper.
+//!
+//! A client owns a page cache, a local lock manager, a **private log**
+//! (client-based logging, §2/§3), a dirty page table, and a connection to
+//! the page server. Transactions begin, update objects, take savepoints,
+//! commit and roll back entirely here; under the paper's commit policy
+//! the *only* I/O at commit is the force of the private log.
+//!
+//! Locking discipline (mirror of the server's): the single client-state
+//! mutex is never held across a call into the server. Server→client
+//! callbacks arrive on server-driving threads and take the same mutex.
+
+use crate::cache::ClientCache;
+use crate::txn::{TxnState, TxnStatus};
+use fgl_common::config::CommitPolicy;
+use fgl_common::{
+    ClientId, FglError, Lsn, ObjectId, PageId, Result, SlotId, SystemConfig, TxnId,
+};
+use fgl_locks::glm::CallbackKind;
+use fgl_locks::llm::{LlmCore, LocalDecision};
+use fgl_locks::mode::ObjMode;
+use fgl_net::stats::NetSim;
+use fgl_net::wait::GrantMsg;
+use fgl_server::runtime::{LockResponse, ServerCore};
+use fgl_storage::page::Page;
+use fgl_wal::manager::LogManager;
+use fgl_wal::records::{LogPayload, UpdateRecord};
+use fgl_wal::store::{LogStore, MemLogStore};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client-side DPT entry (§3.2 + the §3.6 remembered-LSN refinement).
+#[derive(Clone, Copy, Debug)]
+pub struct DptState {
+    /// Earliest log record that may need redo for the page.
+    pub redo_lsn: Lsn,
+    /// End of log remembered when the page was last shipped (§3.6).
+    pub remembered: Option<Lsn>,
+    /// Updated again since the last ship? Controls entry drop on flush.
+    pub updated_since_ship: bool,
+}
+
+pub(crate) struct ClientState {
+    pub llm: LlmCore,
+    pub cache: ClientCache,
+    pub wal: LogManager,
+    pub dpt: HashMap<PageId, DptState>,
+    pub txns: HashMap<TxnId, TxnState>,
+    pub next_seq: u32,
+    pub records_since_ckpt: u64,
+    /// Pages that must be re-fetched from the server before next use
+    /// (a global lock grant may mean the cached copy is stale, §2).
+    pub refetch: HashSet<PageId>,
+    /// ServerLog baseline: log bytes below this LSN were shipped.
+    pub shipped_upto: Lsn,
+    /// Dirty pages evicted from the cache whose ship to the server has
+    /// not completed yet. A callback racing that window must answer with
+    /// this copy — otherwise the requester can fetch a stale server
+    /// version and cache it under its fresh lock.
+    pub in_transit: HashMap<PageId, Vec<u8>>,
+    pub crashed: bool,
+}
+
+/// Per-client counters reported by experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    pub commits: u64,
+    pub aborts: u64,
+    pub deadlock_victims: u64,
+    pub lock_timeouts: u64,
+    pub local_grants: u64,
+    pub global_lock_requests: u64,
+    pub pages_shipped: u64,
+    pub forced_flush_requests: u64,
+    pub checkpoints: u64,
+    pub log_forces: u64,
+    pub log_bytes: u64,
+    pub log_stall_events: u64,
+}
+
+/// The client runtime.
+pub struct ClientCore {
+    id: ClientId,
+    cfg: SystemConfig,
+    pub server: Arc<ServerCore>,
+    pub net: Arc<NetSim>,
+    pub(crate) st: Mutex<ClientState>,
+    /// Woken on callback completion / flush notification / txn end.
+    pub(crate) cv: Condvar,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    deadlock_victims: AtomicU64,
+    lock_timeouts: AtomicU64,
+    local_grants: AtomicU64,
+    global_lock_requests: AtomicU64,
+    pages_shipped: AtomicU64,
+    forced_flush_requests: AtomicU64,
+    checkpoints: AtomicU64,
+    log_stall_events: AtomicU64,
+}
+
+impl ClientCore {
+    /// Create a client over an in-memory private log (the common case for
+    /// experiments; exact crash semantics).
+    pub fn new(id: ClientId, server: Arc<ServerCore>, net: Arc<NetSim>) -> Arc<Self> {
+        Self::with_log_store(id, server, net, Box::new(MemLogStore::new()))
+    }
+
+    /// Re-open a client over an *existing* private log (e.g. a fresh
+    /// process restarting over the crashed one's log file, §2: restart
+    /// recovery may run anywhere with access to the log). The instance
+    /// starts in the crashed state; call [`Self::recover`].
+    pub fn reopen_with_log_store(
+        id: ClientId,
+        server: Arc<ServerCore>,
+        net: Arc<NetSim>,
+        log_store: Box<dyn LogStore>,
+    ) -> Result<Arc<Self>> {
+        let cfg = server.config().clone();
+        let wal = LogManager::recover(log_store, cfg.client_log_bytes)?;
+        let core = Self::with_parts(id, server, net, wal, true);
+        Ok(core)
+    }
+
+    /// Create a client whose private log lives on the given store.
+    pub fn with_log_store(
+        id: ClientId,
+        server: Arc<ServerCore>,
+        net: Arc<NetSim>,
+        log_store: Box<dyn LogStore>,
+    ) -> Arc<Self> {
+        let cfg = server.config().clone();
+        let wal = LogManager::new(log_store, cfg.client_log_bytes);
+        Self::with_parts(id, server, net, wal, false)
+    }
+
+    fn with_parts(
+        id: ClientId,
+        server: Arc<ServerCore>,
+        net: Arc<NetSim>,
+        wal: LogManager,
+        crashed: bool,
+    ) -> Arc<Self> {
+        let cfg = server.config().clone();
+        let state = ClientState {
+            llm: LlmCore::new(cfg.granularity, cfg.update_policy),
+            cache: ClientCache::new(cfg.client_cache_pages),
+            wal,
+            dpt: HashMap::new(),
+            txns: HashMap::new(),
+            next_seq: 0,
+            records_since_ckpt: 0,
+            refetch: HashSet::new(),
+            shipped_upto: Lsn(1),
+            in_transit: HashMap::new(),
+            crashed,
+        };
+        let core = Arc::new(ClientCore {
+            id,
+            cfg,
+            server,
+            net,
+            st: Mutex::new(state),
+            cv: Condvar::new(),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            deadlock_victims: AtomicU64::new(0),
+            lock_timeouts: AtomicU64::new(0),
+            local_grants: AtomicU64::new(0),
+            global_lock_requests: AtomicU64::new(0),
+            pages_shipped: AtomicU64::new(0),
+            forced_flush_requests: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            log_stall_events: AtomicU64::new(0),
+        });
+        if !crashed {
+            core.server
+                .register_client(Arc::new(crate::peer::PeerHandle::new(&core)));
+        }
+        core
+    }
+
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> ClientStats {
+        let st = self.st.lock();
+        let (_, log_bytes, log_forces) = st.wal.stats();
+        ClientStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            deadlock_victims: self.deadlock_victims.load(Ordering::Relaxed),
+            lock_timeouts: self.lock_timeouts.load(Ordering::Relaxed),
+            local_grants: self.local_grants.load(Ordering::Relaxed),
+            global_lock_requests: self.global_lock_requests.load(Ordering::Relaxed),
+            pages_shipped: self.pages_shipped.load(Ordering::Relaxed),
+            forced_flush_requests: self.forced_flush_requests.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            log_forces,
+            log_bytes,
+            log_stall_events: self.log_stall_events.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- transaction lifecycle -------------------------------------------
+
+    /// Begin a new transaction.
+    pub fn begin(&self) -> Result<TxnId> {
+        loop {
+            let mut st = self.st.lock();
+            if st.crashed {
+                return Err(FglError::Disconnected("client crashed".into()));
+            }
+            st.next_seq += 1;
+            let txn = TxnId::compose(self.id, st.next_seq);
+            let lsn = match self.append(&mut st, &LogPayload::Begin { txn }, false) {
+                Ok(l) => l,
+                Err(FglError::LogFull) => {
+                    st.next_seq -= 1;
+                    drop(st);
+                    self.log_stall_events.fetch_add(1, Ordering::Relaxed);
+                    self.reclaim_log_space()?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut t = TxnState::new(txn);
+            t.note_record(lsn);
+            st.txns.insert(txn, t);
+            return Ok(txn);
+        }
+    }
+
+    /// Commit. Under client-based logging this forces the *private* log
+    /// and nothing else (the paper's headline property).
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.commit_with(txn, || {})
+    }
+
+    /// Commit, running `before_release` after the commit is durable but
+    /// *before* the transaction's locks are released — the window in
+    /// which external bookkeeping (e.g. a serialization-order oracle) can
+    /// observe the commit without racing the next writer of the same
+    /// objects.
+    pub fn commit_with(&self, txn: TxnId, before_release: impl FnOnce()) -> Result<()> {
+        let (policy, ship_log, dirtied) = {
+            let mut st = self.st.lock();
+            let t = st
+                .txns
+                .get(&txn)
+                .ok_or(FglError::InvalidTxnState { txn, state: "unknown" })?;
+            if !t.is_active() {
+                return Err(FglError::InvalidTxnState { txn, state: "terminated" });
+            }
+            let prev = t.last_lsn;
+            let dirtied: Vec<PageId> = t.dirtied.iter().copied().collect();
+            self.append_critical(&mut st, &LogPayload::Commit { txn, prev_lsn: prev })?;
+            match self.cfg.commit_policy {
+                CommitPolicy::ClientLog => {
+                    st.wal.force()?;
+                    (CommitPolicy::ClientLog, None, dirtied)
+                }
+                CommitPolicy::ServerLog | CommitPolicy::ShipPagesAtCommit => {
+                    // ARIES/CSA shape: the durable copy of the log lives at
+                    // the server; ship the unshipped suffix.
+                    let from = st.shipped_upto;
+                    let to = st.wal.end_lsn();
+                    let bytes = st.wal.read_raw(from, to)?;
+                    st.shipped_upto = to;
+                    // The local store is volatile under this policy, but
+                    // mark it durable so local scans (rollback) still work.
+                    st.wal.force()?;
+                    (self.cfg.commit_policy, Some(bytes), dirtied)
+                }
+            }
+        };
+        if let Some(bytes) = ship_log {
+            self.server.commit_ship_log(self.id, bytes)?;
+            if policy == CommitPolicy::ShipPagesAtCommit {
+                for page in &dirtied {
+                    self.ship_page_copy(*page, false)?;
+                }
+            }
+        }
+        {
+            let mut st = self.st.lock();
+            if let Some(t) = st.txns.get_mut(&txn) {
+                t.status = TxnStatus::Committed;
+            }
+        }
+        before_release();
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.finish_txn(txn)
+    }
+
+    /// Roll back and terminate the transaction.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.rollback_chain(txn, Lsn::NIL)?;
+        {
+            let mut st = self.st.lock();
+            let prev = st.txns.get(&txn).map(|t| t.last_lsn).unwrap_or(Lsn::NIL);
+            self.append_critical(&mut st, &LogPayload::Abort { txn, prev_lsn: prev })?;
+            if let Some(t) = st.txns.get_mut(&txn) {
+                t.status = TxnStatus::Aborted;
+            }
+        }
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.finish_txn(txn)
+    }
+
+    /// Establish (or move) a named savepoint (§3.2 partial rollbacks).
+    pub fn savepoint(&self, txn: TxnId, name: &str) -> Result<()> {
+        let mut st = self.st.lock();
+        let t = st
+            .txns
+            .get_mut(&txn)
+            .filter(|t| t.is_active())
+            .ok_or(FglError::InvalidTxnState { txn, state: "not active" })?;
+        t.set_savepoint(name);
+        Ok(())
+    }
+
+    /// Partial rollback to a named savepoint; the transaction continues.
+    pub fn rollback_to(&self, txn: TxnId, name: &str) -> Result<()> {
+        let upto = {
+            let st = self.st.lock();
+            let t = st
+                .txns
+                .get(&txn)
+                .filter(|t| t.is_active())
+                .ok_or(FglError::InvalidTxnState { txn, state: "not active" })?;
+            t.savepoint_lsn(name)
+                .ok_or_else(|| FglError::UnknownSavepoint(name.to_string()))?
+        };
+        self.rollback_chain(txn, upto)?;
+        let mut st = self.st.lock();
+        if let Some(t) = st.txns.get_mut(&txn) {
+            t.truncate_savepoints(upto);
+        }
+        Ok(())
+    }
+
+    /// Release lock pins, complete deferred callbacks, drop the txn.
+    fn finish_txn(&self, txn: TxnId) -> Result<()> {
+        let (completions, low_space) = {
+            let mut st = self.st.lock();
+            st.txns.remove(&txn);
+            let completions = st.llm.end_txn(txn);
+            let low = st.wal.free_bytes() < st.wal.capacity() / 8;
+            (completions, low)
+        };
+        self.cv.notify_all();
+        if low_space {
+            // Proactive §3.6 reclamation at a transaction boundary, while
+            // there is still headroom for the checkpoint record it needs.
+            let _ = self.reclaim_log_space();
+        }
+        for (kind, reply) in completions {
+            let retained = match reply {
+                fgl_locks::glm::CallbackReply::Done { retained } => retained,
+                _ => Vec::new(),
+            };
+            let page_copy = self.page_copy_for_callback(kind)?;
+            self.server
+                .callback_complete(self.id, kind, retained, page_copy)?;
+        }
+        Ok(())
+    }
+
+    /// When a completed callback sheds a lock on a dirtied page, ship the
+    /// copy with the completion (§3.2) — forcing the log first (WAL).
+    fn page_copy_for_callback(&self, kind: CallbackKind) -> Result<Option<Vec<u8>>> {
+        let sheds = !matches!(kind, CallbackKind::DeEscalatePage(_));
+        let page = kind.page();
+        let mut st = self.st.lock();
+        if !st.cache.is_dirty(page) {
+            if sheds {
+                self.drop_if_unlocked(&mut st, page);
+            }
+            return Ok(None);
+        }
+        st.wal.force()?;
+        let bytes = st.cache.peek(page).map(|p| p.as_bytes().to_vec());
+        if bytes.is_some() {
+            st.cache.mark_clean(page);
+            self.pages_shipped.fetch_add(1, Ordering::Relaxed);
+            self.note_shipped(&mut st, page);
+        }
+        if sheds {
+            self.drop_if_unlocked(&mut st, page);
+        }
+        Ok(bytes)
+    }
+
+    /// §3.2: after releasing locks, drop the page from the cache when no
+    /// lock on it remains.
+    pub(crate) fn drop_if_unlocked(&self, st: &mut ClientState, page: PageId) {
+        if !st.llm.holds_any_on_page(page) {
+            st.cache.remove(page);
+        }
+    }
+
+    // ---- object operations --------------------------------------------------
+
+    /// Read an object's bytes under a shared lock.
+    pub fn read(&self, txn: TxnId, oid: ObjectId) -> Result<Vec<u8>> {
+        self.ensure_access(txn, oid, ObjMode::S, false)?;
+        self.with_page(oid.page, |page| Ok(page.read_object(oid.slot)?.to_vec()))
+    }
+
+    /// Overwrite an object without changing its size (mergeable, §3.1).
+    pub fn write(&self, txn: TxnId, oid: ObjectId, bytes: &[u8]) -> Result<()> {
+        self.ensure_access(txn, oid, ObjMode::X, false)?;
+        self.logged_update(txn, oid, false, |page| {
+            let before = page.read_object(oid.slot)?.to_vec();
+            if before.len() != bytes.len() {
+                return Err(FglError::Protocol(format!(
+                    "write: size change on {oid} needs resize",
+                )));
+            }
+            Ok((Some(before), Some(bytes.to_vec())))
+        })
+    }
+
+    /// Overwrite part of an object (mergeable).
+    pub fn write_at(&self, txn: TxnId, oid: ObjectId, offset: usize, bytes: &[u8]) -> Result<()> {
+        self.ensure_access(txn, oid, ObjMode::X, false)?;
+        self.logged_update(txn, oid, false, |page| {
+            let before = page.read_object(oid.slot)?.to_vec();
+            if offset + bytes.len() > before.len() {
+                return Err(FglError::Protocol(format!(
+                    "write_at: range past end of {oid}",
+                )));
+            }
+            let mut after = before.clone();
+            after[offset..offset + bytes.len()].copy_from_slice(bytes);
+            Ok((Some(before), Some(after)))
+        })
+    }
+
+    /// Create a new object on `page` (structural: needs the page
+    /// exclusively, §3.1). Returns its id.
+    pub fn insert(&self, txn: TxnId, page: PageId, bytes: &[u8]) -> Result<ObjectId> {
+        // Structural lock on the page.
+        let probe = ObjectId::new(page, SlotId(0));
+        self.ensure_access(txn, probe, ObjMode::X, true)?;
+        loop {
+            self.ensure_page_present(page)?;
+            let mut st = self.st.lock();
+            let slot = {
+                let p = st
+                    .cache
+                    .peek(page)
+                    .ok_or(FglError::PageNotFound(page))?;
+                p.peek_insert_slot()
+            };
+            let oid = ObjectId::new(page, slot);
+            let prev = self.txn_prev(&st, txn)?;
+            let psn_before = st.cache.peek(page).unwrap().psn();
+            let record = LogPayload::Update(UpdateRecord {
+                txn,
+                prev_lsn: prev,
+                object: oid,
+                psn_before,
+                before: None,
+                after: Some(bytes.to_vec()),
+                structural: true,
+            });
+            let lsn = match self.append(&mut st, &record, false) {
+                Ok(l) => l,
+                Err(FglError::LogFull) => {
+                    drop(st);
+                    self.log_stall_events.fetch_add(1, Ordering::Relaxed);
+                    self.reclaim_log_space()?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let p = st.cache.get_mut(page).ok_or(FglError::PageNotFound(page))?;
+            let got = p.insert_object(bytes)?;
+            debug_assert_eq!(got, slot);
+            self.after_update(&mut st, txn, oid, lsn);
+            st.llm.register_object_use(txn, oid, ObjMode::X);
+            return Ok(oid);
+        }
+    }
+
+    /// Delete an object (structural).
+    pub fn remove(&self, txn: TxnId, oid: ObjectId) -> Result<()> {
+        self.ensure_access(txn, oid, ObjMode::X, true)?;
+        self.logged_update(txn, oid, true, |page| {
+            let before = page.read_object(oid.slot)?.to_vec();
+            Ok((Some(before), None))
+        })
+    }
+
+    /// Resize an object, preserving the common prefix (structural).
+    pub fn resize(&self, txn: TxnId, oid: ObjectId, new_len: usize) -> Result<()> {
+        self.ensure_access(txn, oid, ObjMode::X, true)?;
+        self.logged_update(txn, oid, true, |page| {
+            let before = page.read_object(oid.slot)?.to_vec();
+            let mut after = before.clone();
+            after.resize(new_len, 0);
+            Ok((Some(before), Some(after)))
+        })
+    }
+
+    /// Allocate a fresh page from the server; the creator holds it
+    /// exclusively.
+    pub fn create_page(&self, txn: TxnId) -> Result<PageId> {
+        {
+            let st = self.st.lock();
+            if !st.txns.get(&txn).map(|t| t.is_active()).unwrap_or(false) {
+                return Err(FglError::InvalidTxnState { txn, state: "not active" });
+            }
+        }
+        let bytes = self.server.allocate_page(self.id, txn)?;
+        let page = Page::from_bytes(bytes)?;
+        let pid = page.id();
+        let evicted = {
+            let mut st = self.st.lock();
+            st.llm.grant_page_lock(txn, pid, ObjMode::X);
+            let end = st.wal.end_lsn();
+            st.dpt.entry(pid).or_insert(DptState {
+                redo_lsn: end,
+                remembered: None,
+                updated_since_ship: false,
+            });
+            let ev = st.cache.install_exact(page, false);
+            self.stash_evicted(&mut st, ev)?
+        };
+        self.handle_evicted(evicted)?;
+        Ok(pid)
+    }
+
+    /// Apply a logged single-object update: computes before/after images
+    /// under the page, appends the log record first (WAL), then mutates.
+    fn logged_update<F>(&self, txn: TxnId, oid: ObjectId, structural: bool, f: F) -> Result<()>
+    where
+        F: Fn(&Page) -> Result<(Option<Vec<u8>>, Option<Vec<u8>>)>,
+    {
+        loop {
+            self.ensure_page_present(oid.page)?;
+            let mut st = self.st.lock();
+            let prev = self.txn_prev(&st, txn)?;
+            let (before, after, psn_before) = {
+                let p = st
+                    .cache
+                    .peek(oid.page)
+                    .ok_or(FglError::PageNotFound(oid.page))?;
+                let (b, a) = f(p)?;
+                (b, a, p.psn())
+            };
+            fgl_common::fgl_trace!("{:?} write {oid} psn_before={:?} txn={txn}", self.id, psn_before);
+            let record = LogPayload::Update(UpdateRecord {
+                txn,
+                prev_lsn: prev,
+                object: oid,
+                psn_before,
+                before: before.clone(),
+                after: after.clone(),
+                structural,
+            });
+            let lsn = match self.append(&mut st, &record, false) {
+                Ok(l) => l,
+                Err(FglError::LogFull) => {
+                    drop(st);
+                    self.log_stall_events.fetch_add(1, Ordering::Relaxed);
+                    self.reclaim_log_space()?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            {
+                let p = st
+                    .cache
+                    .get_mut(oid.page)
+                    .ok_or(FglError::PageNotFound(oid.page))?;
+                match (&before, &after) {
+                    (Some(_), Some(a)) => {
+                        if p.read_object(oid.slot)?.len() == a.len() {
+                            p.write_object(oid.slot, a)?;
+                        } else {
+                            p.free_object(oid.slot)?;
+                            p.insert_object_at(oid.slot, a)?;
+                        }
+                    }
+                    (Some(_), None) => {
+                        p.free_object(oid.slot)?;
+                    }
+                    (None, Some(a)) => {
+                        p.insert_object_at(oid.slot, a)?;
+                    }
+                    (None, None) => {}
+                }
+            }
+            self.after_update(&mut st, txn, oid, lsn);
+            return Ok(());
+        }
+    }
+
+    fn txn_prev(&self, st: &ClientState, txn: TxnId) -> Result<Lsn> {
+        st.txns
+            .get(&txn)
+            .filter(|t| t.is_active())
+            .map(|t| t.last_lsn)
+            .ok_or(FglError::InvalidTxnState { txn, state: "not active" })
+    }
+
+    fn after_update(&self, st: &mut ClientState, txn: TxnId, oid: ObjectId, lsn: Lsn) {
+        if let Some(t) = st.txns.get_mut(&txn) {
+            t.note_record(lsn);
+            t.dirtied.insert(oid.page);
+        }
+        if let Some(e) = st.dpt.get_mut(&oid.page) {
+            e.updated_since_ship = true;
+        } else {
+            // Conservative: entry should exist from the X grant; create it
+            // with the record's own LSN if not.
+            st.dpt.insert(
+                oid.page,
+                DptState {
+                    redo_lsn: lsn,
+                    remembered: None,
+                    updated_since_ship: true,
+                },
+            );
+        }
+    }
+
+    // ---- locking ----------------------------------------------------------------
+
+    /// Ensure `txn` may access `oid` in `mode`; drives the LLM/GLM
+    /// protocol including waits, deadlock verdicts and timeouts.
+    pub(crate) fn ensure_access(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        mode: ObjMode,
+        structural: bool,
+    ) -> Result<()> {
+        let deadline = Instant::now() + self.cfg.lock_timeout;
+        loop {
+            let decision = {
+                let mut st = self.st.lock();
+                if !st.txns.get(&txn).map(|t| t.is_active()).unwrap_or(false) {
+                    return Err(FglError::InvalidTxnState { txn, state: "not active" });
+                }
+                match st.llm.acquire(txn, oid, mode, structural) {
+                    LocalDecision::BlockedByCallback => {
+                        // Wait for local callback resolution, then retry.
+                        if Instant::now() >= deadline {
+                            drop(st);
+                            self.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.on_lock_failure(txn, true)?;
+                            return Err(FglError::LockTimeout(txn));
+                        }
+                        self.cv.wait_for(&mut st, Duration::from_millis(20));
+                        continue;
+                    }
+                    d => d,
+                }
+            };
+            match decision {
+                LocalDecision::LocallyGranted => {
+                    self.local_grants.fetch_add(1, Ordering::Relaxed);
+                    if mode == ObjMode::X || structural {
+                        let mut st = self.st.lock();
+                        self.ensure_dpt(&mut st, oid.page);
+                    }
+                    return Ok(());
+                }
+                LocalDecision::NeedGlobal(target) => {
+                    self.global_lock_requests.fetch_add(1, Ordering::Relaxed);
+                    let cached_psn = {
+                        let mut st = self.st.lock();
+                        // Guard the in-flight window: a callback arriving
+                        // between the server-side grant and our
+                        // installation below must defer, not revoke.
+                        st.llm.begin_global_request(txn, target);
+                        st.cache.peek(oid.page).map(|p| p.psn())
+                    };
+                    let resp = match self.server.lock(self.id, txn, target, cached_psn) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            self.st.lock().llm.end_global_request(txn);
+                            return Err(e);
+                        }
+                    };
+                    let granted = match resp {
+                        LockResponse::Granted { target, evidence, .. } => Some((target, evidence)),
+                        LockResponse::Wait(waiter) => {
+                            match waiter.wait(self.cfg.lock_timeout) {
+                                Some(GrantMsg::Granted { target, evidence, .. }) => {
+                                    Some((target, evidence))
+                                }
+                                Some(GrantMsg::Victim) => {
+                                    self.deadlock_victims.fetch_add(1, Ordering::Relaxed);
+                                    self.clear_inflight(txn);
+                                    self.on_lock_failure(txn, true)?;
+                                    return Err(FglError::DeadlockVictim(txn));
+                                }
+                                None => {
+                                    self.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+                                    self.server.cancel_wait(self.id, txn);
+                                    self.clear_inflight(txn);
+                                    self.on_lock_failure(txn, true)?;
+                                    return Err(FglError::LockTimeout(txn));
+                                }
+                            }
+                        }
+                    };
+                    if let Some((eff, evidence)) = granted {
+                        fgl_common::fgl_trace!(
+                            "{:?} granted {eff:?} for {oid} mode={mode:?} txn={txn} evidence={evidence:?}",
+                            self.id
+                        );
+                        let mut st = self.st.lock();
+                        st.llm.global_granted(txn, oid, mode, eff);
+                        st.llm.end_global_request(txn);
+                        // The cached copy may be stale for the newly locked
+                        // object: refetch before next use (§2).
+                        if st.cache.contains(oid.page) {
+                            st.refetch.insert(oid.page);
+                        }
+                        if mode == ObjMode::X || structural {
+                            self.ensure_dpt(&mut st, oid.page);
+                        }
+                        // §3.1: the client that triggered a callback for an
+                        // exclusive lock logs who responded and at which
+                        // PSN — server restart recovery rebuilds the
+                        // inter-client update order from these records.
+                        if mode == ObjMode::X {
+                            if let Some((from, psn)) = evidence {
+                                let record = LogPayload::Callback(
+                                    fgl_wal::records::CallbackRecord {
+                                        object: oid,
+                                        from_client: from,
+                                        psn,
+                                    },
+                                );
+                                let _ = self.append(&mut st, &record, true);
+                            }
+                        }
+                        return Ok(());
+                    }
+                }
+                LocalDecision::BlockedByCallback => unreachable!("handled above"),
+            }
+        }
+    }
+
+    /// Clear a failed request's in-flight registration. Deferred
+    /// callbacks that were waiting on it alone complete via the
+    /// `finish_txn → end_txn` that follows every lock failure.
+    fn clear_inflight(&self, txn: TxnId) {
+        self.st.lock().llm.end_global_request(txn);
+    }
+
+    /// Roll the transaction back after a deadlock/timeout verdict so its
+    /// locks stop blocking others.
+    fn on_lock_failure(&self, txn: TxnId, rollback: bool) -> Result<()> {
+        if rollback {
+            self.rollback_chain(txn, Lsn::NIL)?;
+            let mut st = self.st.lock();
+            let prev = st.txns.get(&txn).map(|t| t.last_lsn).unwrap_or(Lsn::NIL);
+            self.append_critical(&mut st, &LogPayload::Abort { txn, prev_lsn: prev })?;
+            if let Some(t) = st.txns.get_mut(&txn) {
+                t.status = TxnStatus::Aborted;
+            }
+            drop(st);
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            self.finish_txn(txn)?;
+        }
+        Ok(())
+    }
+
+    /// §3.2: DPT entry at first exclusive lock, RedoLSN = current end of
+    /// log (conservative).
+    fn ensure_dpt(&self, st: &mut ClientState, page: PageId) {
+        let end = st.wal.end_lsn();
+        st.dpt.entry(page).or_insert(DptState {
+            redo_lsn: end,
+            remembered: None,
+            updated_since_ship: false,
+        });
+    }
+
+    // ---- page movement ---------------------------------------------------------
+
+    /// Make sure the page is cached and fresh (honouring `refetch`).
+    pub(crate) fn ensure_page_present(&self, page: PageId) -> Result<()> {
+        loop {
+            {
+                let st = self.st.lock();
+                if st.cache.contains(page) && !st.refetch.contains(&page) {
+                    return Ok(());
+                }
+            }
+            let (bytes, _dct_psn) = self.server.fetch_page(self.id, page)?;
+            let incoming = Page::from_bytes(bytes)?;
+            let evicted = {
+                let mut st = self.st.lock();
+                st.refetch.remove(&page);
+                let ev = st.cache.install_from_server(incoming)?;
+                self.stash_evicted(&mut st, ev)?
+            };
+            self.handle_evicted(evicted)?;
+        }
+    }
+
+    /// Run `f` against the cached page.
+    fn with_page<R>(&self, page: PageId, f: impl FnOnce(&Page) -> Result<R>) -> Result<R> {
+        self.ensure_page_present(page)?;
+        let st = self.st.lock();
+        let p = st.cache.peek(page).ok_or(FglError::PageNotFound(page))?;
+        f(p)
+    }
+
+    /// A dirty page fell out of the cache: force the log (WAL), ship it to
+    /// the server, and remember the end of log for the §3.6 RedoLSN
+    /// advance. The page must already be stashed in `in_transit` (by the
+    /// same critical section that evicted it) so callbacks racing the
+    /// ship can still produce the copy.
+    fn handle_evicted(&self, evicted: Option<PageId>) -> Result<()> {
+        let Some(pid) = evicted else { return Ok(()) };
+        let bytes = {
+            let st = self.st.lock();
+            match st.in_transit.get(&pid) {
+                Some(b) => b.clone(),
+                None => return Ok(()), // a callback already shipped it
+            }
+        };
+        self.pages_shipped.fetch_add(1, Ordering::Relaxed);
+        let result = self.server.ship_page(self.id, bytes, true);
+        self.st.lock().in_transit.remove(&pid);
+        result
+    }
+
+    /// Stash an evicted dirty page for shipping; runs inside the same
+    /// lock scope as the eviction (no window where the page exists
+    /// nowhere). Forces the log first (WAL rule) and remembers the §3.6
+    /// ship point.
+    fn stash_evicted(
+        &self,
+        st: &mut ClientState,
+        evicted: Option<fgl_storage::bufferpool::EvictedPage>,
+    ) -> Result<Option<PageId>> {
+        let Some(ev) = evicted.filter(|e| e.dirty) else {
+            return Ok(None);
+        };
+        let pid = ev.page.id();
+        st.wal.force()?;
+        self.note_shipped(st, pid);
+        st.in_transit.insert(pid, ev.page.into_bytes());
+        Ok(Some(pid))
+    }
+
+    fn note_shipped(&self, st: &mut ClientState, page: PageId) {
+        let end = st.wal.end_lsn();
+        if let Some(e) = st.dpt.get_mut(&page) {
+            e.remembered = Some(end);
+            e.updated_since_ship = false;
+        }
+    }
+
+    /// Ship a copy of a cached page to the server (commit baselines and
+    /// recovery hardening).
+    pub(crate) fn ship_page_copy(&self, page: PageId, replaced: bool) -> Result<()> {
+        let bytes = {
+            let mut st = self.st.lock();
+            if !st.cache.is_dirty(page) {
+                return Ok(());
+            }
+            st.wal.force()?;
+            let b = st
+                .cache
+                .peek(page)
+                .map(|p| p.as_bytes().to_vec())
+                .ok_or(FglError::PageNotFound(page))?;
+            st.cache.mark_clean(page);
+            self.note_shipped(&mut st, page);
+            b
+        };
+        self.pages_shipped.fetch_add(1, Ordering::Relaxed);
+        self.server.ship_page(self.id, bytes, replaced)
+    }
+
+    // ---- logging ------------------------------------------------------------------
+
+    /// Append with automatic fuzzy checkpointing.
+    pub(crate) fn append(
+        &self,
+        st: &mut ClientState,
+        payload: &LogPayload,
+        critical: bool,
+    ) -> Result<Lsn> {
+        let lsn = if critical {
+            st.wal.append_critical(payload)?
+        } else {
+            st.wal.append(payload)?
+        };
+        st.records_since_ckpt += 1;
+        if st.records_since_ckpt >= self.cfg.client_checkpoint_every {
+            st.records_since_ckpt = 0;
+            self.checkpoint_locked(st)?;
+        }
+        Ok(lsn)
+    }
+
+    pub(crate) fn append_critical(
+        &self,
+        st: &mut ClientState,
+        payload: &LogPayload,
+    ) -> Result<Lsn> {
+        self.append(st, payload, true)
+    }
+
+    /// §3.6: free private log space. Checkpoint, advance the low-water
+    /// mark, and force out the pages holding the minimum RedoLSN until
+    /// enough space is free.
+    pub fn reclaim_log_space(&self) -> Result<()> {
+        for _round in 0..64 {
+            // Re-anchor analysis, then advance the low-water mark. A
+            // checkpoint that cannot fit is skipped for this round: the
+            // page forces below still advance the DPT floor, and the next
+            // round retries.
+            {
+                let mut st = self.st.lock();
+                match self.checkpoint_locked(&mut st) {
+                    Ok(()) | Err(FglError::LogFull) => {}
+                    Err(e) => return Err(e),
+                }
+                let lw = Self::reclaim_floor(&st);
+                st.wal.advance_low_water(lw)?;
+                if st.wal.free_bytes() >= st.wal.capacity() / 4 {
+                    return Ok(());
+                }
+            }
+            // Pick the page with the minimum RedoLSN and have it forced.
+            let victim = {
+                let st = self.st.lock();
+                st.dpt
+                    .iter()
+                    .min_by_key(|(_, e)| e.redo_lsn)
+                    .map(|(p, _)| *p)
+            };
+            let Some(page) = victim else {
+                // Nothing left to force: space is bounded by active txns.
+                let st = self.st.lock();
+                if st.wal.free_bytes() == 0 {
+                    return Err(FglError::LogFull);
+                }
+                return Ok(());
+            };
+            // Ship our dirty copy if we still cache it, then ask the
+            // server to force the page (§3.6). The force_page reply is
+            // itself the flush acknowledgment (the broadcast notification
+            // additionally reaches other clients that replaced the page).
+            self.ship_page_copy(page, true)?;
+            self.forced_flush_requests.fetch_add(1, Ordering::Relaxed);
+            self.server.force_page(self.id, page)?;
+            self.handle_flush_notification(page);
+        }
+        Err(FglError::LogFull)
+    }
+
+    /// Oldest LSN still needed: checkpoint anchor, DPT redo points, and
+    /// the first record of every active transaction (undo needs them; the
+    /// paper's §3.6 leaves this implicit).
+    fn reclaim_floor(st: &ClientState) -> Lsn {
+        let mut floor = st.wal.last_checkpoint();
+        if floor.is_nil() {
+            floor = st.wal.end_lsn();
+        }
+        for e in st.dpt.values() {
+            if e.redo_lsn < floor {
+                floor = e.redo_lsn;
+            }
+        }
+        for t in st.txns.values() {
+            if t.is_active() && !t.first_lsn.is_nil() && t.first_lsn < floor {
+                floor = t.first_lsn;
+            }
+        }
+        floor
+    }
+
+    /// Take a fuzzy client checkpoint (§3.2): active transactions + DPT.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut st = self.st.lock();
+        self.checkpoint_locked(&mut st)
+    }
+
+    fn checkpoint_locked(&self, st: &mut ClientState) -> Result<()> {
+        let active: Vec<(TxnId, Lsn)> = st
+            .txns
+            .values()
+            .filter(|t| t.is_active())
+            .map(|t| (t.id, t.last_lsn))
+            .collect();
+        let dpt: Vec<fgl_wal::records::DptEntry> = st
+            .dpt
+            .iter()
+            .map(|(p, e)| fgl_wal::records::DptEntry {
+                page: *p,
+                redo_lsn: e.redo_lsn,
+            })
+            .collect();
+        let lsn = st
+            .wal
+            .append_critical(&LogPayload::ClientCheckpoint { active_txns: active, dpt })?;
+        st.wal.force()?;
+        st.wal.set_checkpoint(lsn)?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ---- rollback ------------------------------------------------------------------
+
+    /// Full rollback entry point for restart recovery.
+    pub(crate) fn rollback_chain_public(&self, txn: TxnId) -> Result<()> {
+        self.rollback_chain(txn, Lsn::NIL)
+    }
+
+    /// Walk the transaction's log chain backwards, undoing updates and
+    /// writing CLRs, until reaching `upto` (NIL = full rollback).
+    fn rollback_chain(&self, txn: TxnId, upto: Lsn) -> Result<()> {
+        loop {
+            // Find the next record to undo.
+            let entry = {
+                let st = self.st.lock();
+                let t = st
+                    .txns
+                    .get(&txn)
+                    .ok_or(FglError::InvalidTxnState { txn, state: "unknown" })?;
+                let mut cur = t.last_lsn;
+                // Follow CLR undo-next pointers without re-undoing.
+                let rec = loop {
+                    if cur.is_nil() || cur <= upto {
+                        break None;
+                    }
+                    let e = st.wal.read_at(cur)?;
+                    match &e.payload {
+                        LogPayload::Clr(c) => {
+                            cur = c.undo_next;
+                        }
+                        LogPayload::Update(u) => break Some((e.lsn, u.clone())),
+                        LogPayload::Begin { .. } => break None,
+                        other => {
+                            return Err(FglError::Protocol(format!(
+                                "unexpected record in undo chain: {other:?}"
+                            )))
+                        }
+                    }
+                };
+                rec
+            };
+            let Some((_lsn, u)) = entry else { return Ok(()) };
+            // Undo needs the page; it may have been replaced.
+            self.ensure_page_present(u.object.page)?;
+            let mut st = self.st.lock();
+            let psn_before = st
+                .cache
+                .peek(u.object.page)
+                .ok_or(FglError::PageNotFound(u.object.page))?
+                .psn();
+            let clr = LogPayload::Clr(fgl_wal::records::ClrRecord {
+                txn,
+                prev_lsn: st.txns.get(&txn).unwrap().last_lsn,
+                undo_next: u.prev_lsn,
+                object: u.object,
+                psn_before,
+                after: u.before.clone(),
+            });
+            let clr_lsn = self.append_critical(&mut st, &clr)?;
+            {
+                let p = st
+                    .cache
+                    .get_mut(u.object.page)
+                    .ok_or(FglError::PageNotFound(u.object.page))?;
+                Self::undo_install(p, u.object.slot, u.before.as_deref())?;
+            }
+            self.after_update(&mut st, txn, u.object, clr_lsn);
+            // after_update set last_lsn = clr_lsn; the next iteration
+            // resumes from u.prev_lsn via the CLR's undo_next.
+        }
+    }
+
+    /// Install the before-image during undo (bumps the PSN like a normal
+    /// update so later merges order correctly).
+    fn undo_install(page: &mut Page, slot: SlotId, before: Option<&[u8]>) -> Result<()> {
+        match before {
+            None => {
+                page.free_object(slot)?;
+            }
+            Some(b) => {
+                if page.slot_is_live(slot) {
+                    if page.read_object(slot)?.len() == b.len() {
+                        page.write_object(slot, b)?;
+                    } else {
+                        page.free_object(slot)?;
+                        page.insert_object_at(slot, b)?;
+                    }
+                } else {
+                    page.insert_object_at(slot, b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Push every dirty page to the server and have it forced to disk,
+    /// then checkpoint: afterwards the client's private log is cold (its
+    /// DPT is empty). Used by experiment setup and by operators before
+    /// planned downtime.
+    pub fn harden(&self) -> Result<()> {
+        let dirty: Vec<PageId> = {
+            let st = self.st.lock();
+            st.cache.dirty_ids()
+        };
+        for page in dirty {
+            self.ship_page_copy(page, true)?;
+            self.server.force_page(self.id, page)?;
+            self.handle_flush_notification(page);
+        }
+        // Pages updated and replaced earlier may still hold DPT entries.
+        let remaining: Vec<PageId> = {
+            let st = self.st.lock();
+            st.dpt.keys().copied().collect()
+        };
+        for page in remaining {
+            self.server.force_page(self.id, page)?;
+            self.handle_flush_notification(page);
+        }
+        self.checkpoint()
+    }
+
+    // ---- crash ---------------------------------------------------------------------
+
+    /// Simulate a client crash (§3.3): every volatile structure is lost;
+    /// the private log's forced prefix survives. The server is informed
+    /// (connection loss).
+    pub fn crash(&self) {
+        {
+            let mut st = self.st.lock();
+            st.llm.clear();
+            st.cache.clear();
+            st.dpt.clear();
+            st.txns.clear();
+            st.refetch.clear();
+            st.in_transit.clear();
+            st.records_since_ckpt = 0;
+            st.wal.crash();
+            st.crashed = true;
+        }
+        self.server.client_crashed(self.id);
+        self.cv.notify_all();
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        self.st.lock().crashed
+    }
+
+    // ---- introspection (oracle / experiments) -----------------------------------------
+
+    /// Copy of a cached page (diagnostics).
+    pub fn cached_page(&self, page: PageId) -> Option<Page> {
+        self.st.lock().cache.peek(page).cloned()
+    }
+
+    /// Number of cached pages.
+    pub fn cache_len(&self) -> usize {
+        self.st.lock().cache.len()
+    }
+
+    /// Client DPT snapshot.
+    pub fn dpt_snapshot(&self) -> Vec<(PageId, Lsn)> {
+        let st = self.st.lock();
+        let mut v: Vec<(PageId, Lsn)> = st.dpt.iter().map(|(p, e)| (*p, e.redo_lsn)).collect();
+        v.sort_by_key(|(p, _)| p.0);
+        v
+    }
+
+    /// Private-log occupancy `(in_use, capacity)`.
+    pub fn log_usage(&self) -> (u64, u64) {
+        let st = self.st.lock();
+        (st.wal.bytes_in_use(), st.wal.capacity())
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-transaction bookkeeping at the client.
+//!
+//! Transactions execute entirely at the client that started them (§2);
+//! the server never hears about commits under client-based logging. The
+//! client tracks the ARIES backward chain (`last_lsn`), the earliest
+//! record (for log-space accounting), named savepoints (§3.2 supports
+//! partial rollbacks), and the pages dirtied (the ship-pages-at-commit
+//! baseline needs them).
+
+use fgl_common::{Lsn, PageId, TxnId};
+use std::collections::HashSet;
+
+/// Lifecycle of a client transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStatus {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// One active transaction.
+#[derive(Clone, Debug)]
+pub struct TxnState {
+    pub id: TxnId,
+    pub status: TxnStatus,
+    /// Most recent log record of this transaction (ARIES PrevLSN chain).
+    pub last_lsn: Lsn,
+    /// First log record (bounds log-space reclamation while active).
+    pub first_lsn: Lsn,
+    /// Named savepoints: (name, last_lsn at creation).
+    pub savepoints: Vec<(String, Lsn)>,
+    /// Pages this transaction dirtied.
+    pub dirtied: HashSet<PageId>,
+}
+
+impl TxnState {
+    pub fn new(id: TxnId) -> Self {
+        TxnState {
+            id,
+            status: TxnStatus::Active,
+            last_lsn: Lsn::NIL,
+            first_lsn: Lsn::NIL,
+            savepoints: Vec::new(),
+            dirtied: HashSet::new(),
+        }
+    }
+
+    /// Record a newly appended log record of this transaction.
+    pub fn note_record(&mut self, lsn: Lsn) {
+        if self.first_lsn.is_nil() {
+            self.first_lsn = lsn;
+        }
+        self.last_lsn = lsn;
+    }
+
+    /// Create (or move) a named savepoint at the current position.
+    pub fn set_savepoint(&mut self, name: &str) {
+        if let Some(sp) = self.savepoints.iter_mut().find(|(n, _)| n == name) {
+            sp.1 = self.last_lsn;
+        } else {
+            self.savepoints.push((name.to_string(), self.last_lsn));
+        }
+    }
+
+    /// The rollback boundary for a savepoint; savepoints created after it
+    /// are discarded by the caller once the rollback runs.
+    pub fn savepoint_lsn(&self, name: &str) -> Option<Lsn> {
+        self.savepoints
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, l)| *l)
+    }
+
+    /// Drop savepoints established after `lsn` (they are rolled away).
+    pub fn truncate_savepoints(&mut self, lsn: Lsn) {
+        self.savepoints.retain(|(_, l)| *l <= lsn);
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.status == TxnStatus::Active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgl_common::ClientId;
+
+    fn txn() -> TxnState {
+        TxnState::new(TxnId::compose(ClientId(1), 1))
+    }
+
+    #[test]
+    fn note_record_tracks_first_and_last() {
+        let mut t = txn();
+        assert!(t.first_lsn.is_nil());
+        t.note_record(Lsn(10));
+        t.note_record(Lsn(20));
+        assert_eq!(t.first_lsn, Lsn(10));
+        assert_eq!(t.last_lsn, Lsn(20));
+    }
+
+    #[test]
+    fn savepoints_create_move_and_lookup() {
+        let mut t = txn();
+        t.note_record(Lsn(5));
+        t.set_savepoint("a");
+        assert_eq!(t.savepoint_lsn("a"), Some(Lsn(5)));
+        t.note_record(Lsn(9));
+        t.set_savepoint("a");
+        assert_eq!(t.savepoint_lsn("a"), Some(Lsn(9)));
+        assert_eq!(t.savepoint_lsn("missing"), None);
+    }
+
+    #[test]
+    fn truncate_discards_later_savepoints() {
+        let mut t = txn();
+        t.note_record(Lsn(5));
+        t.set_savepoint("early");
+        t.note_record(Lsn(9));
+        t.set_savepoint("late");
+        t.truncate_savepoints(Lsn(5));
+        assert_eq!(t.savepoint_lsn("early"), Some(Lsn(5)));
+        assert_eq!(t.savepoint_lsn("late"), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the client cache: merge-on-install never loses
+//! locally dirty state, evictions surface every dirty page, and the cache
+//! never exceeds capacity.
+
+use fgl_client::cache::ClientCache;
+use fgl_common::{PageId, Psn, SlotId};
+use fgl_storage::page::Page;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    /// Install a server copy of page `p` (fresh generation `r`).
+    Install { p: u64, r: u8 },
+    /// Locally update slot 0 of a cached page.
+    Update { p: u64, v: u8 },
+    /// Drop a page.
+    Remove { p: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..12, any::<u8>()).prop_map(|(p, r)| CacheOp::Install { p, r }),
+        (0u64..12, any::<u8>()).prop_map(|(p, v)| CacheOp::Update { p, v }),
+        (0u64..12).prop_map(|p| CacheOp::Remove { p }),
+    ]
+}
+
+fn server_copy(p: u64, generation: u64) -> Page {
+    // Generations are spaced far apart so local +1 PSN bumps never
+    // collide with the next generation (the real protocol guarantees
+    // per-object monotonicity via callbacks; the model mirrors it).
+    let mut page = Page::format(512, PageId(p), Psn(generation * 1000));
+    page.insert_object(&[(generation % 251) as u8; 16]).unwrap();
+    page
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Capacity is a hard bound; every evicted dirty page is surfaced;
+    /// local updates survive merges with any incoming server copy.
+    #[test]
+    fn cache_invariants(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let capacity = 4;
+        let mut cache = ClientCache::new(capacity);
+        // Track which pages we dirtied locally and with what value.
+        let mut local: std::collections::HashMap<u64, u8> = Default::default();
+        // Per-page server generation: advances only while we are not
+        // holding dirty state for the page (protocol: our X lock blocks
+        // remote writers).
+        let mut gen: std::collections::HashMap<u64, u64> = Default::default();
+        for op in ops {
+            match op {
+                CacheOp::Install { p, r } => {
+                    let g = gen.entry(p).or_insert(1);
+                    if r % 2 == 0 && !local.contains_key(&p) {
+                        *g += 1; // fresh server state
+                    } // else: re-deliver the same (possibly stale) copy
+                    let copy = server_copy(p, *g);
+                    let ev = cache.install_from_server(copy).unwrap();
+                    if let Some(e) = ev {
+                        // Dirty evictions carry the page; it must be one
+                        // we dirtied, and its content must be our value.
+                        prop_assert!(e.dirty);
+                        let pid = e.page.id().0;
+                        let v = local.remove(&pid);
+                        prop_assert!(v.is_some(), "evicted dirty page we never dirtied");
+                        prop_assert_eq!(
+                            e.page.read_object(SlotId(0)).unwrap()[0],
+                            v.unwrap()
+                        );
+                    }
+                    prop_assert!(cache.len() <= capacity);
+                }
+                CacheOp::Update { p, v } => {
+                    if cache.contains(PageId(p)) {
+                        cache
+                            .get_mut(PageId(p))
+                            .unwrap()
+                            .write_object(SlotId(0), &[v; 16])
+                            .unwrap();
+                        local.insert(p, v);
+                        prop_assert!(cache.is_dirty(PageId(p)));
+                    }
+                }
+                CacheOp::Remove { p } => {
+                    cache.remove(PageId(p));
+                    local.remove(&p);
+                }
+            }
+            // Every locally-dirty page still cached must show our value
+            // (merges must never wash out the newer local update).
+            for (&p, &v) in &local {
+                if let Some(page) = cache.peek(PageId(p)) {
+                    prop_assert_eq!(page.read_object(SlotId(0)).unwrap()[0], v);
+                    prop_assert!(cache.is_dirty(PageId(p)));
+                }
+            }
+            // Clean cached pages show the latest installed generation.
+            for (&p, &g) in &gen {
+                if !local.contains_key(&p) {
+                    if let Some(page) = cache.peek(PageId(p)) {
+                        prop_assert_eq!(
+                            page.read_object(SlotId(0)).unwrap()[0],
+                            (g % 251) as u8
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Client-runtime behaviour tests: transaction lifecycle edges, DPT
+//! bookkeeping, cache/lock interplay, log-space reclamation, hardening.
+
+use fgl_client::ClientCore;
+use fgl_common::{ClientId, FglError, SystemConfig};
+use fgl_net::stats::NetSim;
+use fgl_server::runtime::ServerCore;
+use fgl_storage::disk::MemDisk;
+use std::sync::Arc;
+
+fn system(cfg: SystemConfig) -> (Arc<ServerCore>, Vec<Arc<ClientCore>>) {
+    let net = Arc::new(NetSim::new(std::time::Duration::ZERO));
+    let server = ServerCore::new(cfg, net.clone(), Arc::new(MemDisk::new()));
+    let clients = (1..=2)
+        .map(|i| ClientCore::new(ClientId(i), server.clone(), net.clone()))
+        .collect();
+    (server, clients)
+}
+
+#[test]
+fn commit_of_unknown_txn_fails() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let err = c.commit(fgl_common::TxnId::compose(c.id(), 999)).unwrap_err();
+    assert!(matches!(err, FglError::InvalidTxnState { .. }));
+}
+
+#[test]
+fn double_commit_fails() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    c.commit(t).unwrap();
+    assert!(matches!(
+        c.commit(t),
+        Err(FglError::InvalidTxnState { .. })
+    ));
+}
+
+#[test]
+fn operations_after_abort_fail() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    let obj = c.insert(t, page, b"x").unwrap();
+    c.abort(t).unwrap();
+    assert!(c.write(t, obj, b"y").is_err());
+    assert!(c.read(t, obj).is_err());
+}
+
+#[test]
+fn unknown_savepoint_is_reported() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    match c.rollback_to(t, "missing") {
+        Err(FglError::UnknownSavepoint(name)) => assert_eq!(name, "missing"),
+        other => panic!("expected UnknownSavepoint, got {other:?}"),
+    }
+    c.abort(t).unwrap();
+}
+
+#[test]
+fn nested_savepoints_roll_back_in_order() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    let obj = c.insert(t, page, b"v0").unwrap();
+    c.savepoint(t, "a").unwrap();
+    c.write(t, obj, b"v1").unwrap();
+    c.savepoint(t, "b").unwrap();
+    c.write(t, obj, b"v2").unwrap();
+    // Rolling to b keeps v1; rolling to a keeps v0; b is gone after a.
+    c.rollback_to(t, "b").unwrap();
+    assert_eq!(c.read(t, obj).unwrap(), b"v1");
+    c.rollback_to(t, "a").unwrap();
+    assert_eq!(c.read(t, obj).unwrap(), b"v0");
+    assert!(c.rollback_to(t, "b").is_err(), "later savepoint discarded");
+    c.commit(t).unwrap();
+}
+
+#[test]
+fn write_size_change_requires_resize() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    let obj = c.insert(t, page, b"1234").unwrap();
+    assert!(c.write(t, obj, b"12345").is_err());
+    c.resize(t, obj, 5).unwrap();
+    c.write(t, obj, b"12345").unwrap();
+    c.commit(t).unwrap();
+}
+
+#[test]
+fn dpt_tracks_dirty_pages_and_harden_clears_it() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    let p1 = c.create_page(t).unwrap();
+    let p2 = c.create_page(t).unwrap();
+    c.insert(t, p1, b"a").unwrap();
+    c.insert(t, p2, b"b").unwrap();
+    c.commit(t).unwrap();
+    let dpt = c.dpt_snapshot();
+    assert!(dpt.iter().any(|(p, _)| *p == p1));
+    assert!(dpt.iter().any(|(p, _)| *p == p2));
+    c.harden().unwrap();
+    assert!(c.dpt_snapshot().is_empty(), "harden must drain the DPT");
+}
+
+#[test]
+fn log_usage_grows_and_reclamation_frees() {
+    let mut cfg = SystemConfig::default();
+    cfg.client_log_bytes = 64 << 10;
+    cfg.client_checkpoint_every = u64::MAX / 2;
+    let (_s, cs) = system(cfg);
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    let obj = c.insert(t, page, &[0u8; 64]).unwrap();
+    c.commit(t).unwrap();
+    let (used0, cap) = c.log_usage();
+    // Write until we are well past half the log; reclamation keeps us
+    // under capacity throughout.
+    for i in 0..400u32 {
+        let t = c.begin().unwrap();
+        c.write(t, obj, &[(i % 251) as u8; 64]).unwrap();
+        c.commit(t).unwrap();
+        let (used, _) = c.log_usage();
+        assert!(used <= cap, "log use {used} exceeded capacity {cap}");
+    }
+    let (used1, _) = c.log_usage();
+    assert!(used1 < cap);
+    assert!(used0 < cap);
+    assert!(
+        c.stats().log_stall_events > 0 || c.stats().forced_flush_requests > 0
+            || c.stats().checkpoints > 0,
+        "a 64 KiB log must have triggered reclamation machinery"
+    );
+}
+
+#[test]
+fn stats_reflect_activity() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    let obj = c.insert(t, page, b"zz").unwrap();
+    c.commit(t).unwrap();
+    let t = c.begin().unwrap();
+    c.write(t, obj, b"yy").unwrap();
+    c.abort(t).unwrap();
+    let s = c.stats();
+    assert_eq!(s.commits, 1);
+    assert_eq!(s.aborts, 1);
+    assert!(s.log_forces >= 1);
+    assert!(s.log_bytes > 0);
+}
+
+#[test]
+fn crashed_client_rejects_new_transactions_until_recovery() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    c.insert(t, page, b"x").unwrap();
+    c.commit(t).unwrap();
+    c.crash();
+    assert!(matches!(c.begin(), Err(FglError::Disconnected(_))));
+    c.recover().unwrap();
+    let t = c.begin().unwrap();
+    c.commit(t).unwrap();
+}
+
+#[test]
+fn reads_are_cached_after_first_fetch() {
+    let (server, cs) = system(SystemConfig::default());
+    let (a, b) = (&cs[0], &cs[1]);
+    let t = a.begin().unwrap();
+    let page = a.create_page(t).unwrap();
+    let obj = a.insert(t, page, b"shared").unwrap();
+    a.commit(t).unwrap();
+
+    let t = b.begin().unwrap();
+    b.read(t, obj).unwrap();
+    b.commit(t).unwrap();
+    let fetches_before = server.stats().page_fetches;
+    // Re-reads hit B's cache and cached S lock: no further fetches.
+    for _ in 0..5 {
+        let t = b.begin().unwrap();
+        b.read(t, obj).unwrap();
+        b.commit(t).unwrap();
+    }
+    assert_eq!(server.stats().page_fetches, fetches_before);
+}
+
+#[test]
+fn cross_client_txn_ids_never_collide() {
+    let (_s, cs) = system(SystemConfig::default());
+    let t1 = cs[0].begin().unwrap();
+    let t2 = cs[1].begin().unwrap();
+    assert_ne!(t1, t2);
+    assert_eq!(t1.client(), cs[0].id());
+    assert_eq!(t2.client(), cs[1].id());
+    cs[0].abort(t1).unwrap();
+    cs[1].abort(t2).unwrap();
+}
+
+#[test]
+fn abort_of_structural_updates_restores_page_shape() {
+    let (_s, cs) = system(SystemConfig::default());
+    let c = &cs[0];
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    let keep = c.insert(t, page, b"keep").unwrap();
+    c.commit(t).unwrap();
+
+    let t = c.begin().unwrap();
+    let temp1 = c.insert(t, page, b"t1").unwrap();
+    let temp2 = c.insert(t, page, b"t2").unwrap();
+    c.remove(t, keep).unwrap();
+    c.resize(t, temp1, 10).unwrap();
+    c.abort(t).unwrap();
+
+    let t = c.begin().unwrap();
+    assert_eq!(c.read(t, keep).unwrap(), b"keep");
+    assert!(c.read(t, temp1).is_err());
+    assert!(c.read(t, temp2).is_err());
+    c.commit(t).unwrap();
+}

@@ -1,0 +1,202 @@
+//! System-wide configuration.
+//!
+//! The configuration doubles as the ablation surface: the baselines the
+//! paper argues against in §3.1 and §4 (page-level locking, the
+//! update-token scheme, ARIES/CSA-style server-based logging) are selected
+//! here rather than implemented as separate systems, so every experiment
+//! runs the same code paths except for the policy under study.
+
+use crate::error::{FglError, Result};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Granularity of concurrency control (§2, §3.1, §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockGranularity {
+    /// Object-level locks with page-level intention locks — the paper's
+    /// primary setting.
+    Object,
+    /// Page-level locks only — the shared-disk / \[17\] baseline.
+    Page,
+    /// Adaptive (\[3\]): clients acquire page locks until a conflict forces
+    /// de-escalation to object locks on that page.
+    Adaptive,
+}
+
+/// How concurrent updates by different clients to the same page are
+/// reconciled (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdatePolicy {
+    /// Multiple outstanding updates; the server (and callbacks) merge page
+    /// copies — the paper's approach.
+    MergeCopies,
+    /// An exclusive "update token" (realized as a page-level X lock on any
+    /// update) serializes updaters — the \[17\]/\[18\] baseline the paper calls
+    /// communication-intensive.
+    UpdateToken,
+}
+
+/// Where log records live and what commit ships (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitPolicy {
+    /// Client-based logging: force the *private* log at commit; nothing is
+    /// shipped to the server — the paper's approach.
+    ClientLog,
+    /// ARIES/CSA-shape baseline: ship all log records to the server at
+    /// commit; the server forces its global log. Client crash recovery is
+    /// then performed from the server log.
+    ServerLog,
+    /// Versant-shape baseline: ship all *modified pages* to the server at
+    /// commit in addition to server logging.
+    ShipPagesAtCommit,
+}
+
+/// Tunable parameters of a running system.
+///
+/// Defaults model a small workstation network: 4 KiB pages, modest caches,
+/// and zero injected latency (pure algorithmic costs); benchmarks override
+/// what they sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Size of a database page in bytes.
+    pub page_size: usize,
+    /// Number of page frames in each client cache.
+    pub client_cache_pages: usize,
+    /// Number of page frames in the server buffer pool.
+    pub server_cache_pages: usize,
+    /// Capacity of each client's private log in bytes (circular).
+    pub client_log_bytes: u64,
+    /// Capacity of the server log in bytes (circular).
+    pub server_log_bytes: u64,
+    /// Lock granularity policy.
+    pub granularity: LockGranularity,
+    /// Concurrent-update reconciliation policy.
+    pub update_policy: UpdatePolicy,
+    /// Commit/logging policy.
+    pub commit_policy: CommitPolicy,
+    /// A client takes a fuzzy checkpoint after this many log records.
+    pub client_checkpoint_every: u64,
+    /// The server takes a fuzzy checkpoint after this many log records.
+    pub server_checkpoint_every: u64,
+    /// Lock-wait timeout backstop (deadlocks are normally found by the
+    /// waits-for graph at the server).
+    pub lock_timeout: Duration,
+    /// Simulated latency added to every message delivery (one way).
+    pub net_latency: Duration,
+    /// Simulated latency added to every disk I/O (log force, page write).
+    pub disk_latency: Duration,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            page_size: 4096,
+            client_cache_pages: 64,
+            server_cache_pages: 256,
+            client_log_bytes: 8 * 1024 * 1024,
+            server_log_bytes: 32 * 1024 * 1024,
+            granularity: LockGranularity::Object,
+            update_policy: UpdatePolicy::MergeCopies,
+            commit_policy: CommitPolicy::ClientLog,
+            client_checkpoint_every: 2_000,
+            server_checkpoint_every: 4_000,
+            lock_timeout: Duration::from_secs(5),
+            net_latency: Duration::ZERO,
+            disk_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Validate internal consistency. Called by the system builder.
+    pub fn validate(&self) -> Result<()> {
+        // Page offsets are 16-bit, which caps the page size at 64 KiB.
+        if self.page_size < 128 || self.page_size > 1 << 16 {
+            return Err(FglError::Config(format!(
+                "page_size {} out of supported range [128, 64KiB]",
+                self.page_size
+            )));
+        }
+        if !self.page_size.is_power_of_two() {
+            return Err(FglError::Config("page_size must be a power of two".into()));
+        }
+        if self.client_cache_pages == 0 || self.server_cache_pages == 0 {
+            return Err(FglError::Config("cache sizes must be non-zero".into()));
+        }
+        if self.client_log_bytes < 64 * 1024 {
+            return Err(FglError::Config(
+                "client log must be at least 64 KiB".into(),
+            ));
+        }
+        if self.server_log_bytes < 64 * 1024 {
+            return Err(FglError::Config(
+                "server log must be at least 64 KiB".into(),
+            ));
+        }
+        if self.lock_timeout < Duration::from_millis(10) {
+            return Err(FglError::Config("lock_timeout below 10ms".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the lock granularity.
+    pub fn with_granularity(mut self, g: LockGranularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Builder-style setter for the update policy.
+    pub fn with_update_policy(mut self, p: UpdatePolicy) -> Self {
+        self.update_policy = p;
+        self
+    }
+
+    /// Builder-style setter for the commit policy.
+    pub fn with_commit_policy(mut self, p: CommitPolicy) -> Self {
+        self.commit_policy = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SystemConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_tiny_and_odd_page_sizes() {
+        let mut c = SystemConfig::default();
+        c.page_size = 64;
+        assert!(c.validate().is_err());
+        c.page_size = 5000;
+        assert!(c.validate().is_err());
+        c.page_size = 8192;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_caches_and_tiny_logs() {
+        let mut c = SystemConfig::default();
+        c.client_cache_pages = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::default();
+        c.client_log_bytes = 1024;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_setters_chain() {
+        let c = SystemConfig::default()
+            .with_granularity(LockGranularity::Page)
+            .with_update_policy(UpdatePolicy::UpdateToken)
+            .with_commit_policy(CommitPolicy::ServerLog);
+        assert_eq!(c.granularity, LockGranularity::Page);
+        assert_eq!(c.update_policy, UpdatePolicy::UpdateToken);
+        assert_eq!(c.commit_policy, CommitPolicy::ServerLog);
+    }
+}

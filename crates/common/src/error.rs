@@ -1,0 +1,119 @@
+//! Error handling for the whole system.
+
+use crate::ids::{ObjectId, PageId, TxnId};
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used across all `fgl` crates.
+pub type Result<T> = std::result::Result<T, FglError>;
+
+/// The unified error type.
+///
+/// Transaction-visible outcomes (deadlock victim, explicit abort) are
+/// errors so they propagate naturally out of operation call chains; the
+/// client runtime converts them into a rollback.
+#[derive(Debug)]
+pub enum FglError {
+    /// Underlying I/O failure (log disk, database disk).
+    Io(io::Error),
+    /// A page that was expected to exist could not be found.
+    PageNotFound(PageId),
+    /// An object that was expected to exist could not be found on its page.
+    ObjectNotFound(ObjectId),
+    /// Not enough free space on a page for an allocation or resize.
+    PageFull { page: PageId, needed: usize, free: usize },
+    /// The transaction was chosen as a deadlock victim and must roll back.
+    DeadlockVictim(TxnId),
+    /// A lock request timed out (backstop for undetected distributed waits).
+    LockTimeout(TxnId),
+    /// The transaction was aborted (by the user or by the system).
+    TxnAborted(TxnId),
+    /// Operation on a transaction in the wrong state (e.g. update after commit).
+    InvalidTxnState { txn: TxnId, state: &'static str },
+    /// Named savepoint does not exist in the transaction.
+    UnknownSavepoint(String),
+    /// The client's private log is full and reclamation could not free space.
+    LogFull,
+    /// Corruption detected while decoding a page or log record.
+    Corrupt(String),
+    /// The peer (server or client) is down or the channel is closed.
+    Disconnected(String),
+    /// Violation of a protocol invariant — indicates a bug, surfaced loudly.
+    Protocol(String),
+    /// Configuration rejected.
+    Config(String),
+}
+
+impl fmt::Display for FglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FglError::Io(e) => write!(f, "i/o error: {e}"),
+            FglError::PageNotFound(p) => write!(f, "page {p} not found"),
+            FglError::ObjectNotFound(o) => write!(f, "object {o} not found"),
+            FglError::PageFull { page, needed, free } => {
+                write!(f, "page {page} full: needed {needed} bytes, {free} free")
+            }
+            FglError::DeadlockVictim(t) => write!(f, "transaction {t} chosen as deadlock victim"),
+            FglError::LockTimeout(t) => write!(f, "lock request of transaction {t} timed out"),
+            FglError::TxnAborted(t) => write!(f, "transaction {t} aborted"),
+            FglError::InvalidTxnState { txn, state } => {
+                write!(f, "transaction {txn} in invalid state: {state}")
+            }
+            FglError::UnknownSavepoint(name) => write!(f, "unknown savepoint {name:?}"),
+            FglError::LogFull => write!(f, "private log full"),
+            FglError::Corrupt(msg) => write!(f, "corruption detected: {msg}"),
+            FglError::Disconnected(who) => write!(f, "disconnected: {who}"),
+            FglError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            FglError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FglError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FglError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FglError {
+    fn from(e: io::Error) -> Self {
+        FglError::Io(e)
+    }
+}
+
+impl FglError {
+    /// True for errors that terminate the transaction but leave the system
+    /// healthy: the caller should roll back and may retry.
+    pub fn is_transaction_abort(&self) -> bool {
+        matches!(
+            self,
+            FglError::DeadlockVictim(_) | FglError::LockTimeout(_) | FglError::TxnAborted(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    #[test]
+    fn abort_classification() {
+        let t = TxnId::compose(ClientId(1), 1);
+        assert!(FglError::DeadlockVictim(t).is_transaction_abort());
+        assert!(FglError::LockTimeout(t).is_transaction_abort());
+        assert!(FglError::TxnAborted(t).is_transaction_abort());
+        assert!(!FglError::LogFull.is_transaction_abort());
+        assert!(!FglError::PageNotFound(PageId(1)).is_transaction_abort());
+    }
+
+    #[test]
+    fn io_error_wraps_with_source() {
+        let e: FglError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,158 @@
+//! A tiny deterministic PRNG (SplitMix64 + xoshiro256**) used by the
+//! workload generators and property tests.
+//!
+//! Experiments must be reproducible run-to-run regardless of thread
+//! scheduling, so each simulated client derives its own stream from a
+//! master seed instead of sharing a global generator.
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Seed the generator. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        DetRng { s }
+    }
+
+    /// Derive an independent stream for a sub-component (e.g. a client).
+    pub fn fork(&mut self, stream: u64) -> DetRng {
+        DetRng::new(self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Lemire's unbiased bounded generation.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.gen_range((hi - lo) as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Fill a byte slice with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(12345);
+        let mut b = DetRng::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = DetRng::new(7);
+        for n in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.gen_range(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut r = DetRng::new(99);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(11);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut master1 = DetRng::new(42);
+        let mut master2 = DetRng::new(42);
+        let mut f1 = master1.fork(3);
+        let mut f2 = master2.fork(3);
+        for _ in 0..50 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+        let mut other = DetRng::new(42).fork(4);
+        assert_ne!(f1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut r = DetRng::new(5);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

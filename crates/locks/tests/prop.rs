@@ -1,0 +1,225 @@
+//! Property-based tests for the lock managers.
+//!
+//! The central safety invariant: however requests, callback replies and
+//! releases interleave, the GLM never ends up with two clients holding
+//! incompatible locks on the same resource.
+
+use fgl_common::{ClientId, ObjectId, PageId, SlotId, TxnId};
+use fgl_locks::glm::{CallbackReply, GlmCore, GlmEvent};
+use fgl_locks::mode::{LockTarget, Mode, ObjMode};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Lock { client: u32, page: u64, slot: u16, x: bool },
+    PageLock { client: u32, page: u64, x: bool },
+    AdaptiveLock { client: u32, page: u64, slot: u16, x: bool },
+    AnswerCallback { defer: bool },
+    CompleteDeferred,
+    Release { client: u32, page: u64, slot: u16 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u32..4, 0u64..3, 0u16..3, any::<bool>())
+            .prop_map(|(client, page, slot, x)| Action::Lock { client, page, slot, x }),
+        (1u32..4, 0u64..3, any::<bool>())
+            .prop_map(|(client, page, x)| Action::PageLock { client, page, x }),
+        (1u32..4, 0u64..3, 0u16..3, any::<bool>())
+            .prop_map(|(client, page, slot, x)| Action::AdaptiveLock { client, page, slot, x }),
+        any::<bool>().prop_map(|defer| Action::AnswerCallback { defer }),
+        Just(Action::CompleteDeferred),
+        (1u32..4, 0u64..3, 0u16..3)
+            .prop_map(|(client, page, slot)| Action::Release { client, page, slot }),
+    ]
+}
+
+/// Check the no-incompatible-holders invariant over every page/slot.
+fn assert_sound(glm: &GlmCore, pages: u64, slots: u16) {
+    for p in 0..pages {
+        let page = PageId(p);
+        let holders: Vec<(ClientId, Option<Mode>, Vec<(SlotId, ObjMode)>)> = (1..4u32)
+            .map(|c| {
+                let (pm, objs) = glm.client_locks_on_page(ClientId(c), page);
+                (ClientId(c), pm, objs)
+            })
+            .collect();
+        // Page-level: real locks must be mutually compatible.
+        for (i, a) in holders.iter().enumerate() {
+            for b in holders.iter().skip(i + 1) {
+                if let (Some(ma), Some(mb)) = (a.1, b.1) {
+                    assert!(
+                        ma.compatible(mb),
+                        "page {page}: {:?}@{ma:?} vs {:?}@{mb:?}",
+                        a.0,
+                        b.0
+                    );
+                }
+            }
+        }
+        // Object-level: no two incompatible holders per slot.
+        for s in 0..slots {
+            let slot = SlotId(s);
+            let ms: Vec<(ClientId, ObjMode)> = holders
+                .iter()
+                .flat_map(|(c, _, objs)| {
+                    objs.iter().filter(|(sl, _)| *sl == slot).map(move |(_, m)| (*c, *m))
+                })
+                .collect();
+            for (i, (ca, ma)) in ms.iter().enumerate() {
+                for (cb, mb) in ms.iter().skip(i + 1) {
+                    assert!(
+                        ma.compatible(*mb),
+                        "{page}.{slot:?}: {ca:?}@{ma:?} vs {cb:?}@{mb:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness under arbitrary interleavings: clients fire requests,
+    /// answer callbacks immediately or deferred, complete deferrals, and
+    /// release locks — the lock table never admits a conflict.
+    #[test]
+    fn glm_never_grants_conflicting_locks(actions in proptest::collection::vec(action_strategy(), 1..80)) {
+        let mut glm = GlmCore::new();
+        // Callbacks waiting for an (immediate or deferred) answer.
+        let mut pending: VecDeque<fgl_locks::glm::CallbackAction> = VecDeque::new();
+        let mut deferred: VecDeque<fgl_locks::glm::CallbackAction> = VecDeque::new();
+        let mut txn_seq = 0u32;
+
+        let mut drive = |glm: &mut GlmCore,
+                         pending: &mut VecDeque<fgl_locks::glm::CallbackAction>,
+                         events: Vec<GlmEvent>| {
+            for e in events {
+                if let GlmEvent::SendCallback(cb) = e {
+                    pending.push_back(cb);
+                }
+            }
+        };
+
+        for action in actions {
+            match action {
+                Action::Lock { client, page, slot, x } => {
+                    txn_seq += 1;
+                    let target = LockTarget::Object(
+                        ObjectId::new(PageId(page), SlotId(slot)),
+                        if x { ObjMode::X } else { ObjMode::S },
+                    );
+                    let (_, _, ev) =
+                        glm.lock(ClientId(client), TxnId::compose(ClientId(client), txn_seq), target);
+                    drive(&mut glm, &mut pending, ev);
+                }
+                Action::PageLock { client, page, x } => {
+                    txn_seq += 1;
+                    let target = LockTarget::Page(
+                        PageId(page),
+                        if x { ObjMode::X } else { ObjMode::S },
+                    );
+                    let (_, _, ev) =
+                        glm.lock(ClientId(client), TxnId::compose(ClientId(client), txn_seq), target);
+                    drive(&mut glm, &mut pending, ev);
+                }
+                Action::AdaptiveLock { client, page, slot, x } => {
+                    txn_seq += 1;
+                    let target = LockTarget::PageAdaptive(
+                        PageId(page),
+                        if x { ObjMode::X } else { ObjMode::S },
+                        ObjectId::new(PageId(page), SlotId(slot)),
+                    );
+                    let (_, _, ev) =
+                        glm.lock(ClientId(client), TxnId::compose(ClientId(client), txn_seq), target);
+                    drive(&mut glm, &mut pending, ev);
+                }
+                Action::AnswerCallback { defer } => {
+                    if let Some(cb) = pending.pop_front() {
+                        if defer {
+                            let ev = glm.callback_reply(
+                                cb.to,
+                                cb.kind,
+                                CallbackReply::Deferred {
+                                    blockers: vec![TxnId::compose(cb.to, 9999)],
+                                },
+                            );
+                            deferred.push_back(cb);
+                            drive(&mut glm, &mut pending, ev);
+                        } else {
+                            let ev = glm.callback_reply(
+                                cb.to,
+                                cb.kind,
+                                CallbackReply::Done { retained: vec![] },
+                            );
+                            drive(&mut glm, &mut pending, ev);
+                        }
+                    }
+                }
+                Action::CompleteDeferred => {
+                    if let Some(cb) = deferred.pop_front() {
+                        let ev = glm.callback_reply(
+                            cb.to,
+                            cb.kind,
+                            CallbackReply::Done { retained: vec![] },
+                        );
+                        drive(&mut glm, &mut pending, ev);
+                    }
+                }
+                Action::Release { client, page, slot } => {
+                    let ev = glm.release_object(
+                        ClientId(client),
+                        ObjectId::new(PageId(page), SlotId(slot)),
+                    );
+                    drive(&mut glm, &mut pending, ev);
+                }
+            }
+            assert_sound(&glm, 3, 3);
+        }
+    }
+
+    /// Crash handling: after a client crash its shared locks are gone,
+    /// its exclusive locks remain, and the table stays sound.
+    #[test]
+    fn crash_preserves_soundness(
+        actions in proptest::collection::vec(action_strategy(), 1..40),
+        victim in 1u32..4,
+    ) {
+        let mut glm = GlmCore::new();
+        let mut pending: VecDeque<fgl_locks::glm::CallbackAction> = VecDeque::new();
+        let mut txn_seq = 0u32;
+        for action in actions {
+            if let Action::Lock { client, page, slot, x } = action {
+                txn_seq += 1;
+                let target = LockTarget::Object(
+                    ObjectId::new(PageId(page), SlotId(slot)),
+                    if x { ObjMode::X } else { ObjMode::S },
+                );
+                let (_, _, ev) =
+                    glm.lock(ClientId(client), TxnId::compose(ClientId(client), txn_seq), target);
+                for e in ev {
+                    if let GlmEvent::SendCallback(cb) = e {
+                        pending.push_back(cb);
+                    }
+                }
+                // Answer every callback immediately so locks actually move.
+                while let Some(cb) = pending.pop_front() {
+                    glm.callback_reply(cb.to, cb.kind, CallbackReply::Done { retained: vec![] });
+                }
+            }
+        }
+        let x_before = glm.exclusive_locks(ClientId(victim));
+        glm.crash_client(ClientId(victim));
+        assert_sound(&glm, 3, 3);
+        // Exclusive locks survived the crash.
+        prop_assert_eq!(glm.exclusive_locks(ClientId(victim)), x_before);
+        // No shared object locks remain for the victim.
+        for p in 0..3u64 {
+            let (pm, objs) = glm.client_locks_on_page(ClientId(victim), PageId(p));
+            prop_assert!(!matches!(pm, Some(Mode::S) | Some(Mode::IS)));
+            prop_assert!(objs.iter().all(|(_, m)| *m == ObjMode::X));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The message layer between `fgl` clients and the page server.
+//!
+//! The reproduction replaces the paper's workstation network with an
+//! **in-process, counted message fabric**: client→server requests are
+//! direct method calls on the server runtime, server→client callbacks are
+//! direct calls through the [`ClientPeer`] trait, and *every* logical
+//! message passes through a shared [`NetSim`] that counts it (by kind and
+//! payload size) and injects the configured one-way latency. The
+//! algorithms in the paper depend only on message ordering, counts and
+//! latency — all of which this fabric reproduces and measures — not on a
+//! particular wire encoding.
+//!
+//! Blocking lock grants are delivered through [`GrantSlot`]s: the server
+//! parks a waiter and fulfils it when the GLM grants (or names the waiter
+//! a deadlock victim).
+
+pub mod peer;
+pub mod stats;
+pub mod wait;
+
+pub use peer::{CallbackOutcome, ClientPeer, ClientStateReport, RecoveredPageOutcome};
+pub use stats::{MsgKind, NetSim, NetSnapshot, NetStats};
+pub use wait::{GrantMsg, GrantSlot, GrantWaiter};

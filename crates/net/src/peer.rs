@@ -1,0 +1,91 @@
+//! The server's view of a client: the callback half of the protocol.
+//!
+//! The server runtime holds an `Arc<dyn ClientPeer>` per registered
+//! client and invokes it for callback locking (§3.2), flush notifications
+//! (§3.6), and the restart-recovery coordination of §3.4/§3.5. The client
+//! runtime implements the trait; every call is accounted on the shared
+//! [`crate::NetSim`] by the caller.
+
+use fgl_common::{ClientId, Lsn, ObjectId, PageId, Psn, TxnId};
+use fgl_locks::glm::CallbackKind;
+use fgl_locks::mode::{LockTarget, ObjMode};
+use fgl_wal::records::DptEntry;
+
+/// A client's response to a delivered callback.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallbackOutcome {
+    /// Complied immediately. `retained` carries de-escalation retentions;
+    /// `page_copy` carries the page when the protocol ships it with the
+    /// response (downgrade/release of a dirtied page, §3.2).
+    Done {
+        retained: Vec<(ObjectId, ObjMode)>,
+        page_copy: Option<Vec<u8>>,
+    },
+    /// In use by the named transactions; a `callback_complete` call will
+    /// follow when they terminate.
+    Deferred { blockers: Vec<TxnId> },
+}
+
+/// What a client reports when the server rebuilds its state after a
+/// server crash (§3.4: "requesting from each client a copy of the DPT,
+/// the list of the cached pages, and the entries in the LLM tables").
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClientStateReport {
+    pub dpt: Vec<DptEntry>,
+    /// Cached pages with their current PSNs.
+    pub cached_pages: Vec<(PageId, Psn)>,
+    /// The LLM lock table.
+    pub locks: Vec<LockTarget>,
+}
+
+/// Result of asking a client to recover one page (§3.4 final phase).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveredPageOutcome {
+    /// The client replayed its log against the page; here is the result.
+    Done(Vec<u8>),
+    /// The client could not recover the page (protocol bug or unreachable
+    /// log records) — surfaced loudly.
+    Failed(String),
+}
+
+/// Server → client interface.
+pub trait ClientPeer: Send + Sync {
+    fn client_id(&self) -> ClientId;
+
+    /// Deliver a lock callback (§3.2). The client answers immediately —
+    /// either complying (possibly shipping its page copy) or naming the
+    /// blocking transactions.
+    fn deliver_callback(&self, kind: CallbackKind) -> CallbackOutcome;
+
+    /// §3.6: the server forced this page to disk; the client advances or
+    /// drops the matching DPT entry.
+    fn notify_page_flushed(&self, page: PageId);
+
+    /// §3.4: report DPT, cached pages and LLM entries for server restart.
+    fn report_state(&self) -> ClientStateReport;
+
+    /// §3.4: build this client's `CallBack_P` list for `page`, restricted
+    /// to callback log records naming `for_client`, scanning the private
+    /// log from `from_lsn` (the reporting client's DPT RedoLSN for the
+    /// page).
+    fn callback_list_for(
+        &self,
+        page: PageId,
+        for_client: ClientId,
+        from_lsn: Lsn,
+    ) -> Vec<(ObjectId, Psn)>;
+
+    /// §3.4 step 4: ship the cached copy of `page` (None if not cached).
+    fn ship_cached_page(&self, page: PageId) -> Option<Vec<u8>>;
+
+    /// §3.4 final phase: replay the private log against `base` (which the
+    /// server sends together with the PSN to install and the merged
+    /// `CallBack_P` list) and return the recovered copy.
+    fn recover_page(
+        &self,
+        page: PageId,
+        base: Vec<u8>,
+        install_psn: Psn,
+        callback_list: Vec<(ObjectId, Psn)>,
+    ) -> RecoveredPageOutcome;
+}

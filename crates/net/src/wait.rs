@@ -1,0 +1,108 @@
+//! Parked lock grants.
+//!
+//! When the GLM queues a request, the requesting client thread blocks on a
+//! [`GrantWaiter`] until the server fulfils the matching [`GrantSlot`]
+//! (grant or deadlock-victim verdict) or the timeout backstop fires.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use fgl_common::{ClientId, Psn};
+use fgl_locks::mode::LockTarget;
+use std::time::Duration;
+
+/// What the waiter eventually learns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GrantMsg {
+    /// The (possibly adaptive-converted) target was granted.
+    Granted {
+        target: LockTarget,
+        first_exclusive_on_page: bool,
+        /// §3.1 callback-record evidence: the client that last shipped the
+        /// page to the server while this request was serviced, and the
+        /// PSN the page carried. The grantee logs a callback record from
+        /// it when acquiring exclusively.
+        evidence: Option<(ClientId, Psn)>,
+    },
+    /// The waiter's transaction was chosen as a deadlock victim.
+    Victim,
+}
+
+/// Server-side half: fulfil once.
+pub struct GrantSlot {
+    tx: Sender<GrantMsg>,
+}
+
+/// Client-side half: block until fulfilled or timed out.
+pub struct GrantWaiter {
+    rx: Receiver<GrantMsg>,
+}
+
+/// Create a connected slot/waiter pair.
+pub fn grant_pair() -> (GrantSlot, GrantWaiter) {
+    let (tx, rx) = bounded(1);
+    (GrantSlot { tx }, GrantWaiter { rx })
+}
+
+impl GrantSlot {
+    /// Deliver the verdict. Ignores a waiter that already gave up
+    /// (timeout) — the server also cancels such waiters explicitly.
+    pub fn fulfil(&self, msg: GrantMsg) {
+        let _ = self.tx.send(msg);
+    }
+}
+
+impl GrantWaiter {
+    /// Wait for the verdict; `None` on timeout.
+    pub fn wait(&self, timeout: Duration) -> Option<GrantMsg> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgl_common::PageId;
+    use fgl_locks::mode::ObjMode;
+
+    #[test]
+    fn fulfil_then_wait() {
+        let (slot, waiter) = grant_pair();
+        slot.fulfil(GrantMsg::Granted {
+            target: LockTarget::Page(PageId(1), ObjMode::X),
+            first_exclusive_on_page: true,
+            evidence: None,
+        });
+        let got = waiter.wait(Duration::from_millis(10)).unwrap();
+        assert!(matches!(got, GrantMsg::Granted { .. }));
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let (_slot, waiter) = grant_pair();
+        assert_eq!(waiter.wait(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (slot, waiter) = grant_pair();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            slot.fulfil(GrantMsg::Victim);
+        });
+        assert_eq!(
+            waiter.wait(Duration::from_secs(1)),
+            Some(GrantMsg::Victim)
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn fulfil_after_waiter_dropped_is_harmless() {
+        let (slot, waiter) = grant_pair();
+        drop(waiter);
+        slot.fulfil(GrantMsg::Victim);
+    }
+}

@@ -1,0 +1,228 @@
+//! The server's **dirty client table** (DCT, §3.2).
+//!
+//! One entry per `(page, client)` pair for which the client *may* have
+//! updates not yet on disk:
+//!
+//! * inserted the first time the server grants the client an exclusive
+//!   lock touching the page, recording the PSN the page had (footnote 4:
+//!   the client sends the PSN of its cached copy with the request, or the
+//!   server uses the PSN of the copy it ships);
+//! * the PSN field is refreshed each time the server receives the page
+//!   from the client;
+//! * `RedoLSN` is set to the LSN of the first replacement log record
+//!   written for the page;
+//! * removed once the page is on disk and the client no longer holds any
+//!   exclusive lock touching it.
+//!
+//! Property 1 (§3.1) rests on this bookkeeping: a client log record for
+//! page P whose PSN is **less than** the PSN the server remembers for
+//! (P, client) is already reflected in the server's copy of P.
+
+use fgl_common::{ClientId, Lsn, PageId, Psn};
+use fgl_wal::records::DctEntry;
+use std::collections::HashMap;
+
+/// The dirty client table.
+#[derive(Default, Debug)]
+pub struct Dct {
+    entries: HashMap<(PageId, ClientId), DctEntry>,
+}
+
+impl Dct {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an entry at first exclusive grant (no-op if present).
+    pub fn insert(&mut self, page: PageId, client: ClientId, psn: Option<Psn>) {
+        self.entries
+            .entry((page, client))
+            .or_insert(DctEntry {
+                page,
+                client,
+                psn,
+                redo_lsn: None,
+            });
+    }
+
+    /// Install an entry verbatim (checkpoint reload / restart rebuild).
+    pub fn install(&mut self, entry: DctEntry) {
+        self.entries.insert((entry.page, entry.client), entry);
+    }
+
+    /// Refresh the remembered PSN when the server receives the page from
+    /// the client (§3.2). Also used at first page fetch when the insert
+    /// happened without a PSN.
+    pub fn set_psn(&mut self, page: PageId, client: ClientId, psn: Psn) {
+        if let Some(e) = self.entries.get_mut(&(page, client)) {
+            e.psn = Some(psn);
+        }
+    }
+
+    /// Like [`set_psn`](Self::set_psn) but only fills a missing value.
+    pub fn set_psn_if_unset(&mut self, page: PageId, client: ClientId, psn: Psn) {
+        if let Some(e) = self.entries.get_mut(&(page, client)) {
+            if e.psn.is_none() {
+                e.psn = Some(psn);
+            }
+        }
+    }
+
+    /// Record the first replacement log record for the page (§3.2): every
+    /// entry about the page with a NULL RedoLSN takes this LSN.
+    pub fn note_replacement_record(&mut self, page: PageId, lsn: Lsn) {
+        for e in self.entries.values_mut() {
+            if e.page == page && e.redo_lsn.is_none() {
+                e.redo_lsn = Some(lsn);
+            }
+        }
+    }
+
+    pub fn get(&self, page: PageId, client: ClientId) -> Option<&DctEntry> {
+        self.entries.get(&(page, client))
+    }
+
+    pub fn psn_of(&self, page: PageId, client: ClientId) -> Option<Psn> {
+        self.entries.get(&(page, client)).and_then(|e| e.psn)
+    }
+
+    /// All entries about one page.
+    pub fn entries_for_page(&self, page: PageId) -> Vec<DctEntry> {
+        let mut v: Vec<DctEntry> = self
+            .entries
+            .values()
+            .filter(|e| e.page == page)
+            .copied()
+            .collect();
+        v.sort_by_key(|e| e.client.0);
+        v
+    }
+
+    /// All entries about one client.
+    pub fn entries_for_client(&self, client: ClientId) -> Vec<DctEntry> {
+        let mut v: Vec<DctEntry> = self
+            .entries
+            .values()
+            .filter(|e| e.client == client)
+            .copied()
+            .collect();
+        v.sort_by_key(|e| e.page.0);
+        v
+    }
+
+    /// Remove one entry (page flushed + no exclusive locks, §3.2).
+    pub fn remove(&mut self, page: PageId, client: ClientId) -> Option<DctEntry> {
+        self.entries.remove(&(page, client))
+    }
+
+    /// Full snapshot, ordered, for server checkpoints.
+    pub fn snapshot(&self) -> Vec<DctEntry> {
+        let mut v: Vec<DctEntry> = self.entries.values().copied().collect();
+        v.sort_by_key(|e| (e.page.0, e.client.0));
+        v
+    }
+
+    /// Minimum RedoLSN across all entries (server checkpoint scan start).
+    pub fn min_redo_lsn(&self) -> Option<Lsn> {
+        self.entries.values().filter_map(|e| e.redo_lsn).min()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Crash: the DCT is volatile server state.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: ClientId = ClientId(1);
+    const C2: ClientId = ClientId(2);
+    const P: PageId = PageId(7);
+
+    #[test]
+    fn insert_is_idempotent_and_keeps_first_psn() {
+        let mut d = Dct::new();
+        d.insert(P, C1, Some(Psn(5)));
+        d.insert(P, C1, Some(Psn(9)));
+        assert_eq!(d.psn_of(P, C1), Some(Psn(5)));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn set_psn_refreshes_on_receive() {
+        let mut d = Dct::new();
+        d.insert(P, C1, None);
+        assert_eq!(d.psn_of(P, C1), None);
+        d.set_psn(P, C1, Psn(12));
+        assert_eq!(d.psn_of(P, C1), Some(Psn(12)));
+        d.set_psn_if_unset(P, C1, Psn(20));
+        assert_eq!(d.psn_of(P, C1), Some(Psn(12)), "if_unset must not clobber");
+    }
+
+    #[test]
+    fn replacement_record_sets_first_redo_lsn_only() {
+        let mut d = Dct::new();
+        d.insert(P, C1, Some(Psn(1)));
+        d.insert(P, C2, Some(Psn(2)));
+        d.note_replacement_record(P, Lsn(100));
+        d.note_replacement_record(P, Lsn(200));
+        assert_eq!(d.get(P, C1).unwrap().redo_lsn, Some(Lsn(100)));
+        assert_eq!(d.get(P, C2).unwrap().redo_lsn, Some(Lsn(100)));
+    }
+
+    #[test]
+    fn per_page_and_per_client_views() {
+        let mut d = Dct::new();
+        d.insert(P, C1, None);
+        d.insert(P, C2, None);
+        d.insert(PageId(9), C1, None);
+        assert_eq!(d.entries_for_page(P).len(), 2);
+        assert_eq!(d.entries_for_client(C1).len(), 2);
+        assert_eq!(d.entries_for_client(C2).len(), 1);
+    }
+
+    #[test]
+    fn min_redo_lsn_ignores_nulls() {
+        let mut d = Dct::new();
+        d.insert(P, C1, None);
+        assert_eq!(d.min_redo_lsn(), None);
+        d.note_replacement_record(P, Lsn(50));
+        d.insert(PageId(9), C1, None);
+        d.note_replacement_record(PageId(9), Lsn(30));
+        assert_eq!(d.min_redo_lsn(), Some(Lsn(30)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut d = Dct::new();
+        d.insert(P, C1, Some(Psn(1)));
+        assert!(d.remove(P, C1).is_some());
+        assert!(d.remove(P, C1).is_none());
+        d.insert(P, C2, None);
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_via_install() {
+        let mut d = Dct::new();
+        d.insert(P, C1, Some(Psn(3)));
+        d.note_replacement_record(P, Lsn(44));
+        let snap = d.snapshot();
+        let mut d2 = Dct::new();
+        for e in snap {
+            d2.install(e);
+        }
+        assert_eq!(d2.get(P, C1), d.get(P, C1));
+    }
+}

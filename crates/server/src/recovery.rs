@@ -1,0 +1,272 @@
+//! Server restart recovery (§3.4) and the complex-crash variant (§3.5).
+//!
+//! After a server crash the buffer pool, GLM, DCT and the un-forced log
+//! tail are gone; the database disk and the forced prefix of the server
+//! log (replacement records + checkpoints) survive. Restart must
+//!
+//! (a) determine the pages requiring recovery,
+//! (b) identify the clients involved,
+//! (c) reconstruct the DCT, and
+//! (d) coordinate the recovery among the involved clients,
+//!
+//! exactly the four duties §3.4 lists. Clients recover *their own*
+//! updates to the affected pages by replaying their private logs —
+//! private logs are never merged — and multiple clients may recover the
+//! same page **in parallel**, coordinated through the `CallBack_P` lists
+//! and the partial-state requests of §3.4 step 3.
+
+use crate::runtime::ServerCore;
+use fgl_common::{ClientId, Lsn, PageId, Psn, Result};
+use fgl_net::peer::{ClientPeer, RecoveredPageOutcome};
+use fgl_net::stats::MsgKind;
+use fgl_wal::records::LogPayload;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What restart recovery did (experiment E5 reports these).
+#[derive(Clone, Debug, Default)]
+pub struct RestartReport {
+    /// Pages that needed client log replay.
+    pub pages_recovered: usize,
+    /// Clients that participated in page recovery.
+    pub clients_involved: usize,
+    /// (page, client) replay units executed.
+    pub recovery_units: usize,
+    /// Wall-clock duration of the whole restart.
+    pub elapsed: Duration,
+}
+
+impl ServerCore {
+    /// Run §3.4 restart recovery against the currently registered
+    /// (operational) clients. Crashed clients (complex crash, §3.5)
+    /// simply aren't registered; their DCT entries are rebuilt from the
+    /// surviving server log so their own client-crash recovery can run
+    /// afterwards.
+    pub fn restart_recovery(&self) -> Result<RestartReport> {
+        let start = Instant::now();
+        let peers = self.all_peers();
+        let crashed = self.crashed_set();
+
+        // ---- (a)+(b): gather client states, rebuild the GLM ----------------
+        let mut dpt_by_client: HashMap<ClientId, Vec<(PageId, Lsn)>> = HashMap::new();
+        let mut cached_by_client: HashMap<ClientId, HashMap<PageId, Psn>> = HashMap::new();
+        for peer in &peers {
+            let id = peer.client_id();
+            self.net.msg(MsgKind::Recovery, 16);
+            let report = peer.report_state();
+            self.net.msg(MsgKind::Recovery, 64 + 24 * report.dpt.len());
+            {
+                let mut glm = self.glm_mut();
+                for lock in &report.locks {
+                    glm.install_holder(id, *lock);
+                }
+            }
+            dpt_by_client.insert(
+                id,
+                report.dpt.iter().map(|e| (e.page, e.redo_lsn)).collect(),
+            );
+            cached_by_client.insert(id, report.cached_pages.into_iter().collect());
+        }
+
+        // Pages needing replay: in a client's DPT but not in its cache.
+        let mut involved: HashMap<PageId, Vec<ClientId>> = HashMap::new();
+        for (client, dpt) in &dpt_by_client {
+            let cached = &cached_by_client[client];
+            for (page, _) in dpt {
+                if !cached.contains_key(page) {
+                    involved.entry(*page).or_default().push(*client);
+                }
+            }
+        }
+
+        // ---- (c): reconstruct the DCT ---------------------------------------
+        // Step 1: <PID, CID, NULL, NULL> for all DPT pages of operational
+        // clients.
+        {
+            let mut dct = self.dct_mut();
+            for (client, dpt) in &dpt_by_client {
+                for (page, _) in dpt {
+                    dct.insert(*page, *client, None);
+                }
+            }
+        }
+        // Step 2: read candidate pages from disk, remember their PSNs.
+        let mut disk_psn: HashMap<PageId, Psn> = HashMap::new();
+        for page in involved.keys() {
+            if let Some(p) = self.store_mut().read_disk(*page)? {
+                disk_psn.insert(*page, p.psn());
+            }
+        }
+        // Step 3: reload the checkpoint DCT, then scan replacement records.
+        let (ckpt_lsn, scan_from, ckpt_dct) = {
+            let slog = self.slog_mut();
+            let ckpt = slog.last_checkpoint();
+            if ckpt.is_nil() {
+                (ckpt, slog.low_water(), Vec::new())
+            } else {
+                match slog.read_at(ckpt) {
+                    Ok(entry) => match entry.payload {
+                        LogPayload::ServerCheckpoint { dct } => {
+                            let min_redo = dct
+                                .iter()
+                                .filter_map(|e| e.redo_lsn)
+                                .min()
+                                .unwrap_or(ckpt);
+                            (ckpt, min_redo.min(ckpt), dct)
+                        }
+                        _ => (ckpt, slog.low_water(), Vec::new()),
+                    },
+                    Err(_) => (ckpt, slog.low_water(), Vec::new()),
+                }
+            }
+        };
+        let _ = ckpt_lsn;
+        {
+            // §3.5: checkpointed entries (which may reference crashed
+            // clients' pages) seed the table.
+            let mut dct = self.dct_mut();
+            for e in ckpt_dct {
+                dct.install(e);
+            }
+        }
+        let replacement_records: Vec<(Lsn, LogPayload)> = {
+            let slog = self.slog_mut();
+            slog.scan_from(scan_from)
+                .map(|e| (e.lsn, e.payload))
+                .collect()
+        };
+        {
+            let mut dct = self.dct_mut();
+            for (lsn, payload) in replacement_records {
+                if let LogPayload::Replacement(r) = payload {
+                    for (cid, _) in &r.clients {
+                        dct.insert(r.page, *cid, None);
+                    }
+                    dct.note_replacement_record(r.page, lsn);
+                    // Property 2: the replacement record matching the
+                    // on-disk PSN tells exactly which client updates the
+                    // disk copy holds.
+                    if disk_psn.get(&r.page) == Some(&r.psn) {
+                        for (cid, psn) in &r.clients {
+                            dct.set_psn(r.page, *cid, *psn);
+                        }
+                    }
+                }
+            }
+        }
+        // Step 4: pull cached DPT pages from operational clients and merge
+        // them (their updates are in those copies).
+        for peer in &peers {
+            let id = peer.client_id();
+            let dpt = &dpt_by_client[&id];
+            let cached = &cached_by_client[&id];
+            for (page, _) in dpt {
+                if cached.contains_key(page) {
+                    self.net.msg(MsgKind::Recovery, 16);
+                    if let Some(bytes) = peer.ship_cached_page(*page) {
+                        self.net.msg(MsgKind::PageShip, bytes.len());
+                        self.install_recovered(id, bytes)?;
+                    }
+                }
+            }
+        }
+
+        // ---- (d): coordinate per-page client replay --------------------------
+        let peer_map: HashMap<ClientId, Arc<dyn ClientPeer>> = peers
+            .iter()
+            .map(|p| (p.client_id(), p.clone()))
+            .collect();
+        let units: Vec<(PageId, ClientId)> = involved
+            .iter()
+            .flat_map(|(page, clients)| clients.iter().map(|c| (*page, *c)))
+            .collect();
+        let involved_clients: HashSet<ClientId> =
+            units.iter().map(|(_, c)| *c).collect();
+
+        // Build the merged CallBack_P list for every (page, C) unit first.
+        let mut cb_lists: HashMap<(PageId, ClientId), Vec<(fgl_common::ObjectId, Psn)>> =
+            HashMap::new();
+        for (page, c) in &units {
+            let mut merged: HashMap<fgl_common::ObjectId, Psn> = HashMap::new();
+            for peer in &peers {
+                if peer.client_id() == *c {
+                    continue;
+                }
+                self.net.msg(MsgKind::Recovery, 16);
+                let from_lsn = dpt_by_client[&peer.client_id()]
+                    .iter()
+                    .find(|(p, _)| p == page)
+                    .map(|(_, l)| *l)
+                    .unwrap_or(Lsn::NIL);
+                let list = peer.callback_list_for(*page, *c, from_lsn);
+                self.net.msg(MsgKind::Recovery, 16 + 24 * list.len());
+                for (obj, psn) in list {
+                    let e = merged.entry(obj).or_insert(psn);
+                    if psn > *e {
+                        *e = psn;
+                    }
+                }
+            }
+            let mut list: Vec<_> = merged.into_iter().collect();
+            list.sort_by_key(|(o, _)| (o.page.0, o.slot.0));
+            cb_lists.insert((*page, *c), list);
+        }
+
+        // Replay units run in parallel — §3.4: "clients may recover the
+        // same page in parallel"; cross-client dependencies resolve via
+        // recovery_fetch/poll_recovery_needs.
+        let unit_results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = units
+                .iter()
+                .map(|(page, c)| {
+                    let peer = peer_map[c].clone();
+                    let list = cb_lists[&(*page, *c)].clone();
+                    let page = *page;
+                    let c = *c;
+                    scope.spawn(move || -> Result<()> {
+                        // Base copy: the server's current merged view.
+                        let (base, evicted) = self.store_mut().get_or_format(page)?;
+                        self.flush_images_pub(evicted)?;
+                        let install_psn = self
+                            .dct_mut()
+                            .psn_of(page, c)
+                            .unwrap_or(base.psn());
+                        self.net.msg(MsgKind::Recovery, 32 + 24 * list.len());
+                        self.net.msg(MsgKind::PageShip, base.size());
+                        let outcome =
+                            peer.recover_page(page, base.into_bytes(), install_psn, list);
+                        match outcome {
+                            RecoveredPageOutcome::Done(bytes) => {
+                                self.install_recovered(c, bytes)?;
+                                Ok(())
+                            }
+                            RecoveredPageOutcome::Failed(msg) => Err(
+                                fgl_common::FglError::Protocol(format!(
+                                    "client {c} failed to recover {page}: {msg}"
+                                )),
+                            ),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in unit_results {
+            r?;
+        }
+
+        // Clients that were down across this restart must recover via the
+        // §3.5 path (the rebuilt DCT cannot be trusted to cover them).
+        self.mark_dct_incomplete(&crashed);
+        // Fresh checkpoint so the next crash starts from the rebuilt DCT.
+        self.mark_up();
+        self.checkpoint()?;
+        Ok(RestartReport {
+            pages_recovered: involved.len(),
+            clients_involved: involved_clients.len(),
+            recovery_units: units.len(),
+            elapsed: start.elapsed(),
+        })
+    }
+}

@@ -1,0 +1,837 @@
+//! The page-server runtime: the methods clients invoke over the (counted)
+//! message fabric, and the driver that turns GLM events into callbacks,
+//! grants and aborts.
+//!
+//! Locking discipline: internal mutexes (`glm`, `store`, `dct`, `slog`,
+//! `waiters`, …) are held only for short state transitions and **never**
+//! across a [`ClientPeer`] call; clients, symmetrically, never invoke the
+//! server while holding their own runtime mutex. This pair of rules is
+//! what makes the direct-call message fabric deadlock-free.
+
+use crate::dct::Dct;
+use crate::pagestore::PageStore;
+use fgl_common::config::CommitPolicy;
+use fgl_common::{ClientId, FglError, Lsn, PageId, Psn, Result, SystemConfig, TxnId};
+use fgl_locks::glm::{CallbackKind, CallbackReply, GlmCore, GlmEvent, LockOutcome};
+use fgl_locks::mode::{LockTarget, ObjMode};
+use fgl_net::peer::{CallbackOutcome, ClientPeer};
+use fgl_net::stats::{MsgKind, NetSim};
+use fgl_net::wait::{grant_pair, GrantMsg, GrantSlot, GrantWaiter};
+use fgl_storage::disk::DiskBackend;
+use fgl_storage::page::Page;
+use fgl_wal::manager::LogManager;
+use fgl_wal::records::{LogPayload, ReplacementRecord};
+use fgl_wal::store::MemLogStore;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the server hands a §3.5-recovering client for one page: the base
+/// copy, the PSN the server can vouch for, and the merged `CallBack_P`
+/// list.
+pub type RecoverPagePlan = (Vec<u8>, Psn, Vec<(fgl_common::ObjectId, Psn)>);
+
+/// The §3.3 handshake: the exclusive locks retained for the client and
+/// the DCT view of its pages, plus whether that view is complete.
+pub type RecoveryHandshake = (Vec<LockTarget>, Vec<(PageId, Option<Psn>)>, bool);
+
+/// Immediate answer to a lock request.
+pub enum LockResponse {
+    /// Granted synchronously.
+    Granted {
+        target: LockTarget,
+        first_exclusive_on_page: bool,
+        /// §3.1: last client to ship this page (and the shipped PSN) —
+        /// the grantee writes a callback log record from it on exclusive
+        /// grants.
+        evidence: Option<(ClientId, Psn)>,
+    },
+    /// Queued at the GLM; block on the waiter.
+    Wait(GrantWaiter),
+}
+
+/// Aggregate counters exposed for experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    pub lock_requests: u64,
+    pub page_fetches: u64,
+    pub pages_received: u64,
+    pub pages_flushed: u64,
+    pub replacement_records: u64,
+    pub server_checkpoints: u64,
+    pub commit_log_ships: u64,
+    pub merges: u64,
+}
+
+/// The page server.
+pub struct ServerCore {
+    cfg: SystemConfig,
+    pub net: Arc<NetSim>,
+    glm: Mutex<GlmCore>,
+    store: Mutex<PageStore>,
+    dct: Mutex<Dct>,
+    /// Server log: replacement records + server checkpoints (§3.1, §3.2).
+    slog: Mutex<LogManager>,
+    peers: RwLock<HashMap<ClientId, Arc<dyn ClientPeer>>>,
+    /// Parked lock waiters plus the cached PSN their request carried
+    /// (footnote 4 of §3.2).
+    waiters: Mutex<HashMap<TxnId, (GrantSlot, Option<Psn>)>>,
+    /// Clients that replaced each page and must be told when it is forced
+    /// (§3.6).
+    replaced_by: Mutex<HashMap<PageId, HashSet<ClientId>>>,
+    /// Last client to ship each page, with the shipped PSN — callback
+    /// log-record evidence (§3.1).
+    last_ship: Mutex<HashMap<PageId, (ClientId, Psn)>>,
+    /// Server-logging baseline (§4.1): log records shipped at commit,
+    /// appended per client behind one (bottleneck) mutex.
+    client_logs: Mutex<HashMap<ClientId, Vec<u8>>>,
+    crashed_clients: Mutex<HashSet<ClientId>>,
+    /// Clients that were down across a server restart: the rebuilt DCT is
+    /// incomplete for them, so their recovery must use the §3.5 path.
+    dct_incomplete: Mutex<HashSet<ClientId>>,
+    /// Signals DCT PSN progress during parallel page recovery (§3.4).
+    recovery_gen: Mutex<u64>,
+    recovery_cv: Condvar,
+    /// Outstanding partial-state needs: (provider client, page, PSN) —
+    /// §3.4 step 3 ("the server will request P from CID").
+    recovery_needs: Mutex<Vec<(ClientId, PageId, Psn)>>,
+    down: AtomicBool,
+    lock_requests: AtomicU64,
+    page_fetches: AtomicU64,
+    pages_received: AtomicU64,
+    pages_flushed: AtomicU64,
+    replacement_records: AtomicU64,
+    server_checkpoints: AtomicU64,
+    commit_log_ships: AtomicU64,
+    slog_appends_since_ckpt: AtomicU64,
+}
+
+impl ServerCore {
+    pub fn new(cfg: SystemConfig, net: Arc<NetSim>, disk: Arc<dyn DiskBackend>) -> Arc<Self> {
+        let store = PageStore::new(disk, cfg.server_cache_pages, cfg.page_size);
+        let slog = LogManager::new(
+            Box::new(fgl_wal::store::SimLogStore::new(
+                Box::new(MemLogStore::new()),
+                cfg.disk_latency,
+            )),
+            cfg.server_log_bytes,
+        );
+        Arc::new(ServerCore {
+            cfg,
+            net,
+            glm: Mutex::new(GlmCore::new()),
+            store: Mutex::new(store),
+            dct: Mutex::new(Dct::new()),
+            slog: Mutex::new(slog),
+            peers: RwLock::new(HashMap::new()),
+            waiters: Mutex::new(HashMap::new()),
+            replaced_by: Mutex::new(HashMap::new()),
+            last_ship: Mutex::new(HashMap::new()),
+            client_logs: Mutex::new(HashMap::new()),
+            crashed_clients: Mutex::new(HashSet::new()),
+            dct_incomplete: Mutex::new(HashSet::new()),
+            recovery_gen: Mutex::new(0),
+            recovery_cv: Condvar::new(),
+            recovery_needs: Mutex::new(Vec::new()),
+            down: AtomicBool::new(false),
+            lock_requests: AtomicU64::new(0),
+            page_fetches: AtomicU64::new(0),
+            pages_received: AtomicU64::new(0),
+            pages_flushed: AtomicU64::new(0),
+            replacement_records: AtomicU64::new(0),
+            server_checkpoints: AtomicU64::new(0),
+            commit_log_ships: AtomicU64::new(0),
+            slog_appends_since_ckpt: AtomicU64::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    fn check_up(&self) -> Result<()> {
+        if self.down.load(Ordering::Acquire) {
+            Err(FglError::Disconnected("server down".into()))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            lock_requests: self.lock_requests.load(Ordering::Relaxed),
+            page_fetches: self.page_fetches.load(Ordering::Relaxed),
+            pages_received: self.pages_received.load(Ordering::Relaxed),
+            pages_flushed: self.pages_flushed.load(Ordering::Relaxed),
+            replacement_records: self.replacement_records.load(Ordering::Relaxed),
+            server_checkpoints: self.server_checkpoints.load(Ordering::Relaxed),
+            commit_log_ships: self.commit_log_ships.load(Ordering::Relaxed),
+            merges: self.store.lock().merges(),
+        }
+    }
+
+    // ---- registration ------------------------------------------------------
+
+    pub fn register_client(&self, peer: Arc<dyn ClientPeer>) {
+        self.net.msg(MsgKind::Control, 16);
+        let id = peer.client_id();
+        self.peers.write().insert(id, peer);
+        self.crashed_clients.lock().remove(&id);
+    }
+
+    fn peer(&self, id: ClientId) -> Option<Arc<dyn ClientPeer>> {
+        self.peers.read().get(&id).cloned()
+    }
+
+    // ---- locking -------------------------------------------------------------
+
+    /// Client → server lock request (§3.2). `cached_psn` carries the PSN
+    /// of the client's cached copy for DCT seeding (footnote 4).
+    pub fn lock(
+        &self,
+        client: ClientId,
+        txn: TxnId,
+        target: LockTarget,
+        cached_psn: Option<Psn>,
+    ) -> Result<LockResponse> {
+        self.check_up()?;
+        self.net.msg(MsgKind::LockReq, 40);
+        self.lock_requests.fetch_add(1, Ordering::Relaxed);
+        let (outcome, effective, events) = self.glm.lock().lock(client, txn, target);
+        match outcome {
+            LockOutcome::Granted {
+                first_exclusive_on_page,
+            } => {
+                if first_exclusive_on_page {
+                    self.dct.lock().insert(effective.page(), client, cached_psn);
+                }
+                self.drive(events);
+                self.net.msg(MsgKind::LockReply, 24);
+                let evidence = self.grant_evidence(client, &effective);
+                Ok(LockResponse::Granted {
+                    target: effective,
+                    first_exclusive_on_page,
+                    evidence,
+                })
+            }
+            LockOutcome::Queued => {
+                let (slot, waiter) = grant_pair();
+                self.waiters.lock().insert(txn, (slot, cached_psn));
+                self.drive(events);
+                Ok(LockResponse::Wait(waiter))
+            }
+        }
+    }
+
+    /// A waiting client gave up (timeout) or aborted.
+    pub fn cancel_wait(&self, _client: ClientId, txn: TxnId) {
+        self.net.msg(MsgKind::Control, 16);
+        self.waiters.lock().remove(&txn);
+        let events = self.glm.lock().cancel_wait(txn);
+        self.drive(events);
+    }
+
+    /// Turn GLM events into protocol actions. Runs with no server mutex
+    /// held; each step takes exactly the locks it needs.
+    fn drive(&self, events: Vec<GlmEvent>) {
+        let mut queue: std::collections::VecDeque<GlmEvent> = events.into();
+        while let Some(ev) = queue.pop_front() {
+            match ev {
+                GlmEvent::SendCallback(cb) => {
+                    if self.crashed_clients.lock().contains(&cb.to) {
+                        continue;
+                    }
+                    let Some(peer) = self.peer(cb.to) else { continue };
+                    self.net.msg(MsgKind::Callback, 24);
+                    let outcome = peer.deliver_callback(cb.kind);
+                    self.net.msg(MsgKind::CallbackReply, 24);
+                    match outcome {
+                        CallbackOutcome::Done { retained, page_copy } => {
+                            if let Some(bytes) = page_copy {
+                                let _ = self.absorb_page(cb.to, bytes, false);
+                            }
+                            let evs = self.glm.lock().callback_reply(
+                                cb.to,
+                                cb.kind,
+                                CallbackReply::Done { retained },
+                            );
+                            queue.extend(evs);
+                        }
+                        CallbackOutcome::Deferred { blockers } => {
+                            let evs = self.glm.lock().callback_reply(
+                                cb.to,
+                                cb.kind,
+                                CallbackReply::Deferred { blockers },
+                            );
+                            queue.extend(evs);
+                        }
+                    }
+                }
+                GlmEvent::Grant {
+                    client,
+                    txn,
+                    target,
+                    first_exclusive_on_page,
+                } => {
+                    fgl_common::fgl_trace!("server async-grant {target:?} to {client} txn={txn}");
+                    let slot = self.waiters.lock().remove(&txn);
+                    if let Some((slot, cached_psn)) = slot {
+                        if first_exclusive_on_page {
+                            self.dct.lock().insert(target.page(), client, cached_psn);
+                        }
+                        self.net.msg(MsgKind::LockReply, 24);
+                        let evidence = self.grant_evidence(client, &target);
+                        slot.fulfil(GrantMsg::Granted {
+                            target,
+                            first_exclusive_on_page,
+                            evidence,
+                        });
+                    }
+                }
+                GlmEvent::AbortTxn { txn, .. } => {
+                    let slot = self.waiters.lock().remove(&txn);
+                    if let Some((slot, _)) = slot {
+                        self.net.msg(MsgKind::Abort, 16);
+                        slot.fulfil(GrantMsg::Victim);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evidence for the §3.1 callback log record: the last client that
+    /// shipped this page (excluding the grantee itself), for exclusive
+    /// grants only.
+    fn grant_evidence(&self, grantee: ClientId, target: &LockTarget) -> Option<(ClientId, Psn)> {
+        if target.mode() != ObjMode::X {
+            return None;
+        }
+        self.last_ship
+            .lock()
+            .get(&target.page())
+            .copied()
+            .filter(|(c, _)| *c != grantee)
+    }
+
+    /// A client finished a previously deferred callback (its blocking
+    /// transactions ended).
+    pub fn callback_complete(
+        &self,
+        client: ClientId,
+        kind: CallbackKind,
+        retained: Vec<(fgl_common::ObjectId, ObjMode)>,
+        page_copy: Option<Vec<u8>>,
+    ) -> Result<()> {
+        self.check_up()?;
+        self.net.msg(MsgKind::CallbackComplete, 24);
+        if let Some(bytes) = page_copy {
+            self.absorb_page(client, bytes, false)?;
+        }
+        let events = self
+            .glm
+            .lock()
+            .callback_reply(client, kind, CallbackReply::Done { retained });
+        self.drive(events);
+        Ok(())
+    }
+
+    // ---- pages ---------------------------------------------------------------
+
+    /// Fetch the current merged copy of a page. Returns the bytes plus the
+    /// PSN remembered in the DCT for this client (§3.2: ignored during
+    /// normal processing, used by rollback-after-replacement and by
+    /// restart recovery).
+    pub fn fetch_page(&self, client: ClientId, page: PageId) -> Result<(Vec<u8>, Option<Psn>)> {
+        self.check_up()?;
+        self.net.msg(MsgKind::FetchPage, 16);
+        self.page_fetches.fetch_add(1, Ordering::Relaxed);
+        let (copy, evicted) = {
+            let mut store = self.store.lock();
+            store.get_copy(page)?
+        };
+        self.flush_images(evicted)?;
+        {
+            let mut dct = self.dct.lock();
+            dct.set_psn_if_unset(page, client, copy.psn());
+        }
+        let dct_psn = self.dct.lock().psn_of(page, client);
+        fgl_common::fgl_trace!("server ship {page} to {client} psn={:?}", copy.psn());
+        self.net.msg(MsgKind::PageShip, copy.size());
+        Ok((copy.into_bytes(), dct_psn))
+    }
+
+    /// Allocate a fresh page on behalf of a client, granting it the page
+    /// exclusively and seeding the DCT entry (creation is a structural
+    /// update, §3.1).
+    pub fn allocate_page(&self, client: ClientId, _txn: TxnId) -> Result<Vec<u8>> {
+        self.check_up()?;
+        self.net.msg(MsgKind::Control, 16);
+        let (page, evicted) = {
+            let mut store = self.store.lock();
+            store.allocate()?
+        };
+        self.flush_images(evicted)?;
+        self.glm
+            .lock()
+            .install_holder(client, LockTarget::Page(page.id(), ObjMode::X));
+        self.dct.lock().insert(page.id(), client, Some(page.psn()));
+        self.net.msg(MsgKind::PageShip, page.size());
+        Ok(page.into_bytes())
+    }
+
+    /// A dirty page arrives from a client (cache replacement ships it to
+    /// the server, §2). `replaced` marks cache replacement, which enrolls
+    /// the client for the §3.6 flush notification.
+    pub fn ship_page(&self, client: ClientId, bytes: Vec<u8>, replaced: bool) -> Result<()> {
+        self.check_up()?;
+        self.net.msg(MsgKind::PageShip, bytes.len());
+        self.absorb_page(client, bytes, replaced)
+    }
+
+    fn absorb_page(&self, client: ClientId, bytes: Vec<u8>, replaced: bool) -> Result<()> {
+        let page = Page::from_bytes(bytes)?;
+        let id = page.id();
+        self.pages_received.fetch_add(1, Ordering::Relaxed);
+        let (incoming_psn, _outcome, evicted) = {
+            let mut store = self.store.lock();
+            store.receive(page)?
+        };
+        fgl_common::fgl_trace!("server absorb {id} from {client} psn={incoming_psn:?}");
+        self.dct.lock().set_psn(id, client, incoming_psn);
+        self.last_ship.lock().insert(id, (client, incoming_psn));
+        if replaced {
+            self.replaced_by.lock().entry(id).or_default().insert(client);
+        }
+        self.flush_images(evicted)?;
+        self.bump_recovery_gen();
+        Ok(())
+    }
+
+    /// §3.6: a client low on log space asks the server to force a page.
+    pub fn force_page(&self, _client: ClientId, page: PageId) -> Result<()> {
+        self.check_up()?;
+        self.net.msg(MsgKind::ForcePage, 16);
+        self.flush_page(page)
+    }
+
+    /// Force one page to disk: replacement log record first (§3.1), then
+    /// the in-place write, then flush notifications and DCT pruning.
+    pub fn flush_page(&self, page: PageId) -> Result<()> {
+        let copy = self.store.lock().dirty_copy(page);
+        match copy {
+            Some(img) => self.flush_images(vec![img]),
+            None => {
+                // Already clean on disk: just notify whoever waited.
+                self.notify_flushed(page);
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn flush_images_pub(&self, images: Vec<Page>) -> Result<()> {
+        self.flush_images(images)
+    }
+
+    /// Write page images to disk with their replacement records.
+    fn flush_images(&self, images: Vec<Page>) -> Result<()> {
+        for img in images {
+            let id = img.id();
+            let entries = self.dct.lock().entries_for_page(id);
+            let record = LogPayload::Replacement(ReplacementRecord {
+                page: id,
+                psn: img.psn(),
+                clients: entries
+                    .iter()
+                    .filter_map(|e| e.psn.map(|p| (e.client, p)))
+                    .collect(),
+            });
+            let lsn = {
+                let mut slog = self.slog.lock();
+                let lsn = slog.append_critical(&record)?;
+                slog.force()?;
+                lsn
+            };
+            self.replacement_records.fetch_add(1, Ordering::Relaxed);
+            self.dct.lock().note_replacement_record(id, lsn);
+            self.store.lock().write_to_disk(&img)?;
+            self.pages_flushed.fetch_add(1, Ordering::Relaxed);
+            self.notify_flushed(id);
+            self.prune_dct(id);
+            self.maybe_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn notify_flushed(&self, page: PageId) {
+        let clients: Vec<ClientId> = {
+            let mut map = self.replaced_by.lock();
+            map.remove(&page).map(|s| s.into_iter().collect()).unwrap_or_default()
+        };
+        let crashed = self.crashed_clients.lock().clone();
+        for c in clients {
+            if crashed.contains(&c) {
+                continue;
+            }
+            if let Some(peer) = self.peer(c) {
+                self.net.msg(MsgKind::FlushNotify, 16);
+                peer.notify_page_flushed(page);
+            }
+        }
+    }
+
+    /// Drop DCT entries whose page is clean on disk and whose client no
+    /// longer holds exclusive locks touching the page (§3.2).
+    fn prune_dct(&self, page: PageId) {
+        if self.store.lock().is_dirty(page) {
+            return;
+        }
+        let entries = self.dct.lock().entries_for_page(page);
+        let glm = self.glm.lock();
+        let mut dct = self.dct.lock();
+        for e in entries {
+            if !glm.client_has_exclusive_on_page(e.client, page) {
+                dct.remove(page, e.client);
+            }
+        }
+    }
+
+    fn maybe_checkpoint(&self) -> Result<()> {
+        let n = self.slog_appends_since_ckpt.fetch_add(1, Ordering::Relaxed) + 1;
+        if n < self.cfg.server_checkpoint_every {
+            return Ok(());
+        }
+        self.slog_appends_since_ckpt.store(0, Ordering::Relaxed);
+        self.checkpoint()
+    }
+
+    /// Take a server fuzzy checkpoint (§3.2): persist the DCT and advance
+    /// the log low-water mark.
+    pub fn checkpoint(&self) -> Result<()> {
+        let snapshot = self.dct.lock().snapshot();
+        let min_redo = snapshot.iter().filter_map(|e| e.redo_lsn).min();
+        let mut slog = self.slog.lock();
+        let lsn = slog.append_critical(&LogPayload::ServerCheckpoint { dct: snapshot })?;
+        slog.force()?;
+        slog.set_checkpoint(lsn)?;
+        if let Some(lw) = min_redo {
+            slog.advance_low_water(lw.min(lsn))?;
+        } else {
+            slog.advance_low_water(lsn)?;
+        }
+        self.server_checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ---- server-logging baselines (§4.1) --------------------------------------
+
+    /// ARIES/CSA-shape commit: the client ships its log records; the
+    /// server appends them to its (single, shared) client-log store and
+    /// forces. The shared mutex *is* the bottleneck the paper predicts.
+    pub fn commit_ship_log(&self, client: ClientId, records: Vec<u8>) -> Result<()> {
+        self.check_up()?;
+        self.net.msg(MsgKind::CommitLogShip, records.len());
+        self.commit_log_ships.fetch_add(1, Ordering::Relaxed);
+        let mut logs = self.client_logs.lock();
+        logs.entry(client).or_default().extend_from_slice(&records);
+        // Force: one disk write per commit, serialized on this mutex.
+        if !self.cfg.disk_latency.is_zero() {
+            std::thread::sleep(self.cfg.disk_latency);
+        }
+        Ok(())
+    }
+
+    /// Return the log bytes a client shipped (baseline client-crash
+    /// recovery reads its log from the server).
+    pub fn fetch_client_log(&self, client: ClientId) -> Result<Vec<u8>> {
+        self.check_up()?;
+        self.net.msg(MsgKind::Recovery, 16);
+        let bytes = self
+            .client_logs
+            .lock()
+            .get(&client)
+            .cloned()
+            .unwrap_or_default();
+        self.net.msg(MsgKind::Recovery, bytes.len());
+        Ok(bytes)
+    }
+
+    /// True when running one of the server-logging baselines.
+    pub fn server_logging(&self) -> bool {
+        matches!(
+            self.cfg.commit_policy,
+            CommitPolicy::ServerLog | CommitPolicy::ShipPagesAtCommit
+        )
+    }
+
+    // ---- client crash handling (§3.3) ------------------------------------------
+
+    /// A client crashed: release its shared locks, keep its exclusive
+    /// locks, queue callbacks addressed to it.
+    pub fn client_crashed(&self, client: ClientId) {
+        self.crashed_clients.lock().insert(client);
+        self.peers.write().remove(&client);
+        // Its parked waiters die with it.
+        let its: Vec<TxnId> = self
+            .waiters
+            .lock()
+            .keys()
+            .copied()
+            .filter(|t| t.client() == client)
+            .collect();
+        for t in &its {
+            self.waiters.lock().remove(t);
+        }
+        let mut events = Vec::new();
+        {
+            let mut glm = self.glm.lock();
+            for t in its {
+                events.extend(glm.cancel_wait(t));
+            }
+            events.extend(glm.crash_client(client));
+        }
+        self.drive(events);
+    }
+
+    /// Restarting client: hand it the exclusive locks it held (§3.3) and
+    /// the DCT PSNs for its pages (Property 1 filtering).
+    pub fn client_recovery_begin(
+        &self,
+        client: ClientId,
+        peer: Arc<dyn ClientPeer>,
+    ) -> Result<RecoveryHandshake> {
+        self.check_up()?;
+        self.net.msg(MsgKind::Recovery, 16);
+        self.peers.write().insert(client, peer);
+        let locks = self.glm.lock().exclusive_locks(client);
+        let psns: Vec<(PageId, Option<Psn>)> = self
+            .dct
+            .lock()
+            .entries_for_client(client)
+            .into_iter()
+            .map(|e| (e.page, e.psn))
+            .collect();
+        let dct_complete = !self.dct_incomplete.lock().contains(&client);
+        self.net.msg(MsgKind::Recovery, 16 * (locks.len() + psns.len()).max(1));
+        Ok((locks, psns, dct_complete))
+    }
+
+    /// Recovery finished: deliver queued callbacks, then let the client
+    /// release the locks of its (now resolved) pre-crash transactions.
+    pub fn client_recovery_end(&self, client: ClientId) -> Result<()> {
+        self.check_up()?;
+        self.net.msg(MsgKind::Recovery, 16);
+        self.crashed_clients.lock().remove(&client);
+        self.dct_incomplete.lock().remove(&client);
+        self.glm.lock().client_recovered(client);
+        let events = self.glm.lock().release_all(client);
+        self.drive(events);
+        self.bump_recovery_gen();
+        Ok(())
+    }
+
+    // ---- server crash plumbing (the restart algorithm lives in recovery.rs) ----
+
+    /// Simulate a server crash: all volatile state (buffer pool, GLM, DCT,
+    /// parked waiters, un-forced log tail) vanishes; disk and forced log
+    /// survive.
+    pub fn crash(&self) {
+        self.down.store(true, Ordering::Release);
+        self.store.lock().crash();
+        self.dct.lock().clear();
+        *self.glm.lock() = GlmCore::new();
+        self.waiters.lock().clear();
+        self.replaced_by.lock().clear();
+        self.last_ship.lock().clear();
+        self.slog.lock().crash();
+        self.slog_appends_since_ckpt.store(0, Ordering::Relaxed);
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_up(&self) {
+        self.down.store(false, Ordering::Release);
+    }
+
+    pub(crate) fn glm_mut(&self) -> parking_lot::MutexGuard<'_, GlmCore> {
+        self.glm.lock()
+    }
+
+    pub(crate) fn store_mut(&self) -> parking_lot::MutexGuard<'_, PageStore> {
+        self.store.lock()
+    }
+
+    pub(crate) fn dct_mut(&self) -> parking_lot::MutexGuard<'_, Dct> {
+        self.dct.lock()
+    }
+
+    pub(crate) fn slog_mut(&self) -> parking_lot::MutexGuard<'_, LogManager> {
+        self.slog.lock()
+    }
+
+    pub(crate) fn all_peers(&self) -> Vec<Arc<dyn ClientPeer>> {
+        self.peers.read().values().cloned().collect()
+    }
+
+    pub(crate) fn crashed_set(&self) -> HashSet<ClientId> {
+        self.crashed_clients.lock().clone()
+    }
+
+    pub(crate) fn mark_dct_incomplete(&self, clients: &HashSet<ClientId>) {
+        self.dct_incomplete.lock().extend(clients.iter().copied());
+    }
+
+    fn bump_recovery_gen(&self) {
+        let mut gen = self.recovery_gen.lock();
+        *gen += 1;
+        self.recovery_cv.notify_all();
+    }
+
+    /// §3.4 step 3 of per-client page recovery: a recovering client hit a
+    /// callback log record for an object *not* in its `CallBack_P` list
+    /// and needs the page state of client `cid` at PSN ≥ `psn`. Blocks
+    /// (bounded) until the server's merged copy reflects it.
+    pub fn recovery_fetch(
+        &self,
+        client: ClientId,
+        page: PageId,
+        need: Option<(ClientId, Psn)>,
+    ) -> Result<(Vec<u8>, Option<Psn>)> {
+        self.net.msg(MsgKind::Recovery, 24);
+        if let Some((cid, psn)) = need {
+            // Needs on *operational* clients are already satisfied: their
+            // cached DPT pages were absorbed in step 4 before replay
+            // began, and their flushed state is on disk — the current
+            // merged copy covers them. Only a crashed client recovering
+            // in parallel (§3.5) can still owe state.
+            let provider_recovering = self.crashed_clients.lock().contains(&cid);
+            if provider_recovering {
+                self.wait_for_recovery_progress(cid, page, psn);
+            }
+        }
+        let (copy, evicted) = self.store.lock().get_copy(page)?;
+        self.flush_images(evicted)?;
+        let dct_psn = self.dct.lock().psn_of(page, client);
+        self.net.msg(MsgKind::PageShip, copy.size());
+        Ok((copy.into_bytes(), dct_psn))
+    }
+
+    /// Block (bounded) until `cid`'s recovery of `page` passes `psn`.
+    fn wait_for_recovery_progress(&self, cid: ClientId, page: PageId, psn: Psn) {
+        {
+            self.recovery_needs.lock().push((cid, page, psn));
+            // Bounded wait: if the provider has not recovered the page
+            // past the needed PSN in time (it may itself be a crashed
+            // client whose recovery runs later), fall back to the current
+            // merged copy — per-object slot-PSN merging reorders the
+            // provider's state correctly whenever it does arrive, so the
+            // fallback trades a transient stale read (repaired at the
+            // provider's ship) for liveness.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+            loop {
+                // Hold the generation lock across the condition check so a
+                // concurrent bump cannot slip between check and wait.
+                let mut gen = self.recovery_gen.lock();
+                let have = self.dct.lock().psn_of(page, cid);
+                if have.map(|p| p >= psn).unwrap_or(false) {
+                    break;
+                }
+                let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+                if timeout.is_zero() {
+                    fgl_common::fgl_trace!(
+                        "recovery_fetch fallback: {cid} has not recovered {page} past {psn:?}"
+                    );
+                    break;
+                }
+                self.recovery_cv.wait_for(&mut gen, timeout);
+            }
+            self.recovery_needs
+                .lock()
+                .retain(|&(c, p, q)| !(c == cid && p == page && q == psn));
+        }
+    }
+
+    /// §3.5: prepare one page for a crashed client's post-server-restart
+    /// recovery — the base copy (current merged view, or a fresh format
+    /// when the page never reached disk), the PSN the server can vouch
+    /// for (rebuilt DCT via Property 2, else zero = replay everything),
+    /// and the merged `CallBack_P` list from the operational clients.
+    pub fn recover_client_page(
+        &self,
+        client: ClientId,
+        page: PageId,
+    ) -> Result<RecoverPagePlan> {
+        self.net.msg(MsgKind::Recovery, 16);
+        let (base, evicted) = self.store.lock().get_or_format(page)?;
+        self.flush_images(evicted)?;
+        let install_psn = self.dct.lock().psn_of(page, client).unwrap_or(Psn::ZERO);
+        // Ensure a DCT entry exists so parallel recoveries can wait on our
+        // progress for this page.
+        self.dct.lock().insert(page, client, None);
+        let mut merged: HashMap<fgl_common::ObjectId, Psn> = HashMap::new();
+        for peer in self.all_peers() {
+            if peer.client_id() == client {
+                continue;
+            }
+            self.net.msg(MsgKind::Recovery, 16);
+            let list = peer.callback_list_for(page, client, fgl_common::Lsn::NIL);
+            self.net.msg(MsgKind::Recovery, 16 + 24 * list.len());
+            for (obj, psn) in list {
+                let e = merged.entry(obj).or_insert(psn);
+                if psn > *e {
+                    *e = psn;
+                }
+            }
+        }
+        let mut list: Vec<_> = merged.into_iter().collect();
+        list.sort_by_key(|(o, _)| (o.page.0, o.slot.0));
+        self.net.msg(MsgKind::PageShip, base.size());
+        Ok((base.into_bytes(), install_psn, list))
+    }
+
+    /// A recovering client polls for partial-state needs addressed to it
+    /// (§3.4 step 3: "CID will send P to the server only after it has
+    /// processed all log records containing a PSN value that is less than
+    /// the PSN value C sent"). Returns pages another recovering client is
+    /// waiting on, with the PSN threshold.
+    pub fn poll_recovery_needs(&self, provider: ClientId) -> Vec<(PageId, Psn)> {
+        self.recovery_needs
+            .lock()
+            .iter()
+            .filter(|(c, _, _)| *c == provider)
+            .map(|&(_, p, q)| (p, q))
+            .collect()
+    }
+
+    /// Install a client's recovered copy of a page (final phase of §3.4).
+    pub fn install_recovered(&self, client: ClientId, bytes: Vec<u8>) -> Result<()> {
+        self.net.msg(MsgKind::PageShip, bytes.len());
+        self.absorb_page(client, bytes, false)
+    }
+
+    /// Diagnostics: PSN of the server's current copy (pool else disk).
+    pub fn current_psn(&self, page: PageId) -> Option<Psn> {
+        self.store.lock().current_psn(page).ok().flatten()
+    }
+
+    /// Diagnostics / oracle verification: a copy of the page as the server
+    /// sees it now.
+    pub fn page_copy(&self, page: PageId) -> Result<Page> {
+        let (copy, evicted) = self.store.lock().get_copy(page)?;
+        self.flush_images(evicted)?;
+        Ok(copy)
+    }
+
+    /// Diagnostics: ids of every allocated page.
+    pub fn allocated_pages(&self) -> Vec<PageId> {
+        self.store.lock().allocated_pages()
+    }
+
+    /// Server log state: `(last checkpoint, end)` (diagnostics).
+    pub fn slog_bounds(&self) -> (Lsn, Lsn) {
+        let slog = self.slog.lock();
+        (slog.last_checkpoint(), slog.end_lsn())
+    }
+}

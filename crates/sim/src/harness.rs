@@ -1,0 +1,276 @@
+//! Multi-threaded workload driver.
+
+use crate::oracle::Oracle;
+use crate::setup::DatabaseLayout;
+use crate::workload::{Op, WorkloadSpec};
+use fgl::{NetSnapshot, ObjectId, Result, System};
+use fgl_common::rng::DetRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Driver parameters.
+#[derive(Clone, Debug)]
+pub struct HarnessOptions {
+    pub spec: WorkloadSpec,
+    /// Transactions each client executes (committed or given up).
+    pub txns_per_client: usize,
+    /// Master seed; each client derives its own stream.
+    pub seed: u64,
+    /// Retries after a deadlock/timeout abort before giving up on a
+    /// transaction.
+    pub max_retries: usize,
+}
+
+impl HarnessOptions {
+    pub fn new(spec: WorkloadSpec, txns_per_client: usize) -> Self {
+        HarnessOptions {
+            spec,
+            txns_per_client,
+            seed: 42,
+            max_retries: 10,
+        }
+    }
+}
+
+/// Aggregated outcome of one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    pub commits: u64,
+    pub aborts: u64,
+    pub elapsed: Duration,
+    /// Per-commit latencies in microseconds (all clients merged).
+    pub commit_latencies_us: Vec<u64>,
+    /// Message-fabric delta over the run.
+    pub net: NetSnapshot,
+}
+
+impl RunReport {
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.commits as f64 / self.elapsed.as_secs_f64()
+    }
+
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            return 0.0;
+        }
+        self.aborts as f64 / total as f64
+    }
+
+    /// Latency percentile in microseconds (p in [0, 100]).
+    pub fn latency_us(&self, p: f64) -> u64 {
+        if self.commit_latencies_us.is_empty() {
+            return 0;
+        }
+        let mut v = self.commit_latencies_us.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+
+    pub fn messages_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            return 0.0;
+        }
+        self.net.total_messages() as f64 / self.commits as f64
+    }
+}
+
+/// Run the workload: one thread per client, `txns_per_client`
+/// transactions each, deadlock/timeout aborts retried. Committed write
+/// sets are recorded into `oracle` when provided.
+pub fn run_workload(
+    sys: &System,
+    layout: &DatabaseLayout,
+    oracle: Option<&Arc<Oracle>>,
+    opts: &HarnessOptions,
+) -> Result<RunReport> {
+    let n = sys.clients.len();
+    let before = sys.net.snapshot();
+    let start = Instant::now();
+    let mut master = DetRng::new(opts.seed);
+    let seeds: Vec<u64> = (0..n).map(|i| master.fork(i as u64).next_u64()).collect();
+
+    let results: Vec<Result<(u64, u64, Vec<u64>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let client = sys.clients[i].clone();
+                let spec = opts.spec.clone();
+                let oracle = oracle.cloned();
+                let object_size = layout.object_size;
+                let seed = seeds[i];
+                let txns = opts.txns_per_client;
+                let max_retries = opts.max_retries;
+                scope.spawn(move || -> Result<(u64, u64, Vec<u64>)> {
+                    let mut rng = DetRng::new(seed);
+                    let mut commits = 0u64;
+                    let mut aborts = 0u64;
+                    let mut latencies = Vec::with_capacity(txns);
+                    for _ in 0..txns {
+                        let template = spec.next_txn(i, n, &mut rng);
+                        let mut attempts = 0;
+                        loop {
+                            match run_one_txn(
+                                &client,
+                                &template,
+                                object_size,
+                                oracle.as_deref(),
+                                &mut rng,
+                            ) {
+                                Ok(latency) => {
+                                    commits += 1;
+                                    latencies.push(latency.as_micros() as u64);
+                                    break;
+                                }
+                                Err(e) if e.is_transaction_abort() => {
+                                    aborts += 1;
+                                    attempts += 1;
+                                    if attempts > max_retries {
+                                        break; // give up on this template
+                                    }
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                    Ok((commits, aborts, latencies))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut report = RunReport {
+        elapsed: start.elapsed(),
+        ..RunReport::default()
+    };
+    for r in results {
+        let (c, a, lat) = r?;
+        report.commits += c;
+        report.aborts += a;
+        report.commit_latencies_us.extend(lat);
+    }
+    report.net = sys.net.snapshot().delta_since(&before);
+    Ok(report)
+}
+
+/// Execute one transaction template; returns the commit latency. The
+/// committed write set is recorded into the oracle inside the commit's
+/// pre-lock-release window so oracle order equals serialization order.
+fn run_one_txn(
+    client: &Arc<fgl::ClientCore>,
+    template: &crate::workload::TxnTemplate,
+    object_size: usize,
+    oracle: Option<&Oracle>,
+    rng: &mut DetRng,
+) -> Result<Duration> {
+    let txn = client.begin()?;
+    let mut writes: Vec<(ObjectId, Option<Vec<u8>>)> = Vec::new();
+    for op in &template.ops {
+        match op {
+            Op::Read(o) => {
+                client.read(txn, *o)?;
+            }
+            Op::Write(o) => {
+                let mut value = vec![0u8; object_size];
+                rng.fill_bytes(&mut value);
+                client.write(txn, *o, &value)?;
+                writes.push((*o, Some(value)));
+            }
+            Op::Resize(o) => {
+                // Grow then shrink: exercises the structural (page-X)
+                // path while leaving the committed value unchanged.
+                client.resize(txn, *o, object_size + 8)?;
+                client.resize(txn, *o, object_size)?;
+            }
+        }
+    }
+    let commit_start = Instant::now();
+    client.commit_with(txn, || {
+        if let Some(o) = oracle {
+            o.commit_writes(&writes);
+        }
+    })?;
+    Ok(commit_start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::populate;
+    use crate::workload::WorkloadKind;
+    use fgl::{System, SystemConfig};
+
+    fn small_spec(kind: WorkloadKind) -> WorkloadSpec {
+        let mut s = WorkloadSpec::new(kind);
+        s.pages = 16;
+        s.objects_per_page = 8;
+        s.ops_per_txn = 4;
+        s
+    }
+
+    #[test]
+    fn single_client_run_commits_everything() {
+        let sys = System::build(SystemConfig::default(), 1).unwrap();
+        let spec = small_spec(WorkloadKind::Private);
+        let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 32).unwrap();
+        let report =
+            run_workload(&sys, &layout, None, &HarnessOptions::new(spec, 20)).unwrap();
+        assert_eq!(report.commits, 20);
+        assert_eq!(report.aborts, 0);
+        assert_eq!(report.commit_latencies_us.len(), 20);
+    }
+
+    #[test]
+    fn multi_client_run_with_oracle_verifies() {
+        let sys = System::build(SystemConfig::default(), 3).unwrap();
+        let spec = small_spec(WorkloadKind::HotCold);
+        let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 32).unwrap();
+        let oracle = Oracle::new();
+        oracle.seed(sys.client(0), &layout).unwrap();
+        let report =
+            run_workload(&sys, &layout, Some(&oracle), &HarnessOptions::new(spec, 15)).unwrap();
+        assert!(report.commits > 0);
+        let verify = oracle.verify_via_reads(sys.client(1)).unwrap();
+        assert!(
+            verify.is_clean(),
+            "oracle mismatch on {:?}",
+            verify.mismatches
+        );
+    }
+
+    #[test]
+    fn hicon_concurrent_same_page_updates_verify() {
+        let sys = System::build(SystemConfig::default(), 4).unwrap();
+        let mut spec = small_spec(WorkloadKind::HiCon);
+        spec.write_fraction = 0.8;
+        spec.hot_pages = 2;
+        let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 32).unwrap();
+        let oracle = Oracle::new();
+        oracle.seed(sys.client(0), &layout).unwrap();
+        let report =
+            run_workload(&sys, &layout, Some(&oracle), &HarnessOptions::new(spec, 10)).unwrap();
+        assert!(report.commits > 0);
+        let verify = oracle.verify_via_reads(sys.client(0)).unwrap();
+        assert!(
+            verify.is_clean(),
+            "oracle mismatch on {:?}",
+            verify.mismatches
+        );
+    }
+
+    #[test]
+    fn report_percentiles_are_ordered() {
+        let r = RunReport {
+            commits: 4,
+            commit_latencies_us: vec![10, 20, 30, 40],
+            ..Default::default()
+        };
+        assert!(r.latency_us(50.0) <= r.latency_us(95.0));
+        assert_eq!(r.latency_us(0.0), 10);
+        assert_eq!(r.latency_us(100.0), 40);
+    }
+}

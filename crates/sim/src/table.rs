@@ -1,0 +1,129 @@
+//! Minimal aligned-column table printer for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A plain-text table with a header row.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row; panics if the column count mismatches (programmer
+    /// error in a bench binary).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width != header width"
+        );
+        self.rows.push(cells);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>w$}", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Render a per-kind message breakdown of a [`fgl::NetSnapshot`]
+/// normalized by `commits` (0 rows are omitted) — the standard way the
+/// experiment binaries explain *where* a policy's traffic goes.
+pub fn net_breakdown(snapshot: &fgl::NetSnapshot, commits: u64) -> Table {
+    let mut t = Table::new(&["message kind", "count", "per commit", "bytes"]);
+    let denom = commits.max(1) as f64;
+    for i in 0..13 {
+        if snapshot.counts[i] == 0 {
+            continue;
+        }
+        t.row(vec![
+            fgl::NetSnapshot::kind_name(i).into(),
+            snapshot.counts[i].to_string(),
+            f2(snapshot.counts[i] as f64 / denom),
+            snapshot.bytes[i].to_string(),
+        ]);
+    }
+    t
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "123456".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1"));
+        // All data lines same width as header line.
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.257), "1.26");
+    }
+}

@@ -1,0 +1,341 @@
+//! Synthetic multi-client workloads.
+//!
+//! Shapes follow the fine-grained-sharing study of Carey, Franklin &
+//! Zaharioudakis \[3\] — the paper's own reference for workload
+//! assumptions:
+//!
+//! * **PRIVATE** — each client works in its own page region; no sharing.
+//!   Shows the upside of inter-transaction caching and adaptive locks.
+//! * **HOTCOLD** — most accesses go to the client's own hot region, the
+//!   rest spill uniformly over the shared database; moderate sharing.
+//! * **UNIFORM** — every access uniform over the whole database; heavy
+//!   (but diffuse) sharing.
+//! * **HICON** — all writes concentrate on a small hot set of pages with
+//!   many objects: different clients keep updating *different objects on
+//!   the same pages*, the paper's headline scenario.
+//! * **FEED** — one writer client updates a region that all other clients
+//!   read (producer/consumer).
+//! * **ZIPF** — accesses over the whole database with Zipf-like skew
+//!   (rank-θ popularity), the classic hotspot distribution.
+
+use fgl_common::rng::DetRng;
+use fgl_common::{ObjectId, PageId, SlotId};
+
+/// One operation of a transaction template.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    Read(ObjectId),
+    /// Same-size overwrite (mergeable update, §3.1).
+    Write(ObjectId),
+    /// Grow-then-shrink resize (structural / non-mergeable, §3.1).
+    Resize(ObjectId),
+}
+
+impl Op {
+    pub fn object(&self) -> ObjectId {
+        match self {
+            Op::Read(o) | Op::Write(o) | Op::Resize(o) => *o,
+        }
+    }
+
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Op::Read(_))
+    }
+}
+
+/// The ops of one transaction.
+#[derive(Clone, Debug, Default)]
+pub struct TxnTemplate {
+    pub ops: Vec<Op>,
+}
+
+/// Workload family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    Private,
+    HotCold,
+    Uniform,
+    HiCon,
+    Feed,
+    Zipf,
+}
+
+impl WorkloadKind {
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::Private,
+        WorkloadKind::HotCold,
+        WorkloadKind::Uniform,
+        WorkloadKind::HiCon,
+        WorkloadKind::Feed,
+        WorkloadKind::Zipf,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Private => "PRIVATE",
+            WorkloadKind::HotCold => "HOTCOLD",
+            WorkloadKind::Uniform => "UNIFORM",
+            WorkloadKind::HiCon => "HICON",
+            WorkloadKind::Feed => "FEED",
+            WorkloadKind::Zipf => "ZIPF",
+        }
+    }
+}
+
+/// Workload parameters. The geometry (pages / objects per page / object
+/// size) must match the populated database layout.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    pub kind: WorkloadKind,
+    /// Total pages in the database.
+    pub pages: usize,
+    /// Objects per page.
+    pub objects_per_page: usize,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Fraction of operations that write.
+    pub write_fraction: f64,
+    /// Fraction of writes that are structural (resize).
+    pub structural_fraction: f64,
+    /// HOTCOLD: probability of staying in the own region.
+    pub hot_probability: f64,
+    /// HICON: number of hot pages all writes target.
+    pub hot_pages: usize,
+    /// ZIPF: skew exponent θ (0 = uniform; 0.8–1.0 = classic hotspots).
+    pub zipf_theta: f64,
+}
+
+impl WorkloadSpec {
+    pub fn new(kind: WorkloadKind) -> Self {
+        WorkloadSpec {
+            kind,
+            pages: 64,
+            objects_per_page: 16,
+            ops_per_txn: 8,
+            write_fraction: 0.3,
+            structural_fraction: 0.0,
+            hot_probability: 0.8,
+            hot_pages: 4,
+            zipf_theta: 0.9,
+        }
+    }
+
+    /// Draw a Zipf(θ)-distributed rank in `[0, n)` by inversion of the
+    /// approximate CDF (Gray et al.'s quick method: u^(1/(1-θ)) spreads
+    /// ranks with power-law popularity; exact harmonic inversion is not
+    /// needed for workload shaping).
+    fn zipf_rank(&self, n: usize, rng: &mut DetRng) -> usize {
+        let u = (rng.next_u64() as f64 / u64::MAX as f64).max(1e-12);
+        let theta = self.zipf_theta.clamp(0.0, 0.999);
+        let r = u.powf(1.0 / (1.0 - theta));
+        ((r * n as f64) as usize).min(n - 1)
+    }
+
+    fn object(&self, page: usize, slot: usize) -> ObjectId {
+        ObjectId::new(PageId(page as u64), SlotId(slot as u16))
+    }
+
+    /// Pick the page for one access by `client` (0-based) of `n_clients`.
+    fn pick_page(&self, client: usize, n_clients: usize, writing: bool, rng: &mut DetRng) -> usize {
+        let region = self.pages / n_clients.max(1);
+        let own_start = client * region;
+        match self.kind {
+            WorkloadKind::Private => own_start + rng.range_usize(0, region.max(1)),
+            WorkloadKind::HotCold => {
+                if rng.chance(self.hot_probability) {
+                    own_start + rng.range_usize(0, region.max(1))
+                } else {
+                    rng.range_usize(0, self.pages)
+                }
+            }
+            WorkloadKind::Uniform => rng.range_usize(0, self.pages),
+            WorkloadKind::HiCon => {
+                if writing {
+                    rng.range_usize(0, self.hot_pages.min(self.pages))
+                } else {
+                    rng.range_usize(0, self.pages)
+                }
+            }
+            WorkloadKind::Feed => {
+                // The feed region is the first client's region; everyone
+                // hits it.
+                rng.range_usize(0, region.max(1))
+            }
+            WorkloadKind::Zipf => self.zipf_rank(self.pages, rng),
+        }
+    }
+
+    /// In HICON, different clients target different slots of the hot
+    /// pages, so writes conflict at page level but not at object level —
+    /// exactly what fine-granularity locking exploits.
+    fn pick_slot(&self, client: usize, n_clients: usize, page_hot: bool, rng: &mut DetRng) -> usize {
+        if self.kind == WorkloadKind::HiCon && page_hot {
+            let per = (self.objects_per_page / n_clients.max(1)).max(1);
+            let base = (client * per) % self.objects_per_page;
+            base + rng.range_usize(0, per.min(self.objects_per_page - base))
+        } else {
+            rng.range_usize(0, self.objects_per_page)
+        }
+    }
+
+    /// Generate one transaction for `client` of `n_clients`.
+    pub fn next_txn(&self, client: usize, n_clients: usize, rng: &mut DetRng) -> TxnTemplate {
+        let mut ops = Vec::with_capacity(self.ops_per_txn);
+        for _ in 0..self.ops_per_txn {
+            let mut writing = rng.chance(self.write_fraction);
+            if self.kind == WorkloadKind::Feed && client != 0 {
+                // Only client 0 writes the feed.
+                writing = false;
+            }
+            let page = self.pick_page(client, n_clients, writing, rng);
+            let page_hot = self.kind == WorkloadKind::HiCon && page < self.hot_pages;
+            let slot = self.pick_slot(client, n_clients, page_hot, rng);
+            let obj = self.object(page, slot);
+            if writing {
+                if rng.chance(self.structural_fraction) {
+                    ops.push(Op::Resize(obj));
+                } else {
+                    ops.push(Op::Write(obj));
+                }
+            } else {
+                ops.push(Op::Read(obj));
+            }
+        }
+        TxnTemplate { ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: WorkloadKind) -> WorkloadSpec {
+        WorkloadSpec::new(kind)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec(WorkloadKind::HotCold);
+        let mut r1 = DetRng::new(7);
+        let mut r2 = DetRng::new(7);
+        for _ in 0..20 {
+            assert_eq!(s.next_txn(1, 4, &mut r1).ops, s.next_txn(1, 4, &mut r2).ops);
+        }
+    }
+
+    #[test]
+    fn ops_stay_within_geometry() {
+        for kind in WorkloadKind::ALL {
+            let s = spec(kind);
+            let mut rng = DetRng::new(3);
+            for c in 0..4 {
+                for _ in 0..50 {
+                    let t = s.next_txn(c, 4, &mut rng);
+                    assert_eq!(t.ops.len(), s.ops_per_txn);
+                    for op in &t.ops {
+                        let o = op.object();
+                        assert!((o.page.0 as usize) < s.pages, "{kind:?}");
+                        assert!((o.slot.0 as usize) < s.objects_per_page);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn private_clients_never_collide() {
+        let s = spec(WorkloadKind::Private);
+        let mut rng = DetRng::new(9);
+        let region = s.pages / 4;
+        for c in 0..4 {
+            for _ in 0..100 {
+                let t = s.next_txn(c, 4, &mut rng);
+                for op in &t.ops {
+                    let p = op.object().page.0 as usize;
+                    assert!(p >= c * region && p < (c + 1) * region);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hicon_writes_target_hot_pages_distinct_slots() {
+        let mut s = spec(WorkloadKind::HiCon);
+        s.write_fraction = 1.0;
+        let mut rng = DetRng::new(5);
+        let mut slots_by_client: Vec<std::collections::HashSet<u16>> =
+            vec![Default::default(); 4];
+        for c in 0..4 {
+            for _ in 0..100 {
+                let t = s.next_txn(c, 4, &mut rng);
+                for op in &t.ops {
+                    assert!(op.is_write());
+                    let o = op.object();
+                    assert!((o.page.0 as usize) < s.hot_pages);
+                    slots_by_client[c].insert(o.slot.0);
+                }
+            }
+        }
+        // Distinct clients use disjoint slot ranges on hot pages.
+        for a in 0..4 {
+            for b in a + 1..4 {
+                assert!(
+                    slots_by_client[a].is_disjoint(&slots_by_client[b]),
+                    "clients {a} and {b} collide on hot slots"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut s = spec(WorkloadKind::Zipf);
+        s.zipf_theta = 0.9;
+        let mut rng = DetRng::new(21);
+        let mut counts = vec![0usize; s.pages];
+        for _ in 0..400 {
+            let t = s.next_txn(0, 4, &mut rng);
+            for op in &t.ops {
+                counts[op.object().page.0 as usize] += 1;
+            }
+        }
+        let head: usize = counts[..s.pages / 8].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(
+            head * 2 > total,
+            "top 12.5% of pages should absorb most accesses: {head}/{total}"
+        );
+        // Uniform comparison: the same head slice gets ~12.5%.
+        let mut u = spec(WorkloadKind::Uniform);
+        u.ops_per_txn = 8;
+        let mut counts_u = vec![0usize; u.pages];
+        let mut rng = DetRng::new(21);
+        for _ in 0..400 {
+            let t = u.next_txn(0, 4, &mut rng);
+            for op in &t.ops {
+                counts_u[op.object().page.0 as usize] += 1;
+            }
+        }
+        let head_u: usize = counts_u[..u.pages / 8].iter().sum();
+        assert!(head > head_u * 2, "zipf head {head} vs uniform head {head_u}");
+    }
+
+    #[test]
+    fn feed_only_writer_is_client_zero() {
+        let mut s = spec(WorkloadKind::Feed);
+        s.write_fraction = 0.5;
+        let mut rng = DetRng::new(8);
+        for c in 1..4 {
+            for _ in 0..50 {
+                let t = s.next_txn(c, 4, &mut rng);
+                assert!(t.ops.iter().all(|o| !o.is_write()));
+            }
+        }
+        let writes = (0..50)
+            .map(|_| s.next_txn(0, 4, &mut rng))
+            .flat_map(|t| t.ops)
+            .filter(|o| o.is_write())
+            .count();
+        assert!(writes > 0);
+    }
+}

@@ -1,0 +1,785 @@
+//! The slotted database page.
+//!
+//! Layout (`page_size` bytes total, all integers little-endian):
+//!
+//! ```text
+//! +---------------------------+ 0
+//! | header (32 bytes)         |
+//! +---------------------------+ 32
+//! | slot table (16 B / slot)  |   grows downward (towards high offsets)
+//! +---------------------------+
+//! | free space                |
+//! +---------------------------+ data_start
+//! | object data               |   grows upward (towards low offsets)
+//! +---------------------------+ page_size
+//! ```
+//!
+//! Header fields:
+//!
+//! | off | size | field       |
+//! |-----|------|-------------|
+//! | 0   | 4    | magic       |
+//! | 4   | 2    | format ver  |
+//! | 6   | 2    | slot_count  |
+//! | 8   | 8    | page id     |
+//! | 16  | 8    | PSN         |
+//! | 24  | 2    | data_start  |
+//! | 26  | 6    | reserved    |
+//!
+//! Each slot entry records, besides the byte extent of the object, the
+//! **slot PSN**: the page PSN at the moment the object was last modified.
+//! This is the "little more book-keeping" §3.1 accepts to make merging
+//! page *copies* possible — when two copies of a page are merged, every
+//! object is taken from the copy whose slot PSN is higher (callback-order
+//! PSN monotonicity across clients, §2, makes these comparable).
+//!
+//! Slot entry layout (16 bytes): `data_off u16 | len u16 | flags u16 |
+//! pad u16 | slot_psn u64`. Bit 0 of `flags` = live.
+
+use fgl_common::{FglError, ObjectId, PageId, Psn, Result, SlotId};
+
+/// Size of the fixed page header in bytes.
+pub const PAGE_HEADER_SIZE: usize = 32;
+/// Size of one slot-table entry in bytes.
+pub const SLOT_ENTRY_SIZE: usize = 16;
+
+const MAGIC: u32 = 0xF61C_DA7A;
+const FORMAT_VERSION: u16 = 1;
+
+const OFF_MAGIC: usize = 0;
+const OFF_VERSION: usize = 4;
+const OFF_SLOT_COUNT: usize = 6;
+const OFF_PAGE_ID: usize = 8;
+const OFF_PSN: usize = 16;
+const OFF_DATA_START: usize = 24;
+
+const FLAG_LIVE: u16 = 1;
+
+/// An in-memory database page. Owns its backing bytes.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8]>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Slot {
+    data_off: u16,
+    len: u16,
+    flags: u16,
+    psn: Psn,
+}
+
+impl Slot {
+    fn live(&self) -> bool {
+        self.flags & FLAG_LIVE != 0
+    }
+}
+
+impl Page {
+    /// Format a fresh page. `psn` is the seed PSN taken from the space
+    /// allocation map entry (§2 / \[18\]); a brand-new database uses
+    /// [`Psn::ZERO`].
+    pub fn format(page_size: usize, id: PageId, psn: Psn) -> Page {
+        assert!(
+            (128..=1 << 16).contains(&page_size),
+            "page size out of range"
+        );
+        let mut buf = vec![0u8; page_size].into_boxed_slice();
+        buf[OFF_MAGIC..OFF_MAGIC + 4].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[OFF_VERSION..OFF_VERSION + 2].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let mut p = Page { buf };
+        p.set_slot_count(0);
+        p.set_id(id);
+        p.set_psn(psn);
+        p.set_data_start(page_size as u16);
+        p
+    }
+
+    /// Reconstruct a page from raw bytes (e.g. read from disk or received
+    /// over the network), validating the header.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Page> {
+        if bytes.len() < 128 {
+            return Err(FglError::Corrupt("page buffer shorter than 128 bytes".into()));
+        }
+        let p = Page {
+            buf: bytes.into_boxed_slice(),
+        };
+        let magic = u32::from_le_bytes(p.buf[OFF_MAGIC..OFF_MAGIC + 4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(FglError::Corrupt(format!("bad page magic {magic:#x}")));
+        }
+        let ver = u16::from_le_bytes(p.buf[OFF_VERSION..OFF_VERSION + 2].try_into().unwrap());
+        if ver != FORMAT_VERSION {
+            return Err(FglError::Corrupt(format!("unsupported page format {ver}")));
+        }
+        let slots_end = PAGE_HEADER_SIZE + p.slot_count() as usize * SLOT_ENTRY_SIZE;
+        if slots_end > p.buf.len() || (p.data_start() as usize) > p.buf.len() {
+            return Err(FglError::Corrupt("page extents out of range".into()));
+        }
+        // Validate every live slot's extent so later reads cannot slice
+        // out of bounds on a corrupted page.
+        for i in 0..p.slot_count() {
+            if let Some(slot) = p.read_slot(SlotId(i)) {
+                if slot.live() {
+                    let end = slot.data_off as usize + slot.len as usize;
+                    if (slot.data_off as usize) < slots_end || end > p.buf.len() {
+                        return Err(FglError::Corrupt(format!(
+                            "slot {i} extent [{}, {end}) out of range",
+                            slot.data_off
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// The raw bytes of the page (what gets written to disk / the wire).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the page into its backing byte vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.into_vec()
+    }
+
+    /// Total size of the page in bytes.
+    pub fn size(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn id(&self) -> PageId {
+        PageId(u64::from_le_bytes(
+            self.buf[OFF_PAGE_ID..OFF_PAGE_ID + 8].try_into().unwrap(),
+        ))
+    }
+
+    fn set_id(&mut self, id: PageId) {
+        self.buf[OFF_PAGE_ID..OFF_PAGE_ID + 8].copy_from_slice(&id.0.to_le_bytes());
+    }
+
+    /// Current page sequence number.
+    pub fn psn(&self) -> Psn {
+        Psn(u64::from_le_bytes(
+            self.buf[OFF_PSN..OFF_PSN + 8].try_into().unwrap(),
+        ))
+    }
+
+    /// Overwrite the PSN. Used by the merge procedure and by recovery when
+    /// the server tells a client which PSN to install (§3.3, §3.4).
+    pub fn set_psn(&mut self, psn: Psn) {
+        self.buf[OFF_PSN..OFF_PSN + 8].copy_from_slice(&psn.0.to_le_bytes());
+    }
+
+    pub fn slot_count(&self) -> u16 {
+        u16::from_le_bytes(
+            self.buf[OFF_SLOT_COUNT..OFF_SLOT_COUNT + 2]
+                .try_into()
+                .unwrap(),
+        )
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.buf[OFF_SLOT_COUNT..OFF_SLOT_COUNT + 2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn data_start(&self) -> u16 {
+        u16::from_le_bytes(
+            self.buf[OFF_DATA_START..OFF_DATA_START + 2]
+                .try_into()
+                .unwrap(),
+        )
+    }
+
+    fn set_data_start(&mut self, v: u16) {
+        self.buf[OFF_DATA_START..OFF_DATA_START + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot_entry_off(&self, slot: SlotId) -> usize {
+        PAGE_HEADER_SIZE + slot.0 as usize * SLOT_ENTRY_SIZE
+    }
+
+    fn read_slot(&self, slot: SlotId) -> Option<Slot> {
+        if slot.0 >= self.slot_count() {
+            return None;
+        }
+        let off = self.slot_entry_off(slot);
+        let e = &self.buf[off..off + SLOT_ENTRY_SIZE];
+        Some(Slot {
+            data_off: u16::from_le_bytes(e[0..2].try_into().unwrap()),
+            len: u16::from_le_bytes(e[2..4].try_into().unwrap()),
+            flags: u16::from_le_bytes(e[4..6].try_into().unwrap()),
+            psn: Psn(u64::from_le_bytes(e[8..16].try_into().unwrap())),
+        })
+    }
+
+    fn write_slot(&mut self, slot: SlotId, s: Slot) {
+        let off = self.slot_entry_off(slot);
+        let e = &mut self.buf[off..off + SLOT_ENTRY_SIZE];
+        e[0..2].copy_from_slice(&s.data_off.to_le_bytes());
+        e[2..4].copy_from_slice(&s.len.to_le_bytes());
+        e[4..6].copy_from_slice(&s.flags.to_le_bytes());
+        e[6..8].copy_from_slice(&0u16.to_le_bytes());
+        e[8..16].copy_from_slice(&s.psn.0.to_le_bytes());
+    }
+
+    /// Bytes of contiguous free space between the slot table and the data
+    /// region (not counting reclaimable dead-object space).
+    pub fn contiguous_free(&self) -> usize {
+        let slots_end = PAGE_HEADER_SIZE + self.slot_count() as usize * SLOT_ENTRY_SIZE;
+        self.data_start() as usize - slots_end
+    }
+
+    /// Total free space assuming compaction (dead objects reclaimed).
+    pub fn total_free(&self) -> usize {
+        let slots_end = PAGE_HEADER_SIZE + self.slot_count() as usize * SLOT_ENTRY_SIZE;
+        let live: usize = self.iter_slots().map(|(_, s)| s.len as usize).sum();
+        self.size() - slots_end - live
+    }
+
+    fn iter_slots(&self) -> impl Iterator<Item = (SlotId, Slot)> + '_ {
+        (0..self.slot_count()).filter_map(move |i| {
+            let id = SlotId(i);
+            self.read_slot(id).filter(|s| s.live()).map(|s| (id, s))
+        })
+    }
+
+    /// Ids of all live slots on the page.
+    pub fn live_slots(&self) -> Vec<SlotId> {
+        self.iter_slots().map(|(id, _)| id).collect()
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.iter_slots().count()
+    }
+
+    /// Does `slot` name a live object?
+    pub fn slot_is_live(&self, slot: SlotId) -> bool {
+        self.read_slot(slot).map(|s| s.live()).unwrap_or(false)
+    }
+
+    /// The PSN the page had when `slot` was last modified, if the slot ever
+    /// existed (live or dead).
+    pub fn slot_psn(&self, slot: SlotId) -> Option<Psn> {
+        self.read_slot(slot).map(|s| s.psn)
+    }
+
+    /// Read the bytes of a live object.
+    pub fn read_object(&self, slot: SlotId) -> Result<&[u8]> {
+        let s = self
+            .read_slot(slot)
+            .filter(|s| s.live())
+            .ok_or(FglError::ObjectNotFound(ObjectId::new(self.id(), slot)))?;
+        Ok(&self.buf[s.data_off as usize..s.data_off as usize + s.len as usize])
+    }
+
+    /// Bump the page PSN by one (a transaction modified the page, §2) and
+    /// return the new value.
+    fn bump_psn(&mut self) -> Psn {
+        let next = self.psn().next();
+        self.set_psn(next);
+        next
+    }
+
+    /// The slot [`insert_object`](Self::insert_object) would pick right
+    /// now (dead-slot reuse, else a new entry). Lets callers write the log
+    /// record *before* mutating the page (WAL ordering).
+    pub fn peek_insert_slot(&self) -> SlotId {
+        (0..self.slot_count())
+            .map(SlotId)
+            .find(|&i| self.read_slot(i).map(|s| !s.live()).unwrap_or(false))
+            .unwrap_or(SlotId(self.slot_count()))
+    }
+
+    /// Allocate a new object with the given contents; returns its slot.
+    /// This is a **non-mergeable** structural update (§3.1): callers must
+    /// hold a page-level exclusive lock.
+    pub fn insert_object(&mut self, data: &[u8]) -> Result<SlotId> {
+        // Reuse a dead slot if possible, else append a new slot entry.
+        let reuse = (0..self.slot_count())
+            .map(SlotId)
+            .find(|&i| self.read_slot(i).map(|s| !s.live()).unwrap_or(false));
+        let (slot, new_entry) = match reuse {
+            Some(s) => (s, false),
+            None => (SlotId(self.slot_count()), true),
+        };
+        self.place_object(slot, new_entry, data)?;
+        Ok(slot)
+    }
+
+    /// Allocate a new object at a specific slot (used by redo and by the
+    /// merge rebuild). Extends the slot table as needed.
+    pub fn insert_object_at(&mut self, slot: SlotId, data: &[u8]) -> Result<()> {
+        if self.slot_is_live(slot) {
+            return Err(FglError::Protocol(format!(
+                "insert_object_at: slot {slot:?} already live on {}",
+                self.id()
+            )));
+        }
+        let new_entry = slot.0 >= self.slot_count();
+        if new_entry && slot.0 > self.slot_count() {
+            // Create intermediate dead slots so the table stays dense.
+            let needed = (slot.0 as usize + 1 - self.slot_count() as usize) * SLOT_ENTRY_SIZE
+                + data.len();
+            if self.contiguous_free() < needed && self.total_free() >= needed {
+                self.compact();
+            }
+            if self.contiguous_free() < needed {
+                return Err(FglError::PageFull {
+                    page: self.id(),
+                    needed,
+                    free: self.contiguous_free(),
+                });
+            }
+            let cur_psn = self.psn();
+            while self.slot_count() <= slot.0 {
+                let s = SlotId(self.slot_count());
+                self.set_slot_count(self.slot_count() + 1);
+                self.write_slot(
+                    s,
+                    Slot {
+                        data_off: 0,
+                        len: 0,
+                        flags: 0,
+                        psn: cur_psn,
+                    },
+                );
+            }
+            return self.place_object(slot, false, data);
+        }
+        self.place_object(slot, new_entry, data)
+    }
+
+    fn place_object(&mut self, slot: SlotId, new_entry: bool, data: &[u8]) -> Result<()> {
+        let needed = data.len() + if new_entry { SLOT_ENTRY_SIZE } else { 0 };
+        if self.contiguous_free() < needed {
+            if self.total_free() >= needed {
+                self.compact();
+            }
+            if self.contiguous_free() < needed {
+                return Err(FglError::PageFull {
+                    page: self.id(),
+                    needed,
+                    free: self.contiguous_free(),
+                });
+            }
+        }
+        if new_entry {
+            self.set_slot_count(self.slot_count() + 1);
+        }
+        let new_start = self.data_start() - data.len() as u16;
+        self.buf[new_start as usize..new_start as usize + data.len()].copy_from_slice(data);
+        self.set_data_start(new_start);
+        let psn = self.bump_psn();
+        self.write_slot(
+            slot,
+            Slot {
+                data_off: new_start,
+                len: data.len() as u16,
+                flags: FLAG_LIVE,
+                psn,
+            },
+        );
+        Ok(())
+    }
+
+    /// Overwrite the full contents of a live object **without changing its
+    /// size** — the *mergeable* update of §3.1.
+    pub fn write_object(&mut self, slot: SlotId, data: &[u8]) -> Result<()> {
+        let s = self
+            .read_slot(slot)
+            .filter(|s| s.live())
+            .ok_or(FglError::ObjectNotFound(ObjectId::new(self.id(), slot)))?;
+        if s.len as usize != data.len() {
+            return Err(FglError::Protocol(format!(
+                "write_object: size change {} -> {} on {:?} requires resize_object",
+                s.len,
+                data.len(),
+                ObjectId::new(self.id(), slot)
+            )));
+        }
+        self.buf[s.data_off as usize..s.data_off as usize + s.len as usize].copy_from_slice(data);
+        let psn = self.bump_psn();
+        self.write_slot(slot, Slot { psn, ..s });
+        Ok(())
+    }
+
+    /// Overwrite `data.len()` bytes of a live object starting at byte
+    /// `offset` — a partial mergeable update.
+    pub fn write_object_at(&mut self, slot: SlotId, offset: usize, data: &[u8]) -> Result<()> {
+        let s = self
+            .read_slot(slot)
+            .filter(|s| s.live())
+            .ok_or(FglError::ObjectNotFound(ObjectId::new(self.id(), slot)))?;
+        if offset + data.len() > s.len as usize {
+            return Err(FglError::Protocol(format!(
+                "write_object_at: range {}..{} exceeds object length {}",
+                offset,
+                offset + data.len(),
+                s.len
+            )));
+        }
+        let base = s.data_off as usize + offset;
+        self.buf[base..base + data.len()].copy_from_slice(data);
+        let psn = self.bump_psn();
+        self.write_slot(slot, Slot { psn, ..s });
+        Ok(())
+    }
+
+    /// Change the size of a live object, preserving the common prefix.
+    /// **Non-mergeable** (§3.1): requires a page-level exclusive lock.
+    pub fn resize_object(&mut self, slot: SlotId, new_len: usize) -> Result<()> {
+        let s = self
+            .read_slot(slot)
+            .filter(|s| s.live())
+            .ok_or(FglError::ObjectNotFound(ObjectId::new(self.id(), slot)))?;
+        let old = self.buf[s.data_off as usize..s.data_off as usize + s.len as usize].to_vec();
+        let mut data = old.clone();
+        data.resize(new_len, 0);
+        // Free the old extent (mark dead), then re-place. Keep the psn
+        // bookkeeping of place_object.
+        self.write_slot(slot, Slot { flags: 0, ..s });
+        match self.place_object(slot, false, &data) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Roll the slot back to its previous state on failure.
+                self.write_slot(slot, s);
+                Err(e)
+            }
+        }
+    }
+
+    /// Delete a live object. **Non-mergeable** (§3.1).
+    pub fn free_object(&mut self, slot: SlotId) -> Result<Vec<u8>> {
+        let s = self
+            .read_slot(slot)
+            .filter(|s| s.live())
+            .ok_or(FglError::ObjectNotFound(ObjectId::new(self.id(), slot)))?;
+        let old = self.buf[s.data_off as usize..s.data_off as usize + s.len as usize].to_vec();
+        let psn = self.bump_psn();
+        self.write_slot(
+            slot,
+            Slot {
+                data_off: 0,
+                len: 0,
+                flags: 0,
+                psn,
+            },
+        );
+        Ok(old)
+    }
+
+    /// Install an exact object state at `slot` with an explicit slot PSN,
+    /// without bumping the page PSN. `None` installs the *dead* state
+    /// (object freed). This is the primitive behind the merge procedure and
+    /// behind recovery redo/undo, which must reproduce historical PSNs
+    /// rather than mint new ones.
+    pub fn install_object(&mut self, slot: SlotId, data: Option<&[u8]>, psn: Psn) -> Result<()> {
+        // Extend the slot table with dead entries up to `slot`.
+        while self.slot_count() <= slot.0 {
+            let needed = SLOT_ENTRY_SIZE;
+            if self.contiguous_free() < needed {
+                self.compact();
+            }
+            if self.contiguous_free() < needed {
+                return Err(FglError::PageFull {
+                    page: self.id(),
+                    needed,
+                    free: self.contiguous_free(),
+                });
+            }
+            let s = SlotId(self.slot_count());
+            self.set_slot_count(self.slot_count() + 1);
+            self.write_slot(
+                s,
+                Slot {
+                    data_off: 0,
+                    len: 0,
+                    flags: 0,
+                    psn: Psn::ZERO,
+                },
+            );
+        }
+        let cur = self.read_slot(slot).expect("slot exists after extension");
+        match data {
+            None => {
+                self.write_slot(
+                    slot,
+                    Slot {
+                        data_off: 0,
+                        len: 0,
+                        flags: 0,
+                        psn,
+                    },
+                );
+                Ok(())
+            }
+            Some(bytes) => {
+                if cur.live() && cur.len as usize == bytes.len() {
+                    // Overwrite in place.
+                    self.buf[cur.data_off as usize..cur.data_off as usize + bytes.len()]
+                        .copy_from_slice(bytes);
+                    self.write_slot(slot, Slot { psn, ..cur });
+                    return Ok(());
+                }
+                // Mark dead, then re-place with the explicit PSN.
+                self.write_slot(slot, Slot { flags: 0, ..cur });
+                if self.contiguous_free() < bytes.len() {
+                    self.compact();
+                }
+                if self.contiguous_free() < bytes.len() {
+                    self.write_slot(slot, cur);
+                    return Err(FglError::PageFull {
+                        page: self.id(),
+                        needed: bytes.len(),
+                        free: self.contiguous_free(),
+                    });
+                }
+                let new_start = self.data_start() - bytes.len() as u16;
+                self.buf[new_start as usize..new_start as usize + bytes.len()]
+                    .copy_from_slice(bytes);
+                self.set_data_start(new_start);
+                self.write_slot(
+                    slot,
+                    Slot {
+                        data_off: new_start,
+                        len: bytes.len() as u16,
+                        flags: FLAG_LIVE,
+                        psn,
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Compact the data region, squeezing out dead-object space. Slot ids
+    /// and PSNs are unaffected.
+    pub fn compact(&mut self) {
+        let live: Vec<(SlotId, Slot, Vec<u8>)> = self
+            .iter_slots()
+            .map(|(id, s)| {
+                let d = self.buf[s.data_off as usize..s.data_off as usize + s.len as usize]
+                    .to_vec();
+                (id, s, d)
+            })
+            .collect();
+        let mut cursor = self.size() as u16;
+        for (id, s, data) in live {
+            cursor -= s.len;
+            self.buf[cursor as usize..cursor as usize + s.len as usize].copy_from_slice(&data);
+            self.write_slot(
+                id,
+                Slot {
+                    data_off: cursor,
+                    ..s
+                },
+            );
+        }
+        self.set_data_start(cursor);
+    }
+
+    /// Snapshot of the page's live objects: `(slot, slot_psn, bytes)`.
+    /// Used by the merge procedure and the verification oracle.
+    pub fn snapshot_objects(&self) -> Vec<(SlotId, Psn, Vec<u8>)> {
+        self.iter_slots()
+            .map(|(id, s)| {
+                (
+                    id,
+                    s.psn,
+                    self.buf[s.data_off as usize..s.data_off as usize + s.len as usize].to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    /// Snapshot including dead slots (needed by merge to propagate
+    /// deletions): `(slot, slot_psn, live, bytes-if-live)`.
+    pub fn snapshot_all_slots(&self) -> Vec<(SlotId, Psn, bool, Vec<u8>)> {
+        (0..self.slot_count())
+            .map(SlotId)
+            .filter_map(|id| self.read_slot(id).map(|s| (id, s)))
+            .map(|(id, s)| {
+                let bytes = if s.live() {
+                    self.buf[s.data_off as usize..s.data_off as usize + s.len as usize].to_vec()
+                } else {
+                    Vec::new()
+                };
+                (id, s.psn, s.live(), bytes)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("id", &self.id())
+            .field("psn", &self.psn())
+            .field("slots", &self.slot_count())
+            .field("live", &self.live_count())
+            .field("free", &self.contiguous_free())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Page {
+        Page::format(4096, PageId(7), Psn::ZERO)
+    }
+
+    #[test]
+    fn format_and_header_roundtrip() {
+        let p = page();
+        assert_eq!(p.id(), PageId(7));
+        assert_eq!(p.psn(), Psn::ZERO);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.live_count(), 0);
+        assert_eq!(p.contiguous_free(), 4096 - PAGE_HEADER_SIZE);
+    }
+
+    #[test]
+    fn from_bytes_validates_magic() {
+        let p = page();
+        let mut bytes = p.into_bytes();
+        let ok = Page::from_bytes(bytes.clone());
+        assert!(ok.is_ok());
+        bytes[0] ^= 0xFF;
+        assert!(Page::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn insert_read_roundtrip_bumps_psn() {
+        let mut p = page();
+        let s = p.insert_object(b"hello").unwrap();
+        assert_eq!(p.read_object(s).unwrap(), b"hello");
+        assert_eq!(p.psn(), Psn(1));
+        assert_eq!(p.slot_psn(s), Some(Psn(1)));
+        let s2 = p.insert_object(b"world!").unwrap();
+        assert_ne!(s, s2);
+        assert_eq!(p.psn(), Psn(2));
+        assert_eq!(p.read_object(s).unwrap(), b"hello");
+        assert_eq!(p.read_object(s2).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn write_object_same_size_only() {
+        let mut p = page();
+        let s = p.insert_object(b"aaaa").unwrap();
+        p.write_object(s, b"bbbb").unwrap();
+        assert_eq!(p.read_object(s).unwrap(), b"bbbb");
+        assert!(p.write_object(s, b"toolong").is_err());
+    }
+
+    #[test]
+    fn partial_write() {
+        let mut p = page();
+        let s = p.insert_object(b"abcdef").unwrap();
+        p.write_object_at(s, 2, b"XY").unwrap();
+        assert_eq!(p.read_object(s).unwrap(), b"abXYef");
+        assert!(p.write_object_at(s, 5, b"ZZ").is_err());
+    }
+
+    #[test]
+    fn free_then_reuse_slot() {
+        let mut p = page();
+        let s0 = p.insert_object(b"one").unwrap();
+        let _s1 = p.insert_object(b"two").unwrap();
+        let old = p.free_object(s0).unwrap();
+        assert_eq!(old, b"one");
+        assert!(p.read_object(s0).is_err());
+        // Next insert reuses the dead slot.
+        let s2 = p.insert_object(b"three").unwrap();
+        assert_eq!(s2, s0);
+        assert_eq!(p.read_object(s2).unwrap(), b"three");
+    }
+
+    #[test]
+    fn resize_preserves_prefix() {
+        let mut p = page();
+        let s = p.insert_object(b"abcd").unwrap();
+        p.resize_object(s, 8).unwrap();
+        assert_eq!(p.read_object(s).unwrap(), b"abcd\0\0\0\0");
+        p.resize_object(s, 2).unwrap();
+        assert_eq!(p.read_object(s).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn page_fills_up_and_reports_full() {
+        let mut p = Page::format(256, PageId(1), Psn::ZERO);
+        let blob = [0xAB; 64];
+        let mut inserted = 0;
+        loop {
+            match p.insert_object(&blob) {
+                Ok(_) => inserted += 1,
+                Err(FglError::PageFull { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(inserted >= 2, "inserted only {inserted}");
+        // All previously inserted objects still readable.
+        for s in p.live_slots() {
+            assert_eq!(p.read_object(s).unwrap(), blob);
+        }
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut p = Page::format(512, PageId(1), Psn::ZERO);
+        let a = p.insert_object(&[1u8; 100]).unwrap();
+        let b = p.insert_object(&[2u8; 100]).unwrap();
+        let c = p.insert_object(&[3u8; 100]).unwrap();
+        p.free_object(b).unwrap();
+        // A 150-byte object does not fit contiguously but fits after
+        // compaction.
+        assert!(p.contiguous_free() < 150 + SLOT_ENTRY_SIZE);
+        let d = p.insert_object(&[4u8; 150]).unwrap();
+        assert_eq!(p.read_object(a).unwrap(), &[1u8; 100][..]);
+        assert_eq!(p.read_object(c).unwrap(), &[3u8; 100][..]);
+        assert_eq!(p.read_object(d).unwrap(), &[4u8; 150][..]);
+    }
+
+    #[test]
+    fn insert_at_specific_slot_extends_table() {
+        let mut p = page();
+        p.insert_object_at(SlotId(3), b"x").unwrap();
+        assert_eq!(p.slot_count(), 4);
+        assert!(p.slot_is_live(SlotId(3)));
+        assert!(!p.slot_is_live(SlotId(0)));
+        assert_eq!(p.read_object(SlotId(3)).unwrap(), b"x");
+        // Inserting at a live slot is a protocol error.
+        assert!(p.insert_object_at(SlotId(3), b"y").is_err());
+    }
+
+    #[test]
+    fn snapshot_includes_dead_slots() {
+        let mut p = page();
+        let a = p.insert_object(b"keep").unwrap();
+        let b = p.insert_object(b"kill").unwrap();
+        p.free_object(b).unwrap();
+        let snap = p.snapshot_all_slots();
+        assert_eq!(snap.len(), 2);
+        let (_, _, live_a, data_a) = &snap[a.0 as usize];
+        assert!(*live_a);
+        assert_eq!(data_a, b"keep");
+        let (_, psn_b, live_b, _) = &snap[b.0 as usize];
+        assert!(!*live_b);
+        // The dead slot's PSN reflects the free, for merge ordering.
+        assert_eq!(*psn_b, p.psn());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut p = page();
+        let s = p.insert_object(b"orig").unwrap();
+        let q = p.clone();
+        p.write_object(s, b"new!").unwrap();
+        assert_eq!(q.read_object(s).unwrap(), b"orig");
+        assert_eq!(p.read_object(s).unwrap(), b"new!");
+    }
+}

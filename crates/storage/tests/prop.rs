@@ -1,0 +1,222 @@
+//! Property-based tests for the page format and the merge procedure.
+
+use fgl_common::{PageId, Psn, SlotId};
+use fgl_storage::merge::merge_pages;
+use fgl_storage::page::Page;
+use proptest::prelude::*;
+
+/// A random page operation.
+#[derive(Clone, Debug)]
+enum PageOp {
+    Insert(Vec<u8>),
+    Overwrite(usize, Vec<u8>),
+    Free(usize),
+    Resize(usize, usize),
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..80).prop_map(PageOp::Insert),
+        (any::<usize>(), proptest::collection::vec(any::<u8>(), 1..80))
+            .prop_map(|(i, d)| PageOp::Overwrite(i, d)),
+        any::<usize>().prop_map(PageOp::Free),
+        (any::<usize>(), 1..80usize).prop_map(|(i, n)| PageOp::Resize(i, n)),
+        Just(PageOp::Compact),
+    ]
+}
+
+/// Reference model: slot -> bytes.
+fn apply_model(model: &mut Vec<Option<Vec<u8>>>, page: &mut Page, op: &PageOp) {
+    match op {
+        PageOp::Insert(data) => {
+            if page.insert_object(data).is_ok() {
+                let slot = model.iter().position(|s| s.is_none());
+                match slot {
+                    Some(i) => model[i] = Some(data.clone()),
+                    None => model.push(Some(data.clone())),
+                }
+            }
+        }
+        PageOp::Overwrite(i, data) => {
+            let live: Vec<usize> = model
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                return;
+            }
+            let idx = live[i % live.len()];
+            let mut d = data.clone();
+            d.resize(model[idx].as_ref().unwrap().len(), 0);
+            if page.write_object(SlotId(idx as u16), &d).is_ok() {
+                model[idx] = Some(d);
+            }
+        }
+        PageOp::Free(i) => {
+            let live: Vec<usize> = model
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                return;
+            }
+            let idx = live[i % live.len()];
+            if page.free_object(SlotId(idx as u16)).is_ok() {
+                model[idx] = None;
+            }
+        }
+        PageOp::Resize(i, n) => {
+            let live: Vec<usize> = model
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                return;
+            }
+            let idx = live[i % live.len()];
+            if page.resize_object(SlotId(idx as u16), *n).is_ok() {
+                let mut d = model[idx].take().unwrap();
+                d.resize(*n, 0);
+                model[idx] = Some(d);
+            }
+        }
+        PageOp::Compact => page.compact(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The page tracks a simple slot->bytes model under arbitrary
+    /// operation sequences, and survives a codec roundtrip.
+    #[test]
+    fn page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut page = Page::format(2048, PageId(7), Psn::ZERO);
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        for op in &ops {
+            apply_model(&mut model, &mut page, op);
+        }
+        // Codec roundtrip preserves everything.
+        let page = Page::from_bytes(page.into_bytes()).unwrap();
+        for (i, expected) in model.iter().enumerate() {
+            let got = page.read_object(SlotId(i as u16)).ok().map(|b| b.to_vec());
+            prop_assert_eq!(&got, expected, "slot {}", i);
+        }
+        prop_assert_eq!(page.live_count(), model.iter().filter(|s| s.is_some()).count());
+    }
+
+    /// PSN strictly increases with every successful mutation.
+    #[test]
+    fn psn_monotone(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut page = Page::format(2048, PageId(7), Psn::ZERO);
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        let mut last = page.psn();
+        for op in &ops {
+            apply_model(&mut model, &mut page, op);
+            prop_assert!(page.psn() >= last);
+            last = page.psn();
+        }
+    }
+
+    /// Merging two divergent copies is content-symmetric and the merged
+    /// PSN strictly exceeds both inputs.
+    #[test]
+    fn merge_symmetric(
+        seed_objs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 4..32), 2..8),
+        a_ops in proptest::collection::vec((any::<usize>(), proptest::collection::vec(any::<u8>(), 4..32)), 0..8),
+        b_ops in proptest::collection::vec((any::<usize>(), proptest::collection::vec(any::<u8>(), 4..32)), 0..8),
+    ) {
+        let mut base = Page::format(2048, PageId(3), Psn::ZERO);
+        let slots: Vec<SlotId> = seed_objs.iter().map(|d| base.insert_object(d).unwrap()).collect();
+        // Two clients overwrite disjoint slot sets (even/odd), as the
+        // locking protocol guarantees.
+        let mut a = base.clone();
+        for (i, d) in &a_ops {
+            let s = slots[(i % slots.len()) & !1usize]; // even slots
+            let mut dd = d.clone();
+            dd.resize(a.read_object(s).unwrap().len(), 0);
+            a.write_object(s, &dd).unwrap();
+        }
+        let mut b = base.clone();
+        for (i, d) in &b_ops {
+            let idx = (i % slots.len()) | 1usize; // odd slots
+            if idx >= slots.len() { continue; }
+            let s = slots[idx];
+            let mut dd = d.clone();
+            dd.resize(b.read_object(s).unwrap().len(), 0);
+            b.write_object(s, &dd).unwrap();
+        }
+        let (m1, _) = merge_pages(&a, &b).unwrap();
+        let (m2, _) = merge_pages(&b, &a).unwrap();
+        for s in &slots {
+            prop_assert_eq!(m1.read_object(*s).unwrap(), m2.read_object(*s).unwrap());
+        }
+        prop_assert!(m1.psn() > a.psn() && m1.psn() > b.psn());
+        prop_assert_eq!(m1.psn(), m2.psn());
+    }
+
+    /// Merging a copy with itself (or a stale ancestor) preserves content.
+    #[test]
+    fn merge_with_stale_ancestor_keeps_newest(
+        objs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 4..32), 1..6),
+        updates in proptest::collection::vec((any::<usize>(), proptest::collection::vec(any::<u8>(), 4..32)), 1..6),
+    ) {
+        let mut base = Page::format(2048, PageId(3), Psn::ZERO);
+        let slots: Vec<SlotId> = objs.iter().map(|d| base.insert_object(d).unwrap()).collect();
+        let ancestor = base.clone();
+        for (i, d) in &updates {
+            let s = slots[i % slots.len()];
+            let mut dd = d.clone();
+            dd.resize(base.read_object(s).unwrap().len(), 0);
+            base.write_object(s, &dd).unwrap();
+        }
+        let (m, _) = merge_pages(&base, &ancestor).unwrap();
+        for s in &slots {
+            prop_assert_eq!(m.read_object(*s).unwrap(), base.read_object(*s).unwrap());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `Page::from_bytes` never panics on arbitrary garbage — it either
+    /// rejects the buffer or yields a page whose reads are all safe.
+    #[test]
+    fn from_bytes_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        if let Ok(page) = Page::from_bytes(bytes) {
+            for i in 0..page.slot_count() {
+                let _ = page.read_object(SlotId(i));
+            }
+            let _ = page.snapshot_all_slots();
+            let _ = page.total_free();
+        }
+    }
+
+    /// Corrupting any single byte of a valid page either keeps it
+    /// readable or fails decode — never a panic or out-of-bounds read.
+    #[test]
+    fn single_byte_corruption_is_contained(
+        flip_at in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut p = Page::format(512, PageId(1), Psn::ZERO);
+        p.insert_object(b"victim-one").unwrap();
+        p.insert_object(b"victim-two").unwrap();
+        let mut bytes = p.into_bytes();
+        let i = flip_at.index(bytes.len());
+        bytes[i] ^= xor;
+        if let Ok(page) = Page::from_bytes(bytes) {
+            for s in 0..page.slot_count() {
+                let _ = page.read_object(SlotId(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The log manager: append/force, byte-address LSNs, scans and circular
+//! space accounting.
+//!
+//! §2: *"Each client log manager associates with each log record a log
+//! sequence number (LSN), which is a monotonically increasing value. We
+//! assume that the LSN of a log record corresponds to the address of the
+//! log record in the private log file."* We use `LSN = byte offset + 1`
+//! so that `Lsn(0)` stays the nil sentinel.
+//!
+//! Record framing on disk: `[len: u32][checksum: u32][payload]`. The
+//! checksum lets restart recovery detect a torn tail record and stop the
+//! scan there.
+//!
+//! **Circular space** (§3.6): the physical store is append-only, but the
+//! manager enforces `end - low_water <= capacity`, which is the exact
+//! condition governing when the paper's client must trigger reclamation
+//! (ask the server to force the page with the minimum RedoLSN). A reserve
+//! slice of the capacity is only usable by `append_critical` (rollback
+//! CLRs and abort records), so a transaction can always finish rolling
+//! back — the standard way WAL systems avoid deadlocking on their own log.
+
+use crate::codec::checksum;
+use crate::records::LogPayload;
+use crate::store::{LogStore, MasterAnchor};
+use fgl_common::{FglError, Lsn, Result};
+
+const FRAME_HEADER: usize = 8;
+
+/// Public alias of the persistent anchor.
+pub type MasterRecord = MasterAnchor;
+
+/// A decoded record plus its position and the position of its successor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecordEntry {
+    pub lsn: Lsn,
+    pub next: Lsn,
+    pub payload: LogPayload,
+}
+
+/// Append/force/scan façade over a [`LogStore`].
+pub struct LogManager {
+    store: Box<dyn LogStore>,
+    capacity: u64,
+    reserve: u64,
+    low_water: Lsn,
+    last_checkpoint: Lsn,
+    /// Total records appended (informational).
+    appended: u64,
+    /// Total bytes appended (informational).
+    appended_bytes: u64,
+    /// Number of force (sync) calls (informational).
+    forces: u64,
+}
+
+impl LogManager {
+    /// Create a manager over a fresh store.
+    pub fn new(store: Box<dyn LogStore>, capacity: u64) -> LogManager {
+        assert!(capacity >= 4096, "log capacity unreasonably small");
+        LogManager {
+            store,
+            capacity,
+            reserve: capacity / 8,
+            low_water: Lsn(1),
+            last_checkpoint: Lsn::NIL,
+            appended: 0,
+            appended_bytes: 0,
+            forces: 0,
+        }
+    }
+
+    /// Reopen a store after a crash: read the master anchor and validate
+    /// the tail (a torn final record is ignored).
+    pub fn recover(store: Box<dyn LogStore>, capacity: u64) -> Result<LogManager> {
+        let anchor = store.read_master()?;
+        let mut mgr = LogManager::new(store, capacity);
+        mgr.low_water = if anchor.low_water.is_nil() {
+            Lsn(1)
+        } else {
+            anchor.low_water
+        };
+        mgr.last_checkpoint = anchor.last_checkpoint;
+        Ok(mgr)
+    }
+
+    fn offset(lsn: Lsn) -> u64 {
+        lsn.0 - 1
+    }
+
+    fn lsn_at(offset: u64) -> Lsn {
+        Lsn(offset + 1)
+    }
+
+    /// LSN the next appended record will get.
+    pub fn end_lsn(&self) -> Lsn {
+        Self::lsn_at(self.store.len())
+    }
+
+    /// LSN up to which the log is durable (exclusive).
+    pub fn durable_lsn(&self) -> Lsn {
+        Self::lsn_at(self.store.durable_len())
+    }
+
+    /// The current low-water mark: records below it may be overwritten.
+    pub fn low_water(&self) -> Lsn {
+        self.low_water
+    }
+
+    /// LSN of the last complete checkpoint (NIL if none).
+    pub fn last_checkpoint(&self) -> Lsn {
+        self.last_checkpoint
+    }
+
+    /// Bytes logically occupied (`end - low_water`).
+    pub fn bytes_in_use(&self) -> u64 {
+        self.store.len() - Self::offset(self.low_water)
+    }
+
+    /// Total configured capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes available to ordinary appends before [`FglError::LogFull`].
+    pub fn free_bytes(&self) -> u64 {
+        (self.capacity - self.reserve).saturating_sub(self.bytes_in_use())
+    }
+
+    /// `(records appended, bytes appended, forces)` since creation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.appended, self.appended_bytes, self.forces)
+    }
+
+    fn frame(payload: &LogPayload) -> Vec<u8> {
+        let body = payload.encode();
+        let mut framed = Vec::with_capacity(body.len() + FRAME_HEADER);
+        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&checksum(&body).to_le_bytes());
+        framed.extend_from_slice(&body);
+        framed
+    }
+
+    fn append_inner(&mut self, payload: &LogPayload, critical: bool) -> Result<Lsn> {
+        let framed = Self::frame(payload);
+        let budget = if critical {
+            self.capacity
+        } else {
+            self.capacity - self.reserve
+        };
+        if self.bytes_in_use() + framed.len() as u64 > budget {
+            return Err(FglError::LogFull);
+        }
+        let lsn = self.end_lsn();
+        self.store.append(&framed)?;
+        self.appended += 1;
+        self.appended_bytes += framed.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Append a record (fails with [`FglError::LogFull`] when only the
+    /// rollback reserve remains — the §3.6 reclamation trigger).
+    pub fn append(&mut self, payload: &LogPayload) -> Result<Lsn> {
+        self.append_inner(payload, false)
+    }
+
+    /// Append a record that may consume the rollback reserve (CLRs, abort
+    /// records): rolling back must always be possible.
+    pub fn append_critical(&mut self, payload: &LogPayload) -> Result<Lsn> {
+        self.append_inner(payload, true)
+    }
+
+    /// Force the log: everything appended so far becomes durable.
+    pub fn force(&mut self) -> Result<Lsn> {
+        self.store.sync()?;
+        self.forces += 1;
+        Ok(self.durable_lsn())
+    }
+
+    /// Force only if `lsn` is not yet durable (WAL rule helper).
+    pub fn force_up_to(&mut self, lsn: Lsn) -> Result<()> {
+        if lsn >= self.durable_lsn() {
+            self.force()?;
+        }
+        Ok(())
+    }
+
+    /// Record a completed checkpoint: update and persist the master anchor.
+    pub fn set_checkpoint(&mut self, lsn: Lsn) -> Result<()> {
+        self.last_checkpoint = lsn;
+        self.store.write_master(MasterAnchor {
+            last_checkpoint: self.last_checkpoint,
+            low_water: self.low_water,
+        })
+    }
+
+    /// Advance the low-water mark (never backwards), freeing circular
+    /// space. Persisted in the master anchor.
+    pub fn advance_low_water(&mut self, lsn: Lsn) -> Result<()> {
+        if lsn > self.low_water {
+            self.low_water = lsn.min(self.end_lsn());
+            self.store.write_master(MasterAnchor {
+                last_checkpoint: self.last_checkpoint,
+                low_water: self.low_water,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Read the record at `lsn`.
+    pub fn read_at(&self, lsn: Lsn) -> Result<LogRecordEntry> {
+        if lsn.is_nil() || lsn < self.low_water || lsn >= self.end_lsn() {
+            return Err(FglError::Corrupt(format!(
+                "read_at {lsn:?} outside [{:?}, {:?})",
+                self.low_water,
+                self.end_lsn()
+            )));
+        }
+        let off = Self::offset(lsn);
+        let header = self.store.read(off, FRAME_HEADER)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let stored_sum = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let body = self.store.read(off + FRAME_HEADER as u64, len)?;
+        if checksum(&body) != stored_sum {
+            return Err(FglError::Corrupt(format!(
+                "checksum mismatch at {lsn:?} (torn record?)"
+            )));
+        }
+        Ok(LogRecordEntry {
+            lsn,
+            next: Self::lsn_at(off + FRAME_HEADER as u64 + len as u64),
+            payload: LogPayload::decode(&body)?,
+        })
+    }
+
+    /// Iterate records from `from` (or the low-water mark when `from` is
+    /// nil) to the end; stops early at a torn/corrupt record.
+    pub fn scan_from(&self, from: Lsn) -> LogScan<'_> {
+        let start = if from.is_nil() || from < self.low_water {
+            self.low_water
+        } else {
+            from
+        };
+        LogScan { mgr: self, pos: start }
+    }
+
+    /// Collect all records from `from` into a vector (testing/recovery
+    /// convenience).
+    pub fn collect_from(&self, from: Lsn) -> Vec<LogRecordEntry> {
+        self.scan_from(from).collect()
+    }
+
+    /// Simulate a crash: the store drops its non-durable tail.
+    pub fn crash(&mut self) {
+        self.store.crash();
+    }
+
+    /// Raw framed bytes of the interval `[from, to)` — what the
+    /// server-logging baseline ships at commit (§4.1, ARIES/CSA shape).
+    pub fn read_raw(&self, from: Lsn, to: Lsn) -> Result<Vec<u8>> {
+        let from = if from.is_nil() { Lsn(1) } else { from };
+        if to < from || to > self.end_lsn() {
+            return Err(FglError::Corrupt(format!(
+                "read_raw [{from:?}, {to:?}) out of range (end {:?})",
+                self.end_lsn()
+            )));
+        }
+        self.store
+            .read(Self::offset(from), (to.0 - from.0) as usize)
+    }
+}
+
+/// Forward scan over log records.
+pub struct LogScan<'a> {
+    mgr: &'a LogManager,
+    pos: Lsn,
+}
+
+impl Iterator for LogScan<'_> {
+    type Item = LogRecordEntry;
+
+    fn next(&mut self) -> Option<LogRecordEntry> {
+        if self.pos >= self.mgr.end_lsn() {
+            return None;
+        }
+        match self.mgr.read_at(self.pos) {
+            Ok(entry) => {
+                self.pos = entry.next;
+                Some(entry)
+            }
+            // A torn or corrupt record ends the scan — everything beyond
+            // it is unreachable garbage (restart semantics).
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::UpdateRecord;
+    use crate::store::LogStore;
+    use crate::store::MemLogStore;
+    use fgl_common::{ClientId, ObjectId, PageId, Psn, SlotId, TxnId};
+
+    fn mgr() -> LogManager {
+        LogManager::new(Box::new(MemLogStore::new()), 64 * 1024)
+    }
+
+    fn begin(seq: u32) -> LogPayload {
+        LogPayload::Begin {
+            txn: TxnId::compose(ClientId(1), seq),
+        }
+    }
+
+    fn update(seq: u32, psn: u64) -> LogPayload {
+        LogPayload::Update(UpdateRecord {
+            txn: TxnId::compose(ClientId(1), seq),
+            prev_lsn: Lsn::NIL,
+            object: ObjectId::new(PageId(1), SlotId(0)),
+            psn_before: Psn(psn),
+            before: Some(vec![0; 16]),
+            after: Some(vec![1; 16]),
+            structural: false,
+        })
+    }
+
+    #[test]
+    fn lsn_is_byte_address_plus_one() {
+        let mut m = mgr();
+        let l1 = m.append(&begin(1)).unwrap();
+        assert_eq!(l1, Lsn(1));
+        let l2 = m.append(&begin(2)).unwrap();
+        let framed = LogManager::frame(&begin(1)).len() as u64;
+        assert_eq!(l2, Lsn(1 + framed));
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let mut m = mgr();
+        let payloads = vec![begin(1), update(1, 0), update(1, 1), begin(2)];
+        let mut lsns = Vec::new();
+        for p in &payloads {
+            lsns.push(m.append(p).unwrap());
+        }
+        let got = m.collect_from(Lsn::NIL);
+        assert_eq!(got.len(), 4);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e.lsn, lsns[i]);
+            assert_eq!(e.payload, payloads[i]);
+        }
+        // next chains line up.
+        for w in got.windows(2) {
+            assert_eq!(w[0].next, w[1].lsn);
+        }
+    }
+
+    #[test]
+    fn read_at_random_access() {
+        let mut m = mgr();
+        let l1 = m.append(&begin(1)).unwrap();
+        let l2 = m.append(&update(1, 5)).unwrap();
+        assert_eq!(m.read_at(l2).unwrap().payload, update(1, 5));
+        assert_eq!(m.read_at(l1).unwrap().payload, begin(1));
+        assert!(m.read_at(Lsn::NIL).is_err());
+        assert!(m.read_at(m.end_lsn()).is_err());
+    }
+
+    #[test]
+    fn crash_drops_unforced_tail() {
+        let mut m = mgr();
+        m.append(&begin(1)).unwrap();
+        m.force().unwrap();
+        m.append(&begin(2)).unwrap();
+        assert_eq!(m.collect_from(Lsn::NIL).len(), 2);
+        m.crash();
+        let got = m.collect_from(Lsn::NIL);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, begin(1));
+    }
+
+    #[test]
+    fn durable_lsn_tracks_force() {
+        let mut m = mgr();
+        m.append(&begin(1)).unwrap();
+        assert_eq!(m.durable_lsn(), Lsn(1));
+        let end = m.end_lsn();
+        m.force_up_to(Lsn(1)).unwrap();
+        assert_eq!(m.durable_lsn(), end);
+        // Already durable: no extra force.
+        let (_, _, forces) = m.stats();
+        m.force_up_to(Lsn(1)).unwrap();
+        assert_eq!(m.stats().2, forces);
+    }
+
+    #[test]
+    fn log_full_and_reserve() {
+        let mut m = LogManager::new(Box::new(MemLogStore::new()), 4096);
+        let mut appended = 0;
+        loop {
+            match m.append(&update(1, 0)) {
+                Ok(_) => appended += 1,
+                Err(FglError::LogFull) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(appended > 10);
+        // Critical appends may still proceed into the reserve.
+        assert!(m.append_critical(&update(1, 0)).is_ok());
+    }
+
+    #[test]
+    fn low_water_reclaims_space() {
+        let mut m = LogManager::new(Box::new(MemLogStore::new()), 4096);
+        let mut last = Lsn::NIL;
+        loop {
+            match m.append(&update(1, 0)) {
+                Ok(l) => last = l,
+                Err(FglError::LogFull) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        // Less than one record of ordinary space remains.
+        let record_len = LogManager::frame(&update(1, 0)).len() as u64;
+        assert!(m.free_bytes() < record_len);
+        m.advance_low_water(last).unwrap();
+        assert!(m.free_bytes() > 0);
+        assert!(m.append(&update(1, 0)).is_ok());
+        // Scans now start at the low-water mark.
+        let first = m.scan_from(Lsn::NIL).next().unwrap();
+        assert_eq!(first.lsn, last);
+    }
+
+    #[test]
+    fn low_water_never_regresses() {
+        let mut m = mgr();
+        m.append(&begin(1)).unwrap();
+        let l2 = m.append(&begin(2)).unwrap();
+        m.advance_low_water(l2).unwrap();
+        m.advance_low_water(Lsn(1)).unwrap();
+        assert_eq!(m.low_water(), l2);
+    }
+
+    #[test]
+    fn checkpoint_anchor_survives_recover() {
+        let mut store = MemLogStore::new();
+        // Build some log state, then recover over the same store.
+        {
+            let mut m = LogManager::new(Box::new(std::mem::take(&mut store)), 64 * 1024);
+            m.append(&begin(1)).unwrap();
+            let ck = m.append(&begin(2)).unwrap();
+            m.force().unwrap();
+            m.set_checkpoint(ck).unwrap();
+            // Extract the store back out by crashing and rebuilding: we
+            // cannot move the box out, so emulate by a fresh manager over a
+            // fresh store in the next test block instead.
+            assert_eq!(m.last_checkpoint(), ck);
+        }
+    }
+
+    #[test]
+    fn recover_reads_master_anchor() {
+        // Drive a store directly so we can hand it to recover().
+        let mut store = MemLogStore::new();
+        store
+            .write_master(MasterAnchor {
+                last_checkpoint: Lsn(9),
+                low_water: Lsn(5),
+            })
+            .unwrap();
+        let m = LogManager::recover(Box::new(store), 64 * 1024).unwrap();
+        assert_eq!(m.last_checkpoint(), Lsn(9));
+        assert_eq!(m.low_water(), Lsn(5));
+    }
+
+    #[test]
+    fn read_raw_roundtrips_via_fresh_store() {
+        let mut m = mgr();
+        m.append(&begin(1)).unwrap();
+        m.append(&update(1, 3)).unwrap();
+        let bytes = m.read_raw(Lsn::NIL, m.end_lsn()).unwrap();
+        let mut store = MemLogStore::new();
+        store.append(&bytes).unwrap();
+        store.sync().unwrap();
+        let rebuilt = LogManager::new(Box::new(store), 64 * 1024);
+        let got = rebuilt.collect_from(Lsn::NIL);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, begin(1));
+        assert_eq!(got[1].payload, update(1, 3));
+    }
+
+    #[test]
+    fn scan_from_mid_log() {
+        let mut m = mgr();
+        m.append(&begin(1)).unwrap();
+        let l2 = m.append(&begin(2)).unwrap();
+        m.append(&begin(3)).unwrap();
+        let got: Vec<_> = m.scan_from(l2).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, begin(2));
+        assert_eq!(got[1].payload, begin(3));
+    }
+}

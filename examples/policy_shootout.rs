@@ -1,0 +1,63 @@
+//! Policy shootout: run the same workload under the paper's design and
+//! the §4 baselines, printing the metrics that motivate each §3 design
+//! choice.
+//!
+//! Run with: `cargo run --release --example policy_shootout`
+
+use fgl::{CommitPolicy, LockGranularity, System, SystemConfig, UpdatePolicy};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::setup::populate;
+use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+use std::time::Duration;
+
+fn run(label: &str, cfg: SystemConfig) -> fgl::Result<()> {
+    let clients = 4;
+    let sys = System::build(cfg, clients)?;
+    let mut spec = WorkloadSpec::new(WorkloadKind::HiCon);
+    spec.pages = 48;
+    spec.objects_per_page = 16;
+    spec.write_fraction = 0.5;
+    let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 64)?;
+    let report = run_workload(&sys, &layout, None, &HarnessOptions::new(spec, 50))?;
+    println!(
+        "{label:<34} {:>8.1} commits/s  {:>6.2} msgs/commit  {:>5} aborts  p95 {:>6}us",
+        report.throughput(),
+        report.messages_per_commit(),
+        report.aborts,
+        report.latency_us(95.0),
+    );
+    Ok(())
+}
+
+fn main() -> fgl::Result<()> {
+    let base = || {
+        let mut c = SystemConfig::default();
+        c.disk_latency = Duration::from_micros(300);
+        c.net_latency = Duration::from_micros(30);
+        c
+    };
+    println!("HICON workload, 4 clients, 50 txns each:\n");
+
+    run("paper: object locks + client log", base())?;
+    run(
+        "baseline: page-level locks [17]",
+        base().with_granularity(LockGranularity::Page),
+    )?;
+    run(
+        "baseline: update token [17,18]",
+        base().with_update_policy(UpdatePolicy::UpdateToken),
+    )?;
+    run(
+        "baseline: server logging (CSA)",
+        base().with_commit_policy(CommitPolicy::ServerLog),
+    )?;
+    run(
+        "baseline: ship pages at commit",
+        base().with_commit_policy(CommitPolicy::ShipPagesAtCommit),
+    )?;
+    run(
+        "variant: adaptive granularity [3]",
+        base().with_granularity(LockGranularity::Adaptive),
+    )?;
+    Ok(())
+}

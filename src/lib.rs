@@ -1,0 +1,1 @@
+//! Workspace helper crate (integration tests + examples live in this package).

@@ -1,0 +1,186 @@
+//! Cross-crate integration: multi-client sharing through the full
+//! client/server/lock/WAL stack.
+
+use fgl::{FglError, System, SystemConfig};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::oracle::Oracle;
+use fgl_sim::setup::populate;
+use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+
+fn spec(kind: WorkloadKind) -> WorkloadSpec {
+    let mut s = WorkloadSpec::new(kind);
+    s.pages = 16;
+    s.objects_per_page = 8;
+    s.ops_per_txn = 5;
+    s.write_fraction = 0.5;
+    s
+}
+
+#[test]
+fn four_clients_uniform_workload_matches_oracle() {
+    let sys = System::build(SystemConfig::default(), 4).unwrap();
+    let s = spec(WorkloadKind::Uniform);
+    let layout = populate(sys.client(0), s.pages, s.objects_per_page, 48).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    let report = run_workload(&sys, &layout, Some(&oracle), &HarnessOptions::new(s, 25)).unwrap();
+    assert!(report.commits > 0);
+    for i in 0..4 {
+        let v = oracle.verify_via_reads(sys.client(i)).unwrap();
+        assert!(v.is_clean(), "client {i} sees {:?}", v.mismatches);
+    }
+}
+
+#[test]
+fn feed_readers_observe_writer_updates() {
+    let sys = System::build(SystemConfig::default(), 3).unwrap();
+    let s = spec(WorkloadKind::Feed);
+    let layout = populate(sys.client(0), s.pages, s.objects_per_page, 48).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    let report = run_workload(&sys, &layout, Some(&oracle), &HarnessOptions::new(s, 20)).unwrap();
+    assert!(report.commits > 0);
+    assert!(oracle.verify_via_reads(sys.client(2)).unwrap().is_clean());
+}
+
+#[test]
+fn object_deletion_is_visible_across_clients() {
+    let sys = System::build(SystemConfig::default(), 2).unwrap();
+    let (a, b) = (sys.client(0), sys.client(1));
+    let t = a.begin().unwrap();
+    let page = a.create_page(t).unwrap();
+    let obj = a.insert(t, page, b"condemned").unwrap();
+    a.commit(t).unwrap();
+
+    let t = b.begin().unwrap();
+    assert_eq!(b.read(t, obj).unwrap(), b"condemned");
+    b.commit(t).unwrap();
+
+    // A deletes (structural update: page X → callback to B).
+    let t = a.begin().unwrap();
+    a.remove(t, obj).unwrap();
+    a.commit(t).unwrap();
+
+    let t = b.begin().unwrap();
+    match b.read(t, obj) {
+        Err(FglError::ObjectNotFound(o)) => assert_eq!(o, obj),
+        other => panic!("expected ObjectNotFound, got {other:?}"),
+    }
+    b.commit(t).unwrap();
+}
+
+#[test]
+fn resize_across_clients_preserves_contents() {
+    let sys = System::build(SystemConfig::default(), 2).unwrap();
+    let (a, b) = (sys.client(0), sys.client(1));
+    let t = a.begin().unwrap();
+    let page = a.create_page(t).unwrap();
+    let obj = a.insert(t, page, b"12345678").unwrap();
+    a.commit(t).unwrap();
+
+    let t = b.begin().unwrap();
+    b.resize(t, obj, 4).unwrap();
+    b.commit(t).unwrap();
+
+    let t = a.begin().unwrap();
+    assert_eq!(a.read(t, obj).unwrap(), b"1234");
+    a.commit(t).unwrap();
+}
+
+#[test]
+fn deadlock_is_broken_and_both_clients_proceed() {
+    let sys = System::build(SystemConfig::default(), 2).unwrap();
+    let (a, b) = (sys.client(0), sys.client(1));
+    let t = a.begin().unwrap();
+    let page = a.create_page(t).unwrap();
+    let o1 = a.insert(t, page, b"one!").unwrap();
+    let o2 = a.insert(t, page, b"two!").unwrap();
+    a.commit(t).unwrap();
+
+    // Build the classic cross wait: a holds o1, b holds o2, then each
+    // requests the other. One must die, the other must finish.
+    let barrier = std::sync::Barrier::new(2);
+    let outcome = std::thread::scope(|s| {
+        let ta = s.spawn(|| {
+            let t = a.begin().unwrap();
+            a.write(t, o1, b"a-1!").unwrap();
+            barrier.wait();
+            match a.write(t, o2, b"a-2!") {
+                Ok(()) => a.commit(t).map(|_| true),
+                Err(e) if e.is_transaction_abort() => Ok(false),
+                Err(e) => Err(e),
+            }
+        });
+        let tb = s.spawn(|| {
+            let t = b.begin().unwrap();
+            b.write(t, o2, b"b-2!").unwrap();
+            barrier.wait();
+            match b.write(t, o1, b"b-1!") {
+                Ok(()) => b.commit(t).map(|_| true),
+                Err(e) if e.is_transaction_abort() => Ok(false),
+                Err(e) => Err(e),
+            }
+        });
+        (ta.join().unwrap().unwrap(), tb.join().unwrap().unwrap())
+    });
+    assert!(
+        outcome.0 || outcome.1,
+        "at least one transaction must survive the deadlock"
+    );
+    // Both objects remain readable and consistent afterwards.
+    let t = a.begin().unwrap();
+    let v1 = a.read(t, o1).unwrap();
+    let v2 = a.read(t, o2).unwrap();
+    a.commit(t).unwrap();
+    assert_eq!(v1.len(), 4);
+    assert_eq!(v2.len(), 4);
+}
+
+#[test]
+fn small_cache_forces_replacements_and_stays_correct() {
+    let mut cfg = SystemConfig::default();
+    cfg.client_cache_pages = 4;
+    let sys = System::build(cfg, 2).unwrap();
+    let s = spec(WorkloadKind::HotCold);
+    let layout = populate(sys.client(0), s.pages, s.objects_per_page, 48).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    let report = run_workload(&sys, &layout, Some(&oracle), &HarnessOptions::new(s, 20)).unwrap();
+    assert!(report.commits > 0);
+    // Replacements actually happened.
+    let shipped: u64 = sys.clients.iter().map(|c| c.stats().pages_shipped).sum();
+    assert!(shipped > 0, "tiny cache must ship replaced pages");
+    assert!(oracle.verify_via_reads(sys.client(0)).unwrap().is_clean());
+}
+
+#[test]
+fn message_counters_reflect_traffic() {
+    let sys = System::build(SystemConfig::default(), 2).unwrap();
+    let (a, b) = (sys.client(0), sys.client(1));
+    let t = a.begin().unwrap();
+    let page = a.create_page(t).unwrap();
+    let obj = a.insert(t, page, b"x").unwrap();
+    a.commit(t).unwrap();
+    let before = sys.net.snapshot();
+    let t = b.begin().unwrap();
+    b.read(t, obj).unwrap();
+    b.commit(t).unwrap();
+    let d = sys.net.snapshot().delta_since(&before);
+    assert!(d.count(fgl::MsgKind::LockReq) >= 1);
+    assert!(d.count(fgl::MsgKind::Callback) >= 1, "S read must call back a's X lock");
+    assert!(d.count(fgl::MsgKind::PageShip) >= 1);
+}
+
+#[test]
+fn zipf_workload_matches_oracle() {
+    let sys = System::build(SystemConfig::default(), 3).unwrap();
+    let mut s = spec(WorkloadKind::Zipf);
+    s.zipf_theta = 0.9;
+    let layout = populate(sys.client(0), s.pages, s.objects_per_page, 48).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    let report = run_workload(&sys, &layout, Some(&oracle), &HarnessOptions::new(s, 20)).unwrap();
+    assert!(report.commits > 0);
+    let v = oracle.verify_via_reads(sys.client(2)).unwrap();
+    assert!(v.is_clean(), "{:?}", v.mismatches);
+}

@@ -1,0 +1,205 @@
+//! Cross-crate crash/recovery integration: the §3.3–§3.5 matrix over
+//! several workloads and seeds, verified against the committed-state
+//! oracle.
+
+use fgl::{System, SystemConfig};
+use fgl_sim::crash::{run_crash_scenario, CrashKind};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::oracle::Oracle;
+use fgl_sim::setup::populate;
+use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+
+fn spec(kind: WorkloadKind) -> WorkloadSpec {
+    let mut s = WorkloadSpec::new(kind);
+    s.pages = 12;
+    s.objects_per_page = 8;
+    s.ops_per_txn = 4;
+    s.write_fraction = 0.6;
+    s
+}
+
+fn check(kind: CrashKind, wk: WorkloadKind, seed: u64) {
+    let r = run_crash_scenario(SystemConfig::default(), 3, kind.clone(), spec(wk), 12, seed)
+        .unwrap();
+    assert!(
+        r.verify_after_recovery.is_clean(),
+        "{} / {:?}: post-recovery mismatches {:?}",
+        r.kind_name,
+        wk,
+        r.verify_after_recovery.mismatches
+    );
+    assert!(
+        r.verify_final.is_clean(),
+        "{} / {:?}: final mismatches {:?}",
+        r.kind_name,
+        wk,
+        r.verify_final.mismatches
+    );
+    assert!(r.phase2.commits > 0, "system must keep working after recovery");
+}
+
+#[test]
+fn client_crash_hotcold() {
+    check(CrashKind::Client(1), WorkloadKind::HotCold, 11);
+}
+
+#[test]
+fn client_crash_hicon() {
+    check(CrashKind::Client(2), WorkloadKind::HiCon, 12);
+}
+
+#[test]
+fn multi_client_crash_uniform() {
+    check(CrashKind::MultiClient(vec![0, 2]), WorkloadKind::Uniform, 13);
+}
+
+#[test]
+fn server_crash_hotcold() {
+    check(CrashKind::Server, WorkloadKind::HotCold, 14);
+}
+
+#[test]
+fn server_crash_hicon() {
+    check(CrashKind::Server, WorkloadKind::HiCon, 15);
+}
+
+#[test]
+fn complex_crash_one_client() {
+    check(CrashKind::Complex(vec![1]), WorkloadKind::HotCold, 16);
+}
+
+#[test]
+fn complex_crash_two_clients() {
+    check(CrashKind::Complex(vec![0, 1]), WorkloadKind::Uniform, 17);
+}
+
+#[test]
+fn repeated_crashes_of_the_same_client() {
+    let sys = System::build(SystemConfig::default(), 2).unwrap();
+    let s = spec(WorkloadKind::HotCold);
+    let layout = populate(sys.client(0), s.pages, s.objects_per_page, 32).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    for round in 0..3 {
+        let mut opts = HarnessOptions::new(s.clone(), 8);
+        opts.seed = 100 + round;
+        run_workload(&sys, &layout, Some(&oracle), &opts).unwrap();
+        sys.client(1).crash();
+        sys.client(1).recover().unwrap();
+        let v = oracle.verify_via_reads(sys.client(0)).unwrap();
+        assert!(v.is_clean(), "round {round}: {:?}", v.mismatches);
+    }
+}
+
+#[test]
+fn double_server_crash() {
+    let sys = System::build(SystemConfig::default(), 2).unwrap();
+    let s = spec(WorkloadKind::Uniform);
+    let layout = populate(sys.client(0), s.pages, s.objects_per_page, 32).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    for round in 0..2 {
+        let mut opts = HarnessOptions::new(s.clone(), 8);
+        opts.seed = 200 + round;
+        run_workload(&sys, &layout, Some(&oracle), &opts).unwrap();
+        sys.server.crash();
+        sys.server.restart_recovery().unwrap();
+        let v = oracle.verify_via_reads(sys.client(1)).unwrap();
+        assert!(v.is_clean(), "round {round}: {:?}", v.mismatches);
+    }
+}
+
+#[test]
+fn crash_with_unforced_tail_loses_only_uncommitted_work() {
+    // A committed value must survive; an unforced in-flight update must
+    // vanish without a trace.
+    let sys = System::build(SystemConfig::default(), 2).unwrap();
+    let (a, b) = (sys.client(0), sys.client(1));
+    let t = a.begin().unwrap();
+    let page = a.create_page(t).unwrap();
+    let obj = a.insert(t, page, b"durable!").unwrap();
+    a.commit(t).unwrap();
+
+    let t = a.begin().unwrap();
+    a.write(t, obj, b"volatile").unwrap();
+    // No checkpoint, no force: the update record sits in the unforced
+    // tail and dies with the crash.
+    a.crash();
+    let rep = a.recover().unwrap();
+    assert_eq!(rep.losers, 0, "unforced loser leaves no trace to undo");
+    let t = b.begin().unwrap();
+    assert_eq!(b.read(t, obj).unwrap(), b"durable!");
+    b.commit(t).unwrap();
+}
+
+#[test]
+fn recovery_report_shape() {
+    let sys = System::build(SystemConfig::default(), 1).unwrap();
+    let c = sys.client(0);
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    let obj = c.insert(t, page, b"workload").unwrap();
+    c.commit(t).unwrap();
+    for i in 0..20u8 {
+        let t = c.begin().unwrap();
+        c.write(t, obj, &[i; 8]).unwrap();
+        c.commit(t).unwrap();
+    }
+    c.crash();
+    let rep = c.recover().unwrap();
+    assert!(rep.records_scanned > 0);
+    assert!(rep.pages_recovered >= 1);
+    assert!(rep.winners >= 1);
+    // The recovered value is the last committed one.
+    let t = c.begin().unwrap();
+    assert_eq!(c.read(t, obj).unwrap(), [19u8; 8]);
+    c.commit(t).unwrap();
+}
+
+#[test]
+fn processing_continues_in_parallel_with_client_recovery() {
+    // §3.3: "Transaction processing on the remaining clients can continue
+    // in parallel with the recovery of the crashed client."
+    let sys = System::build(SystemConfig::default(), 3).unwrap();
+    let s = spec(WorkloadKind::HotCold);
+    let layout = populate(sys.client(0), s.pages, s.objects_per_page, 32).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+
+    // Build up state, then crash client 2 with work in flight.
+    let mut opts = HarnessOptions::new(s.clone(), 10);
+    opts.seed = 301;
+    run_workload(&sys, &layout, Some(&oracle), &opts).unwrap();
+    sys.client(2).crash();
+
+    // Clients 0 and 1 keep running while client 2 recovers concurrently.
+    let recovered = std::thread::scope(|scope| {
+        let rec = scope.spawn(|| sys.client(2).recover());
+        for i in 0..2 {
+            let c = sys.client(i).clone();
+            let layout = &layout;
+            let oracle = oracle.clone();
+            scope.spawn(move || {
+                for round in 0..10u8 {
+                    let Ok(t) = c.begin() else { return };
+                    // Work in the client's own region to avoid blocking on
+                    // the crashed client's retained X locks.
+                    let per = layout.objects.len() / 3;
+                    let obj = layout.objects[i * per + (round as usize % per)];
+                    let val = vec![round; 32];
+                    if c.write(t, obj, &val).is_ok() {
+                        let _ = c.commit_with(t, || {
+                            oracle.commit_writes(&[(obj, Some(val.clone()))]);
+                        });
+                    } else {
+                        let _ = c.abort(t);
+                    }
+                }
+            });
+        }
+        rec.join().unwrap()
+    });
+    recovered.unwrap();
+    let v = oracle.verify_via_reads(sys.client(1)).unwrap();
+    assert!(v.is_clean(), "{:?}", v.mismatches);
+}

@@ -1,0 +1,101 @@
+//! Stress tests: more clients, more contention, crash-recovery cycles
+//! under load. The heavy variant is `#[ignore]`d for routine runs
+//! (`cargo test -- --ignored` to include it).
+
+use fgl::{System, SystemConfig};
+use fgl_sim::crash::{run_crash_scenario, CrashKind};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::oracle::Oracle;
+use fgl_sim::setup::populate;
+use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+
+#[test]
+fn six_clients_hicon_with_structural_ops() {
+    // Mergeable and structural (page-X) updates mixed under contention.
+    let sys = System::build(SystemConfig::default(), 6).unwrap();
+    let mut spec = WorkloadSpec::new(WorkloadKind::HiCon);
+    spec.pages = 32;
+    spec.objects_per_page = 12;
+    spec.ops_per_txn = 6;
+    spec.write_fraction = 0.5;
+    spec.structural_fraction = 0.1;
+    spec.hot_pages = 3;
+    let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 48).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    let mut opts = HarnessOptions::new(spec, 30);
+    opts.seed = 0x57E55;
+    let report = run_workload(&sys, &layout, Some(&oracle), &opts).unwrap();
+    assert!(report.commits > 100);
+    let v = oracle.verify_via_reads(sys.client(3)).unwrap();
+    assert!(v.is_clean(), "{:?}", v.mismatches);
+}
+
+#[test]
+fn crash_recover_crash_cycles_under_zipf() {
+    // Alternate crash kinds over several cycles on one long-lived system.
+    let sys = System::build(SystemConfig::default(), 4).unwrap();
+    let mut spec = WorkloadSpec::new(WorkloadKind::Zipf);
+    spec.pages = 24;
+    spec.objects_per_page = 8;
+    spec.ops_per_txn = 4;
+    spec.write_fraction = 0.5;
+    let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 32).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    for round in 0u64..4 {
+        let mut opts = HarnessOptions::new(spec.clone(), 10);
+        opts.seed = 0xC0C0 + round;
+        run_workload(&sys, &layout, Some(&oracle), &opts).unwrap();
+        match round % 2 {
+            0 => {
+                let victim = (1 + round as usize) % 4;
+                sys.clients[victim].crash();
+                sys.clients[victim].recover().unwrap();
+            }
+            _ => {
+                sys.server.crash();
+                sys.server.restart_recovery().unwrap();
+            }
+        }
+        let verifier = sys.client((round as usize + 2) % 4);
+        let v = oracle.verify_via_reads(verifier).unwrap();
+        assert!(v.is_clean(), "round {round}: {:?}", v.mismatches);
+    }
+}
+
+#[test]
+#[ignore = "heavy: ~minutes; run with --ignored"]
+fn heavy_crash_matrix_sweep() {
+    let mut seed = 9000;
+    for kind in [
+        CrashKind::Client(1),
+        CrashKind::Server,
+        CrashKind::Complex(vec![1, 2]),
+        CrashKind::MultiClient(vec![0, 3]),
+    ] {
+        for wk in [WorkloadKind::HotCold, WorkloadKind::HiCon, WorkloadKind::Zipf] {
+            seed += 1;
+            let mut spec = WorkloadSpec::new(wk);
+            spec.pages = 48;
+            spec.objects_per_page = 12;
+            spec.write_fraction = 0.6;
+            let r = run_crash_scenario(
+                SystemConfig::default(),
+                5,
+                kind.clone(),
+                spec,
+                60,
+                seed,
+            )
+            .unwrap();
+            assert!(
+                r.is_clean(),
+                "{} / {wk:?}: {:?} {:?}",
+                r.kind_name,
+                r.verify_after_recovery.mismatches,
+                r.verify_final.mismatches
+            );
+        }
+    }
+}
