@@ -1,64 +1,70 @@
-//! Criterion micro-benchmarks for the hot paths behind the experiments:
-//! page codec and mutation, the §2 merge procedure, PSN-conditional
-//! redo, lock-manager throughput, WAL append/force, and the end-to-end
-//! single-client transaction path.
+//! Micro-benchmarks for the hot paths behind the experiments: page codec
+//! and mutation, the §2 merge procedure, lock-manager throughput, WAL
+//! append, and the end-to-end single-client transaction path.
+//!
+//! Plain timing harness (`harness = false`): the build environment has no
+//! crates.io access, so this measures with `std::time::Instant` directly —
+//! a warmup pass followed by a timed pass, reporting ns/op.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fgl::{System, SystemConfig};
 use fgl_common::{ClientId, ObjectId, PageId, Psn, SlotId, TxnId};
 use fgl_locks::glm::GlmCore;
 use fgl_locks::mode::{LockTarget, ObjMode};
+use fgl_locks::WaitGraph;
 use fgl_storage::merge::merge_pages;
 use fgl_storage::page::Page;
 use fgl_wal::manager::LogManager;
 use fgl_wal::records::{LogPayload, UpdateRecord};
 use fgl_wal::store::MemLogStore;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_page_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("page");
-    g.bench_function("insert_64B", |b| {
-        b.iter_batched(
-            || Page::format(4096, PageId(1), Psn::ZERO),
-            |mut p| {
-                for _ in 0..16 {
-                    p.insert_object(&[7u8; 64]).unwrap();
-                }
-                p
-            },
-            BatchSize::SmallInput,
-        )
+/// Run `f` for `iters` iterations (after `iters/10` warmup) and report.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_op = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {per_op:>12.1} ns/op   ({iters} iters)");
+}
+
+fn bench_page_ops() {
+    bench("page/insert_16x64B", 20_000, || {
+        let mut p = Page::format(4096, PageId(1), Psn::ZERO);
+        for _ in 0..16 {
+            p.insert_object(&[7u8; 64]).unwrap();
+        }
+        black_box(&p);
     });
+
     let mut filled = Page::format(4096, PageId(1), Psn::ZERO);
     let slots: Vec<SlotId> = (0..16)
         .map(|_| filled.insert_object(&[1u8; 64]).unwrap())
         .collect();
-    g.bench_function("overwrite_64B", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let s = slots[i % slots.len()];
-            i += 1;
-            filled.write_object(s, &[i as u8; 64]).unwrap();
-        })
+    let mut i = 0usize;
+    bench("page/overwrite_64B", 200_000, || {
+        let s = slots[i % slots.len()];
+        i += 1;
+        filled.write_object(s, &[i as u8; 64]).unwrap();
     });
-    g.bench_function("read_64B", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let s = slots[i % slots.len()];
-            i += 1;
-            black_box(filled.read_object(s).unwrap());
-        })
+    let mut i = 0usize;
+    bench("page/read_64B", 200_000, || {
+        let s = slots[i % slots.len()];
+        i += 1;
+        black_box(filled.read_object(s).unwrap());
     });
-    g.bench_function("codec_roundtrip_4K", |b| {
-        b.iter(|| {
-            let bytes = filled.as_bytes().to_vec();
-            black_box(Page::from_bytes(bytes).unwrap())
-        })
+    bench("page/codec_roundtrip_4K", 50_000, || {
+        let bytes = filled.as_bytes().to_vec();
+        black_box(Page::from_bytes(bytes).unwrap());
     });
-    g.finish();
 }
 
-fn bench_merge(c: &mut Criterion) {
+fn bench_merge() {
     let mut base = Page::format(4096, PageId(9), Psn::ZERO);
     let slots: Vec<SlotId> = (0..16)
         .map(|_| base.insert_object(&[0u8; 64]).unwrap())
@@ -72,52 +78,74 @@ fn bench_merge(c: &mut Criterion) {
             b2.write_object(*s, &[2u8; 64]).unwrap();
         }
     }
-    c.bench_function("merge/disjoint_16x64B", |bch| {
-        bch.iter(|| black_box(merge_pages(&a, &b2).unwrap()))
+    bench("merge/disjoint_16x64B", 50_000, || {
+        black_box(merge_pages(&a, &b2).unwrap());
     });
 }
 
-fn bench_glm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("glm");
-    g.bench_function("uncontended_object_lock", |b| {
-        b.iter_batched(
-            GlmCore::new,
-            |mut glm| {
-                for i in 0..64u16 {
-                    let o = ObjectId::new(PageId((i / 16) as u64), SlotId(i % 16));
-                    glm.lock(
-                        ClientId(1),
-                        TxnId::compose(ClientId(1), 1),
-                        LockTarget::Object(o, ObjMode::X),
-                    );
-                }
-                glm
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_glm() {
+    bench("glm/uncontended_object_lock_x64", 10_000, || {
+        let mut glm = GlmCore::new();
+        for i in 0..64u16 {
+            let o = ObjectId::new(PageId((i / 16) as u64), SlotId(i % 16));
+            glm.lock(
+                ClientId(1),
+                TxnId::compose(ClientId(1), 1),
+                LockTarget::Object(o, ObjMode::X),
+            );
+        }
+        black_box(&glm);
     });
-    g.bench_function("shared_lock_three_clients", |b| {
-        b.iter_batched(
-            GlmCore::new,
-            |mut glm| {
-                let o = ObjectId::new(PageId(1), SlotId(0));
-                for cid in 1..=3u32 {
-                    glm.lock(
-                        ClientId(cid),
-                        TxnId::compose(ClientId(cid), 1),
-                        LockTarget::Object(o, ObjMode::S),
-                    );
-                }
-                glm
-            },
-            BatchSize::SmallInput,
-        )
+    bench("glm/shared_lock_three_clients", 50_000, || {
+        let mut glm = GlmCore::new();
+        let o = ObjectId::new(PageId(1), SlotId(0));
+        for cid in 1..=3u32 {
+            glm.lock(
+                ClientId(cid),
+                TxnId::compose(ClientId(cid), 1),
+                LockTarget::Object(o, ObjMode::S),
+            );
+        }
+        black_box(&glm);
     });
-    g.finish();
 }
 
-fn bench_wal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wal");
+/// Four lock-table shards sharing one waits-for graph, driven from four
+/// threads with shard-disjoint pages — measures that shard-local lock
+/// traffic scales (the only shared touch is the graph on queue changes,
+/// which never happen here).
+fn bench_sharded_glm() {
+    use std::sync::{Arc, Mutex};
+    const SHARDS: usize = 4;
+    const LOCKS_PER_THREAD: u64 = 64;
+    bench("glm/sharded_x64_locks_4_threads", 2_000, || {
+        let graph = Arc::new(WaitGraph::new());
+        let shards: Vec<Arc<Mutex<GlmCore>>> = (0..SHARDS)
+            .map(|_| Arc::new(Mutex::new(GlmCore::with_graph(graph.clone()))))
+            .collect();
+        std::thread::scope(|s| {
+            for (i, shard) in shards.iter().enumerate() {
+                let shard = shard.clone();
+                s.spawn(move || {
+                    let client = ClientId(i as u32 + 1);
+                    for k in 0..LOCKS_PER_THREAD {
+                        // Pages in this shard's residue class only.
+                        let page = PageId(i as u64 + k * SHARDS as u64);
+                        let o = ObjectId::new(page, SlotId((k % 16) as u16));
+                        shard.lock().unwrap().lock(
+                            client,
+                            TxnId::compose(client, 1),
+                            LockTarget::Object(o, ObjMode::X),
+                        );
+                    }
+                });
+            }
+        });
+        black_box(&shards);
+    });
+}
+
+fn bench_wal() {
     let record = LogPayload::Update(UpdateRecord {
         txn: TxnId::compose(ClientId(1), 1),
         prev_lsn: fgl::Lsn::NIL,
@@ -127,61 +155,47 @@ fn bench_wal(c: &mut Criterion) {
         after: Some(vec![1u8; 64]),
         structural: false,
     });
-    g.bench_function("append_64B_update", |b| {
-        b.iter_batched(
-            || LogManager::new(Box::new(MemLogStore::new()), 64 << 20),
-            |mut wal| {
-                for _ in 0..128 {
-                    wal.append(&record).unwrap();
-                }
-                wal
-            },
-            BatchSize::SmallInput,
-        )
+    bench("wal/append_128x64B_update", 2_000, || {
+        let mut wal = LogManager::new(Box::new(MemLogStore::new()), 64 << 20);
+        for _ in 0..128 {
+            wal.append(&record).unwrap();
+        }
+        black_box(&wal);
     });
-    g.bench_function("encode_decode_update", |b| {
-        b.iter(|| {
-            let bytes = record.encode();
-            black_box(LogPayload::decode(&bytes).unwrap())
-        })
+    bench("wal/encode_decode_update", 200_000, || {
+        let bytes = record.encode();
+        black_box(LogPayload::decode(&bytes).unwrap());
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("txn");
-    g.sample_size(30);
+fn bench_end_to_end() {
     let sys = System::build(SystemConfig::default(), 1).unwrap();
     let cl = sys.client(0).clone();
     let t = cl.begin().unwrap();
     let page = cl.create_page(t).unwrap();
     let obj = cl.insert(t, page, &[0u8; 64]).unwrap();
     cl.commit(t).unwrap();
-    g.bench_function("single_client_write_commit", |b| {
-        let mut i = 0u8;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let t = cl.begin().unwrap();
-            cl.write(t, obj, &[i; 64]).unwrap();
-            cl.commit(t).unwrap();
-        })
+    let mut i = 0u8;
+    bench("txn/single_client_write_commit", 3_000, || {
+        i = i.wrapping_add(1);
+        let t = cl.begin().unwrap();
+        cl.write(t, obj, &[i; 64]).unwrap();
+        cl.commit(t).unwrap();
     });
-    g.bench_function("single_client_read_commit", |b| {
-        b.iter(|| {
-            let t = cl.begin().unwrap();
-            black_box(cl.read(t, obj).unwrap());
-            cl.commit(t).unwrap();
-        })
+    bench("txn/single_client_read_commit", 3_000, || {
+        let t = cl.begin().unwrap();
+        black_box(cl.read(t, obj).unwrap());
+        cl.commit(t).unwrap();
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_page_ops,
-    bench_merge,
-    bench_glm,
-    bench_wal,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    println!("fgl micro-benchmarks (ns/op, lower is better)");
+    println!("---------------------------------------------");
+    bench_page_ops();
+    bench_merge();
+    bench_glm();
+    bench_sharded_glm();
+    bench_wal();
+    bench_end_to_end();
+}

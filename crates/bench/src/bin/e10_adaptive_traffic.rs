@@ -30,11 +30,12 @@ fn main() {
         "callbacks/commit",
         "local grant ratio",
     ]);
-    for kind in [WorkloadKind::Private, WorkloadKind::HotCold, WorkloadKind::Uniform] {
-        for granularity in [
-            LockGranularity::Object,
-            LockGranularity::Adaptive,
-        ] {
+    for kind in [
+        WorkloadKind::Private,
+        WorkloadKind::HotCold,
+        WorkloadKind::Uniform,
+    ] {
+        for granularity in [LockGranularity::Object, LockGranularity::Adaptive] {
             let cfg = experiment_config().with_granularity(granularity);
             let sys = System::build(cfg, clients).expect("build");
             let mut spec = standard_spec(kind, clients);

@@ -1,0 +1,78 @@
+//! **E11 — Server shard scaling** (hot-path partitioning).
+//!
+//! Claim: with the server's hot path partitioned by `PageId % N` (each
+//! shard owning its slice of the lock table, buffer pool and DCT),
+//! requests on different pages never contend on a server mutex, so
+//! multi-client throughput rises with the shard count; `server_shards=1`
+//! reproduces the unsharded server. The §4.1 server-logging commit path
+//! stays serialized on one mutex regardless of N — the paper's predicted
+//! bottleneck is preserved as a control: under the server-log policy,
+//! shards must *not* buy the same speedup.
+//!
+//! Sweep: shards {1,2,4,8} × clients {4,16}, UNIFORM workload (every page
+//! equally hot, so contention is on server structures rather than data).
+
+use fgl::{CommitPolicy, System};
+use fgl_bench::{banner, fast_config, quick_mode, standard_spec, txns_per_client};
+use fgl_sim::harness::{run_workload, HarnessOptions};
+use fgl_sim::setup::populate;
+use fgl_sim::table::{f1, f2, Table};
+use fgl_sim::workload::WorkloadKind;
+
+fn main() {
+    banner(
+        "E11: server shard scaling",
+        "hot-path partitioning by PageId % N; throughput vs shard count \
+         (UNIFORM workload); the serialized server-log commit path is the control",
+    );
+    let shard_sweep: Vec<usize> = if quick_mode() {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let client_sweep: Vec<usize> = if quick_mode() { vec![4] } else { vec![4, 16] };
+    let mut table = Table::new(&[
+        "clients",
+        "shards",
+        "policy",
+        "commits/s",
+        "p50 commit us",
+        "p95 commit us",
+        "msgs/commit",
+        "aborts",
+    ]);
+    for &clients in &client_sweep {
+        for &shards in &shard_sweep {
+            for policy in [CommitPolicy::ClientLog, CommitPolicy::ServerLog] {
+                // Zero injected latency: the sweep isolates contention on
+                // the server's in-memory hot path (the structure under
+                // test), not overlap of simulated device sleeps.
+                let cfg = fast_config()
+                    .with_commit_policy(policy)
+                    .with_server_shards(shards);
+                let sys = System::build(cfg, clients).expect("build");
+                let spec = standard_spec(WorkloadKind::Uniform, clients);
+                let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 64)
+                    .expect("populate");
+                let mut opts = HarnessOptions::new(spec, txns_per_client());
+                opts.seed = 0xE11;
+                let report = run_workload(&sys, &layout, None, &opts).expect("run");
+                table.row(vec![
+                    clients.to_string(),
+                    shards.to_string(),
+                    if policy == CommitPolicy::ClientLog {
+                        "client-log".into()
+                    } else {
+                        "server-log".into()
+                    },
+                    f1(report.throughput()),
+                    report.latency_us(50.0).to_string(),
+                    report.latency_us(95.0).to_string(),
+                    f2(report.messages_per_commit()),
+                    report.aborts.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

@@ -61,8 +61,8 @@ fn main() {
             let mut opts = HarnessOptions::new(spec, txns);
             opts.seed = 0xE2;
             let report = run_workload(&sys, &layout, None, &opts).expect("run");
-            let lock_msgs = report.net.count(fgl::MsgKind::LockReq)
-                + report.net.count(fgl::MsgKind::Callback);
+            let lock_msgs =
+                report.net.count(fgl::MsgKind::LockReq) + report.net.count(fgl::MsgKind::Callback);
             table.row(vec![
                 f1(write_fraction * 100.0) + "%",
                 granularity_name(granularity).into(),

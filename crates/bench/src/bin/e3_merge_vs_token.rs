@@ -31,7 +31,11 @@ fn main() {
         "server merges",
         "aborts",
     ]);
-    for kind in [WorkloadKind::HiCon, WorkloadKind::Uniform, WorkloadKind::HotCold] {
+    for kind in [
+        WorkloadKind::HiCon,
+        WorkloadKind::Uniform,
+        WorkloadKind::HotCold,
+    ] {
         for policy in [UpdatePolicy::MergeCopies, UpdatePolicy::UpdateToken] {
             let mut cfg = experiment_config().with_update_policy(policy);
             if policy == UpdatePolicy::UpdateToken {
@@ -77,8 +81,7 @@ fn main() {
     let sys = System::build(cfg, clients).expect("build");
     let mut spec = standard_spec(WorkloadKind::HiCon, clients);
     spec.write_fraction = 0.5;
-    let layout =
-        populate(sys.client(0), spec.pages, spec.objects_per_page, 64).expect("populate");
+    let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 64).expect("populate");
     let mut opts = HarnessOptions::new(spec, txns_per_client() / 8);
     opts.seed = 0xE3B;
     let report = run_workload(&sys, &layout, None, &opts).expect("run");

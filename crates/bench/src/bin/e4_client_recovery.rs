@@ -13,12 +13,12 @@
 // default-then-assign pattern is the point.
 #![allow(clippy::field_reassign_with_default)]
 
+use fgl::RecoveryOptions;
 use fgl::{System, SystemConfig};
 use fgl_bench::banner;
-use fgl::RecoveryOptions;
+use fgl_common::rng::DetRng;
 use fgl_sim::setup::populate;
 use fgl_sim::table::{f1, Table};
-use fgl_common::rng::DetRng;
 
 fn main() {
     banner(
@@ -41,9 +41,11 @@ fn main() {
         "losers",
     ]);
     for &updates in &sweep {
-        let mut cfg = SystemConfig::default();
-        cfg.client_checkpoint_every = u64::MAX / 2; // checkpoints only when asked
-        cfg.client_cache_pages = 256;
+        let cfg = SystemConfig {
+            client_checkpoint_every: u64::MAX / 2, // checkpoints only when asked
+            client_cache_pages: 256,
+            ..Default::default()
+        };
         let sys = System::build(cfg, 2).expect("build");
         let pages = 64;
         let per_page = 16;
@@ -92,11 +94,18 @@ fn main() {
     println!();
     println!("ablation: DCT filter (Property 1) on one 500-update run,");
     println!("followed by a harden (all pages flushed, DPT advanced):");
-    let mut table = Table::new(&["dct filter", "recovery ms", "pages fetched", "records applied"]);
+    let mut table = Table::new(&[
+        "dct filter",
+        "recovery ms",
+        "pages fetched",
+        "records applied",
+    ]);
     for use_filter in [true, false] {
-        let mut cfg = SystemConfig::default();
-        cfg.client_checkpoint_every = u64::MAX / 2;
-        cfg.client_cache_pages = 256;
+        let cfg = SystemConfig {
+            client_checkpoint_every: u64::MAX / 2,
+            client_cache_pages: 256,
+            ..Default::default()
+        };
         let sys = System::build(cfg, 2).expect("build");
         let layout = populate(sys.client(0), 64, 16, 64).expect("populate");
         let c = sys.client(0);
@@ -117,11 +126,7 @@ fn main() {
         // stay in the DCT.
         let reader = sys.client(1);
         let t = reader.begin().expect("begin reader");
-        for obj in layout
-            .objects
-            .iter()
-            .filter(|o| (o.page.0 % 2) == 0)
-        {
+        for obj in layout.objects.iter().filter(|o| (o.page.0 % 2) == 0) {
             reader.read(t, *obj).expect("read");
         }
         reader.commit(t).expect("commit reader");
@@ -130,7 +135,11 @@ fn main() {
         }
         c.checkpoint().expect("ckpt");
         c.crash();
-        let report = c.recover_with(RecoveryOptions { use_dct_filter: use_filter }).expect("recover");
+        let report = c
+            .recover_with(RecoveryOptions {
+                use_dct_filter: use_filter,
+            })
+            .expect("recover");
         table.row(vec![
             if use_filter { "on (paper)" } else { "off" }.into(),
             f1(report.elapsed.as_secs_f64() * 1e3),

@@ -42,10 +42,12 @@ fn main() {
         "verify",
     ]);
     for &n in &sweep {
-        let mut cfg = SystemConfig::default();
         // Small client caches force replacements: dirty pages leave the
         // cache and become §3.4 recovery candidates.
-        cfg.client_cache_pages = 8;
+        let cfg = SystemConfig {
+            client_cache_pages: 8,
+            ..Default::default()
+        };
         let sys = System::build(cfg, n).expect("build");
         let mut spec = standard_spec(WorkloadKind::Private, n);
         spec.write_fraction = 0.8;

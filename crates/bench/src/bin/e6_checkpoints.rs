@@ -40,9 +40,11 @@ fn main() {
         "records scanned",
     ]);
     for &interval in &sweep {
-        let mut cfg = SystemConfig::default();
-        cfg.client_checkpoint_every = interval;
-        cfg.disk_latency = Duration::from_micros(400);
+        let cfg = SystemConfig {
+            client_checkpoint_every: interval,
+            disk_latency: Duration::from_micros(400),
+            ..Default::default()
+        };
         let sys = System::build(cfg, clients).expect("build");
         let mut spec = standard_spec(WorkloadKind::HotCold, clients);
         spec.write_fraction = 0.6;

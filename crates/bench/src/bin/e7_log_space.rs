@@ -42,9 +42,11 @@ fn main() {
         "aborts",
     ]);
     for &capacity in &sweep {
-        let mut cfg = SystemConfig::default();
-        cfg.client_log_bytes = capacity;
-        cfg.client_checkpoint_every = 100_000; // §3.6 drives checkpoints
+        let cfg = SystemConfig {
+            client_log_bytes: capacity,
+            client_checkpoint_every: 100_000, // §3.6 drives checkpoints
+            ..Default::default()
+        };
         let sys = System::build(cfg, clients).expect("build");
         let mut spec = standard_spec(WorkloadKind::HotCold, clients);
         spec.write_fraction = 0.8;

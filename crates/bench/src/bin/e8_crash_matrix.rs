@@ -31,7 +31,11 @@ fn main() {
         CrashKind::Complex(vec![1]),
         CrashKind::Complex(vec![1, 2]),
     ];
-    let workloads = [WorkloadKind::HotCold, WorkloadKind::HiCon, WorkloadKind::Uniform];
+    let workloads = [
+        WorkloadKind::HotCold,
+        WorkloadKind::HiCon,
+        WorkloadKind::Uniform,
+    ];
     let mut table = Table::new(&[
         "crash",
         "workload",

@@ -25,14 +25,7 @@ fn main() {
     } else {
         vec![1, 8]
     };
-    let mut table = Table::new(&[
-        "clients",
-        "policy",
-        "p50 us",
-        "p90 us",
-        "p99 us",
-        "max us",
-    ]);
+    let mut table = Table::new(&["clients", "policy", "p50 us", "p90 us", "p99 us", "max us"]);
     for &n in &client_counts {
         for policy in [
             CommitPolicy::ClientLog,

@@ -17,11 +17,12 @@ use std::time::Duration;
 /// ratio (disk force ≫ LAN hop ≫ CPU) scaled down so sweeps finish
 /// quickly. Only *relative* shapes matter (see DESIGN.md).
 pub fn experiment_config() -> SystemConfig {
-    let mut cfg = SystemConfig::default();
-    cfg.disk_latency = Duration::from_micros(400);
-    cfg.net_latency = Duration::from_micros(40);
-    cfg.lock_timeout = Duration::from_secs(2);
-    cfg
+    SystemConfig {
+        disk_latency: Duration::from_micros(400),
+        net_latency: Duration::from_micros(40),
+        lock_timeout: Duration::from_secs(2),
+        ..Default::default()
+    }
 }
 
 /// A zero-latency config for pure-algorithm measurements.

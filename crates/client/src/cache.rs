@@ -131,7 +131,8 @@ mod tests {
         // Local (uncommitted) update to slot 0.
         c.get_mut(PageId(1))
             .unwrap()
-            .write_object(SlotId(0), b"mine").unwrap();
+            .write_object(SlotId(0), b"mine")
+            .unwrap();
         assert!(c.is_dirty(PageId(1)));
         // Server sends a copy with a *new object* (another client's work)
         // but a stale slot 0.
@@ -155,7 +156,8 @@ mod tests {
         // Dirty page gets reported on eviction.
         c.get_mut(PageId(2))
             .unwrap()
-            .write_object(SlotId(0), b"dirt").unwrap();
+            .write_object(SlotId(0), b"dirt")
+            .unwrap();
         c.peek(PageId(3)).unwrap();
         let ev = c.install_from_server(page(4)).unwrap();
         // LRU order: 2 was touched by get_mut, 3 by peek... peek does not
@@ -172,7 +174,8 @@ mod tests {
         c.install_from_server(page(1)).unwrap();
         c.get_mut(PageId(1))
             .unwrap()
-            .write_object(SlotId(0), b"dirt").unwrap();
+            .write_object(SlotId(0), b"dirt")
+            .unwrap();
         let fresh = page(1);
         c.install_exact(fresh, false);
         assert_eq!(

@@ -52,9 +52,7 @@ impl ClientPeer for PeerHandle {
     }
 
     fn report_state(&self) -> ClientStateReport {
-        self.core()
-            .map(|c| c.report_state())
-            .unwrap_or_default()
+        self.core().map(|c| c.report_state()).unwrap_or_default()
     }
 
     fn callback_list_for(
@@ -136,7 +134,10 @@ impl ClientCore {
                 if sheds {
                     self.drop_if_unlocked(&mut st, page);
                 }
-                CallbackOutcome::Done { retained, page_copy }
+                CallbackOutcome::Done {
+                    retained,
+                    page_copy,
+                }
             }
             CallbackReply::Deferred { blockers } => CallbackOutcome::Deferred { blockers },
         };
@@ -199,11 +200,7 @@ impl ClientCore {
         from_lsn: Lsn,
     ) -> Vec<(ObjectId, Psn)> {
         let st = self.st.lock();
-        let mut from = st
-            .dpt
-            .get(&page)
-            .map(|e| e.redo_lsn)
-            .unwrap_or(Lsn::NIL);
+        let mut from = st.dpt.get(&page).map(|e| e.redo_lsn).unwrap_or(Lsn::NIL);
         if !from_lsn.is_nil() && (from.is_nil() || from_lsn < from) {
             from = from_lsn;
         }

@@ -113,8 +113,10 @@ impl ClientCore {
             let mut start_lsn = ckpt;
             if !ckpt.is_nil() {
                 if let Ok(entry) = st.wal.read_at(ckpt) {
-                    if let LogPayload::ClientCheckpoint { active_txns, dpt: ck_dpt } =
-                        entry.payload
+                    if let LogPayload::ClientCheckpoint {
+                        active_txns,
+                        dpt: ck_dpt,
+                    } = entry.payload
                     {
                         for (t, l) in active_txns {
                             att.insert(
@@ -199,9 +201,7 @@ impl ClientCore {
         // trusted to cover us, so every page in the log-derived
         // ("augmented") DPT is recovered, via the §3.4 replay machinery.
         if !dct_complete {
-            return self.recover_after_server_restart(
-                start, report, att, dpt, max_seq,
-            );
+            return self.recover_after_server_restart(start, report, att, dpt, max_seq);
         }
         let redo_dpt: HashMap<PageId, Lsn> = dpt
             .iter()
@@ -215,12 +215,7 @@ impl ClientCore {
                 let st = self.st.lock();
                 st.wal
                     .scan_from(redo_start)
-                    .filter(|e| {
-                        matches!(
-                            e.payload,
-                            LogPayload::Update(_) | LogPayload::Clr(_)
-                        )
-                    })
+                    .filter(|e| matches!(e.payload, LogPayload::Update(_) | LogPayload::Clr(_)))
                     .collect()
             };
             let mut fetched: HashSet<PageId> = HashSet::new();
@@ -435,7 +430,13 @@ impl ClientCore {
         self.rollback_chain_public(txn)?;
         let mut st = self.st.lock();
         let prev = st.txns.get(&txn).map(|t| t.last_lsn).unwrap_or(Lsn::NIL);
-        self.append_critical(&mut st, &LogPayload::Abort { txn, prev_lsn: prev })?;
+        self.append_critical(
+            &mut st,
+            &LogPayload::Abort {
+                txn,
+                prev_lsn: prev,
+            },
+        )?;
         if let Some(t) = st.txns.get_mut(&txn) {
             t.status = TxnStatus::Aborted;
         }

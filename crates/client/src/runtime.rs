@@ -14,9 +14,7 @@
 use crate::cache::ClientCache;
 use crate::txn::{TxnState, TxnStatus};
 use fgl_common::config::CommitPolicy;
-use fgl_common::{
-    ClientId, FglError, Lsn, ObjectId, PageId, Result, SlotId, SystemConfig, TxnId,
-};
+use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Result, SlotId, SystemConfig, TxnId};
 use fgl_locks::glm::CallbackKind;
 use fgl_locks::llm::{LlmCore, LocalDecision};
 use fgl_locks::mode::ObjMode;
@@ -254,16 +252,25 @@ impl ClientCore {
     pub fn commit_with(&self, txn: TxnId, before_release: impl FnOnce()) -> Result<()> {
         let (policy, ship_log, dirtied) = {
             let mut st = self.st.lock();
-            let t = st
-                .txns
-                .get(&txn)
-                .ok_or(FglError::InvalidTxnState { txn, state: "unknown" })?;
+            let t = st.txns.get(&txn).ok_or(FglError::InvalidTxnState {
+                txn,
+                state: "unknown",
+            })?;
             if !t.is_active() {
-                return Err(FglError::InvalidTxnState { txn, state: "terminated" });
+                return Err(FglError::InvalidTxnState {
+                    txn,
+                    state: "terminated",
+                });
             }
             let prev = t.last_lsn;
             let dirtied: Vec<PageId> = t.dirtied.iter().copied().collect();
-            self.append_critical(&mut st, &LogPayload::Commit { txn, prev_lsn: prev })?;
+            self.append_critical(
+                &mut st,
+                &LogPayload::Commit {
+                    txn,
+                    prev_lsn: prev,
+                },
+            )?;
             match self.cfg.commit_policy {
                 CommitPolicy::ClientLog => {
                     st.wal.force()?;
@@ -308,7 +315,13 @@ impl ClientCore {
         {
             let mut st = self.st.lock();
             let prev = st.txns.get(&txn).map(|t| t.last_lsn).unwrap_or(Lsn::NIL);
-            self.append_critical(&mut st, &LogPayload::Abort { txn, prev_lsn: prev })?;
+            self.append_critical(
+                &mut st,
+                &LogPayload::Abort {
+                    txn,
+                    prev_lsn: prev,
+                },
+            )?;
             if let Some(t) = st.txns.get_mut(&txn) {
                 t.status = TxnStatus::Aborted;
             }
@@ -320,27 +333,32 @@ impl ClientCore {
     /// Establish (or move) a named savepoint (§3.2 partial rollbacks).
     pub fn savepoint(&self, txn: TxnId, name: &str) -> Result<()> {
         let mut st = self.st.lock();
-        let t = st
-            .txns
-            .get_mut(&txn)
-            .filter(|t| t.is_active())
-            .ok_or(FglError::InvalidTxnState { txn, state: "not active" })?;
+        let t =
+            st.txns
+                .get_mut(&txn)
+                .filter(|t| t.is_active())
+                .ok_or(FglError::InvalidTxnState {
+                    txn,
+                    state: "not active",
+                })?;
         t.set_savepoint(name);
         Ok(())
     }
 
     /// Partial rollback to a named savepoint; the transaction continues.
     pub fn rollback_to(&self, txn: TxnId, name: &str) -> Result<()> {
-        let upto = {
-            let st = self.st.lock();
-            let t = st
-                .txns
-                .get(&txn)
-                .filter(|t| t.is_active())
-                .ok_or(FglError::InvalidTxnState { txn, state: "not active" })?;
-            t.savepoint_lsn(name)
-                .ok_or_else(|| FglError::UnknownSavepoint(name.to_string()))?
-        };
+        let upto =
+            {
+                let st = self.st.lock();
+                let t = st.txns.get(&txn).filter(|t| t.is_active()).ok_or(
+                    FglError::InvalidTxnState {
+                        txn,
+                        state: "not active",
+                    },
+                )?;
+                t.savepoint_lsn(name)
+                    .ok_or_else(|| FglError::UnknownSavepoint(name.to_string()))?
+            };
         self.rollback_chain(txn, upto)?;
         let mut st = self.st.lock();
         if let Some(t) = st.txns.get_mut(&txn) {
@@ -457,10 +475,7 @@ impl ClientCore {
             self.ensure_page_present(page)?;
             let mut st = self.st.lock();
             let slot = {
-                let p = st
-                    .cache
-                    .peek(page)
-                    .ok_or(FglError::PageNotFound(page))?;
+                let p = st.cache.peek(page).ok_or(FglError::PageNotFound(page))?;
                 p.peek_insert_slot()
             };
             let oid = ObjectId::new(page, slot);
@@ -520,7 +535,10 @@ impl ClientCore {
         {
             let st = self.st.lock();
             if !st.txns.get(&txn).map(|t| t.is_active()).unwrap_or(false) {
-                return Err(FglError::InvalidTxnState { txn, state: "not active" });
+                return Err(FglError::InvalidTxnState {
+                    txn,
+                    state: "not active",
+                });
             }
         }
         let bytes = self.server.allocate_page(self.id, txn)?;
@@ -560,7 +578,11 @@ impl ClientCore {
                 let (b, a) = f(p)?;
                 (b, a, p.psn())
             };
-            fgl_common::fgl_trace!("{:?} write {oid} psn_before={:?} txn={txn}", self.id, psn_before);
+            fgl_common::fgl_trace!(
+                "{:?} write {oid} psn_before={:?} txn={txn}",
+                self.id,
+                psn_before
+            );
             let record = LogPayload::Update(UpdateRecord {
                 txn,
                 prev_lsn: prev,
@@ -613,7 +635,10 @@ impl ClientCore {
             .get(&txn)
             .filter(|t| t.is_active())
             .map(|t| t.last_lsn)
-            .ok_or(FglError::InvalidTxnState { txn, state: "not active" })
+            .ok_or(FglError::InvalidTxnState {
+                txn,
+                state: "not active",
+            })
     }
 
     fn after_update(&self, st: &mut ClientState, txn: TxnId, oid: ObjectId, lsn: Lsn) {
@@ -653,7 +678,10 @@ impl ClientCore {
             let decision = {
                 let mut st = self.st.lock();
                 if !st.txns.get(&txn).map(|t| t.is_active()).unwrap_or(false) {
-                    return Err(FglError::InvalidTxnState { txn, state: "not active" });
+                    return Err(FglError::InvalidTxnState {
+                        txn,
+                        state: "not active",
+                    });
                 }
                 match st.llm.acquire(txn, oid, mode, structural) {
                     LocalDecision::BlockedByCallback => {
@@ -697,27 +725,27 @@ impl ClientCore {
                         }
                     };
                     let granted = match resp {
-                        LockResponse::Granted { target, evidence, .. } => Some((target, evidence)),
-                        LockResponse::Wait(waiter) => {
-                            match waiter.wait(self.cfg.lock_timeout) {
-                                Some(GrantMsg::Granted { target, evidence, .. }) => {
-                                    Some((target, evidence))
-                                }
-                                Some(GrantMsg::Victim) => {
-                                    self.deadlock_victims.fetch_add(1, Ordering::Relaxed);
-                                    self.clear_inflight(txn);
-                                    self.on_lock_failure(txn, true)?;
-                                    return Err(FglError::DeadlockVictim(txn));
-                                }
-                                None => {
-                                    self.lock_timeouts.fetch_add(1, Ordering::Relaxed);
-                                    self.server.cancel_wait(self.id, txn);
-                                    self.clear_inflight(txn);
-                                    self.on_lock_failure(txn, true)?;
-                                    return Err(FglError::LockTimeout(txn));
-                                }
+                        LockResponse::Granted {
+                            target, evidence, ..
+                        } => Some((target, evidence)),
+                        LockResponse::Wait(waiter) => match waiter.wait(self.cfg.lock_timeout) {
+                            Some(GrantMsg::Granted {
+                                target, evidence, ..
+                            }) => Some((target, evidence)),
+                            Some(GrantMsg::Victim) => {
+                                self.deadlock_victims.fetch_add(1, Ordering::Relaxed);
+                                self.clear_inflight(txn);
+                                self.on_lock_failure(txn, true)?;
+                                return Err(FglError::DeadlockVictim(txn));
                             }
-                        }
+                            None => {
+                                self.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+                                self.server.cancel_wait(self.id, txn);
+                                self.clear_inflight(txn);
+                                self.on_lock_failure(txn, true)?;
+                                return Err(FglError::LockTimeout(txn));
+                            }
+                        },
                     };
                     if let Some((eff, evidence)) = granted {
                         fgl_common::fgl_trace!(
@@ -741,13 +769,12 @@ impl ClientCore {
                         // inter-client update order from these records.
                         if mode == ObjMode::X {
                             if let Some((from, psn)) = evidence {
-                                let record = LogPayload::Callback(
-                                    fgl_wal::records::CallbackRecord {
+                                let record =
+                                    LogPayload::Callback(fgl_wal::records::CallbackRecord {
                                         object: oid,
                                         from_client: from,
                                         psn,
-                                    },
-                                );
+                                    });
                                 let _ = self.append(&mut st, &record, true);
                             }
                         }
@@ -773,7 +800,13 @@ impl ClientCore {
             self.rollback_chain(txn, Lsn::NIL)?;
             let mut st = self.st.lock();
             let prev = st.txns.get(&txn).map(|t| t.last_lsn).unwrap_or(Lsn::NIL);
-            self.append_critical(&mut st, &LogPayload::Abort { txn, prev_lsn: prev })?;
+            self.append_critical(
+                &mut st,
+                &LogPayload::Abort {
+                    txn,
+                    prev_lsn: prev,
+                },
+            )?;
             if let Some(t) = st.txns.get_mut(&txn) {
                 t.status = TxnStatus::Aborted;
             }
@@ -1016,9 +1049,10 @@ impl ClientCore {
                 redo_lsn: e.redo_lsn,
             })
             .collect();
-        let lsn = st
-            .wal
-            .append_critical(&LogPayload::ClientCheckpoint { active_txns: active, dpt })?;
+        let lsn = st.wal.append_critical(&LogPayload::ClientCheckpoint {
+            active_txns: active,
+            dpt,
+        })?;
         st.wal.force()?;
         st.wal.set_checkpoint(lsn)?;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
@@ -1039,10 +1073,10 @@ impl ClientCore {
             // Find the next record to undo.
             let entry = {
                 let st = self.st.lock();
-                let t = st
-                    .txns
-                    .get(&txn)
-                    .ok_or(FglError::InvalidTxnState { txn, state: "unknown" })?;
+                let t = st.txns.get(&txn).ok_or(FglError::InvalidTxnState {
+                    txn,
+                    state: "unknown",
+                })?;
                 let mut cur = t.last_lsn;
                 // Follow CLR undo-next pointers without re-undoing.
                 let rec = loop {
@@ -1065,7 +1099,9 @@ impl ClientCore {
                 };
                 rec
             };
-            let Some((_lsn, u)) = entry else { return Ok(()) };
+            let Some((_lsn, u)) = entry else {
+                return Ok(());
+            };
             // Undo needs the page; it may have been replaced.
             self.ensure_page_present(u.object.page)?;
             let mut st = self.st.lock();

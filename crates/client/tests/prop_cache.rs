@@ -1,15 +1,16 @@
-//! Property tests for the client cache: merge-on-install never loses
+//! Randomized tests for the client cache: merge-on-install never loses
 //! locally dirty state, evictions surface every dirty page, and the cache
-//! never exceeds capacity.
+//! never exceeds capacity. Operation sequences come from the in-tree
+//! deterministic PRNG so each case replays from its seed.
 
 use fgl_client::cache::ClientCache;
+use fgl_common::rng::DetRng;
 use fgl_common::{PageId, Psn, SlotId};
 use fgl_storage::page::Page;
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum CacheOp {
-    /// Install a server copy of page `p` (fresh generation `r`).
+    /// Install a server copy of page `p` (fresh generation if `r` even).
     Install { p: u64, r: u8 },
     /// Locally update slot 0 of a cached page.
     Update { p: u64, v: u8 },
@@ -17,12 +18,19 @@ enum CacheOp {
     Remove { p: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        (0u64..12, any::<u8>()).prop_map(|(p, r)| CacheOp::Install { p, r }),
-        (0u64..12, any::<u8>()).prop_map(|(p, v)| CacheOp::Update { p, v }),
-        (0u64..12).prop_map(|p| CacheOp::Remove { p }),
-    ]
+fn random_op(rng: &mut DetRng) -> CacheOp {
+    let p = rng.gen_range(12);
+    match rng.gen_range(3) {
+        0 => CacheOp::Install {
+            p,
+            r: rng.gen_range(256) as u8,
+        },
+        1 => CacheOp::Update {
+            p,
+            v: rng.gen_range(256) as u8,
+        },
+        _ => CacheOp::Remove { p },
+    }
 }
 
 fn server_copy(p: u64, generation: u64) -> Page {
@@ -34,13 +42,15 @@ fn server_copy(p: u64, generation: u64) -> Page {
     page
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Capacity is a hard bound; every evicted dirty page is surfaced;
-    /// local updates survive merges with any incoming server copy.
-    #[test]
-    fn cache_invariants(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+/// Capacity is a hard bound; every evicted dirty page is surfaced;
+/// local updates survive merges with any incoming server copy.
+#[test]
+fn cache_invariants() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0xCAC4E ^ case);
+        let ops: Vec<CacheOp> = (0..rng.range_usize(1, 80))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let capacity = 4;
         let mut cache = ClientCache::new(capacity);
         // Track which pages we dirtied locally and with what value.
@@ -61,16 +71,13 @@ proptest! {
                     if let Some(e) = ev {
                         // Dirty evictions carry the page; it must be one
                         // we dirtied, and its content must be our value.
-                        prop_assert!(e.dirty);
+                        assert!(e.dirty);
                         let pid = e.page.id().0;
                         let v = local.remove(&pid);
-                        prop_assert!(v.is_some(), "evicted dirty page we never dirtied");
-                        prop_assert_eq!(
-                            e.page.read_object(SlotId(0)).unwrap()[0],
-                            v.unwrap()
-                        );
+                        assert!(v.is_some(), "evicted dirty page we never dirtied");
+                        assert_eq!(e.page.read_object(SlotId(0)).unwrap()[0], v.unwrap());
                     }
-                    prop_assert!(cache.len() <= capacity);
+                    assert!(cache.len() <= capacity);
                 }
                 CacheOp::Update { p, v } => {
                     if cache.contains(PageId(p)) {
@@ -80,7 +87,7 @@ proptest! {
                             .write_object(SlotId(0), &[v; 16])
                             .unwrap();
                         local.insert(p, v);
-                        prop_assert!(cache.is_dirty(PageId(p)));
+                        assert!(cache.is_dirty(PageId(p)));
                     }
                 }
                 CacheOp::Remove { p } => {
@@ -92,18 +99,15 @@ proptest! {
             // (merges must never wash out the newer local update).
             for (&p, &v) in &local {
                 if let Some(page) = cache.peek(PageId(p)) {
-                    prop_assert_eq!(page.read_object(SlotId(0)).unwrap()[0], v);
-                    prop_assert!(cache.is_dirty(PageId(p)));
+                    assert_eq!(page.read_object(SlotId(0)).unwrap()[0], v);
+                    assert!(cache.is_dirty(PageId(p)));
                 }
             }
             // Clean cached pages show the latest installed generation.
             for (&p, &g) in &gen {
                 if !local.contains_key(&p) {
                     if let Some(page) = cache.peek(PageId(p)) {
-                        prop_assert_eq!(
-                            page.read_object(SlotId(0)).unwrap()[0],
-                            (g % 251) as u8
-                        );
+                        assert_eq!(page.read_object(SlotId(0)).unwrap()[0], (g % 251) as u8);
                     }
                 }
             }

@@ -21,7 +21,9 @@ fn system(cfg: SystemConfig) -> (Arc<ServerCore>, Vec<Arc<ClientCore>>) {
 fn commit_of_unknown_txn_fails() {
     let (_s, cs) = system(SystemConfig::default());
     let c = &cs[0];
-    let err = c.commit(fgl_common::TxnId::compose(c.id(), 999)).unwrap_err();
+    let err = c
+        .commit(fgl_common::TxnId::compose(c.id(), 999))
+        .unwrap_err();
     assert!(matches!(err, FglError::InvalidTxnState { .. }));
 }
 
@@ -31,10 +33,7 @@ fn double_commit_fails() {
     let c = &cs[0];
     let t = c.begin().unwrap();
     c.commit(t).unwrap();
-    assert!(matches!(
-        c.commit(t),
-        Err(FglError::InvalidTxnState { .. })
-    ));
+    assert!(matches!(c.commit(t), Err(FglError::InvalidTxnState { .. })));
 }
 
 #[test]
@@ -113,9 +112,11 @@ fn dpt_tracks_dirty_pages_and_harden_clears_it() {
 
 #[test]
 fn log_usage_grows_and_reclamation_frees() {
-    let mut cfg = SystemConfig::default();
-    cfg.client_log_bytes = 64 << 10;
-    cfg.client_checkpoint_every = u64::MAX / 2;
+    let cfg = SystemConfig {
+        client_log_bytes: 64 << 10,
+        client_checkpoint_every: u64::MAX / 2,
+        ..Default::default()
+    };
     let (_s, cs) = system(cfg);
     let c = &cs[0];
     let t = c.begin().unwrap();
@@ -136,7 +137,8 @@ fn log_usage_grows_and_reclamation_frees() {
     assert!(used1 < cap);
     assert!(used0 < cap);
     assert!(
-        c.stats().log_stall_events > 0 || c.stats().forced_flush_requests > 0
+        c.stats().log_stall_events > 0
+            || c.stats().forced_flush_requests > 0
             || c.stats().checkpoints > 0,
         "a 64 KiB log must have triggered reclamation machinery"
     );

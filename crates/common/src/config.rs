@@ -7,11 +7,10 @@
 //! runs the same code paths except for the policy under study.
 
 use crate::error::{FglError, Result};
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Granularity of concurrency control (§2, §3.1, §4.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockGranularity {
     /// Object-level locks with page-level intention locks — the paper's
     /// primary setting.
@@ -25,7 +24,7 @@ pub enum LockGranularity {
 
 /// How concurrent updates by different clients to the same page are
 /// reconciled (§3.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum UpdatePolicy {
     /// Multiple outstanding updates; the server (and callbacks) merge page
     /// copies — the paper's approach.
@@ -37,7 +36,7 @@ pub enum UpdatePolicy {
 }
 
 /// Where log records live and what commit ships (§4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommitPolicy {
     /// Client-based logging: force the *private* log at commit; nothing is
     /// shipped to the server — the paper's approach.
@@ -56,7 +55,7 @@ pub enum CommitPolicy {
 /// Defaults model a small workstation network: 4 KiB pages, modest caches,
 /// and zero injected latency (pure algorithmic costs); benchmarks override
 /// what they sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SystemConfig {
     /// Size of a database page in bytes.
     pub page_size: usize,
@@ -85,6 +84,11 @@ pub struct SystemConfig {
     pub net_latency: Duration,
     /// Simulated latency added to every disk I/O (log force, page write).
     pub disk_latency: Duration,
+    /// Number of independent server shards. Pages are partitioned by
+    /// `PageId % server_shards`; each shard owns its slice of the lock
+    /// table, buffer pool and DCT so requests on different pages never
+    /// contend. `1` reproduces the unsharded server.
+    pub server_shards: usize,
 }
 
 impl Default for SystemConfig {
@@ -103,6 +107,7 @@ impl Default for SystemConfig {
             lock_timeout: Duration::from_secs(5),
             net_latency: Duration::ZERO,
             disk_latency: Duration::ZERO,
+            server_shards: 1,
         }
     }
 }
@@ -136,6 +141,12 @@ impl SystemConfig {
         if self.lock_timeout < Duration::from_millis(10) {
             return Err(FglError::Config("lock_timeout below 10ms".into()));
         }
+        if self.server_shards == 0 || self.server_shards > 256 {
+            return Err(FglError::Config(format!(
+                "server_shards {} out of supported range [1, 256]",
+                self.server_shards
+            )));
+        }
         Ok(())
     }
 
@@ -156,6 +167,12 @@ impl SystemConfig {
         self.commit_policy = p;
         self
     }
+
+    /// Builder-style setter for the server shard count.
+    pub fn with_server_shards(mut self, n: usize) -> Self {
+        self.server_shards = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -169,8 +186,10 @@ mod tests {
 
     #[test]
     fn rejects_tiny_and_odd_page_sizes() {
-        let mut c = SystemConfig::default();
-        c.page_size = 64;
+        let mut c = SystemConfig {
+            page_size: 64,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c.page_size = 5000;
         assert!(c.validate().is_err());
@@ -180,12 +199,16 @@ mod tests {
 
     #[test]
     fn rejects_zero_caches_and_tiny_logs() {
-        let mut c = SystemConfig::default();
-        c.client_cache_pages = 0;
+        let c = SystemConfig {
+            client_cache_pages: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SystemConfig::default();
-        c.client_log_bytes = 1024;
+        let c = SystemConfig {
+            client_log_bytes: 1024,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -194,9 +217,24 @@ mod tests {
         let c = SystemConfig::default()
             .with_granularity(LockGranularity::Page)
             .with_update_policy(UpdatePolicy::UpdateToken)
-            .with_commit_policy(CommitPolicy::ServerLog);
+            .with_commit_policy(CommitPolicy::ServerLog)
+            .with_server_shards(4);
         assert_eq!(c.granularity, LockGranularity::Page);
         assert_eq!(c.update_policy, UpdatePolicy::UpdateToken);
         assert_eq!(c.commit_policy, CommitPolicy::ServerLog);
+        assert_eq!(c.server_shards, 4);
+    }
+
+    #[test]
+    fn rejects_zero_or_excessive_shards() {
+        let mut c = SystemConfig {
+            server_shards: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c.server_shards = 512;
+        assert!(c.validate().is_err());
+        c.server_shards = 8;
+        assert!(c.validate().is_ok());
     }
 }

@@ -21,7 +21,11 @@ pub enum FglError {
     /// An object that was expected to exist could not be found on its page.
     ObjectNotFound(ObjectId),
     /// Not enough free space on a page for an allocation or resize.
-    PageFull { page: PageId, needed: usize, free: usize },
+    PageFull {
+        page: PageId,
+        needed: usize,
+        free: usize,
+    },
     /// The transaction was chosen as a deadlock victim and must roll back.
     DeadlockVictim(TxnId),
     /// A lock request timed out (backstop for undetected distributed waits).
@@ -112,7 +116,7 @@ mod tests {
 
     #[test]
     fn io_error_wraps_with_source() {
-        let e: FglError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: FglError = io::Error::other("boom").into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("boom"));
     }

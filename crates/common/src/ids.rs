@@ -10,44 +10,43 @@
 //! * Objects live inside pages; an [`ObjectId`] is a (page, slot) pair,
 //!   mirroring classic page-server OODBs where object ids embed the page.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a database page.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId(pub u64);
 
 /// Slot index of an object within its page.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlotId(pub u16);
 
 /// Identifier of an object: the page holding it plus the slot inside that
 /// page. Page-server systems ship whole pages, so the page component is the
 /// unit of transfer while the object is the unit of locking.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId {
     pub page: PageId,
     pub slot: SlotId,
 }
 
 /// Identifier of a client workstation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(pub u32);
 
 /// Globally unique transaction identifier.
 ///
 /// Transactions execute entirely at the client that started them (§2), so
 /// uniqueness is achieved by embedding the client id in the high bits.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
 /// Log sequence number: the address of a log record in a private log file.
 /// `Lsn(0)` is reserved as "nil" (no record).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Lsn(pub u64);
 
 /// Page sequence number (see module docs).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Psn(pub u64);
 
 impl PageId {
@@ -235,10 +234,7 @@ mod tests {
     #[test]
     fn display_formats_are_compact() {
         assert_eq!(format!("{}", PageId(3)), "P3");
-        assert_eq!(
-            format!("{}", ObjectId::new(PageId(3), SlotId(1))),
-            "P3.s1"
-        );
+        assert_eq!(format!("{}", ObjectId::new(PageId(3), SlotId(1))), "P3.s1");
         assert_eq!(format!("{}", TxnId::compose(ClientId(2), 5)), "T2.5");
     }
 }

@@ -23,8 +23,10 @@
 //! for the server runtime to act on.
 
 use crate::mode::{LockTarget, Mode, ObjMode};
+use crate::waitgraph::WaitGraph;
 use fgl_common::{ClientId, ObjectId, PageId, SlotId, TxnId};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// A callback request the server must send to a client.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -133,12 +135,16 @@ enum Conflict {
     ObjLevel(ClientId, SlotId, ObjMode),
 }
 
-/// The global lock manager.
+/// The global lock manager — one instance per server shard (pages are
+/// partitioned across shards by the runtime; the unsharded server is the
+/// one-shard case).
 #[derive(Default)]
 pub struct GlmCore {
     pages: HashMap<PageId, PageLocks>,
-    /// Waits-for edges: waiting txn -> blocking txns.
-    edges: HashMap<TxnId, HashSet<TxnId>>,
+    /// Waits-for graph (deferral + queue edges). Shared across every GLM
+    /// shard of a server so deadlock cycles spanning shards are detected;
+    /// a standalone `GlmCore::new()` owns a private instance.
+    graph: Arc<WaitGraph>,
     /// Clients currently marked crashed (their callbacks queue at the
     /// server runtime; the GLM only needs it to skip S-lock grants held
     /// by ghosts).
@@ -148,6 +154,14 @@ pub struct GlmCore {
 impl GlmCore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A shard-local lock table feeding the given shared waits-for graph.
+    pub fn with_graph(graph: Arc<WaitGraph>) -> Self {
+        GlmCore {
+            graph,
+            ..Self::default()
+        }
     }
 
     // ---- conflict computation -------------------------------------------
@@ -160,7 +174,12 @@ impl GlmCore {
         }
     }
 
-    fn conflicts_for(&self, entry: &PageLocks, client: ClientId, target: &LockTarget) -> Vec<Conflict> {
+    fn conflicts_for(
+        &self,
+        entry: &PageLocks,
+        client: ClientId,
+        target: &LockTarget,
+    ) -> Vec<Conflict> {
         let mut out = Vec::new();
         // The mode the client's page entry would take if granted: its
         // current holding folded with the request (e.g. IX + page-S =
@@ -228,16 +247,17 @@ impl GlmCore {
                     },
                 },
                 // Page-granularity requests.
-                (LockTarget::Page(..) | LockTarget::PageAdaptive(..), Conflict::PageLevel(h, pm)) => {
-                    CallbackAction {
-                        to: *h,
-                        kind: if mode == ObjMode::S && *pm == Mode::X {
-                            CallbackKind::DowngradePage(page)
-                        } else {
-                            CallbackKind::ReleasePage(page)
-                        },
-                    }
-                }
+                (
+                    LockTarget::Page(..) | LockTarget::PageAdaptive(..),
+                    Conflict::PageLevel(h, pm),
+                ) => CallbackAction {
+                    to: *h,
+                    kind: if mode == ObjMode::S && *pm == Mode::X {
+                        CallbackKind::DowngradePage(page)
+                    } else {
+                        CallbackKind::ReleasePage(page)
+                    },
+                },
                 (
                     LockTarget::Page(..) | LockTarget::PageAdaptive(..),
                     Conflict::ObjLevel(h, slot, om),
@@ -360,6 +380,7 @@ impl GlmCore {
                 events.push(GlmEvent::SendCallback(cb));
             }
         }
+        self.publish_queue_edges(page);
         // Queue-order edges may have closed a cycle right away.
         if let Some(victim) = self.find_deadlock_victim(txn) {
             events.push(GlmEvent::AbortTxn {
@@ -368,10 +389,18 @@ impl GlmCore {
             });
             events.extend(self.cancel_wait(victim));
             if victim == txn {
-                return (LockOutcome::Queued, effective, self.suppress_crashed(events));
+                return (
+                    LockOutcome::Queued,
+                    effective,
+                    self.suppress_crashed(events),
+                );
             }
         }
-        (LockOutcome::Queued, effective, self.suppress_crashed(events))
+        (
+            LockOutcome::Queued,
+            effective,
+            self.suppress_crashed(events),
+        )
     }
 
     /// Drop `SendCallback` events addressed to crashed clients: they stay
@@ -443,12 +472,7 @@ impl GlmCore {
                         .collect()
                 };
                 for (wtxn, _) in &waiting {
-                    let e = self.edges.entry(*wtxn).or_default();
-                    for b in &blockers {
-                        if *b != *wtxn {
-                            e.insert(*b);
-                        }
-                    }
+                    self.graph.add_deferrals(*wtxn, &blockers);
                 }
                 for (wtxn, _) in &waiting {
                     if let Some(victim) = self.find_deadlock_victim(*wtxn) {
@@ -532,7 +556,10 @@ impl GlmCore {
         let Some(entry) = self.pages.get_mut(&page) else {
             return;
         };
-        let real = matches!(entry.page_holders.get(&client), Some(Mode::S) | Some(Mode::X));
+        let real = matches!(
+            entry.page_holders.get(&client),
+            Some(Mode::S) | Some(Mode::X)
+        );
         if real {
             return;
         }
@@ -589,7 +616,7 @@ impl GlmCore {
                         .waiters
                         .remove(i)
                         .unwrap();
-                    self.edges.remove(&w.txn);
+                    self.graph.remove_waiter_row(w.txn);
                     let first_x = self.do_grant(w.client, &w.target);
                     events.push(GlmEvent::Grant {
                         client: w.client,
@@ -621,15 +648,13 @@ impl GlmCore {
         if entry.is_empty() {
             self.pages.remove(&page);
         }
+        self.publish_queue_edges(page);
         events
     }
 
     /// Remove a waiter (timeout, abort, deadlock victim).
     pub fn cancel_wait(&mut self, txn: TxnId) -> Vec<GlmEvent> {
-        self.edges.remove(&txn);
-        for edges in self.edges.values_mut() {
-            edges.remove(&txn);
-        }
+        self.graph.forget_txn(txn);
         let mut touched = Vec::new();
         for (pid, entry) in self.pages.iter_mut() {
             let before = entry.waiters.len();
@@ -647,57 +672,38 @@ impl GlmCore {
 
     // ---- deadlock detection ------------------------------------------------
 
-    /// The full waits-for graph: stored deferral edges (waiter txn →
-    /// blocking txns named in deferred callback replies) plus **queue
-    /// edges** computed from the waiter queues — a waiter behind an
-    /// earlier conflicting waiter waits for that waiter's transaction.
-    /// Without the queue edges, cycles that thread through FIFO ordering
-    /// are invisible until the timeout backstop fires.
-    fn waits_for_edges(&self) -> HashMap<TxnId, HashSet<TxnId>> {
-        let mut graph: HashMap<TxnId, HashSet<TxnId>> = self.edges.clone();
-        for entry in self.pages.values() {
-            let ws: Vec<&Waiter> = entry.waiters.iter().collect();
-            for (i, w) in ws.iter().enumerate() {
-                for earlier in ws.iter().take(i) {
-                    if earlier.client != w.client
-                        && Self::targets_conflict(&earlier.target, &w.target)
-                    {
-                        graph.entry(w.txn).or_default().insert(earlier.txn);
+    /// Republish this page's **queue edges** to the shared waits-for
+    /// graph: a waiter behind an earlier conflicting waiter waits for
+    /// that waiter's transaction. Without the queue edges, cycles that
+    /// thread through FIFO ordering are invisible until the timeout
+    /// backstop fires. Called after every waiter-queue change; a page
+    /// belongs to exactly one shard, so publications never race.
+    fn publish_queue_edges(&self, page: PageId) {
+        let edges = match self.pages.get(&page) {
+            Some(entry) => {
+                let ws: Vec<&Waiter> = entry.waiters.iter().collect();
+                let mut out = Vec::new();
+                for (i, w) in ws.iter().enumerate() {
+                    for earlier in ws.iter().take(i) {
+                        if earlier.client != w.client
+                            && Self::targets_conflict(&earlier.target, &w.target)
+                        {
+                            out.push((w.txn, earlier.txn));
+                        }
                     }
                 }
+                out
             }
-        }
-        graph
+            None => Vec::new(),
+        };
+        self.graph.publish_queue_edges(page, edges);
     }
 
-    /// DFS from `start` over waits-for edges; on a cycle through `start`,
-    /// pick the youngest member as victim.
+    /// Cycle search over the shared graph (deferral edges from every
+    /// shard plus the republished queue edges); the youngest cycle member
+    /// (largest local sequence, tie-broken by raw id) is the victim.
     fn find_deadlock_victim(&self, start: TxnId) -> Option<TxnId> {
-        let graph = self.waits_for_edges();
-        // Collect all cycles through start with an iterative DFS keeping
-        // the path.
-        let mut stack = vec![(start, vec![start])];
-        let mut visited: HashSet<TxnId> = HashSet::new();
-        while let Some((node, path)) = stack.pop() {
-            if let Some(nexts) = graph.get(&node) {
-                for &n in nexts {
-                    if n == start {
-                        // Cycle found: pick the youngest (largest local
-                        // sequence, tie-broken by raw id).
-                        return path
-                            .iter()
-                            .copied()
-                            .max_by_key(|t| (t.local_seq(), t.0));
-                    }
-                    if visited.insert(n) {
-                        let mut p = path.clone();
-                        p.push(n);
-                        stack.push((n, p));
-                    }
-                }
-            }
-        }
-        None
+        self.graph.find_victim(start)
     }
 
     // ---- voluntary release / crash handling ---------------------------------
@@ -1159,8 +1165,13 @@ mod tests {
         assert_eq!(o, LockOutcome::Queued);
         // The callback is recorded as outstanding but *sent* only via the
         // pending list once C1 recovers.
-        assert!(ev.is_empty() || !ev.iter().any(|e| matches!(e, GlmEvent::SendCallback(cb) if cb.to == C1)),
-            "callback to crashed client must be suppressed: {ev:?}");
+        assert!(
+            ev.is_empty()
+                || !ev
+                    .iter()
+                    .any(|e| matches!(e, GlmEvent::SendCallback(cb) if cb.to == C1)),
+            "callback to crashed client must be suppressed: {ev:?}"
+        );
         let pending = g.pending_callbacks_for(C1);
         assert_eq!(
             pending,
@@ -1263,7 +1274,9 @@ mod tests {
         let ev = g.callback_reply(
             C2,
             CallbackKind::ReleaseObject(obj(1, 1)),
-            CallbackReply::Deferred { blockers: vec![t(C2, 2)] },
+            CallbackReply::Deferred {
+                blockers: vec![t(C2, 2)],
+            },
         );
         assert!(
             !ev.iter().any(|e| matches!(e, GlmEvent::AbortTxn { .. })),
@@ -1274,10 +1287,13 @@ mod tests {
         let ev = g.callback_reply(
             C1,
             CallbackKind::ReleaseObject(obj(1, 0)),
-            CallbackReply::Deferred { blockers: vec![t(C1, 1)] },
+            CallbackReply::Deferred {
+                blockers: vec![t(C1, 1)],
+            },
         );
         assert!(
-            ev.iter().any(|e| matches!(e, GlmEvent::AbortTxn { txn, .. } if *txn == t(C2, 2))),
+            ev.iter()
+                .any(|e| matches!(e, GlmEvent::AbortTxn { txn, .. } if *txn == t(C2, 2))),
             "cycle must be broken: {ev:?}"
         );
     }
@@ -1294,12 +1310,16 @@ mod tests {
         let ev1 = g.callback_reply(
             C2,
             CallbackKind::ReleaseObject(obj(1, 0)),
-            CallbackReply::Deferred { blockers: vec![t(C2, 5)] },
+            CallbackReply::Deferred {
+                blockers: vec![t(C2, 5)],
+            },
         );
         let ev2 = g.callback_reply(
             C1,
             CallbackKind::ReleaseObject(obj(1, 0)),
-            CallbackReply::Deferred { blockers: vec![t(C1, 900)] },
+            CallbackReply::Deferred {
+                blockers: vec![t(C1, 900)],
+            },
         );
         let victims: Vec<TxnId> = ev1
             .iter()

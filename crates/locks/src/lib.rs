@@ -21,7 +21,9 @@
 pub mod glm;
 pub mod llm;
 pub mod mode;
+pub mod waitgraph;
 
 pub use glm::{CallbackAction, CallbackKind, CallbackReply, GlmCore, GlmEvent, LockOutcome};
 pub use llm::{LlmCore, LocalDecision};
 pub use mode::{LockTarget, Mode, ObjMode};
+pub use waitgraph::WaitGraph;

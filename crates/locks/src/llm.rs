@@ -94,7 +94,12 @@ impl LlmCore {
     /// Transactions with an in-flight global request overlapping the
     /// called-back resource. `min` filters downgrades (only X-mode
     /// requests block a downgrade).
-    fn inflight_blockers(&self, page: PageId, slot: Option<fgl_common::SlotId>, min: ObjMode) -> Vec<TxnId> {
+    fn inflight_blockers(
+        &self,
+        page: PageId,
+        slot: Option<fgl_common::SlotId>,
+        min: ObjMode,
+    ) -> Vec<TxnId> {
         let mut out: Vec<TxnId> = self
             .inflight
             .iter()
@@ -192,8 +197,7 @@ impl LlmCore {
             }
             CallbackKind::DowngradePage(p) => {
                 *p == page
-                    && (mode == ObjMode::X
-                        || matches!(target, LockTarget::Page(_, ObjMode::X)))
+                    && (mode == ObjMode::X || matches!(target, LockTarget::Page(_, ObjMode::X)))
                     && !self.txn_uses_page(txn, page, ObjMode::X)
             }
             CallbackKind::DeEscalatePage(_) => false,
@@ -215,7 +219,10 @@ impl LlmCore {
         }
         let covered = match &target {
             LockTarget::Object(o, m) => {
-                self.object_locks.get(o).map(|h| h.covers(*m)).unwrap_or(false)
+                self.object_locks
+                    .get(o)
+                    .map(|h| h.covers(*m))
+                    .unwrap_or(false)
                     || self
                         .page_locks
                         .get(&o.page)
@@ -240,7 +247,13 @@ impl LlmCore {
     }
 
     /// The server granted a (possibly adaptive-converted) target.
-    pub fn global_granted(&mut self, txn: TxnId, object: ObjectId, mode: ObjMode, granted: LockTarget) {
+    pub fn global_granted(
+        &mut self,
+        txn: TxnId,
+        object: ObjectId,
+        mode: ObjMode,
+        granted: LockTarget,
+    ) {
         match granted {
             LockTarget::Object(o, m) => {
                 let e = self.object_locks.entry(o).or_insert(m);
@@ -432,11 +445,15 @@ impl LlmCore {
             let still_blocked = match kind {
                 CallbackKind::ReleaseObject(o) => {
                     !self.users(Res::Object(o), ObjMode::S).is_empty()
-                        || !self.inflight_blockers(o.page, Some(o.slot), ObjMode::S).is_empty()
+                        || !self
+                            .inflight_blockers(o.page, Some(o.slot), ObjMode::S)
+                            .is_empty()
                 }
                 CallbackKind::DowngradeObject(o) => {
                     !self.users(Res::Object(o), ObjMode::X).is_empty()
-                        || !self.inflight_blockers(o.page, Some(o.slot), ObjMode::X).is_empty()
+                        || !self
+                            .inflight_blockers(o.page, Some(o.slot), ObjMode::X)
+                            .is_empty()
                 }
                 CallbackKind::ReleasePage(p) => {
                     !self.page_users(p, ObjMode::S).is_empty()
@@ -465,7 +482,10 @@ impl LlmCore {
 
     /// Cached mode for an object, considering a covering page lock.
     pub fn cached_mode(&self, object: ObjectId) -> Option<ObjMode> {
-        match (self.object_locks.get(&object), self.page_locks.get(&object.page)) {
+        match (
+            self.object_locks.get(&object),
+            self.page_locks.get(&object.page),
+        ) {
             (Some(&a), Some(&b)) => Some(a.max(b)),
             (Some(&a), None) => Some(a),
             (None, Some(&b)) => Some(b),
@@ -475,8 +495,7 @@ impl LlmCore {
 
     /// Does the client hold any lock touching `page`?
     pub fn holds_any_on_page(&self, page: PageId) -> bool {
-        self.page_locks.contains_key(&page)
-            || self.object_locks.keys().any(|o| o.page == page)
+        self.page_locks.contains_key(&page) || self.object_locks.keys().any(|o| o.page == page)
     }
 
     /// All cached locks, as GLM targets (reported to the server during its
@@ -560,7 +579,12 @@ mod tests {
     #[test]
     fn cached_lock_grants_locally_across_txns() {
         let mut l = llm();
-        l.global_granted(t(1), obj(1, 0), ObjMode::X, LockTarget::Object(obj(1, 0), ObjMode::X));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::X,
+            LockTarget::Object(obj(1, 0), ObjMode::X),
+        );
         l.end_txn(t(1));
         // A later transaction reuses the cached X lock, for S or X.
         assert_eq!(
@@ -576,7 +600,12 @@ mod tests {
     #[test]
     fn cached_s_does_not_cover_x() {
         let mut l = llm();
-        l.global_granted(t(1), obj(1, 0), ObjMode::S, LockTarget::Object(obj(1, 0), ObjMode::S));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::S,
+            LockTarget::Object(obj(1, 0), ObjMode::S),
+        );
         assert_eq!(
             l.acquire(t(1), obj(1, 0), ObjMode::X, false),
             LocalDecision::NeedGlobal(LockTarget::Object(obj(1, 0), ObjMode::X))
@@ -628,7 +657,12 @@ mod tests {
     #[test]
     fn callback_on_unused_lock_is_immediate() {
         let mut l = llm();
-        l.global_granted(t(1), obj(1, 0), ObjMode::X, LockTarget::Object(obj(1, 0), ObjMode::X));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::X,
+            LockTarget::Object(obj(1, 0), ObjMode::X),
+        );
         l.end_txn(t(1));
         let r = l.handle_callback(CallbackKind::ReleaseObject(obj(1, 0)));
         assert_eq!(r, CallbackReply::Done { retained: vec![] });
@@ -638,7 +672,12 @@ mod tests {
     #[test]
     fn callback_on_in_use_lock_defers_until_end() {
         let mut l = llm();
-        l.global_granted(t(1), obj(1, 0), ObjMode::X, LockTarget::Object(obj(1, 0), ObjMode::X));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::X,
+            LockTarget::Object(obj(1, 0), ObjMode::X),
+        );
         let r = l.handle_callback(CallbackKind::ReleaseObject(obj(1, 0)));
         assert_eq!(
             r,
@@ -661,7 +700,12 @@ mod tests {
     #[test]
     fn downgrade_callback_defers_only_on_x_use() {
         let mut l = llm();
-        l.global_granted(t(1), obj(1, 0), ObjMode::X, LockTarget::Object(obj(1, 0), ObjMode::X));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::X,
+            LockTarget::Object(obj(1, 0), ObjMode::X),
+        );
         l.end_txn(t(1));
         // Reader uses it in S: downgrade X->S can proceed immediately.
         assert_eq!(
@@ -703,7 +747,12 @@ mod tests {
     #[test]
     fn release_page_defers_on_any_use() {
         let mut l = LlmCore::new(LockGranularity::Page, UpdatePolicy::MergeCopies);
-        l.global_granted(t(1), obj(1, 0), ObjMode::S, LockTarget::Page(PageId(1), ObjMode::S));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::S,
+            LockTarget::Page(PageId(1), ObjMode::S),
+        );
         let r = l.handle_callback(CallbackKind::ReleasePage(PageId(1)));
         assert_eq!(
             r,
@@ -719,8 +768,18 @@ mod tests {
     #[test]
     fn crash_clear_and_reinstall() {
         let mut l = llm();
-        l.global_granted(t(1), obj(1, 0), ObjMode::X, LockTarget::Object(obj(1, 0), ObjMode::X));
-        l.global_granted(t(1), obj(2, 0), ObjMode::S, LockTarget::Object(obj(2, 0), ObjMode::S));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::X,
+            LockTarget::Object(obj(1, 0), ObjMode::X),
+        );
+        l.global_granted(
+            t(1),
+            obj(2, 0),
+            ObjMode::S,
+            LockTarget::Object(obj(2, 0), ObjMode::S),
+        );
         l.clear();
         assert_eq!(l.cached_mode(obj(1, 0)), None);
         l.reinstall_exclusive(&[
@@ -734,8 +793,18 @@ mod tests {
     #[test]
     fn all_locks_reports_everything() {
         let mut l = llm();
-        l.global_granted(t(1), obj(1, 0), ObjMode::X, LockTarget::Object(obj(1, 0), ObjMode::X));
-        l.global_granted(t(1), obj(2, 0), ObjMode::S, LockTarget::Page(PageId(2), ObjMode::S));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::X,
+            LockTarget::Object(obj(1, 0), ObjMode::X),
+        );
+        l.global_granted(
+            t(1),
+            obj(2, 0),
+            ObjMode::S,
+            LockTarget::Page(PageId(2), ObjMode::S),
+        );
         let locks = l.all_locks();
         assert_eq!(locks.len(), 2);
         assert!(locks.contains(&LockTarget::Object(obj(1, 0), ObjMode::X)));
@@ -756,7 +825,12 @@ mod tests {
             }
         );
         // Grant lands; usage registered; request concluded.
-        l.global_granted(t(1), obj(1, 0), ObjMode::X, LockTarget::Object(obj(1, 0), ObjMode::X));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::X,
+            LockTarget::Object(obj(1, 0), ObjMode::X),
+        );
         l.end_global_request(t(1));
         // Transaction ends: the deferred callback now completes.
         let completions = l.end_txn(t(1));
@@ -767,7 +841,12 @@ mod tests {
     #[test]
     fn inflight_on_other_object_does_not_defer() {
         let mut l = llm();
-        l.global_granted(t(9), obj(1, 1), ObjMode::X, LockTarget::Object(obj(1, 1), ObjMode::X));
+        l.global_granted(
+            t(9),
+            obj(1, 1),
+            ObjMode::X,
+            LockTarget::Object(obj(1, 1), ObjMode::X),
+        );
         l.end_txn(t(9));
         l.begin_global_request(t(1), LockTarget::Object(obj(1, 0), ObjMode::X));
         // Callback for a different slot: unaffected by the in-flight
@@ -797,7 +876,12 @@ mod tests {
     #[test]
     fn deferred_callback_with_two_blockers_waits_for_both() {
         let mut l = llm();
-        l.global_granted(t(1), obj(1, 0), ObjMode::S, LockTarget::Object(obj(1, 0), ObjMode::S));
+        l.global_granted(
+            t(1),
+            obj(1, 0),
+            ObjMode::S,
+            LockTarget::Object(obj(1, 0), ObjMode::S),
+        );
         l.acquire(t(2), obj(1, 0), ObjMode::S, false);
         let r = l.handle_callback(CallbackKind::ReleaseObject(obj(1, 0)));
         assert_eq!(

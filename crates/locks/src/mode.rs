@@ -116,9 +116,9 @@ impl LockTarget {
 
     pub fn mode(&self) -> ObjMode {
         match self {
-            LockTarget::Object(_, m) | LockTarget::Page(_, m) | LockTarget::PageAdaptive(_, m, _) => {
-                *m
-            }
+            LockTarget::Object(_, m)
+            | LockTarget::Page(_, m)
+            | LockTarget::PageAdaptive(_, m, _) => *m,
         }
     }
 }
@@ -150,10 +150,10 @@ mod tests {
         let all = [IS, IX, S, SIX, X];
         let expected = [
             // IS  IX    S     SIX    X
-            [true, true, true, true, false],    // IS
-            [true, true, false, false, false],  // IX
-            [true, false, true, false, false],  // S
-            [true, false, false, false, false], // SIX
+            [true, true, true, true, false],     // IS
+            [true, true, false, false, false],   // IX
+            [true, false, true, false, false],   // S
+            [true, false, false, false, false],  // SIX
             [false, false, false, false, false], // X
         ];
         for (i, &a) in all.iter().enumerate() {

@@ -1,0 +1,189 @@
+//! The process-global **waits-for graph** backing distributed deadlock
+//! detection.
+//!
+//! With the server's hot path sharded by page partition, each shard owns
+//! an independent [`GlmCore`](crate::glm::GlmCore) slice of the lock
+//! table — but a deadlock cycle can thread through pages living on
+//! *different* shards (txn A waits on a page in shard 0 while txn B waits
+//! on a page in shard 1). Detection therefore runs on one shared graph
+//! that every shard feeds:
+//!
+//! * **deferral edges** — waiter txn → blocking txns named in deferred
+//!   callback replies — are written directly;
+//! * **queue edges** — a waiter behind an earlier conflicting waiter in a
+//!   page's FIFO queue waits for that waiter's transaction — are
+//!   *republished per page* whenever a shard mutates that page's waiter
+//!   queue. A page maps to exactly one shard, so publications never race
+//!   on the same key.
+//!
+//! Locking discipline: a shard always acquires its own lock-table mutex
+//! **before** touching the graph, and the graph never calls back into a
+//! shard — the ordering `shard → graph` is acyclic, so cross-shard
+//! detection adds no deadlock risk of its own. The victim policy is the
+//! one the unsharded GLM used: the youngest cycle member, by
+//! `(local_seq, raw id)`.
+
+use fgl_common::{PageId, TxnId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Default)]
+struct Inner {
+    /// Stored deferral edges: waiting txn → blocking txns.
+    deferral: HashMap<TxnId, HashSet<TxnId>>,
+    /// Queue-order edges, keyed by the page whose waiter queue induced
+    /// them (waiter txn → earlier conflicting waiter's txn).
+    queue: HashMap<PageId, Vec<(TxnId, TxnId)>>,
+}
+
+/// Shared waits-for graph. One instance per server, shared by all GLM
+/// shards through an `Arc`.
+#[derive(Default)]
+pub struct WaitGraph {
+    inner: Mutex<Inner>,
+}
+
+impl WaitGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record deferral edges `txn → b` for every blocker (self-edges are
+    /// dropped).
+    pub fn add_deferrals(&self, txn: TxnId, blockers: &[TxnId]) {
+        let mut inner = self.inner.lock();
+        let e = inner.deferral.entry(txn).or_default();
+        for b in blockers {
+            if *b != txn {
+                e.insert(*b);
+            }
+        }
+    }
+
+    /// A queued request was granted: the txn no longer waits, so its
+    /// outgoing deferral edges go away (it may still block others).
+    pub fn remove_waiter_row(&self, txn: TxnId) {
+        self.inner.lock().deferral.remove(&txn);
+    }
+
+    /// Forget a transaction entirely (abort, timeout, deadlock victim):
+    /// drop its outgoing edges and remove it from every blocker set.
+    pub fn forget_txn(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        inner.deferral.remove(&txn);
+        for edges in inner.deferral.values_mut() {
+            edges.remove(&txn);
+        }
+    }
+
+    /// Replace the queue edges contributed by `page` (the owning shard
+    /// calls this after any waiter-queue change; an empty list clears the
+    /// page's contribution).
+    pub fn publish_queue_edges(&self, page: PageId, edges: Vec<(TxnId, TxnId)>) {
+        let mut inner = self.inner.lock();
+        if edges.is_empty() {
+            inner.queue.remove(&page);
+        } else {
+            inner.queue.insert(page, edges);
+        }
+    }
+
+    /// DFS from `start` over the union of deferral and queue edges; on a
+    /// cycle through `start`, pick the youngest member (largest local
+    /// sequence, tie-broken by raw id) as victim.
+    pub fn find_victim(&self, start: TxnId) -> Option<TxnId> {
+        let inner = self.inner.lock();
+        let mut graph: HashMap<TxnId, HashSet<TxnId>> = inner.deferral.clone();
+        for edges in inner.queue.values() {
+            for &(from, to) in edges {
+                graph.entry(from).or_default().insert(to);
+            }
+        }
+        drop(inner);
+        let mut stack = vec![(start, vec![start])];
+        let mut visited: HashSet<TxnId> = HashSet::new();
+        while let Some((node, path)) = stack.pop() {
+            if let Some(nexts) = graph.get(&node) {
+                for &n in nexts {
+                    if n == start {
+                        return path.iter().copied().max_by_key(|t| (t.local_seq(), t.0));
+                    }
+                    if visited.insert(n) {
+                        let mut p = path.clone();
+                        p.push(n);
+                        stack.push((n, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Drop every edge — a server crash wipes all volatile lock state,
+    /// the graph included.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.deferral.clear();
+        inner.queue.clear();
+    }
+
+    /// Diagnostics: number of distinct waiting transactions with stored
+    /// deferral edges plus pages contributing queue edges.
+    pub fn edge_sources(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        (inner.deferral.len(), inner.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgl_common::ClientId;
+
+    fn t(c: u32, seq: u32) -> TxnId {
+        TxnId::compose(ClientId(c), seq)
+    }
+
+    #[test]
+    fn no_edges_no_victim() {
+        let g = WaitGraph::new();
+        assert_eq!(g.find_victim(t(1, 1)), None);
+    }
+
+    #[test]
+    fn deferral_cycle_picks_youngest() {
+        let g = WaitGraph::new();
+        g.add_deferrals(t(1, 10), &[t(2, 99)]);
+        g.add_deferrals(t(2, 99), &[t(1, 10)]);
+        assert_eq!(g.find_victim(t(1, 10)), Some(t(2, 99)));
+    }
+
+    #[test]
+    fn cycle_spanning_deferral_and_queue_edges() {
+        let g = WaitGraph::new();
+        // t1 -> t2 via a deferral, t2 -> t1 via a queue edge on another
+        // page — the cross-shard shape.
+        g.add_deferrals(t(1, 5), &[t(2, 7)]);
+        g.publish_queue_edges(PageId(9), vec![(t(2, 7), t(1, 5))]);
+        assert_eq!(g.find_victim(t(1, 5)), Some(t(2, 7)));
+    }
+
+    #[test]
+    fn forget_breaks_cycle() {
+        let g = WaitGraph::new();
+        g.add_deferrals(t(1, 1), &[t(2, 2)]);
+        g.add_deferrals(t(2, 2), &[t(1, 1)]);
+        g.forget_txn(t(2, 2));
+        assert_eq!(g.find_victim(t(1, 1)), None);
+    }
+
+    #[test]
+    fn republish_replaces_page_contribution() {
+        let g = WaitGraph::new();
+        g.publish_queue_edges(PageId(1), vec![(t(1, 1), t(2, 2))]);
+        g.add_deferrals(t(2, 2), &[t(1, 1)]);
+        assert!(g.find_victim(t(1, 1)).is_some());
+        g.publish_queue_edges(PageId(1), Vec::new());
+        assert_eq!(g.find_victim(t(1, 1)), None);
+    }
+}

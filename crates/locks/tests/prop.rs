@@ -1,45 +1,84 @@
-//! Property-based tests for the lock managers.
+//! Randomized soundness tests for the lock managers.
 //!
 //! The central safety invariant: however requests, callback replies and
 //! releases interleave, the GLM never ends up with two clients holding
-//! incompatible locks on the same resource.
+//! incompatible locks on the same resource. Action sequences are drawn
+//! from the in-tree deterministic PRNG so every case replays from its
+//! seed without an external property-testing crate.
 
+use fgl_common::rng::DetRng;
 use fgl_common::{ClientId, ObjectId, PageId, SlotId, TxnId};
 use fgl_locks::glm::{CallbackReply, GlmCore, GlmEvent};
 use fgl_locks::mode::{LockTarget, Mode, ObjMode};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 #[derive(Clone, Debug)]
 enum Action {
-    Lock { client: u32, page: u64, slot: u16, x: bool },
-    PageLock { client: u32, page: u64, x: bool },
-    AdaptiveLock { client: u32, page: u64, slot: u16, x: bool },
-    AnswerCallback { defer: bool },
+    Lock {
+        client: u32,
+        page: u64,
+        slot: u16,
+        x: bool,
+    },
+    PageLock {
+        client: u32,
+        page: u64,
+        x: bool,
+    },
+    AdaptiveLock {
+        client: u32,
+        page: u64,
+        slot: u16,
+        x: bool,
+    },
+    AnswerCallback {
+        defer: bool,
+    },
     CompleteDeferred,
-    Release { client: u32, page: u64, slot: u16 },
+    Release {
+        client: u32,
+        page: u64,
+        slot: u16,
+    },
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (1u32..4, 0u64..3, 0u16..3, any::<bool>())
-            .prop_map(|(client, page, slot, x)| Action::Lock { client, page, slot, x }),
-        (1u32..4, 0u64..3, any::<bool>())
-            .prop_map(|(client, page, x)| Action::PageLock { client, page, x }),
-        (1u32..4, 0u64..3, 0u16..3, any::<bool>())
-            .prop_map(|(client, page, slot, x)| Action::AdaptiveLock { client, page, slot, x }),
-        any::<bool>().prop_map(|defer| Action::AnswerCallback { defer }),
-        Just(Action::CompleteDeferred),
-        (1u32..4, 0u64..3, 0u16..3)
-            .prop_map(|(client, page, slot)| Action::Release { client, page, slot }),
-    ]
+fn random_action(rng: &mut DetRng) -> Action {
+    let client = 1 + rng.gen_range(3) as u32;
+    let page = rng.gen_range(3);
+    let slot = rng.gen_range(3) as u16;
+    let x = rng.chance(0.5);
+    match rng.gen_range(6) {
+        0 => Action::Lock {
+            client,
+            page,
+            slot,
+            x,
+        },
+        1 => Action::PageLock { client, page, x },
+        2 => Action::AdaptiveLock {
+            client,
+            page,
+            slot,
+            x,
+        },
+        3 => Action::AnswerCallback { defer: x },
+        4 => Action::CompleteDeferred,
+        _ => Action::Release { client, page, slot },
+    }
 }
+
+fn random_actions(rng: &mut DetRng, max_len: usize) -> Vec<Action> {
+    let len = rng.range_usize(1, max_len);
+    (0..len).map(|_| random_action(rng)).collect()
+}
+
+type PageHolder = (ClientId, Option<Mode>, Vec<(SlotId, ObjMode)>);
 
 /// Check the no-incompatible-holders invariant over every page/slot.
 fn assert_sound(glm: &GlmCore, pages: u64, slots: u16) {
     for p in 0..pages {
         let page = PageId(p);
-        let holders: Vec<(ClientId, Option<Mode>, Vec<(SlotId, ObjMode)>)> = (1..4u32)
+        let holders: Vec<PageHolder> = (1..4u32)
             .map(|c| {
                 let (pm, objs) = glm.client_locks_on_page(ClientId(c), page);
                 (ClientId(c), pm, objs)
@@ -64,7 +103,9 @@ fn assert_sound(glm: &GlmCore, pages: u64, slots: u16) {
             let ms: Vec<(ClientId, ObjMode)> = holders
                 .iter()
                 .flat_map(|(c, _, objs)| {
-                    objs.iter().filter(|(sl, _)| *sl == slot).map(move |(_, m)| (*c, *m))
+                    objs.iter()
+                        .filter(|(sl, _)| *sl == slot)
+                        .map(move |(_, m)| (*c, *m))
                 })
                 .collect();
             for (i, (ca, ma)) in ms.iter().enumerate() {
@@ -79,23 +120,22 @@ fn assert_sound(glm: &GlmCore, pages: u64, slots: u16) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Soundness under arbitrary interleavings: clients fire requests,
-    /// answer callbacks immediately or deferred, complete deferrals, and
-    /// release locks — the lock table never admits a conflict.
-    #[test]
-    fn glm_never_grants_conflicting_locks(actions in proptest::collection::vec(action_strategy(), 1..80)) {
+/// Soundness under arbitrary interleavings: clients fire requests,
+/// answer callbacks immediately or deferred, complete deferrals, and
+/// release locks — the lock table never admits a conflict.
+#[test]
+fn glm_never_grants_conflicting_locks() {
+    for case in 0..512u64 {
+        let mut rng = DetRng::new(0x6133_5EED ^ case);
+        let actions = random_actions(&mut rng, 80);
         let mut glm = GlmCore::new();
         // Callbacks waiting for an (immediate or deferred) answer.
         let mut pending: VecDeque<fgl_locks::glm::CallbackAction> = VecDeque::new();
         let mut deferred: VecDeque<fgl_locks::glm::CallbackAction> = VecDeque::new();
         let mut txn_seq = 0u32;
 
-        let mut drive = |glm: &mut GlmCore,
-                         pending: &mut VecDeque<fgl_locks::glm::CallbackAction>,
-                         events: Vec<GlmEvent>| {
+        let drive = |pending: &mut VecDeque<fgl_locks::glm::CallbackAction>,
+                     events: Vec<GlmEvent>| {
             for e in events {
                 if let GlmEvent::SendCallback(cb) = e {
                     pending.push_back(cb);
@@ -105,36 +145,53 @@ proptest! {
 
         for action in actions {
             match action {
-                Action::Lock { client, page, slot, x } => {
+                Action::Lock {
+                    client,
+                    page,
+                    slot,
+                    x,
+                } => {
                     txn_seq += 1;
                     let target = LockTarget::Object(
                         ObjectId::new(PageId(page), SlotId(slot)),
                         if x { ObjMode::X } else { ObjMode::S },
                     );
-                    let (_, _, ev) =
-                        glm.lock(ClientId(client), TxnId::compose(ClientId(client), txn_seq), target);
-                    drive(&mut glm, &mut pending, ev);
+                    let (_, _, ev) = glm.lock(
+                        ClientId(client),
+                        TxnId::compose(ClientId(client), txn_seq),
+                        target,
+                    );
+                    drive(&mut pending, ev);
                 }
                 Action::PageLock { client, page, x } => {
                     txn_seq += 1;
-                    let target = LockTarget::Page(
-                        PageId(page),
-                        if x { ObjMode::X } else { ObjMode::S },
+                    let target =
+                        LockTarget::Page(PageId(page), if x { ObjMode::X } else { ObjMode::S });
+                    let (_, _, ev) = glm.lock(
+                        ClientId(client),
+                        TxnId::compose(ClientId(client), txn_seq),
+                        target,
                     );
-                    let (_, _, ev) =
-                        glm.lock(ClientId(client), TxnId::compose(ClientId(client), txn_seq), target);
-                    drive(&mut glm, &mut pending, ev);
+                    drive(&mut pending, ev);
                 }
-                Action::AdaptiveLock { client, page, slot, x } => {
+                Action::AdaptiveLock {
+                    client,
+                    page,
+                    slot,
+                    x,
+                } => {
                     txn_seq += 1;
                     let target = LockTarget::PageAdaptive(
                         PageId(page),
                         if x { ObjMode::X } else { ObjMode::S },
                         ObjectId::new(PageId(page), SlotId(slot)),
                     );
-                    let (_, _, ev) =
-                        glm.lock(ClientId(client), TxnId::compose(ClientId(client), txn_seq), target);
-                    drive(&mut glm, &mut pending, ev);
+                    let (_, _, ev) = glm.lock(
+                        ClientId(client),
+                        TxnId::compose(ClientId(client), txn_seq),
+                        target,
+                    );
+                    drive(&mut pending, ev);
                 }
                 Action::AnswerCallback { defer } => {
                     if let Some(cb) = pending.pop_front() {
@@ -147,14 +204,14 @@ proptest! {
                                 },
                             );
                             deferred.push_back(cb);
-                            drive(&mut glm, &mut pending, ev);
+                            drive(&mut pending, ev);
                         } else {
                             let ev = glm.callback_reply(
                                 cb.to,
                                 cb.kind,
                                 CallbackReply::Done { retained: vec![] },
                             );
-                            drive(&mut glm, &mut pending, ev);
+                            drive(&mut pending, ev);
                         }
                     }
                 }
@@ -165,7 +222,7 @@ proptest! {
                             cb.kind,
                             CallbackReply::Done { retained: vec![] },
                         );
-                        drive(&mut glm, &mut pending, ev);
+                        drive(&mut pending, ev);
                     }
                 }
                 Action::Release { client, page, slot } => {
@@ -173,32 +230,43 @@ proptest! {
                         ClientId(client),
                         ObjectId::new(PageId(page), SlotId(slot)),
                     );
-                    drive(&mut glm, &mut pending, ev);
+                    drive(&mut pending, ev);
                 }
             }
             assert_sound(&glm, 3, 3);
         }
     }
+}
 
-    /// Crash handling: after a client crash its shared locks are gone,
-    /// its exclusive locks remain, and the table stays sound.
-    #[test]
-    fn crash_preserves_soundness(
-        actions in proptest::collection::vec(action_strategy(), 1..40),
-        victim in 1u32..4,
-    ) {
+/// Crash handling: after a client crash its shared locks are gone,
+/// its exclusive locks remain, and the table stays sound.
+#[test]
+fn crash_preserves_soundness() {
+    for case in 0..512u64 {
+        let mut rng = DetRng::new(0x00C4_A511 ^ (case << 4));
+        let actions = random_actions(&mut rng, 40);
+        let victim = 1 + rng.gen_range(3) as u32;
         let mut glm = GlmCore::new();
         let mut pending: VecDeque<fgl_locks::glm::CallbackAction> = VecDeque::new();
         let mut txn_seq = 0u32;
         for action in actions {
-            if let Action::Lock { client, page, slot, x } = action {
+            if let Action::Lock {
+                client,
+                page,
+                slot,
+                x,
+            } = action
+            {
                 txn_seq += 1;
                 let target = LockTarget::Object(
                     ObjectId::new(PageId(page), SlotId(slot)),
                     if x { ObjMode::X } else { ObjMode::S },
                 );
-                let (_, _, ev) =
-                    glm.lock(ClientId(client), TxnId::compose(ClientId(client), txn_seq), target);
+                let (_, _, ev) = glm.lock(
+                    ClientId(client),
+                    TxnId::compose(ClientId(client), txn_seq),
+                    target,
+                );
                 for e in ev {
                     if let GlmEvent::SendCallback(cb) = e {
                         pending.push_back(cb);
@@ -214,12 +282,12 @@ proptest! {
         glm.crash_client(ClientId(victim));
         assert_sound(&glm, 3, 3);
         // Exclusive locks survived the crash.
-        prop_assert_eq!(glm.exclusive_locks(ClientId(victim)), x_before);
+        assert_eq!(glm.exclusive_locks(ClientId(victim)), x_before);
         // No shared object locks remain for the victim.
         for p in 0..3u64 {
             let (pm, objs) = glm.client_locks_on_page(ClientId(victim), PageId(p));
-            prop_assert!(!matches!(pm, Some(Mode::S) | Some(Mode::IS)));
-            prop_assert!(objs.iter().all(|(_, m)| *m == ObjMode::X));
+            assert!(!matches!(pm, Some(Mode::S) | Some(Mode::IS)));
+            assert!(objs.iter().all(|(_, m)| *m == ObjMode::X));
         }
     }
 }

@@ -4,10 +4,11 @@
 //! [`GrantWaiter`] until the server fulfils the matching [`GrantSlot`]
 //! (grant or deadlock-victim verdict) or the timeout backstop fires.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use fgl_common::{ClientId, Psn};
 use fgl_locks::mode::LockTarget;
-use std::time::Duration;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What the waiter eventually learns.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,37 +27,57 @@ pub enum GrantMsg {
     Victim,
 }
 
+/// Shared one-shot cell connecting a [`GrantSlot`] to its [`GrantWaiter`].
+struct Cell {
+    verdict: Mutex<Option<GrantMsg>>,
+    cv: Condvar,
+}
+
 /// Server-side half: fulfil once.
 pub struct GrantSlot {
-    tx: Sender<GrantMsg>,
+    cell: Arc<Cell>,
 }
 
 /// Client-side half: block until fulfilled or timed out.
 pub struct GrantWaiter {
-    rx: Receiver<GrantMsg>,
+    cell: Arc<Cell>,
 }
 
 /// Create a connected slot/waiter pair.
 pub fn grant_pair() -> (GrantSlot, GrantWaiter) {
-    let (tx, rx) = bounded(1);
-    (GrantSlot { tx }, GrantWaiter { rx })
+    let cell = Arc::new(Cell {
+        verdict: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    (GrantSlot { cell: cell.clone() }, GrantWaiter { cell })
 }
 
 impl GrantSlot {
     /// Deliver the verdict. Ignores a waiter that already gave up
     /// (timeout) — the server also cancels such waiters explicitly.
     pub fn fulfil(&self, msg: GrantMsg) {
-        let _ = self.tx.send(msg);
+        let mut verdict = self.cell.verdict.lock();
+        if verdict.is_none() {
+            *verdict = Some(msg);
+            self.cell.cv.notify_all();
+        }
     }
 }
 
 impl GrantWaiter {
     /// Wait for the verdict; `None` on timeout.
     pub fn wait(&self, timeout: Duration) -> Option<GrantMsg> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(m) => Some(m),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => None,
+        let deadline = Instant::now() + timeout;
+        let mut verdict = self.cell.verdict.lock();
+        loop {
+            if let Some(m) = verdict.take() {
+                return Some(m);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            self.cell.cv.wait_for(&mut verdict, left);
         }
     }
 }
@@ -92,10 +113,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
             slot.fulfil(GrantMsg::Victim);
         });
-        assert_eq!(
-            waiter.wait(Duration::from_secs(1)),
-            Some(GrantMsg::Victim)
-        );
+        assert_eq!(waiter.wait(Duration::from_secs(1)), Some(GrantMsg::Victim));
         h.join().unwrap();
     }
 

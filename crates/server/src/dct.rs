@@ -35,14 +35,12 @@ impl Dct {
 
     /// Insert an entry at first exclusive grant (no-op if present).
     pub fn insert(&mut self, page: PageId, client: ClientId, psn: Option<Psn>) {
-        self.entries
-            .entry((page, client))
-            .or_insert(DctEntry {
-                page,
-                client,
-                psn,
-                redo_lsn: None,
-            });
+        self.entries.entry((page, client)).or_insert(DctEntry {
+            page,
+            client,
+            psn,
+            redo_lsn: None,
+        });
     }
 
     /// Install an entry verbatim (checkpoint reload / restart rebuild).

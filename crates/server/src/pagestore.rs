@@ -29,10 +29,24 @@ pub struct PageStore {
 
 impl PageStore {
     pub fn new(disk: Arc<dyn DiskBackend>, pool_pages: usize, page_size: usize) -> Self {
+        Self::with_partition(disk, pool_pages, page_size, 0, 1)
+    }
+
+    /// A store owning one page partition of a sharded server: fresh
+    /// allocations walk the residue class `start mod step`, so sibling
+    /// shards never hand out colliding page ids. `(0, 1)` is the whole
+    /// id space (the unsharded server).
+    pub fn with_partition(
+        disk: Arc<dyn DiskBackend>,
+        pool_pages: usize,
+        page_size: usize,
+        start: u64,
+        step: u64,
+    ) -> Self {
         PageStore {
             pool: BufferPool::new(pool_pages),
             disk,
-            spacemap: SpaceMap::new(),
+            spacemap: SpaceMap::with_stride(start, step),
             page_size,
             merges: 0,
         }
@@ -72,24 +86,67 @@ impl PageStore {
         if let Some(p) = self.pool.get(id) {
             return Ok((p.clone(), Vec::new()));
         }
-        let page = self
-            .disk
-            .read_page(id)?
-            .ok_or(FglError::PageNotFound(id))?;
+        let page = self.disk.read_page(id)?.ok_or(FglError::PageNotFound(id))?;
         let evicted = self.insert_clean(page.clone());
         Ok((page, evicted))
+    }
+
+    /// The pool-resident copy, if any (counts as an LRU touch). A miss
+    /// means the caller should read the disk *without holding the store
+    /// lock* and hand the result to [`install_clean`](Self::install_clean).
+    pub fn pool_copy(&mut self, id: PageId) -> Option<Page> {
+        self.pool.get(id).cloned()
+    }
+
+    /// Is the page pool-resident? (LRU touch on hit.)
+    pub fn pool_has(&mut self, id: PageId) -> bool {
+        self.pool.get(id).is_some()
+    }
+
+    /// Handle to the backing disk, for I/O performed while no store lock
+    /// is held (the simulated disk latency must not run under a shard
+    /// mutex).
+    pub fn disk_handle(&self) -> Arc<dyn DiskBackend> {
+        self.disk.clone()
+    }
+
+    /// Install a copy the caller read from disk outside the lock. If a
+    /// (necessarily at-least-as-new) pool copy appeared meanwhile, that
+    /// copy wins and the disk read is discarded.
+    pub fn install_clean(&mut self, page: Page) -> (Page, EvictedDirty) {
+        if let Some(p) = self.pool.get(page.id()) {
+            return (p.clone(), Vec::new());
+        }
+        let evicted = self.insert_clean(page.clone());
+        (page, evicted)
     }
 
     /// §2 merge-on-receive: merge a copy arriving from a client with the
     /// resident version (pool, else disk). Returns the PSN carried by the
     /// incoming copy (DCT refresh) and the merge outcome.
     pub fn receive(&mut self, incoming: Page) -> Result<(Psn, MergeOutcome, EvictedDirty)> {
+        let disk_copy = if self.pool.get(incoming.id()).is_some() {
+            None
+        } else {
+            self.disk.read_page(incoming.id())?
+        };
+        self.receive_with(incoming, disk_copy)
+    }
+
+    /// [`receive`](Self::receive) with the disk read hoisted out:
+    /// `disk_copy` is the caller's pre-fetched on-disk version, consulted
+    /// only when the pool has no resident copy.
+    pub fn receive_with(
+        &mut self,
+        incoming: Page,
+        disk_copy: Option<Page>,
+    ) -> Result<(Psn, MergeOutcome, EvictedDirty)> {
         let id = incoming.id();
         let incoming_psn = incoming.psn();
         let mut evicted = Vec::new();
         let resident = match self.pool.get(id) {
             Some(p) => Some(p.clone()),
-            None => self.disk.read_page(id)?,
+            None => disk_copy,
         };
         let (merged, outcome) = match resident {
             Some(res) => merge_pages(&res, &incoming)?,
@@ -157,12 +214,18 @@ impl PageStore {
     /// record (§3.1).
     pub fn write_to_disk(&mut self, page: &Page) -> Result<()> {
         self.disk.write_page(page)?;
+        self.mark_clean_if_match(page);
+        Ok(())
+    }
+
+    /// The caller wrote `page` to disk (outside the store lock); mark the
+    /// pool copy clean if it still matches that image.
+    pub fn mark_clean_if_match(&mut self, page: &Page) {
         if let Some(resident) = self.pool.peek(page.id()) {
             if resident.psn() == page.psn() {
                 self.pool.set_dirty(page.id(), false);
             }
         }
-        Ok(())
     }
 
     /// Read the on-disk version (restart recovery step 2 of §3.4).

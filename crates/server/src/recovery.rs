@@ -56,11 +56,8 @@ impl ServerCore {
             self.net.msg(MsgKind::Recovery, 16);
             let report = peer.report_state();
             self.net.msg(MsgKind::Recovery, 64 + 24 * report.dpt.len());
-            {
-                let mut glm = self.glm_mut();
-                for lock in &report.locks {
-                    glm.install_holder(id, *lock);
-                }
+            for lock in &report.locks {
+                self.glm_for(lock.page()).install_holder(id, *lock);
             }
             dpt_by_client.insert(
                 id,
@@ -83,18 +80,15 @@ impl ServerCore {
         // ---- (c): reconstruct the DCT ---------------------------------------
         // Step 1: <PID, CID, NULL, NULL> for all DPT pages of operational
         // clients.
-        {
-            let mut dct = self.dct_mut();
-            for (client, dpt) in &dpt_by_client {
-                for (page, _) in dpt {
-                    dct.insert(*page, *client, None);
-                }
+        for (client, dpt) in &dpt_by_client {
+            for (page, _) in dpt {
+                self.dct_for(*page).insert(*page, *client, None);
             }
         }
         // Step 2: read candidate pages from disk, remember their PSNs.
         let mut disk_psn: HashMap<PageId, Psn> = HashMap::new();
         for page in involved.keys() {
-            if let Some(p) = self.store_mut().read_disk(*page)? {
+            if let Some(p) = self.store_for(*page).read_disk(*page)? {
                 disk_psn.insert(*page, p.psn());
             }
         }
@@ -108,11 +102,8 @@ impl ServerCore {
                 match slog.read_at(ckpt) {
                     Ok(entry) => match entry.payload {
                         LogPayload::ServerCheckpoint { dct } => {
-                            let min_redo = dct
-                                .iter()
-                                .filter_map(|e| e.redo_lsn)
-                                .min()
-                                .unwrap_or(ckpt);
+                            let min_redo =
+                                dct.iter().filter_map(|e| e.redo_lsn).min().unwrap_or(ckpt);
                             (ckpt, min_redo.min(ckpt), dct)
                         }
                         _ => (ckpt, slog.low_water(), Vec::new()),
@@ -122,13 +113,10 @@ impl ServerCore {
             }
         };
         let _ = ckpt_lsn;
-        {
-            // §3.5: checkpointed entries (which may reference crashed
-            // clients' pages) seed the table.
-            let mut dct = self.dct_mut();
-            for e in ckpt_dct {
-                dct.install(e);
-            }
+        // §3.5: checkpointed entries (which may reference crashed
+        // clients' pages) seed the table, each in its page's shard.
+        for e in ckpt_dct {
+            self.dct_for(e.page).install(e);
         }
         let replacement_records: Vec<(Lsn, LogPayload)> = {
             let slog = self.slog_mut();
@@ -136,21 +124,19 @@ impl ServerCore {
                 .map(|e| (e.lsn, e.payload))
                 .collect()
         };
-        {
-            let mut dct = self.dct_mut();
-            for (lsn, payload) in replacement_records {
-                if let LogPayload::Replacement(r) = payload {
-                    for (cid, _) in &r.clients {
-                        dct.insert(r.page, *cid, None);
-                    }
-                    dct.note_replacement_record(r.page, lsn);
-                    // Property 2: the replacement record matching the
-                    // on-disk PSN tells exactly which client updates the
-                    // disk copy holds.
-                    if disk_psn.get(&r.page) == Some(&r.psn) {
-                        for (cid, psn) in &r.clients {
-                            dct.set_psn(r.page, *cid, *psn);
-                        }
+        for (lsn, payload) in replacement_records {
+            if let LogPayload::Replacement(r) = payload {
+                let mut dct = self.dct_for(r.page);
+                for (cid, _) in &r.clients {
+                    dct.insert(r.page, *cid, None);
+                }
+                dct.note_replacement_record(r.page, lsn);
+                // Property 2: the replacement record matching the
+                // on-disk PSN tells exactly which client updates the
+                // disk copy holds.
+                if disk_psn.get(&r.page) == Some(&r.psn) {
+                    for (cid, psn) in &r.clients {
+                        dct.set_psn(r.page, *cid, *psn);
                     }
                 }
             }
@@ -173,16 +159,13 @@ impl ServerCore {
         }
 
         // ---- (d): coordinate per-page client replay --------------------------
-        let peer_map: HashMap<ClientId, Arc<dyn ClientPeer>> = peers
-            .iter()
-            .map(|p| (p.client_id(), p.clone()))
-            .collect();
+        let peer_map: HashMap<ClientId, Arc<dyn ClientPeer>> =
+            peers.iter().map(|p| (p.client_id(), p.clone())).collect();
         let units: Vec<(PageId, ClientId)> = involved
             .iter()
             .flat_map(|(page, clients)| clients.iter().map(|c| (*page, *c)))
             .collect();
-        let involved_clients: HashSet<ClientId> =
-            units.iter().map(|(_, c)| *c).collect();
+        let involved_clients: HashSet<ClientId> = units.iter().map(|(_, c)| *c).collect();
 
         // Build the merged CallBack_P list for every (page, C) unit first.
         let mut cb_lists: HashMap<(PageId, ClientId), Vec<(fgl_common::ObjectId, Psn)>> =
@@ -226,26 +209,22 @@ impl ServerCore {
                     let c = *c;
                     scope.spawn(move || -> Result<()> {
                         // Base copy: the server's current merged view.
-                        let (base, evicted) = self.store_mut().get_or_format(page)?;
+                        let (base, evicted) = self.store_for(page).get_or_format(page)?;
                         self.flush_images_pub(evicted)?;
-                        let install_psn = self
-                            .dct_mut()
-                            .psn_of(page, c)
-                            .unwrap_or(base.psn());
+                        let install_psn = self.dct_for(page).psn_of(page, c).unwrap_or(base.psn());
                         self.net.msg(MsgKind::Recovery, 32 + 24 * list.len());
                         self.net.msg(MsgKind::PageShip, base.size());
-                        let outcome =
-                            peer.recover_page(page, base.into_bytes(), install_psn, list);
+                        let outcome = peer.recover_page(page, base.into_bytes(), install_psn, list);
                         match outcome {
                             RecoveredPageOutcome::Done(bytes) => {
                                 self.install_recovered(c, bytes)?;
                                 Ok(())
                             }
-                            RecoveredPageOutcome::Failed(msg) => Err(
-                                fgl_common::FglError::Protocol(format!(
+                            RecoveredPageOutcome::Failed(msg) => {
+                                Err(fgl_common::FglError::Protocol(format!(
                                     "client {c} failed to recover {page}: {msg}"
-                                )),
-                            ),
+                                )))
+                            }
                         }
                     })
                 })

@@ -2,11 +2,35 @@
 //! message fabric, and the driver that turns GLM events into callbacks,
 //! grants and aborts.
 //!
-//! Locking discipline: internal mutexes (`glm`, `store`, `dct`, `slog`,
-//! `waiters`, …) are held only for short state transitions and **never**
-//! across a [`ClientPeer`] call; clients, symmetrically, never invoke the
-//! server while holding their own runtime mutex. This pair of rules is
-//! what makes the direct-call message fabric deadlock-free.
+//! # Sharding
+//!
+//! The hot path is partitioned into `cfg.server_shards` independent
+//! [`Shard`]s keyed by `PageId % N`. Each shard owns its slice of the lock
+//! table (a [`GlmCore`]), the buffer pool + space-map partition (a
+//! [`PageStore`] allocating ids in the shard's residue class), the DCT,
+//! the parked lock waiters, and the per-page bookkeeping (`replaced_by`,
+//! `last_ship`). A page maps to exactly one shard, so per-page ordering
+//! (PSN monotonicity, callback-before-grant) is untouched; requests on
+//! pages of different shards never contend. Deadlock detection stays
+//! process-global through the shared [`WaitGraph`] every shard's GLM
+//! feeds, so cycles spanning shards are still found. What stays
+//! deliberately global: the server log (one sequential device), the
+//! §4.1 `commit_ship_log` baseline (its shared mutex *is* the bottleneck
+//! the paper predicts — do not shard it), and client lifecycle state.
+//!
+//! # Locking discipline
+//!
+//! Internal mutexes (per-shard `glm`, `store`, `dct`, `waiters`, …) are
+//! held only for short state transitions and **never** across a
+//! [`ClientPeer`] call; clients, symmetrically, never invoke the server
+//! while holding their own runtime mutex. This pair of rules is what
+//! makes the direct-call message fabric deadlock-free. Shard mutexes also
+//! never nest across shards, and a shard's GLM acquires the shared wait
+//! graph's lock only while the graph never calls back into a shard, so
+//! the order `shard → graph` is acyclic. Simulated disk latency
+//! (page reads and in-place writes) runs with **no shard lock held**: the
+//! store exposes pool-first primitives and a bare disk handle so every
+//! sleep happens between lock acquisitions.
 
 use crate::dct::Dct;
 use crate::pagestore::PageStore;
@@ -14,6 +38,7 @@ use fgl_common::config::CommitPolicy;
 use fgl_common::{ClientId, FglError, Lsn, PageId, Psn, Result, SystemConfig, TxnId};
 use fgl_locks::glm::{CallbackKind, CallbackReply, GlmCore, GlmEvent, LockOutcome};
 use fgl_locks::mode::{LockTarget, ObjMode};
+use fgl_locks::WaitGraph;
 use fgl_net::peer::{CallbackOutcome, ClientPeer};
 use fgl_net::stats::{MsgKind, NetSim};
 use fgl_net::wait::{grant_pair, GrantMsg, GrantSlot, GrantWaiter};
@@ -64,18 +89,15 @@ pub struct ServerStats {
     pub merges: u64,
 }
 
-/// The page server.
-pub struct ServerCore {
-    cfg: SystemConfig,
-    pub net: Arc<NetSim>,
+/// One partition of the server's hot path: everything keyed by a page in
+/// the shard's residue class lives here, behind shard-local mutexes.
+struct Shard {
     glm: Mutex<GlmCore>,
     store: Mutex<PageStore>,
     dct: Mutex<Dct>,
-    /// Server log: replacement records + server checkpoints (§3.1, §3.2).
-    slog: Mutex<LogManager>,
-    peers: RwLock<HashMap<ClientId, Arc<dyn ClientPeer>>>,
     /// Parked lock waiters plus the cached PSN their request carried
-    /// (footnote 4 of §3.2).
+    /// (footnote 4 of §3.2). Keyed by txn; a txn's waiter lives in the
+    /// shard of the page it is waiting on.
     waiters: Mutex<HashMap<TxnId, (GrantSlot, Option<Psn>)>>,
     /// Clients that replaced each page and must be told when it is forced
     /// (§3.6).
@@ -83,6 +105,23 @@ pub struct ServerCore {
     /// Last client to ship each page, with the shipped PSN — callback
     /// log-record evidence (§3.1).
     last_ship: Mutex<HashMap<PageId, (ClientId, Psn)>>,
+}
+
+/// The page server.
+pub struct ServerCore {
+    cfg: SystemConfig,
+    pub net: Arc<NetSim>,
+    /// Hot-path partitions; a page belongs to `shards[page % len]`.
+    shards: Vec<Shard>,
+    /// Process-global waits-for graph fed by every shard's GLM —
+    /// cross-shard deadlock cycles are detected here.
+    wait_graph: Arc<WaitGraph>,
+    /// Round-robin cursor spreading fresh allocations across shards.
+    alloc_next: AtomicU64,
+    /// Server log: replacement records + server checkpoints (§3.1, §3.2).
+    /// Global: one sequential log device.
+    slog: Mutex<LogManager>,
+    peers: RwLock<HashMap<ClientId, Arc<dyn ClientPeer>>>,
     /// Server-logging baseline (§4.1): log records shipped at commit,
     /// appended per client behind one (bottleneck) mutex.
     client_logs: Mutex<HashMap<ClientId, Vec<u8>>>,
@@ -109,7 +148,27 @@ pub struct ServerCore {
 
 impl ServerCore {
     pub fn new(cfg: SystemConfig, net: Arc<NetSim>, disk: Arc<dyn DiskBackend>) -> Arc<Self> {
-        let store = PageStore::new(disk, cfg.server_cache_pages, cfg.page_size);
+        let n = cfg.server_shards.max(1);
+        let wait_graph = Arc::new(WaitGraph::new());
+        // Split the buffer pool evenly; every shard keeps at least one
+        // frame so tiny pools still make progress.
+        let pool_per_shard = (cfg.server_cache_pages / n).max(1);
+        let shards = (0..n)
+            .map(|i| Shard {
+                glm: Mutex::new(GlmCore::with_graph(wait_graph.clone())),
+                store: Mutex::new(PageStore::with_partition(
+                    disk.clone(),
+                    pool_per_shard,
+                    cfg.page_size,
+                    i as u64,
+                    n as u64,
+                )),
+                dct: Mutex::new(Dct::new()),
+                waiters: Mutex::new(HashMap::new()),
+                replaced_by: Mutex::new(HashMap::new()),
+                last_ship: Mutex::new(HashMap::new()),
+            })
+            .collect();
         let slog = LogManager::new(
             Box::new(fgl_wal::store::SimLogStore::new(
                 Box::new(MemLogStore::new()),
@@ -120,14 +179,11 @@ impl ServerCore {
         Arc::new(ServerCore {
             cfg,
             net,
-            glm: Mutex::new(GlmCore::new()),
-            store: Mutex::new(store),
-            dct: Mutex::new(Dct::new()),
+            shards,
+            wait_graph,
+            alloc_next: AtomicU64::new(0),
             slog: Mutex::new(slog),
             peers: RwLock::new(HashMap::new()),
-            waiters: Mutex::new(HashMap::new()),
-            replaced_by: Mutex::new(HashMap::new()),
-            last_ship: Mutex::new(HashMap::new()),
             client_logs: Mutex::new(HashMap::new()),
             crashed_clients: Mutex::new(HashSet::new()),
             dct_incomplete: Mutex::new(HashSet::new()),
@@ -150,6 +206,15 @@ impl ServerCore {
         &self.cfg
     }
 
+    /// Number of hot-path partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, page: PageId) -> &Shard {
+        &self.shards[(page.0 % self.shards.len() as u64) as usize]
+    }
+
     fn check_up(&self) -> Result<()> {
         if self.down.load(Ordering::Acquire) {
             Err(FglError::Disconnected("server down".into()))
@@ -167,7 +232,7 @@ impl ServerCore {
             replacement_records: self.replacement_records.load(Ordering::Relaxed),
             server_checkpoints: self.server_checkpoints.load(Ordering::Relaxed),
             commit_log_ships: self.commit_log_ships.load(Ordering::Relaxed),
-            merges: self.store.lock().merges(),
+            merges: self.shards.iter().map(|s| s.store.lock().merges()).sum(),
         }
     }
 
@@ -198,13 +263,25 @@ impl ServerCore {
         self.check_up()?;
         self.net.msg(MsgKind::LockReq, 40);
         self.lock_requests.fetch_add(1, Ordering::Relaxed);
-        let (outcome, effective, events) = self.glm.lock().lock(client, txn, target);
+        let shard = self.shard_of(target.page());
+        // Hold the waiter registry across the GLM call: once the GLM
+        // queues the request (and releases its mutex), a concurrent
+        // `drive` may already carry the Grant/Victim for this txn, and it
+        // resolves the slot through this same mutex — registering after
+        // releasing it would drop that wake-up and strand the client
+        // until the timeout backstop.
+        let mut parked = shard.waiters.lock();
+        let (outcome, effective, events) = shard.glm.lock().lock(client, txn, target);
         match outcome {
             LockOutcome::Granted {
                 first_exclusive_on_page,
             } => {
+                drop(parked);
                 if first_exclusive_on_page {
-                    self.dct.lock().insert(effective.page(), client, cached_psn);
+                    shard
+                        .dct
+                        .lock()
+                        .insert(effective.page(), client, cached_psn);
                 }
                 self.drive(events);
                 self.net.msg(MsgKind::LockReply, 24);
@@ -217,23 +294,30 @@ impl ServerCore {
             }
             LockOutcome::Queued => {
                 let (slot, waiter) = grant_pair();
-                self.waiters.lock().insert(txn, (slot, cached_psn));
+                parked.insert(txn, (slot, cached_psn));
+                drop(parked);
                 self.drive(events);
                 Ok(LockResponse::Wait(waiter))
             }
         }
     }
 
-    /// A waiting client gave up (timeout) or aborted.
+    /// A waiting client gave up (timeout) or aborted. The caller does not
+    /// know which page the txn queued on, so every shard is asked; the
+    /// non-owning ones no-op.
     pub fn cancel_wait(&self, _client: ClientId, txn: TxnId) {
         self.net.msg(MsgKind::Control, 16);
-        self.waiters.lock().remove(&txn);
-        let events = self.glm.lock().cancel_wait(txn);
+        let mut events = Vec::new();
+        for shard in &self.shards {
+            shard.waiters.lock().remove(&txn);
+            events.extend(shard.glm.lock().cancel_wait(txn));
+        }
         self.drive(events);
     }
 
     /// Turn GLM events into protocol actions. Runs with no server mutex
-    /// held; each step takes exactly the locks it needs.
+    /// held; each step routes to the owning shard and takes exactly the
+    /// locks it needs.
     fn drive(&self, events: Vec<GlmEvent>) {
         let mut queue: std::collections::VecDeque<GlmEvent> = events.into();
         while let Some(ev) = queue.pop_front() {
@@ -242,16 +326,22 @@ impl ServerCore {
                     if self.crashed_clients.lock().contains(&cb.to) {
                         continue;
                     }
-                    let Some(peer) = self.peer(cb.to) else { continue };
+                    let Some(peer) = self.peer(cb.to) else {
+                        continue;
+                    };
                     self.net.msg(MsgKind::Callback, 24);
                     let outcome = peer.deliver_callback(cb.kind);
                     self.net.msg(MsgKind::CallbackReply, 24);
+                    let shard = self.shard_of(cb.kind.page());
                     match outcome {
-                        CallbackOutcome::Done { retained, page_copy } => {
+                        CallbackOutcome::Done {
+                            retained,
+                            page_copy,
+                        } => {
                             if let Some(bytes) = page_copy {
                                 let _ = self.absorb_page(cb.to, bytes, false);
                             }
-                            let evs = self.glm.lock().callback_reply(
+                            let evs = shard.glm.lock().callback_reply(
                                 cb.to,
                                 cb.kind,
                                 CallbackReply::Done { retained },
@@ -259,7 +349,7 @@ impl ServerCore {
                             queue.extend(evs);
                         }
                         CallbackOutcome::Deferred { blockers } => {
-                            let evs = self.glm.lock().callback_reply(
+                            let evs = shard.glm.lock().callback_reply(
                                 cb.to,
                                 cb.kind,
                                 CallbackReply::Deferred { blockers },
@@ -275,10 +365,11 @@ impl ServerCore {
                     first_exclusive_on_page,
                 } => {
                     fgl_common::fgl_trace!("server async-grant {target:?} to {client} txn={txn}");
-                    let slot = self.waiters.lock().remove(&txn);
+                    let shard = self.shard_of(target.page());
+                    let slot = shard.waiters.lock().remove(&txn);
                     if let Some((slot, cached_psn)) = slot {
                         if first_exclusive_on_page {
-                            self.dct.lock().insert(target.page(), client, cached_psn);
+                            shard.dct.lock().insert(target.page(), client, cached_psn);
                         }
                         self.net.msg(MsgKind::LockReply, 24);
                         let evidence = self.grant_evidence(client, &target);
@@ -290,10 +381,17 @@ impl ServerCore {
                     }
                 }
                 GlmEvent::AbortTxn { txn, .. } => {
-                    let slot = self.waiters.lock().remove(&txn);
-                    if let Some((slot, _)) = slot {
-                        self.net.msg(MsgKind::Abort, 16);
-                        slot.fulfil(GrantMsg::Victim);
+                    // The victim of a cross-shard cycle may be parked on a
+                    // page of *another* shard than the GLM that detected
+                    // the cycle, so its waiter is hunted everywhere; the
+                    // cancellation is idempotent on non-owning shards.
+                    for shard in &self.shards {
+                        let slot = shard.waiters.lock().remove(&txn);
+                        if let Some((slot, _)) = slot {
+                            self.net.msg(MsgKind::Abort, 16);
+                            slot.fulfil(GrantMsg::Victim);
+                        }
+                        queue.extend(shard.glm.lock().cancel_wait(txn));
                     }
                 }
             }
@@ -307,7 +405,8 @@ impl ServerCore {
         if target.mode() != ObjMode::X {
             return None;
         }
-        self.last_ship
+        self.shard_of(target.page())
+            .last_ship
             .lock()
             .get(&target.page())
             .copied()
@@ -328,15 +427,31 @@ impl ServerCore {
         if let Some(bytes) = page_copy {
             self.absorb_page(client, bytes, false)?;
         }
-        let events = self
-            .glm
-            .lock()
-            .callback_reply(client, kind, CallbackReply::Done { retained });
+        let events = self.shard_of(kind.page()).glm.lock().callback_reply(
+            client,
+            kind,
+            CallbackReply::Done { retained },
+        );
         self.drive(events);
         Ok(())
     }
 
     // ---- pages ---------------------------------------------------------------
+
+    /// Pool-first page read: on a miss, the disk read (and its simulated
+    /// latency) runs with **no shard lock held**, then the copy is
+    /// installed unless a newer one appeared meanwhile.
+    fn read_page_copy(&self, page: PageId) -> Result<Page> {
+        let shard = self.shard_of(page);
+        if let Some(p) = shard.store.lock().pool_copy(page) {
+            return Ok(p);
+        }
+        let disk = shard.store.lock().disk_handle();
+        let from_disk = disk.read_page(page)?.ok_or(FglError::PageNotFound(page))?;
+        let (copy, evicted) = shard.store.lock().install_clean(from_disk);
+        self.flush_images(evicted)?;
+        Ok(copy)
+    }
 
     /// Fetch the current merged copy of a page. Returns the bytes plus the
     /// PSN remembered in the DCT for this client (§3.2: ignored during
@@ -346,16 +461,12 @@ impl ServerCore {
         self.check_up()?;
         self.net.msg(MsgKind::FetchPage, 16);
         self.page_fetches.fetch_add(1, Ordering::Relaxed);
-        let (copy, evicted) = {
-            let mut store = self.store.lock();
-            store.get_copy(page)?
-        };
-        self.flush_images(evicted)?;
-        {
-            let mut dct = self.dct.lock();
+        let copy = self.read_page_copy(page)?;
+        let dct_psn = {
+            let mut dct = self.shard_of(page).dct.lock();
             dct.set_psn_if_unset(page, client, copy.psn());
-        }
-        let dct_psn = self.dct.lock().psn_of(page, client);
+            dct.psn_of(page, client)
+        };
         fgl_common::fgl_trace!("server ship {page} to {client} psn={:?}", copy.psn());
         self.net.msg(MsgKind::PageShip, copy.size());
         Ok((copy.into_bytes(), dct_psn))
@@ -363,19 +474,24 @@ impl ServerCore {
 
     /// Allocate a fresh page on behalf of a client, granting it the page
     /// exclusively and seeding the DCT entry (creation is a structural
-    /// update, §3.1).
+    /// update, §3.1). Allocations round-robin across shards; each shard's
+    /// space map hands out ids in its own residue class.
     pub fn allocate_page(&self, client: ClientId, _txn: TxnId) -> Result<Vec<u8>> {
         self.check_up()?;
         self.net.msg(MsgKind::Control, 16);
+        let idx =
+            (self.alloc_next.fetch_add(1, Ordering::Relaxed) % self.shards.len() as u64) as usize;
+        let shard = &self.shards[idx];
         let (page, evicted) = {
-            let mut store = self.store.lock();
+            let mut store = shard.store.lock();
             store.allocate()?
         };
         self.flush_images(evicted)?;
-        self.glm
+        shard
+            .glm
             .lock()
             .install_holder(client, LockTarget::Page(page.id(), ObjMode::X));
-        self.dct.lock().insert(page.id(), client, Some(page.psn()));
+        shard.dct.lock().insert(page.id(), client, Some(page.psn()));
         self.net.msg(MsgKind::PageShip, page.size());
         Ok(page.into_bytes())
     }
@@ -393,15 +509,32 @@ impl ServerCore {
         let page = Page::from_bytes(bytes)?;
         let id = page.id();
         self.pages_received.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(id);
+        // Pool-first merge; on a miss the disk read runs unlocked and the
+        // merge re-checks the pool (a copy that slipped in wins as the
+        // resident side).
+        let store = shard.store.lock();
         let (incoming_psn, _outcome, evicted) = {
-            let mut store = self.store.lock();
-            store.receive(page)?
+            let mut store = store;
+            if store.pool_has(id) {
+                store.receive_with(page, None)?
+            } else {
+                let disk = store.disk_handle();
+                drop(store);
+                let disk_copy = disk.read_page(id)?;
+                shard.store.lock().receive_with(page, disk_copy)?
+            }
         };
         fgl_common::fgl_trace!("server absorb {id} from {client} psn={incoming_psn:?}");
-        self.dct.lock().set_psn(id, client, incoming_psn);
-        self.last_ship.lock().insert(id, (client, incoming_psn));
+        shard.dct.lock().set_psn(id, client, incoming_psn);
+        shard.last_ship.lock().insert(id, (client, incoming_psn));
         if replaced {
-            self.replaced_by.lock().entry(id).or_default().insert(client);
+            shard
+                .replaced_by
+                .lock()
+                .entry(id)
+                .or_default()
+                .insert(client);
         }
         self.flush_images(evicted)?;
         self.bump_recovery_gen();
@@ -418,7 +551,7 @@ impl ServerCore {
     /// Force one page to disk: replacement log record first (§3.1), then
     /// the in-place write, then flush notifications and DCT pruning.
     pub fn flush_page(&self, page: PageId) -> Result<()> {
-        let copy = self.store.lock().dirty_copy(page);
+        let copy = self.shard_of(page).store.lock().dirty_copy(page);
         match copy {
             Some(img) => self.flush_images(vec![img]),
             None => {
@@ -433,11 +566,15 @@ impl ServerCore {
         self.flush_images(images)
     }
 
-    /// Write page images to disk with their replacement records.
+    /// Write page images to disk with their replacement records. The
+    /// in-place disk write (and its simulated latency) runs with no shard
+    /// lock held; the log force serializes on the log's own mutex, which
+    /// is the nature of a single sequential log device.
     fn flush_images(&self, images: Vec<Page>) -> Result<()> {
         for img in images {
             let id = img.id();
-            let entries = self.dct.lock().entries_for_page(id);
+            let shard = self.shard_of(id);
+            let entries = shard.dct.lock().entries_for_page(id);
             let record = LogPayload::Replacement(ReplacementRecord {
                 page: id,
                 psn: img.psn(),
@@ -453,8 +590,10 @@ impl ServerCore {
                 lsn
             };
             self.replacement_records.fetch_add(1, Ordering::Relaxed);
-            self.dct.lock().note_replacement_record(id, lsn);
-            self.store.lock().write_to_disk(&img)?;
+            shard.dct.lock().note_replacement_record(id, lsn);
+            let disk = shard.store.lock().disk_handle();
+            disk.write_page(&img)?;
+            shard.store.lock().mark_clean_if_match(&img);
             self.pages_flushed.fetch_add(1, Ordering::Relaxed);
             self.notify_flushed(id);
             self.prune_dct(id);
@@ -465,8 +604,10 @@ impl ServerCore {
 
     fn notify_flushed(&self, page: PageId) {
         let clients: Vec<ClientId> = {
-            let mut map = self.replaced_by.lock();
-            map.remove(&page).map(|s| s.into_iter().collect()).unwrap_or_default()
+            let mut map = self.shard_of(page).replaced_by.lock();
+            map.remove(&page)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default()
         };
         let crashed = self.crashed_clients.lock().clone();
         for c in clients {
@@ -483,12 +624,13 @@ impl ServerCore {
     /// Drop DCT entries whose page is clean on disk and whose client no
     /// longer holds exclusive locks touching the page (§3.2).
     fn prune_dct(&self, page: PageId) {
-        if self.store.lock().is_dirty(page) {
+        let shard = self.shard_of(page);
+        if shard.store.lock().is_dirty(page) {
             return;
         }
-        let entries = self.dct.lock().entries_for_page(page);
-        let glm = self.glm.lock();
-        let mut dct = self.dct.lock();
+        let entries = shard.dct.lock().entries_for_page(page);
+        let glm = shard.glm.lock();
+        let mut dct = shard.dct.lock();
         for e in entries {
             if !glm.client_has_exclusive_on_page(e.client, page) {
                 dct.remove(page, e.client);
@@ -505,10 +647,13 @@ impl ServerCore {
         self.checkpoint()
     }
 
-    /// Take a server fuzzy checkpoint (§3.2): persist the DCT and advance
-    /// the log low-water mark.
+    /// Take a server fuzzy checkpoint (§3.2): persist the DCT (merged
+    /// across all shards) and advance the log low-water mark.
     pub fn checkpoint(&self) -> Result<()> {
-        let snapshot = self.dct.lock().snapshot();
+        let mut snapshot = Vec::new();
+        for shard in &self.shards {
+            snapshot.extend(shard.dct.lock().snapshot());
+        }
         let min_redo = snapshot.iter().filter_map(|e| e.redo_lsn).min();
         let mut slog = self.slog.lock();
         let lsn = slog.append_critical(&LogPayload::ServerCheckpoint { dct: snapshot })?;
@@ -527,7 +672,9 @@ impl ServerCore {
 
     /// ARIES/CSA-shape commit: the client ships its log records; the
     /// server appends them to its (single, shared) client-log store and
-    /// forces. The shared mutex *is* the bottleneck the paper predicts.
+    /// forces. The shared mutex *is* the bottleneck the paper predicts —
+    /// it stays deliberately unsharded, and the disk sleep deliberately
+    /// runs under it.
     pub fn commit_ship_log(&self, client: ClientId, records: Vec<u8>) -> Result<()> {
         self.check_up()?;
         self.net.msg(MsgKind::CommitLogShip, records.len());
@@ -567,24 +714,25 @@ impl ServerCore {
     // ---- client crash handling (§3.3) ------------------------------------------
 
     /// A client crashed: release its shared locks, keep its exclusive
-    /// locks, queue callbacks addressed to it.
+    /// locks, queue callbacks addressed to it. Every shard holds a slice
+    /// of its state.
     pub fn client_crashed(&self, client: ClientId) {
         self.crashed_clients.lock().insert(client);
         self.peers.write().remove(&client);
-        // Its parked waiters die with it.
-        let its: Vec<TxnId> = self
-            .waiters
-            .lock()
-            .keys()
-            .copied()
-            .filter(|t| t.client() == client)
-            .collect();
-        for t in &its {
-            self.waiters.lock().remove(t);
-        }
         let mut events = Vec::new();
-        {
-            let mut glm = self.glm.lock();
+        for shard in &self.shards {
+            // Its parked waiters die with it.
+            let its: Vec<TxnId> = shard
+                .waiters
+                .lock()
+                .keys()
+                .copied()
+                .filter(|t| t.client() == client)
+                .collect();
+            for t in &its {
+                shard.waiters.lock().remove(t);
+            }
+            let mut glm = shard.glm.lock();
             for t in its {
                 events.extend(glm.cancel_wait(t));
             }
@@ -594,7 +742,8 @@ impl ServerCore {
     }
 
     /// Restarting client: hand it the exclusive locks it held (§3.3) and
-    /// the DCT PSNs for its pages (Property 1 filtering).
+    /// the DCT PSNs for its pages (Property 1 filtering), unioned across
+    /// shards.
     pub fn client_recovery_begin(
         &self,
         client: ClientId,
@@ -603,16 +752,22 @@ impl ServerCore {
         self.check_up()?;
         self.net.msg(MsgKind::Recovery, 16);
         self.peers.write().insert(client, peer);
-        let locks = self.glm.lock().exclusive_locks(client);
-        let psns: Vec<(PageId, Option<Psn>)> = self
-            .dct
-            .lock()
-            .entries_for_client(client)
-            .into_iter()
-            .map(|e| (e.page, e.psn))
-            .collect();
+        let mut locks = Vec::new();
+        let mut psns: Vec<(PageId, Option<Psn>)> = Vec::new();
+        for shard in &self.shards {
+            locks.extend(shard.glm.lock().exclusive_locks(client));
+            psns.extend(
+                shard
+                    .dct
+                    .lock()
+                    .entries_for_client(client)
+                    .into_iter()
+                    .map(|e| (e.page, e.psn)),
+            );
+        }
         let dct_complete = !self.dct_incomplete.lock().contains(&client);
-        self.net.msg(MsgKind::Recovery, 16 * (locks.len() + psns.len()).max(1));
+        self.net
+            .msg(MsgKind::Recovery, 16 * (locks.len() + psns.len()).max(1));
         Ok((locks, psns, dct_complete))
     }
 
@@ -623,8 +778,12 @@ impl ServerCore {
         self.net.msg(MsgKind::Recovery, 16);
         self.crashed_clients.lock().remove(&client);
         self.dct_incomplete.lock().remove(&client);
-        self.glm.lock().client_recovered(client);
-        let events = self.glm.lock().release_all(client);
+        let mut events = Vec::new();
+        for shard in &self.shards {
+            let mut glm = shard.glm.lock();
+            glm.client_recovered(client);
+            events.extend(glm.release_all(client));
+        }
         self.drive(events);
         self.bump_recovery_gen();
         Ok(())
@@ -632,17 +791,20 @@ impl ServerCore {
 
     // ---- server crash plumbing (the restart algorithm lives in recovery.rs) ----
 
-    /// Simulate a server crash: all volatile state (buffer pool, GLM, DCT,
-    /// parked waiters, un-forced log tail) vanishes; disk and forced log
-    /// survive.
+    /// Simulate a server crash: all volatile state (buffer pools, GLM
+    /// shards, DCT, waits-for graph, parked waiters, un-forced log tail)
+    /// vanishes; disk and forced log survive.
     pub fn crash(&self) {
         self.down.store(true, Ordering::Release);
-        self.store.lock().crash();
-        self.dct.lock().clear();
-        *self.glm.lock() = GlmCore::new();
-        self.waiters.lock().clear();
-        self.replaced_by.lock().clear();
-        self.last_ship.lock().clear();
+        self.wait_graph.clear();
+        for shard in &self.shards {
+            shard.store.lock().crash();
+            shard.dct.lock().clear();
+            *shard.glm.lock() = GlmCore::with_graph(self.wait_graph.clone());
+            shard.waiters.lock().clear();
+            shard.replaced_by.lock().clear();
+            shard.last_ship.lock().clear();
+        }
         self.slog.lock().crash();
         self.slog_appends_since_ckpt.store(0, Ordering::Relaxed);
     }
@@ -655,16 +817,16 @@ impl ServerCore {
         self.down.store(false, Ordering::Release);
     }
 
-    pub(crate) fn glm_mut(&self) -> parking_lot::MutexGuard<'_, GlmCore> {
-        self.glm.lock()
+    pub(crate) fn glm_for(&self, page: PageId) -> parking_lot::MutexGuard<'_, GlmCore> {
+        self.shard_of(page).glm.lock()
     }
 
-    pub(crate) fn store_mut(&self) -> parking_lot::MutexGuard<'_, PageStore> {
-        self.store.lock()
+    pub(crate) fn store_for(&self, page: PageId) -> parking_lot::MutexGuard<'_, PageStore> {
+        self.shard_of(page).store.lock()
     }
 
-    pub(crate) fn dct_mut(&self) -> parking_lot::MutexGuard<'_, Dct> {
-        self.dct.lock()
+    pub(crate) fn dct_for(&self, page: PageId) -> parking_lot::MutexGuard<'_, Dct> {
+        self.shard_of(page).dct.lock()
     }
 
     pub(crate) fn slog_mut(&self) -> parking_lot::MutexGuard<'_, LogManager> {
@@ -711,9 +873,8 @@ impl ServerCore {
                 self.wait_for_recovery_progress(cid, page, psn);
             }
         }
-        let (copy, evicted) = self.store.lock().get_copy(page)?;
-        self.flush_images(evicted)?;
-        let dct_psn = self.dct.lock().psn_of(page, client);
+        let copy = self.read_page_copy(page)?;
+        let dct_psn = self.shard_of(page).dct.lock().psn_of(page, client);
         self.net.msg(MsgKind::PageShip, copy.size());
         Ok((copy.into_bytes(), dct_psn))
     }
@@ -734,7 +895,7 @@ impl ServerCore {
                 // Hold the generation lock across the condition check so a
                 // concurrent bump cannot slip between check and wait.
                 let mut gen = self.recovery_gen.lock();
-                let have = self.dct.lock().psn_of(page, cid);
+                let have = self.shard_of(page).dct.lock().psn_of(page, cid);
                 if have.map(|p| p >= psn).unwrap_or(false) {
                     break;
                 }
@@ -758,18 +919,15 @@ impl ServerCore {
     /// when the page never reached disk), the PSN the server can vouch
     /// for (rebuilt DCT via Property 2, else zero = replay everything),
     /// and the merged `CallBack_P` list from the operational clients.
-    pub fn recover_client_page(
-        &self,
-        client: ClientId,
-        page: PageId,
-    ) -> Result<RecoverPagePlan> {
+    pub fn recover_client_page(&self, client: ClientId, page: PageId) -> Result<RecoverPagePlan> {
         self.net.msg(MsgKind::Recovery, 16);
-        let (base, evicted) = self.store.lock().get_or_format(page)?;
+        let shard = self.shard_of(page);
+        let (base, evicted) = shard.store.lock().get_or_format(page)?;
         self.flush_images(evicted)?;
-        let install_psn = self.dct.lock().psn_of(page, client).unwrap_or(Psn::ZERO);
+        let install_psn = shard.dct.lock().psn_of(page, client).unwrap_or(Psn::ZERO);
         // Ensure a DCT entry exists so parallel recoveries can wait on our
         // progress for this page.
-        self.dct.lock().insert(page, client, None);
+        shard.dct.lock().insert(page, client, None);
         let mut merged: HashMap<fgl_common::ObjectId, Psn> = HashMap::new();
         for peer in self.all_peers() {
             if peer.client_id() == client {
@@ -813,20 +971,29 @@ impl ServerCore {
 
     /// Diagnostics: PSN of the server's current copy (pool else disk).
     pub fn current_psn(&self, page: PageId) -> Option<Psn> {
-        self.store.lock().current_psn(page).ok().flatten()
+        self.shard_of(page)
+            .store
+            .lock()
+            .current_psn(page)
+            .ok()
+            .flatten()
     }
 
     /// Diagnostics / oracle verification: a copy of the page as the server
     /// sees it now.
     pub fn page_copy(&self, page: PageId) -> Result<Page> {
-        let (copy, evicted) = self.store.lock().get_copy(page)?;
-        self.flush_images(evicted)?;
-        Ok(copy)
+        self.read_page_copy(page)
     }
 
-    /// Diagnostics: ids of every allocated page.
+    /// Diagnostics: ids of every allocated page (across all shards).
     pub fn allocated_pages(&self) -> Vec<PageId> {
-        self.store.lock().allocated_pages()
+        let mut pages: Vec<PageId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.store.lock().allocated_pages())
+            .collect();
+        pages.sort();
+        pages
     }
 
     /// Server log state: `(last checkpoint, end)` (diagnostics).

@@ -78,12 +78,15 @@ fn property2_dct_psns_rebuilt_from_matching_replacement_record() {
     let _ = state;
 
     // Client 1 allocates, updates and ships the page; the server forces it.
-    let bytes = s.allocate_page(ClientId(1), TxnId::compose(ClientId(1), 1)).unwrap();
+    let bytes = s
+        .allocate_page(ClientId(1), TxnId::compose(ClientId(1), 1))
+        .unwrap();
     let mut copy = Page::from_bytes(bytes).unwrap();
     let slot = copy.insert_object(b"prop2-payload").unwrap();
     let shipped_psn = copy.psn();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true).unwrap();
+    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+        .unwrap();
     s.flush_page(pid).unwrap();
 
     // Crash: pool/DCT/GLM gone. The client (operational) reports a DPT
@@ -125,7 +128,9 @@ fn restart_pulls_cached_dpt_pages_from_operational_clients() {
         cached_copies: Mutex::new(vec![]),
     });
     s.register_client(peer.clone());
-    let bytes = s.allocate_page(ClientId(1), TxnId::compose(ClientId(1), 1)).unwrap();
+    let bytes = s
+        .allocate_page(ClientId(1), TxnId::compose(ClientId(1), 1))
+        .unwrap();
     let mut copy = Page::from_bytes(bytes).unwrap();
     let slot = copy.insert_object(b"cached-state").unwrap();
     let pid = copy.id();
@@ -139,7 +144,9 @@ fn restart_pulls_cached_dpt_pages_from_operational_clients() {
         cached_pages: vec![(pid, copy.psn())],
         locks: vec![LockTarget::Object(ObjectId::new(pid, slot), ObjMode::X)],
     };
-    peer.cached_copies.lock().push((pid, copy.as_bytes().to_vec()));
+    peer.cached_copies
+        .lock()
+        .push((pid, copy.as_bytes().to_vec()));
     let report = s.restart_recovery().unwrap();
     assert_eq!(report.recovery_units, 0, "cached pages need no replay");
     let (bytes, _) = s.fetch_page(ClientId(1), pid).unwrap();
@@ -156,10 +163,13 @@ fn restart_rebuilds_glm_from_reported_lock_tables() {
         cached_copies: Mutex::new(vec![]),
     });
     s.register_client(peer.clone());
-    let bytes = s.allocate_page(ClientId(1), TxnId::compose(ClientId(1), 1)).unwrap();
+    let bytes = s
+        .allocate_page(ClientId(1), TxnId::compose(ClientId(1), 1))
+        .unwrap();
     let page = Page::from_bytes(bytes).unwrap();
     let pid = page.id();
-    s.ship_page(ClientId(1), page.as_bytes().to_vec(), true).unwrap();
+    s.ship_page(ClientId(1), page.as_bytes().to_vec(), true)
+        .unwrap();
     s.flush_page(pid).unwrap();
     s.crash();
     let obj = ObjectId::new(pid, fgl_common::SlotId(0));
@@ -178,7 +188,12 @@ fn restart_rebuilds_glm_from_reported_lock_tables() {
     });
     s.register_client(peer2);
     match s
-        .lock(ClientId(2), TxnId::compose(ClientId(2), 1), LockTarget::Object(obj, ObjMode::X), None)
+        .lock(
+            ClientId(2),
+            TxnId::compose(ClientId(2), 1),
+            LockTarget::Object(obj, ObjMode::X),
+            None,
+        )
         .unwrap()
     {
         fgl_server::runtime::LockResponse::Granted { .. } => {

@@ -110,7 +110,8 @@ fn ship_page_merges_and_updates_dct_psn() {
     let mut copy = Page::from_bytes(bytes).unwrap();
     let slot = copy.insert_object(b"hello-dct").unwrap();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true).unwrap();
+    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+        .unwrap();
     // The server's merged copy carries the update.
     let merged = s.page_copy(pid).unwrap();
     assert_eq!(merged.read_object(slot).unwrap(), b"hello-dct");
@@ -125,7 +126,8 @@ fn force_page_notifies_replacers_once() {
     let mut copy = Page::from_bytes(bytes).unwrap();
     copy.insert_object(b"dirty").unwrap();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true).unwrap();
+    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+        .unwrap();
     s.force_page(ClientId(1), pid).unwrap();
     assert_eq!(p1.lock().flushes, vec![pid]);
     // Forcing again (already clean): replaced_by was drained, no repeat.
@@ -141,7 +143,8 @@ fn replacement_records_written_before_page_force() {
     let mut copy = Page::from_bytes(bytes).unwrap();
     copy.insert_object(b"payload").unwrap();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true).unwrap();
+    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+        .unwrap();
     let before = s.stats();
     s.force_page(ClientId(1), pid).unwrap();
     let after = s.stats();
@@ -157,12 +160,18 @@ fn crash_drops_volatile_state_but_disk_survives() {
     let mut copy = Page::from_bytes(bytes).unwrap();
     copy.insert_object(b"durable-bytes").unwrap();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true).unwrap();
+    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+        .unwrap();
     s.force_page(ClientId(1), pid).unwrap();
     s.crash();
     assert!(s.is_down());
     assert!(matches!(
-        s.lock(ClientId(1), txn(1, 2), LockTarget::Page(pid, ObjMode::S), None),
+        s.lock(
+            ClientId(1),
+            txn(1, 2),
+            LockTarget::Page(pid, ObjMode::S),
+            None
+        ),
         Err(fgl_common::FglError::Disconnected(_))
     ));
     // Restart with no clients registered: trivially succeeds, flushed
@@ -186,7 +195,15 @@ fn client_crash_releases_shared_keeps_exclusive() {
     // Client 2 gets an S lock on an object (forces de-escalation of 1's
     // page lock).
     let obj = ObjectId::new(page, fgl_common::SlotId(0));
-    match s.lock(ClientId(2), txn(2, 1), LockTarget::Object(obj, ObjMode::S), None).unwrap() {
+    match s
+        .lock(
+            ClientId(2),
+            txn(2, 1),
+            LockTarget::Object(obj, ObjMode::S),
+            None,
+        )
+        .unwrap()
+    {
         LockResponse::Granted { .. } => {}
         LockResponse::Wait(w) => {
             w.wait(std::time::Duration::from_secs(1)).unwrap();
@@ -194,7 +211,15 @@ fn client_crash_releases_shared_keeps_exclusive() {
     }
     s.client_crashed(ClientId(2));
     // Client 1 can now take X on the object without waiting for client 2.
-    match s.lock(ClientId(1), txn(1, 2), LockTarget::Object(obj, ObjMode::X), None).unwrap() {
+    match s
+        .lock(
+            ClientId(1),
+            txn(1, 2),
+            LockTarget::Object(obj, ObjMode::X),
+            None,
+        )
+        .unwrap()
+    {
         LockResponse::Granted { .. } => {}
         LockResponse::Wait(w) => {
             assert!(w.wait(std::time::Duration::from_secs(1)).is_some());
@@ -218,7 +243,10 @@ fn commit_log_ship_accumulates_per_client() {
     let _p1 = register(&s, 1);
     s.commit_ship_log(ClientId(1), vec![1, 2, 3]).unwrap();
     s.commit_ship_log(ClientId(1), vec![4, 5]).unwrap();
-    assert_eq!(s.fetch_client_log(ClientId(1)).unwrap(), vec![1, 2, 3, 4, 5]);
+    assert_eq!(
+        s.fetch_client_log(ClientId(1)).unwrap(),
+        vec![1, 2, 3, 4, 5]
+    );
     assert!(s.fetch_client_log(ClientId(2)).unwrap().is_empty());
     assert_eq!(s.stats().commit_log_ships, 2);
 }
@@ -232,6 +260,9 @@ fn checkpoint_snapshots_dct_into_log() {
     let before = s.slog_bounds();
     s.checkpoint().unwrap();
     let after = s.slog_bounds();
-    assert!(after.0 > before.0 || before.0.is_nil(), "checkpoint anchor advanced");
+    assert!(
+        after.0 > before.0 || before.0.is_nil(),
+        "checkpoint anchor advanced"
+    );
     assert!(after.1 > before.1, "checkpoint record appended");
 }

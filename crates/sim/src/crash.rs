@@ -186,22 +186,25 @@ mod tests {
             1,
         )
         .unwrap();
-        assert!(r.is_clean(), "{:?} / {:?}", r.verify_after_recovery, r.verify_final);
+        assert!(
+            r.is_clean(),
+            "{:?} / {:?}",
+            r.verify_after_recovery,
+            r.verify_final
+        );
         assert!(r.phase2.commits > 0);
     }
 
     #[test]
     fn server_crash_scenario_is_clean() {
-        let r = run_crash_scenario(
-            SystemConfig::default(),
-            3,
-            CrashKind::Server,
-            spec(),
-            10,
-            2,
-        )
-        .unwrap();
-        assert!(r.is_clean(), "{:?} / {:?}", r.verify_after_recovery, r.verify_final);
+        let r = run_crash_scenario(SystemConfig::default(), 3, CrashKind::Server, spec(), 10, 2)
+            .unwrap();
+        assert!(
+            r.is_clean(),
+            "{:?} / {:?}",
+            r.verify_after_recovery,
+            r.verify_final
+        );
     }
 
     #[test]
@@ -215,6 +218,11 @@ mod tests {
             3,
         )
         .unwrap();
-        assert!(r.is_clean(), "{:?} / {:?}", r.verify_after_recovery, r.verify_final);
+        assert!(
+            r.is_clean(),
+            "{:?} / {:?}",
+            r.verify_after_recovery,
+            r.verify_final
+        );
     }
 }

@@ -217,8 +217,7 @@ mod tests {
         let sys = System::build(SystemConfig::default(), 1).unwrap();
         let spec = small_spec(WorkloadKind::Private);
         let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 32).unwrap();
-        let report =
-            run_workload(&sys, &layout, None, &HarnessOptions::new(spec, 20)).unwrap();
+        let report = run_workload(&sys, &layout, None, &HarnessOptions::new(spec, 20)).unwrap();
         assert_eq!(report.commits, 20);
         assert_eq!(report.aborts, 0);
         assert_eq!(report.commit_latencies_us.len(), 20);

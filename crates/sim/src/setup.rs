@@ -32,7 +32,7 @@ pub fn populate(
         objects: Vec::with_capacity(pages * objects_per_page),
         object_size,
     };
-    let mut rng = DetRng::new(0xDB_5EED);
+    let mut rng = DetRng::new(0x00DB_5EED);
     let mut buf = vec![0u8; object_size];
     for _ in 0..pages {
         let t = loader.begin()?;

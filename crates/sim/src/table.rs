@@ -19,11 +19,7 @@ impl Table {
     /// Add a row; panics if the column count mismatches (programmer
     /// error in a bench binary).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.header.len(),
-            "row width != header width"
-        );
+        assert_eq!(cells.len(), self.header.len(), "row width != header width");
         self.rows.push(cells);
     }
 

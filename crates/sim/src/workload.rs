@@ -168,7 +168,13 @@ impl WorkloadSpec {
     /// In HICON, different clients target different slots of the hot
     /// pages, so writes conflict at page level but not at object level —
     /// exactly what fine-granularity locking exploits.
-    fn pick_slot(&self, client: usize, n_clients: usize, page_hot: bool, rng: &mut DetRng) -> usize {
+    fn pick_slot(
+        &self,
+        client: usize,
+        n_clients: usize,
+        page_hot: bool,
+        rng: &mut DetRng,
+    ) -> usize {
         if self.kind == WorkloadKind::HiCon && page_hot {
             let per = (self.objects_per_page / n_clients.max(1)).max(1);
             let base = (client * per) % self.objects_per_page;
@@ -263,16 +269,15 @@ mod tests {
         let mut s = spec(WorkloadKind::HiCon);
         s.write_fraction = 1.0;
         let mut rng = DetRng::new(5);
-        let mut slots_by_client: Vec<std::collections::HashSet<u16>> =
-            vec![Default::default(); 4];
-        for c in 0..4 {
+        let mut slots_by_client: Vec<std::collections::HashSet<u16>> = vec![Default::default(); 4];
+        for (c, slots) in slots_by_client.iter_mut().enumerate() {
             for _ in 0..100 {
                 let t = s.next_txn(c, 4, &mut rng);
                 for op in &t.ops {
                     assert!(op.is_write());
                     let o = op.object();
                     assert!((o.page.0 as usize) < s.hot_pages);
-                    slots_by_client[c].insert(o.slot.0);
+                    slots.insert(o.slot.0);
                 }
             }
         }
@@ -317,7 +322,10 @@ mod tests {
             }
         }
         let head_u: usize = counts_u[..u.pages / 8].iter().sum();
-        assert!(head > head_u * 2, "zipf head {head} vs uniform head {head_u}");
+        assert!(
+            head > head_u * 2,
+            "zipf head {head} vs uniform head {head_u}"
+        );
     }
 
     #[test]

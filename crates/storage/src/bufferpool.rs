@@ -153,12 +153,10 @@ impl BufferPool {
 
     /// Remove a page from the pool, returning it.
     pub fn remove(&mut self, id: PageId) -> Option<EvictedPage> {
-        self.frames
-            .remove(&id)
-            .map(|f| EvictedPage {
-                page: f.page,
-                dirty: f.dirty,
-            })
+        self.frames.remove(&id).map(|f| EvictedPage {
+            page: f.page,
+            dirty: f.dirty,
+        })
     }
 
     /// Drop every frame (models a crash: volatile cache contents are lost).

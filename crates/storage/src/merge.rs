@@ -143,8 +143,14 @@ mod tests {
 
         let (m12, _) = merge_pages(&c1, &c2).unwrap();
         let (m21, _) = merge_pages(&c2, &c1).unwrap();
-        assert_eq!(m12.read_object(SlotId(0)).unwrap(), m21.read_object(SlotId(0)).unwrap());
-        assert_eq!(m12.read_object(SlotId(1)).unwrap(), m21.read_object(SlotId(1)).unwrap());
+        assert_eq!(
+            m12.read_object(SlotId(0)).unwrap(),
+            m21.read_object(SlotId(0)).unwrap()
+        );
+        assert_eq!(
+            m12.read_object(SlotId(1)).unwrap(),
+            m21.read_object(SlotId(1)).unwrap()
+        );
         assert_eq!(m12.psn(), m21.psn());
     }
 
@@ -208,9 +214,7 @@ mod tests {
         let mut last = cur.psn();
         for i in 0..20u8 {
             let mut other = cur.clone();
-            other
-                .write_object(SlotId((i % 2) as u16), &[i; 4])
-                .unwrap();
+            other.write_object(SlotId((i % 2) as u16), &[i; 4]).unwrap();
             let (m, _) = merge_pages(&cur, &other).unwrap();
             assert!(m.psn() > last);
             last = m.psn();

@@ -99,7 +99,9 @@ impl Page {
     /// over the network), validating the header.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Page> {
         if bytes.len() < 128 {
-            return Err(FglError::Corrupt("page buffer shorter than 128 bytes".into()));
+            return Err(FglError::Corrupt(
+                "page buffer shorter than 128 bytes".into(),
+            ));
         }
         let p = Page {
             buf: bytes.into_boxed_slice(),
@@ -321,8 +323,8 @@ impl Page {
         let new_entry = slot.0 >= self.slot_count();
         if new_entry && slot.0 > self.slot_count() {
             // Create intermediate dead slots so the table stays dense.
-            let needed = (slot.0 as usize + 1 - self.slot_count() as usize) * SLOT_ENTRY_SIZE
-                + data.len();
+            let needed =
+                (slot.0 as usize + 1 - self.slot_count() as usize) * SLOT_ENTRY_SIZE + data.len();
             if self.contiguous_free() < needed && self.total_free() >= needed {
                 self.compact();
             }
@@ -561,8 +563,8 @@ impl Page {
         let live: Vec<(SlotId, Slot, Vec<u8>)> = self
             .iter_slots()
             .map(|(id, s)| {
-                let d = self.buf[s.data_off as usize..s.data_off as usize + s.len as usize]
-                    .to_vec();
+                let d =
+                    self.buf[s.data_off as usize..s.data_off as usize + s.len as usize].to_vec();
                 (id, s, d)
             })
             .collect();

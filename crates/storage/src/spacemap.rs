@@ -23,15 +23,35 @@ struct Entry {
 }
 
 /// The server's space allocation map. One entry per page id ever touched.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SpaceMap {
     entries: BTreeMap<PageId, Entry>,
     next_unused: u64,
+    step: u64,
+}
+
+impl Default for SpaceMap {
+    fn default() -> Self {
+        Self::with_stride(0, 1)
+    }
 }
 
 impl SpaceMap {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A map owning the page-id residue class `start mod step`: fresh
+    /// allocations walk `start, start+step, start+2*step, …`. A sharded
+    /// server gives shard *i* of *N* the stride `(i, N)` so sibling
+    /// shards never hand out colliding ids.
+    pub fn with_stride(start: u64, step: u64) -> Self {
+        assert!(step >= 1 && start < step, "stride start must be < step");
+        SpaceMap {
+            entries: BTreeMap::new(),
+            next_unused: start,
+            step,
+        }
     }
 
     /// Allocate a fresh page id (or reuse the lowest freed one) and return
@@ -54,7 +74,7 @@ impl SpaceMap {
             return (id, seed);
         }
         let id = PageId(self.next_unused);
-        self.next_unused += 1;
+        self.next_unused += self.step;
         self.entries.insert(
             id,
             Entry {
@@ -139,6 +159,21 @@ mod tests {
         m.deallocate(a, Psn(1)).unwrap();
         assert!(m.deallocate(a, Psn(2)).is_err());
         assert!(m.deallocate(PageId(99), Psn(0)).is_err());
+    }
+
+    #[test]
+    fn strided_allocation_walks_residue_class() {
+        let mut m = SpaceMap::with_stride(2, 4);
+        let (a, _) = m.allocate();
+        let (b, _) = m.allocate();
+        assert_eq!(a, PageId(2));
+        assert_eq!(b, PageId(6));
+        m.deallocate(a, Psn(9)).unwrap();
+        let (a2, seed) = m.allocate();
+        assert_eq!(a2, a, "freed id reused before striding on");
+        assert_eq!(seed, Psn(10));
+        let (c, _) = m.allocate();
+        assert_eq!(c, PageId(10));
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Property-based tests for the page format and the merge procedure.
+//! Randomized tests for the page format and the merge procedure, driven
+//! by the in-tree deterministic PRNG so each case replays from its seed.
 
+use fgl_common::rng::DetRng;
 use fgl_common::{PageId, Psn, SlotId};
 use fgl_storage::merge::merge_pages;
 use fgl_storage::page::Page;
-use proptest::prelude::*;
 
 /// A random page operation.
 #[derive(Clone, Debug)]
@@ -15,15 +16,25 @@ enum PageOp {
     Compact,
 }
 
-fn op_strategy() -> impl Strategy<Value = PageOp> {
-    prop_oneof![
-        proptest::collection::vec(any::<u8>(), 1..80).prop_map(PageOp::Insert),
-        (any::<usize>(), proptest::collection::vec(any::<u8>(), 1..80))
-            .prop_map(|(i, d)| PageOp::Overwrite(i, d)),
-        any::<usize>().prop_map(PageOp::Free),
-        (any::<usize>(), 1..80usize).prop_map(|(i, n)| PageOp::Resize(i, n)),
-        Just(PageOp::Compact),
-    ]
+fn random_bytes(rng: &mut DetRng, lo: usize, hi: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; rng.range_usize(lo, hi)];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+fn random_op(rng: &mut DetRng) -> PageOp {
+    match rng.gen_range(5) {
+        0 => PageOp::Insert(random_bytes(rng, 1, 80)),
+        1 => PageOp::Overwrite(rng.next_u64() as usize, random_bytes(rng, 1, 80)),
+        2 => PageOp::Free(rng.next_u64() as usize),
+        3 => PageOp::Resize(rng.next_u64() as usize, rng.range_usize(1, 80)),
+        _ => PageOp::Compact,
+    }
+}
+
+fn random_ops(rng: &mut DetRng, max_len: usize) -> Vec<PageOp> {
+    let len = rng.range_usize(1, max_len);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 /// Reference model: slot -> bytes.
@@ -91,13 +102,13 @@ fn apply_model(model: &mut Vec<Option<Vec<u8>>>, page: &mut Page, op: &PageOp) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The page tracks a simple slot->bytes model under arbitrary
-    /// operation sequences, and survives a codec roundtrip.
-    #[test]
-    fn page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// The page tracks a simple slot->bytes model under arbitrary operation
+/// sequences, and survives a codec roundtrip.
+#[test]
+fn page_matches_model() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0x9A6E_0001 ^ case);
+        let ops = random_ops(&mut rng, 60);
         let mut page = Page::format(2048, PageId(7), Psn::ZERO);
         let mut model: Vec<Option<Vec<u8>>> = Vec::new();
         for op in &ops {
@@ -107,34 +118,53 @@ proptest! {
         let page = Page::from_bytes(page.into_bytes()).unwrap();
         for (i, expected) in model.iter().enumerate() {
             let got = page.read_object(SlotId(i as u16)).ok().map(|b| b.to_vec());
-            prop_assert_eq!(&got, expected, "slot {}", i);
+            assert_eq!(&got, expected, "case {case}, slot {i}");
         }
-        prop_assert_eq!(page.live_count(), model.iter().filter(|s| s.is_some()).count());
+        assert_eq!(
+            page.live_count(),
+            model.iter().filter(|s| s.is_some()).count()
+        );
     }
+}
 
-    /// PSN strictly increases with every successful mutation.
-    #[test]
-    fn psn_monotone(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+/// PSN strictly increases with every successful mutation.
+#[test]
+fn psn_monotone() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0x9A6E_0002 ^ (case << 8));
+        let ops = random_ops(&mut rng, 40);
         let mut page = Page::format(2048, PageId(7), Psn::ZERO);
         let mut model: Vec<Option<Vec<u8>>> = Vec::new();
         let mut last = page.psn();
         for op in &ops {
             apply_model(&mut model, &mut page, op);
-            prop_assert!(page.psn() >= last);
+            assert!(page.psn() >= last, "case {case}");
             last = page.psn();
         }
     }
+}
 
-    /// Merging two divergent copies is content-symmetric and the merged
-    /// PSN strictly exceeds both inputs.
-    #[test]
-    fn merge_symmetric(
-        seed_objs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 4..32), 2..8),
-        a_ops in proptest::collection::vec((any::<usize>(), proptest::collection::vec(any::<u8>(), 4..32)), 0..8),
-        b_ops in proptest::collection::vec((any::<usize>(), proptest::collection::vec(any::<u8>(), 4..32)), 0..8),
-    ) {
+/// Merging two divergent copies is content-symmetric and the merged PSN
+/// strictly exceeds both inputs.
+#[test]
+fn merge_symmetric() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0x3E46E ^ (case << 16));
+        let seed_objs: Vec<Vec<u8>> = (0..rng.range_usize(2, 8))
+            .map(|_| random_bytes(&mut rng, 4, 32))
+            .collect();
+        let a_ops: Vec<(usize, Vec<u8>)> = (0..rng.range_usize(0, 8))
+            .map(|_| (rng.next_u64() as usize, random_bytes(&mut rng, 4, 32)))
+            .collect();
+        let b_ops: Vec<(usize, Vec<u8>)> = (0..rng.range_usize(0, 8))
+            .map(|_| (rng.next_u64() as usize, random_bytes(&mut rng, 4, 32)))
+            .collect();
+
         let mut base = Page::format(2048, PageId(3), Psn::ZERO);
-        let slots: Vec<SlotId> = seed_objs.iter().map(|d| base.insert_object(d).unwrap()).collect();
+        let slots: Vec<SlotId> = seed_objs
+            .iter()
+            .map(|d| base.insert_object(d).unwrap())
+            .collect();
         // Two clients overwrite disjoint slot sets (even/odd), as the
         // locking protocol guarantees.
         let mut a = base.clone();
@@ -147,7 +177,9 @@ proptest! {
         let mut b = base.clone();
         for (i, d) in &b_ops {
             let idx = (i % slots.len()) | 1usize; // odd slots
-            if idx >= slots.len() { continue; }
+            if idx >= slots.len() {
+                continue;
+            }
             let s = slots[idx];
             let mut dd = d.clone();
             dd.resize(b.read_object(s).unwrap().len(), 0);
@@ -156,20 +188,30 @@ proptest! {
         let (m1, _) = merge_pages(&a, &b).unwrap();
         let (m2, _) = merge_pages(&b, &a).unwrap();
         for s in &slots {
-            prop_assert_eq!(m1.read_object(*s).unwrap(), m2.read_object(*s).unwrap());
+            assert_eq!(m1.read_object(*s).unwrap(), m2.read_object(*s).unwrap());
         }
-        prop_assert!(m1.psn() > a.psn() && m1.psn() > b.psn());
-        prop_assert_eq!(m1.psn(), m2.psn());
+        assert!(m1.psn() > a.psn() && m1.psn() > b.psn());
+        assert_eq!(m1.psn(), m2.psn());
     }
+}
 
-    /// Merging a copy with itself (or a stale ancestor) preserves content.
-    #[test]
-    fn merge_with_stale_ancestor_keeps_newest(
-        objs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 4..32), 1..6),
-        updates in proptest::collection::vec((any::<usize>(), proptest::collection::vec(any::<u8>(), 4..32)), 1..6),
-    ) {
+/// Merging a copy with a stale ancestor preserves the newest content.
+#[test]
+fn merge_with_stale_ancestor_keeps_newest() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0x3E46F ^ (case << 24));
+        let objs: Vec<Vec<u8>> = (0..rng.range_usize(1, 6))
+            .map(|_| random_bytes(&mut rng, 4, 32))
+            .collect();
+        let updates: Vec<(usize, Vec<u8>)> = (0..rng.range_usize(1, 6))
+            .map(|_| (rng.next_u64() as usize, random_bytes(&mut rng, 4, 32)))
+            .collect();
+
         let mut base = Page::format(2048, PageId(3), Psn::ZERO);
-        let slots: Vec<SlotId> = objs.iter().map(|d| base.insert_object(d).unwrap()).collect();
+        let slots: Vec<SlotId> = objs
+            .iter()
+            .map(|d| base.insert_object(d).unwrap())
+            .collect();
         let ancestor = base.clone();
         for (i, d) in &updates {
             let s = slots[i % slots.len()];
@@ -179,18 +221,18 @@ proptest! {
         }
         let (m, _) = merge_pages(&base, &ancestor).unwrap();
         for s in &slots {
-            prop_assert_eq!(m.read_object(*s).unwrap(), base.read_object(*s).unwrap());
+            assert_eq!(m.read_object(*s).unwrap(), base.read_object(*s).unwrap());
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// `Page::from_bytes` never panics on arbitrary garbage — it either
-    /// rejects the buffer or yields a page whose reads are all safe.
-    #[test]
-    fn from_bytes_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+/// `Page::from_bytes` never panics on arbitrary garbage — it either
+/// rejects the buffer or yields a page whose reads are all safe.
+#[test]
+fn from_bytes_never_panics_on_garbage() {
+    for case in 0..512u64 {
+        let mut rng = DetRng::new(0x6A4BA6E ^ case);
+        let bytes = random_bytes(&mut rng, 0, 600);
         if let Ok(page) = Page::from_bytes(bytes) {
             for i in 0..page.slot_count() {
                 let _ = page.read_object(SlotId(i));
@@ -199,19 +241,20 @@ proptest! {
             let _ = page.total_free();
         }
     }
+}
 
-    /// Corrupting any single byte of a valid page either keeps it
-    /// readable or fails decode — never a panic or out-of-bounds read.
-    #[test]
-    fn single_byte_corruption_is_contained(
-        flip_at in any::<proptest::sample::Index>(),
-        xor in 1u8..=255,
-    ) {
+/// Corrupting any single byte of a valid page either keeps it readable
+/// or fails decode — never a panic or out-of-bounds read.
+#[test]
+fn single_byte_corruption_is_contained() {
+    for case in 0..512u64 {
+        let mut rng = DetRng::new(0xF11B ^ (case << 32));
         let mut p = Page::format(512, PageId(1), Psn::ZERO);
         p.insert_object(b"victim-one").unwrap();
         p.insert_object(b"victim-two").unwrap();
         let mut bytes = p.into_bytes();
-        let i = flip_at.index(bytes.len());
+        let i = rng.range_usize(0, bytes.len());
+        let xor = 1 + rng.gen_range(255) as u8;
         bytes[i] ^= xor;
         if let Ok(page) = Page::from_bytes(bytes) {
             for s in 0..page.slot_count() {

@@ -239,7 +239,10 @@ impl LogManager {
         } else {
             from
         };
-        LogScan { mgr: self, pos: start }
+        LogScan {
+            mgr: self,
+            pos: start,
+        }
     }
 
     /// Collect all records from `from` into a vector (testing/recovery

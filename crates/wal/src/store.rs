@@ -316,10 +316,7 @@ mod tests {
 
     #[test]
     fn sim_store_delegates_and_counts_syncs() {
-        let mut s = SimLogStore::new(
-            Box::new(MemLogStore::new()),
-            std::time::Duration::ZERO,
-        );
+        let mut s = SimLogStore::new(Box::new(MemLogStore::new()), std::time::Duration::ZERO);
         s.append(b"abc").unwrap();
         assert_eq!(s.durable_len(), 0);
         s.sync().unwrap();

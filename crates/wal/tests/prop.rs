@@ -1,94 +1,107 @@
-//! Property-based tests for the WAL: arbitrary record sequences
-//! round-trip through append/scan, crashes preserve exactly the forced
-//! prefix, and random read positions recover the right records.
+//! Randomized tests for the WAL: arbitrary record sequences round-trip
+//! through append/scan, crashes preserve exactly the forced prefix, and
+//! random read positions recover the right records. Sequences come from
+//! the in-tree deterministic PRNG so each case replays from its seed.
 
+use fgl_common::rng::DetRng;
 use fgl_common::{ClientId, Lsn, ObjectId, PageId, Psn, SlotId, TxnId};
 use fgl_wal::manager::LogManager;
 use fgl_wal::records::{CallbackRecord, ClrRecord, LogPayload, UpdateRecord};
 use fgl_wal::store::MemLogStore;
-use proptest::prelude::*;
 
-fn payload_strategy() -> impl Strategy<Value = LogPayload> {
-    let txn = (1u32..4, 1u32..50).prop_map(|(c, n)| TxnId::compose(ClientId(c), n));
-    let obj = (0u64..16, 0u16..8).prop_map(|(p, s)| ObjectId::new(PageId(p), SlotId(s)));
-    prop_oneof![
-        txn.clone().prop_map(|t| LogPayload::Begin { txn: t }),
-        (
-            txn.clone(),
-            obj.clone(),
-            any::<u64>(),
-            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
-            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
-            any::<bool>()
-        )
-            .prop_map(|(t, o, psn, before, after, structural)| {
-                LogPayload::Update(UpdateRecord {
-                    txn: t,
-                    prev_lsn: Lsn::NIL,
-                    object: o,
-                    psn_before: Psn(psn),
-                    before,
-                    after,
-                    structural,
-                })
-            }),
-        (txn.clone(), obj.clone(), any::<u64>(), proptest::option::of(
-            proptest::collection::vec(any::<u8>(), 0..32)
-        ))
-            .prop_map(|(t, o, psn, after)| LogPayload::Clr(ClrRecord {
-                txn: t,
-                prev_lsn: Lsn(1),
-                undo_next: Lsn::NIL,
-                object: o,
-                psn_before: Psn(psn),
-                after,
-            })),
-        (txn.clone(), any::<u64>()).prop_map(|(t, l)| LogPayload::Commit {
-            txn: t,
-            prev_lsn: Lsn(l)
-        }),
-        (obj, 1u32..4, any::<u64>()).prop_map(|(o, c, psn)| LogPayload::Callback(
-            CallbackRecord {
-                object: o,
-                from_client: ClientId(c),
-                psn: Psn(psn),
-            }
-        )),
-    ]
+fn random_bytes(rng: &mut DetRng, lo: usize, hi: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; rng.range_usize(lo, hi)];
+    rng.fill_bytes(&mut buf);
+    buf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_payload(rng: &mut DetRng) -> LogPayload {
+    let txn = TxnId::compose(
+        ClientId(1 + rng.gen_range(3) as u32),
+        1 + rng.gen_range(49) as u32,
+    );
+    let obj = ObjectId::new(PageId(rng.gen_range(16)), SlotId(rng.gen_range(8) as u16));
+    match rng.gen_range(5) {
+        0 => LogPayload::Begin { txn },
+        1 => LogPayload::Update(UpdateRecord {
+            txn,
+            prev_lsn: Lsn::NIL,
+            object: obj,
+            psn_before: Psn(rng.next_u64()),
+            before: if rng.chance(0.5) {
+                Some(random_bytes(rng, 0, 64))
+            } else {
+                None
+            },
+            after: if rng.chance(0.5) {
+                Some(random_bytes(rng, 0, 64))
+            } else {
+                None
+            },
+            structural: rng.chance(0.5),
+        }),
+        2 => LogPayload::Clr(ClrRecord {
+            txn,
+            prev_lsn: Lsn(1),
+            undo_next: Lsn::NIL,
+            object: obj,
+            psn_before: Psn(rng.next_u64()),
+            after: if rng.chance(0.5) {
+                Some(random_bytes(rng, 0, 32))
+            } else {
+                None
+            },
+        }),
+        3 => LogPayload::Commit {
+            txn,
+            prev_lsn: Lsn(rng.next_u64()),
+        },
+        _ => LogPayload::Callback(CallbackRecord {
+            object: obj,
+            from_client: ClientId(1 + rng.gen_range(3) as u32),
+            psn: Psn(rng.next_u64()),
+        }),
+    }
+}
 
-    /// Everything appended scans back identically, in order, with
-    /// consistent next-pointers.
-    #[test]
-    fn append_scan_roundtrip(payloads in proptest::collection::vec(payload_strategy(), 1..80)) {
+fn random_payloads(rng: &mut DetRng, lo: usize, hi: usize) -> Vec<LogPayload> {
+    let len = rng.range_usize(lo, hi);
+    (0..len).map(|_| random_payload(rng)).collect()
+}
+
+/// Everything appended scans back identically, in order, with consistent
+/// next-pointers.
+#[test]
+fn append_scan_roundtrip() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::new(0x0A1_0001 ^ case);
+        let payloads = random_payloads(&mut rng, 1, 80);
         let mut wal = LogManager::new(Box::new(MemLogStore::new()), 16 << 20);
         let mut lsns = Vec::new();
         for p in &payloads {
             lsns.push(wal.append(p).unwrap());
         }
         let got = wal.collect_from(Lsn::NIL);
-        prop_assert_eq!(got.len(), payloads.len());
+        assert_eq!(got.len(), payloads.len());
         for (i, entry) in got.iter().enumerate() {
-            prop_assert_eq!(entry.lsn, lsns[i]);
-            prop_assert_eq!(&entry.payload, &payloads[i]);
+            assert_eq!(entry.lsn, lsns[i]);
+            assert_eq!(&entry.payload, &payloads[i]);
         }
         for w in got.windows(2) {
-            prop_assert_eq!(w[0].next, w[1].lsn);
+            assert_eq!(w[0].next, w[1].lsn);
         }
     }
+}
 
-    /// After a crash, exactly the records appended before the last force
-    /// survive — never more, never fewer.
-    #[test]
-    fn crash_keeps_exactly_forced_prefix(
-        payloads in proptest::collection::vec(payload_strategy(), 2..60),
-        force_at in any::<proptest::sample::Index>(),
-    ) {
+/// After a crash, exactly the records appended before the last force
+/// survive — never more, never fewer.
+#[test]
+fn crash_keeps_exactly_forced_prefix() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::new(0x0A1_0002 ^ (case << 8));
+        let payloads = random_payloads(&mut rng, 2, 60);
+        let cut = rng.range_usize(0, payloads.len());
         let mut wal = LogManager::new(Box::new(MemLogStore::new()), 16 << 20);
-        let cut = force_at.index(payloads.len());
         for (i, p) in payloads.iter().enumerate() {
             wal.append(p).unwrap();
             if i == cut {
@@ -97,41 +110,43 @@ proptest! {
         }
         wal.crash();
         let got = wal.collect_from(Lsn::NIL);
-        prop_assert_eq!(got.len(), cut + 1);
+        assert_eq!(got.len(), cut + 1, "case {case}");
         for (i, entry) in got.iter().enumerate() {
-            prop_assert_eq!(&entry.payload, &payloads[i]);
+            assert_eq!(&entry.payload, &payloads[i]);
         }
     }
+}
 
-    /// Random-access reads agree with the sequential scan.
-    #[test]
-    fn random_access_consistent(
-        payloads in proptest::collection::vec(payload_strategy(), 1..40),
-        picks in proptest::collection::vec(any::<proptest::sample::Index>(), 1..10),
-    ) {
+/// Random-access reads agree with the sequential scan.
+#[test]
+fn random_access_consistent() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::new(0x0A1_0003 ^ (case << 16));
+        let payloads = random_payloads(&mut rng, 1, 40);
         let mut wal = LogManager::new(Box::new(MemLogStore::new()), 16 << 20);
         let lsns: Vec<Lsn> = payloads.iter().map(|p| wal.append(p).unwrap()).collect();
-        for pick in picks {
-            let i = pick.index(lsns.len());
+        for _ in 0..rng.range_usize(1, 10) {
+            let i = rng.range_usize(0, lsns.len());
             let entry = wal.read_at(lsns[i]).unwrap();
-            prop_assert_eq!(&entry.payload, &payloads[i]);
+            assert_eq!(&entry.payload, &payloads[i]);
         }
     }
+}
 
-    /// Low-water advancement never loses reachable records above it.
-    #[test]
-    fn low_water_preserves_suffix(
-        payloads in proptest::collection::vec(payload_strategy(), 2..40),
-        cut in any::<proptest::sample::Index>(),
-    ) {
+/// Low-water advancement never loses reachable records above it.
+#[test]
+fn low_water_preserves_suffix() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::new(0x0A1_0004 ^ (case << 24));
+        let payloads = random_payloads(&mut rng, 2, 40);
         let mut wal = LogManager::new(Box::new(MemLogStore::new()), 16 << 20);
         let lsns: Vec<Lsn> = payloads.iter().map(|p| wal.append(p).unwrap()).collect();
-        let i = cut.index(lsns.len());
+        let i = rng.range_usize(0, lsns.len());
         wal.advance_low_water(lsns[i]).unwrap();
         let got = wal.collect_from(Lsn::NIL);
-        prop_assert_eq!(got.len(), payloads.len() - i);
+        assert_eq!(got.len(), payloads.len() - i);
         for (k, entry) in got.iter().enumerate() {
-            prop_assert_eq!(&entry.payload, &payloads[i + k]);
+            assert_eq!(&entry.payload, &payloads[i + k]);
         }
     }
 }

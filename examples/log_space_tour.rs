@@ -8,9 +8,11 @@
 use fgl::{System, SystemConfig};
 
 fn main() -> fgl::Result<()> {
-    let mut cfg = SystemConfig::default();
-    cfg.client_log_bytes = 64 << 10; // 64 KiB — tiny on purpose
-    cfg.client_checkpoint_every = 1_000_000; // only reclamation checkpoints
+    let cfg = SystemConfig {
+        client_log_bytes: 64 << 10,         // 64 KiB — tiny on purpose
+        client_checkpoint_every: 1_000_000, // only reclamation checkpoints
+        ..Default::default()
+    };
     let sys = System::build(cfg, 1)?;
     let c = sys.client(0);
 

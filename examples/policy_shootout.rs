@@ -30,11 +30,15 @@ fn run(label: &str, cfg: SystemConfig) -> fgl::Result<()> {
 }
 
 fn main() -> fgl::Result<()> {
-    let base = || {
-        let mut c = SystemConfig::default();
-        c.disk_latency = Duration::from_micros(300);
-        c.net_latency = Duration::from_micros(30);
-        c
+    let base = || SystemConfig {
+        disk_latency: Duration::from_micros(300),
+        net_latency: Duration::from_micros(30),
+        // The page-lock and update-token baselines are timeout-bound
+        // (multi-page transactions deadlock under page-X serialization);
+        // the default 5 s timeout makes those rows take minutes. Same
+        // constant E2/E3 use.
+        lock_timeout: Duration::from_millis(300),
+        ..Default::default()
     };
     println!("HICON workload, 4 clients, 50 txns each:\n");
 

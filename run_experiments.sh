@@ -1,9 +1,10 @@
 #!/bin/sh
-# Run the full experiment suite (E1-E9). Pass --quick for smaller sweeps.
+# Run the full experiment suite (E1-E11). Pass --quick for smaller sweeps.
 set -e
 for exp in e1_logging_scalability e2_lock_granularity e3_merge_vs_token \
            e4_client_recovery e5_server_recovery e6_checkpoints \
-           e7_log_space e8_crash_matrix e9_commit_latency e10_adaptive_traffic; do
+           e7_log_space e8_crash_matrix e9_commit_latency e10_adaptive_traffic \
+           e11_server_shard_scaling; do
   cargo run --release -q -p fgl-bench --bin "$exp" -- "$@"
   echo
 done

@@ -138,8 +138,10 @@ fn deadlock_is_broken_and_both_clients_proceed() {
 
 #[test]
 fn small_cache_forces_replacements_and_stays_correct() {
-    let mut cfg = SystemConfig::default();
-    cfg.client_cache_pages = 4;
+    let cfg = SystemConfig {
+        client_cache_pages: 4,
+        ..Default::default()
+    };
     let sys = System::build(cfg, 2).unwrap();
     let s = spec(WorkloadKind::HotCold);
     let layout = populate(sys.client(0), s.pages, s.objects_per_page, 48).unwrap();
@@ -167,7 +169,10 @@ fn message_counters_reflect_traffic() {
     b.commit(t).unwrap();
     let d = sys.net.snapshot().delta_since(&before);
     assert!(d.count(fgl::MsgKind::LockReq) >= 1);
-    assert!(d.count(fgl::MsgKind::Callback) >= 1, "S read must call back a's X lock");
+    assert!(
+        d.count(fgl::MsgKind::Callback) >= 1,
+        "S read must call back a's X lock"
+    );
     assert!(d.count(fgl::MsgKind::PageShip) >= 1);
 }
 

@@ -13,11 +13,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 fn scratch_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "fgl-it-{}-{}",
-        tag,
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("fgl-it-{}-{}", tag, std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -92,7 +88,10 @@ fn client_recovery_by_a_fresh_process_over_the_same_log_file() {
     // its effects are still redone via the checkpointed DPT — verified by
     // the read below.
     assert!(report.losers >= 1, "the in-flight txn must be undone");
-    assert!(report.records_applied >= 1, "redo must replay the committed insert");
+    assert!(
+        report.records_applied >= 1,
+        "redo must replay the committed insert"
+    );
 
     // Committed state visible through client 1.
     let c1 = sys.client(0);

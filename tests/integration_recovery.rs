@@ -19,8 +19,8 @@ fn spec(kind: WorkloadKind) -> WorkloadSpec {
 }
 
 fn check(kind: CrashKind, wk: WorkloadKind, seed: u64) {
-    let r = run_crash_scenario(SystemConfig::default(), 3, kind.clone(), spec(wk), 12, seed)
-        .unwrap();
+    let r =
+        run_crash_scenario(SystemConfig::default(), 3, kind.clone(), spec(wk), 12, seed).unwrap();
     assert!(
         r.verify_after_recovery.is_clean(),
         "{} / {:?}: post-recovery mismatches {:?}",
@@ -35,7 +35,10 @@ fn check(kind: CrashKind, wk: WorkloadKind, seed: u64) {
         wk,
         r.verify_final.mismatches
     );
-    assert!(r.phase2.commits > 0, "system must keep working after recovery");
+    assert!(
+        r.phase2.commits > 0,
+        "system must keep working after recovery"
+    );
 }
 
 #[test]
@@ -50,7 +53,11 @@ fn client_crash_hicon() {
 
 #[test]
 fn multi_client_crash_uniform() {
-    check(CrashKind::MultiClient(vec![0, 2]), WorkloadKind::Uniform, 13);
+    check(
+        CrashKind::MultiClient(vec![0, 2]),
+        WorkloadKind::Uniform,
+        13,
+    );
 }
 
 #[test]

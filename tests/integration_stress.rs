@@ -74,21 +74,18 @@ fn heavy_crash_matrix_sweep() {
         CrashKind::Complex(vec![1, 2]),
         CrashKind::MultiClient(vec![0, 3]),
     ] {
-        for wk in [WorkloadKind::HotCold, WorkloadKind::HiCon, WorkloadKind::Zipf] {
+        for wk in [
+            WorkloadKind::HotCold,
+            WorkloadKind::HiCon,
+            WorkloadKind::Zipf,
+        ] {
             seed += 1;
             let mut spec = WorkloadSpec::new(wk);
             spec.pages = 48;
             spec.objects_per_page = 12;
             spec.write_fraction = 0.6;
-            let r = run_crash_scenario(
-                SystemConfig::default(),
-                5,
-                kind.clone(),
-                spec,
-                60,
-                seed,
-            )
-            .unwrap();
+            let r = run_crash_scenario(SystemConfig::default(), 5, kind.clone(), spec, 60, seed)
+                .unwrap();
             assert!(
                 r.is_clean(),
                 "{} / {wk:?}: {:?} {:?}",

@@ -1,12 +1,15 @@
-//! System-level property tests: random transaction histories with random
-//! crash points must always recover to exactly the committed state.
+//! System-level randomized property tests: random transaction histories
+//! with random crash points must always recover to exactly the committed
+//! state.
 //!
 //! These are the mechanized version of the paper's abstract claim ("the
 //! database state is recovered correctly even if the server and several
-//! clients crash at the same time").
+//! clients crash at the same time"). Scripts are generated from the
+//! in-tree deterministic PRNG ([`DetRng`]) so every case is reproducible
+//! from its printed seed without any external property-testing crate.
 
 use fgl::{ObjectId, System, SystemConfig};
-use proptest::prelude::*;
+use fgl_common::rng::DetRng;
 use std::collections::HashMap;
 
 /// A scripted client step.
@@ -20,15 +23,27 @@ enum Step {
     RollbackToSavepoint,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => (any::<usize>(), any::<u8>()).prop_map(|(obj, val)| Step::Write { obj, val }),
-        2 => any::<usize>().prop_map(|obj| Step::Read { obj }),
-        3 => Just(Step::Commit),
-        1 => Just(Step::Abort),
-        1 => Just(Step::Savepoint),
-        1 => Just(Step::RollbackToSavepoint),
-    ]
+/// Weighted random step, mirroring the old proptest `prop_oneof!` weights
+/// (write 4, read 2, commit 3, abort 1, savepoint 1, rollback 1).
+fn random_step(rng: &mut DetRng) -> Step {
+    match rng.gen_range(12) {
+        0..=3 => Step::Write {
+            obj: rng.gen_range(1 << 16) as usize,
+            val: rng.gen_range(256) as u8,
+        },
+        4..=5 => Step::Read {
+            obj: rng.gen_range(1 << 16) as usize,
+        },
+        6..=8 => Step::Commit,
+        9 => Step::Abort,
+        10 => Step::Savepoint,
+        _ => Step::RollbackToSavepoint,
+    }
+}
+
+fn random_script(rng: &mut DetRng, max_len: usize) -> Vec<Step> {
+    let len = rng.range_usize(1, max_len);
+    (0..len).map(|_| random_step(rng)).collect()
 }
 
 /// Run a script against a single client, mirroring committed state into a
@@ -62,10 +77,7 @@ fn run_script(
                 let o = objects[obj % objects.len()];
                 let got = c.read(t, o).unwrap();
                 // Read-your-writes within the transaction.
-                let expect = txn_state
-                    .get(&o)
-                    .or_else(|| committed.get(&o))
-                    .cloned();
+                let expect = txn_state.get(&o).or_else(|| committed.get(&o)).cloned();
                 if let Some(e) = expect {
                     assert_eq!(got, e, "read mismatch inside txn");
                 }
@@ -114,29 +126,43 @@ fn build(objects: usize) -> (System, Vec<ObjectId>) {
     (sys, ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn verify_committed(sys: &System, committed: &HashMap<ObjectId, Vec<u8>>, seed: u64) {
+    let b = sys.client(1);
+    let t = b.begin().unwrap();
+    for (o, expect) in committed {
+        assert_eq!(
+            &b.read(t, *o).unwrap(),
+            expect,
+            "seed {seed:#x}, object {o}"
+        );
+    }
+    b.commit(t).unwrap();
+}
 
-    /// Committed state equals the model after any script, read through
-    /// the *other* client (full lock/callback/ship path).
-    #[test]
-    fn history_matches_model(script in proptest::collection::vec(step_strategy(), 1..60)) {
+const CASES: u64 = 48;
+
+/// Committed state equals the model after any script, read through the
+/// *other* client (full lock/callback/ship path).
+#[test]
+fn history_matches_model() {
+    for case in 0..CASES {
+        let seed = 0x0051_5EED ^ case;
+        let mut rng = DetRng::new(seed);
+        let script = random_script(&mut rng, 60);
         let (sys, objects) = build(16);
         let committed = run_script(&sys, &objects, &script, 16);
-        let b = sys.client(1);
-        let t = b.begin().unwrap();
-        for (o, expect) in &committed {
-            prop_assert_eq!(&b.read(t, *o).unwrap(), expect);
-        }
-        b.commit(t).unwrap();
+        verify_committed(&sys, &committed, seed);
     }
+}
 
-    /// Crash the client at a random point: recovery restores exactly the
-    /// committed prefix.
-    #[test]
-    fn client_crash_at_random_point_recovers_committed(
-        script in proptest::collection::vec(step_strategy(), 1..60),
-    ) {
+/// Crash the client at a random point: recovery restores exactly the
+/// committed prefix.
+#[test]
+fn client_crash_at_random_point_recovers_committed() {
+    for case in 0..CASES {
+        let seed = 0x00C1_1E17 ^ (case << 8);
+        let mut rng = DetRng::new(seed);
+        let script = random_script(&mut rng, 60);
         let (sys, objects) = build(16);
         let committed = run_script(&sys, &objects, &script, 16);
         // Leave an in-flight transaction hanging, force the log, crash.
@@ -146,48 +172,39 @@ proptest! {
         c.checkpoint().unwrap();
         c.crash();
         c.recover().unwrap();
-        let b = sys.client(1);
-        let t = b.begin().unwrap();
-        for (o, expect) in &committed {
-            prop_assert_eq!(&b.read(t, *o).unwrap(), expect);
-        }
-        b.commit(t).unwrap();
+        verify_committed(&sys, &committed, seed);
     }
+}
 
-    /// Crash the server at a random point: restart recovery restores
-    /// exactly the committed state.
-    #[test]
-    fn server_crash_recovers_committed(
-        script in proptest::collection::vec(step_strategy(), 1..50),
-    ) {
+/// Crash the server at a random point: restart recovery restores exactly
+/// the committed state.
+#[test]
+fn server_crash_recovers_committed() {
+    for case in 0..CASES {
+        let seed = 0x005E_4E12 ^ (case << 16);
+        let mut rng = DetRng::new(seed);
+        let script = random_script(&mut rng, 50);
         let (sys, objects) = build(16);
         let committed = run_script(&sys, &objects, &script, 16);
         sys.server.crash();
         sys.server.restart_recovery().unwrap();
-        let b = sys.client(1);
-        let t = b.begin().unwrap();
-        for (o, expect) in &committed {
-            prop_assert_eq!(&b.read(t, *o).unwrap(), expect);
-        }
-        b.commit(t).unwrap();
+        verify_committed(&sys, &committed, seed);
     }
+}
 
-    /// Complex crash (client 0 + server) at a random point.
-    #[test]
-    fn complex_crash_recovers_committed(
-        script in proptest::collection::vec(step_strategy(), 1..40),
-    ) {
+/// Complex crash (client 0 + server) at a random point.
+#[test]
+fn complex_crash_recovers_committed() {
+    for case in 0..CASES {
+        let seed = 0x00C0_3B1E ^ (case << 24);
+        let mut rng = DetRng::new(seed);
+        let script = random_script(&mut rng, 40);
         let (sys, objects) = build(16);
         let committed = run_script(&sys, &objects, &script, 16);
         sys.client(0).crash();
         sys.server.crash();
         sys.server.restart_recovery().unwrap();
         sys.client(0).recover().unwrap();
-        let b = sys.client(1);
-        let t = b.begin().unwrap();
-        for (o, expect) in &committed {
-            prop_assert_eq!(&b.read(t, *o).unwrap(), expect);
-        }
-        b.commit(t).unwrap();
+        verify_committed(&sys, &committed, seed);
     }
 }
