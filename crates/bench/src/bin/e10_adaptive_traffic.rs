@@ -9,7 +9,9 @@
 //! lock-request traffic collapses versus pure object locking.
 
 use fgl::{LockGranularity, MsgKind, System};
-use fgl_bench::{banner, experiment_config, granularity_name, standard_spec, txns_per_client};
+use fgl_bench::{
+    banner, experiment_config, granularity_name, standard_spec, txns_per_client, MetricsEmitter,
+};
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::setup::populate;
 use fgl_sim::table::{f1, f2, Table};
@@ -22,6 +24,7 @@ fn main() {
          that win where there is no sharing and de-escalates where there is",
     );
     let clients = if fgl_bench::quick_mode() { 2 } else { 4 };
+    let mut emitter = MetricsEmitter::new("e10_adaptive_traffic");
     let mut table = Table::new(&[
         "workload",
         "granularity",
@@ -45,6 +48,13 @@ fn main() {
             let mut opts = HarnessOptions::new(spec, txns_per_client());
             opts.seed = 0xE10;
             let report = run_workload(&sys, &layout, None, &opts).expect("run");
+            emitter.row(
+                &[
+                    ("workload", kind.name().to_string()),
+                    ("granularity", granularity_name(granularity).to_string()),
+                ],
+                &report.metrics,
+            );
             let stats: Vec<_> = sys.clients.iter().map(|c| c.stats()).collect();
             let local: u64 = stats.iter().map(|s| s.local_grants).sum();
             let global: u64 = stats.iter().map(|s| s.global_lock_requests).sum();
@@ -59,4 +69,5 @@ fn main() {
         }
     }
     table.print();
+    emitter.finish();
 }

@@ -13,7 +13,7 @@
 //! equally hot, so contention is on server structures rather than data).
 
 use fgl::{CommitPolicy, System};
-use fgl_bench::{banner, fast_config, quick_mode, standard_spec, txns_per_client};
+use fgl_bench::{banner, fast_config, quick_mode, standard_spec, txns_per_client, MetricsEmitter};
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::setup::populate;
 use fgl_sim::table::{f1, f2, Table};
@@ -31,6 +31,8 @@ fn main() {
         vec![1, 2, 4, 8]
     };
     let client_sweep: Vec<usize> = if quick_mode() { vec![4] } else { vec![4, 16] };
+    let mut emitter = MetricsEmitter::new("e11_server_shard_scaling");
+    let mut shard_rows: Vec<(usize, usize, Vec<fgl::ShardStats>)> = Vec::new();
     let mut table = Table::new(&[
         "clients",
         "shards",
@@ -57,6 +59,24 @@ fn main() {
                 let mut opts = HarnessOptions::new(spec, txns_per_client());
                 opts.seed = 0xE11;
                 let report = run_workload(&sys, &layout, None, &opts).expect("run");
+                emitter.row(
+                    &[
+                        ("clients", clients.to_string()),
+                        ("shards", shards.to_string()),
+                        (
+                            "policy",
+                            if policy == CommitPolicy::ClientLog {
+                                "client-log".to_string()
+                            } else {
+                                "server-log".to_string()
+                            },
+                        ),
+                    ],
+                    &report.metrics,
+                );
+                if policy == CommitPolicy::ClientLog {
+                    shard_rows.push((clients, shards, sys.server.stats().per_shard));
+                }
                 table.row(vec![
                     clients.to_string(),
                     shards.to_string(),
@@ -75,4 +95,31 @@ fn main() {
         }
     }
     table.print();
+
+    // Per-shard traffic breakdown (client-log runs): how evenly the
+    // UNIFORM workload spreads over the residue classes.
+    println!();
+    println!("per-shard hot-path traffic (client-log runs):");
+    let mut detail = Table::new(&[
+        "clients",
+        "shards",
+        "shard",
+        "lock reqs",
+        "page fetches",
+        "merges",
+    ]);
+    for (clients, shards, per_shard) in &shard_rows {
+        for (i, s) in per_shard.iter().enumerate() {
+            detail.row(vec![
+                clients.to_string(),
+                shards.to_string(),
+                i.to_string(),
+                s.lock_requests.to_string(),
+                s.page_fetches.to_string(),
+                s.merges.to_string(),
+            ]);
+        }
+    }
+    detail.print();
+    emitter.finish();
 }

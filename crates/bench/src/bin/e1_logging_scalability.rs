@@ -11,6 +11,7 @@
 use fgl::{CommitPolicy, System};
 use fgl_bench::{
     banner, client_sweep, experiment_config, policy_name, standard_spec, txns_per_client,
+    MetricsEmitter,
 };
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::setup::populate;
@@ -23,6 +24,7 @@ fn main() {
         "client-log commits force only the private log; server-log baselines \
          serialize commits on the server (HOTCOLD workload)",
     );
+    let mut emitter = MetricsEmitter::new("e1_logging_scalability");
     let mut table = Table::new(&[
         "clients",
         "policy",
@@ -46,6 +48,13 @@ fn main() {
             let mut opts = HarnessOptions::new(spec, txns_per_client());
             opts.seed = 0xE1;
             let report = run_workload(&sys, &layout, None, &opts).expect("run");
+            emitter.row(
+                &[
+                    ("clients", n.to_string()),
+                    ("policy", policy_name(policy).to_string()),
+                ],
+                &report.metrics,
+            );
             table.row(vec![
                 n.to_string(),
                 policy_name(policy).into(),
@@ -58,4 +67,5 @@ fn main() {
         }
     }
     table.print();
+    emitter.finish();
 }

@@ -10,7 +10,9 @@
 //! (all writes target a few hot pages, distinct slots per client).
 
 use fgl::{LockGranularity, System};
-use fgl_bench::{banner, experiment_config, granularity_name, standard_spec, txns_per_client};
+use fgl_bench::{
+    banner, experiment_config, granularity_name, standard_spec, txns_per_client, MetricsEmitter,
+};
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::setup::populate;
 use fgl_sim::table::{f1, f2, Table};
@@ -23,6 +25,7 @@ fn main() {
          slot range — object locks admit them concurrently, page locks do not",
     );
     let clients = if fgl_bench::quick_mode() { 4 } else { 8 };
+    let mut emitter = MetricsEmitter::new("e2_lock_granularity");
     let mut table = Table::new(&[
         "write_frac",
         "granularity",
@@ -61,6 +64,13 @@ fn main() {
             let mut opts = HarnessOptions::new(spec, txns);
             opts.seed = 0xE2;
             let report = run_workload(&sys, &layout, None, &opts).expect("run");
+            emitter.row(
+                &[
+                    ("write_fraction", write_fraction.to_string()),
+                    ("granularity", granularity_name(granularity).to_string()),
+                ],
+                &report.metrics,
+            );
             let lock_msgs =
                 report.net.count(fgl::MsgKind::LockReq) + report.net.count(fgl::MsgKind::Callback);
             table.row(vec![
@@ -74,4 +84,5 @@ fn main() {
         }
     }
     table.print();
+    emitter.finish();
 }

@@ -9,7 +9,9 @@
 //! both policies.
 
 use fgl::{System, UpdatePolicy};
-use fgl_bench::{banner, experiment_config, standard_spec, txns_per_client, update_policy_name};
+use fgl_bench::{
+    banner, experiment_config, standard_spec, txns_per_client, update_policy_name, MetricsEmitter,
+};
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::setup::populate;
 use fgl_sim::table::{f1, f2, net_breakdown, Table};
@@ -22,6 +24,7 @@ fn main() {
          serializes writers; merging reconciles copies at the server",
     );
     let clients = if fgl_bench::quick_mode() { 4 } else { 8 };
+    let mut emitter = MetricsEmitter::new("e3_merge_vs_token");
     let mut table = Table::new(&[
         "workload",
         "policy",
@@ -56,6 +59,13 @@ fn main() {
             let mut opts = HarnessOptions::new(spec, txns);
             opts.seed = 0xE3;
             let report = run_workload(&sys, &layout, None, &opts).expect("run");
+            emitter.row(
+                &[
+                    ("workload", kind.name().to_string()),
+                    ("policy", update_policy_name(policy).to_string()),
+                ],
+                &report.metrics,
+            );
             let ships = report.net.count(fgl::MsgKind::PageShip);
             table.row(vec![
                 kind.name().into(),
@@ -86,4 +96,12 @@ fn main() {
     opts.seed = 0xE3B;
     let report = run_workload(&sys, &layout, None, &opts).expect("run");
     net_breakdown(&report.net, report.commits).print();
+    emitter.row(
+        &[
+            ("workload", "hicon-detail".to_string()),
+            ("policy", "update-token".to_string()),
+        ],
+        &report.metrics,
+    );
+    emitter.finish();
 }

@@ -15,7 +15,7 @@
 
 use fgl::RecoveryOptions;
 use fgl::{System, SystemConfig};
-use fgl_bench::banner;
+use fgl_bench::{banner, MetricsEmitter};
 use fgl_common::rng::DetRng;
 use fgl_sim::setup::populate;
 use fgl_sim::table::{f1, Table};
@@ -31,6 +31,7 @@ fn main() {
     } else {
         vec![50, 200, 800, 2000, 5000]
     };
+    let mut emitter = MetricsEmitter::new("e4_client_recovery");
     let mut table = Table::new(&[
         "updates since ckpt",
         "recovery ms",
@@ -76,6 +77,13 @@ fn main() {
         c.checkpoint().expect("force");
         c.crash();
         let report = c.recover().expect("recover");
+        emitter.row(
+            &[
+                ("sweep", "updates_since_ckpt".to_string()),
+                ("updates", updates.to_string()),
+            ],
+            &sys.metrics_snapshot(),
+        );
         table.row(vec![
             updates.to_string(),
             f1(report.elapsed.as_secs_f64() * 1e3),
@@ -140,6 +148,13 @@ fn main() {
                 use_dct_filter: use_filter,
             })
             .expect("recover");
+        emitter.row(
+            &[
+                ("sweep", "dct_filter_ablation".to_string()),
+                ("dct_filter", use_filter.to_string()),
+            ],
+            &sys.metrics_snapshot(),
+        );
         table.row(vec![
             if use_filter { "on (paper)" } else { "off" }.into(),
             f1(report.elapsed.as_secs_f64() * 1e3),
@@ -148,4 +163,5 @@ fn main() {
         ]);
     }
     table.print();
+    emitter.finish();
 }

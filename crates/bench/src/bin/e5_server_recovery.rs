@@ -15,7 +15,7 @@
 #![allow(clippy::field_reassign_with_default)]
 
 use fgl::{System, SystemConfig};
-use fgl_bench::{banner, standard_spec, txns_per_client};
+use fgl_bench::{banner, standard_spec, txns_per_client, MetricsEmitter};
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::oracle::Oracle;
 use fgl_sim::setup::populate;
@@ -33,6 +33,7 @@ fn main() {
     } else {
         vec![1, 2, 4, 8, 12]
     };
+    let mut emitter = MetricsEmitter::new("e5_server_recovery");
     let mut table = Table::new(&[
         "clients",
         "pages replayed",
@@ -62,6 +63,7 @@ fn main() {
         sys.server.crash();
         let report = sys.server.restart_recovery().expect("restart");
         let verify = oracle.verify_via_reads(sys.client(0)).expect("verify");
+        emitter.row(&[("clients", n.to_string())], &sys.metrics_snapshot());
         table.row(vec![
             n.to_string(),
             report.pages_recovered.to_string(),
@@ -76,4 +78,5 @@ fn main() {
         ]);
     }
     table.print();
+    emitter.finish();
 }

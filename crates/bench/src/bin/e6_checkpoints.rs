@@ -13,7 +13,7 @@
 #![allow(clippy::field_reassign_with_default)]
 
 use fgl::{System, SystemConfig};
-use fgl_bench::{banner, standard_spec, txns_per_client};
+use fgl_bench::{banner, standard_spec, txns_per_client, MetricsEmitter};
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::setup::populate;
 use fgl_sim::table::{f1, Table};
@@ -32,6 +32,7 @@ fn main() {
         vec![25, 100, 500, 2000, 8000]
     };
     let clients = 2;
+    let mut emitter = MetricsEmitter::new("e6_checkpoints");
     let mut table = Table::new(&[
         "ckpt every N recs",
         "commits/s",
@@ -57,6 +58,10 @@ fn main() {
         // Crash client 0 and measure restart.
         sys.client(0).crash();
         let rec = sys.client(0).recover().expect("recover");
+        emitter.row(
+            &[("ckpt_interval", interval.to_string())],
+            &sys.metrics_snapshot(),
+        );
         table.row(vec![
             interval.to_string(),
             f1(report.throughput()),
@@ -66,4 +71,5 @@ fn main() {
         ]);
     }
     table.print();
+    emitter.finish();
 }

@@ -15,7 +15,7 @@
 #![allow(clippy::field_reassign_with_default)]
 
 use fgl::{System, SystemConfig};
-use fgl_bench::{banner, standard_spec, txns_per_client};
+use fgl_bench::{banner, standard_spec, txns_per_client, MetricsEmitter};
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::setup::populate;
 use fgl_sim::table::{f1, Table};
@@ -33,6 +33,7 @@ fn main() {
         vec![64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20]
     };
     let clients = 2;
+    let mut emitter = MetricsEmitter::new("e7_log_space");
     let mut table = Table::new(&[
         "log bytes",
         "commits/s",
@@ -55,6 +56,7 @@ fn main() {
         let mut opts = HarnessOptions::new(spec, txns_per_client() * 2);
         opts.seed = 0xE7;
         let report = run_workload(&sys, &layout, None, &opts).expect("run");
+        emitter.row(&[("log_bytes", capacity.to_string())], &report.metrics);
         let stats: Vec<_> = sys.clients.iter().map(|c| c.stats()).collect();
         let stalls: u64 = stats.iter().map(|s| s.log_stall_events).sum();
         let flushes: u64 = stats.iter().map(|s| s.forced_flush_requests).sum();
@@ -69,4 +71,5 @@ fn main() {
         ]);
     }
     table.print();
+    emitter.finish();
 }

@@ -11,7 +11,7 @@
 //! workload phase → final verification.
 
 use fgl::SystemConfig;
-use fgl_bench::{banner, standard_spec};
+use fgl_bench::{banner, standard_spec, MetricsEmitter};
 use fgl_sim::crash::{run_crash_scenario, CrashKind};
 use fgl_sim::table::{f1, Table};
 use fgl_sim::workload::WorkloadKind;
@@ -46,6 +46,7 @@ fn main() {
         "phase2 commits",
         "final",
     ]);
+    let mut emitter = MetricsEmitter::new("e8_crash_matrix");
     let mut seed = 0x0E8;
     let mut all_clean = true;
     for kind in &kinds {
@@ -63,6 +64,13 @@ fn main() {
             )
             .expect("scenario");
             all_clean &= r.is_clean();
+            emitter.row(
+                &[
+                    ("crash", r.kind_name.clone()),
+                    ("workload", wk.name().to_string()),
+                ],
+                &r.metrics,
+            );
             table.row(vec![
                 r.kind_name.clone(),
                 wk.name().into(),
@@ -84,6 +92,7 @@ fn main() {
         }
     }
     table.print();
+    emitter.finish();
     println!();
     if all_clean {
         println!("RESULT: all scenarios recovered the committed state exactly.");

@@ -8,7 +8,9 @@
 //! Reports the commit latency distribution per policy at 1 and 8 clients.
 
 use fgl::{CommitPolicy, System};
-use fgl_bench::{banner, experiment_config, policy_name, standard_spec, txns_per_client};
+use fgl_bench::{
+    banner, experiment_config, policy_name, standard_spec, txns_per_client, MetricsEmitter,
+};
 use fgl_sim::harness::{run_workload, HarnessOptions};
 use fgl_sim::setup::populate;
 use fgl_sim::table::Table;
@@ -25,6 +27,7 @@ fn main() {
     } else {
         vec![1, 8]
     };
+    let mut emitter = MetricsEmitter::new("e9_commit_latency");
     let mut table = Table::new(&["clients", "policy", "p50 us", "p90 us", "p99 us", "max us"]);
     for &n in &client_counts {
         for policy in [
@@ -41,6 +44,13 @@ fn main() {
             let mut opts = HarnessOptions::new(spec, txns_per_client());
             opts.seed = 0xE9;
             let report = run_workload(&sys, &layout, None, &opts).expect("run");
+            emitter.row(
+                &[
+                    ("clients", n.to_string()),
+                    ("policy", policy_name(policy).to_string()),
+                ],
+                &report.metrics,
+            );
             table.row(vec![
                 n.to_string(),
                 policy_name(policy).into(),
@@ -52,4 +62,5 @@ fn main() {
         }
     }
     table.print();
+    emitter.finish();
 }

@@ -9,8 +9,9 @@
 // default-then-assign pattern is the point.
 #![allow(clippy::field_reassign_with_default)]
 
-use fgl::{CommitPolicy, LockGranularity, SystemConfig, UpdatePolicy};
+use fgl::{CommitPolicy, LockGranularity, Snapshot, SystemConfig, UpdatePolicy};
 use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Simulated device/network costs shared by the experiments: a 1996-ish
@@ -94,6 +95,80 @@ pub fn banner(id: &str, claim: &str) {
     println!("==== {id} ====");
     println!("{claim}");
     println!();
+}
+
+/// Machine-readable metrics output for the experiment binaries.
+///
+/// Each sweep point becomes one row: the sweep parameters plus the
+/// unified metrics [`Snapshot`] delta for that run.
+/// [`finish`](MetricsEmitter::finish) writes
+/// `$FGL_METRICS_DIR/<experiment>.json` (default `./metrics/`) with
+/// schema
+///
+/// ```json
+/// {"experiment": "e1", "rows": [{"params": {...}, "metrics": {...}}]}
+/// ```
+///
+/// where each `metrics` object is [`Snapshot::to_json`] (counters +
+/// histograms with p50/p95/p99).
+pub struct MetricsEmitter {
+    experiment: String,
+    rows: Vec<String>,
+}
+
+impl MetricsEmitter {
+    pub fn new(experiment: &str) -> MetricsEmitter {
+        MetricsEmitter {
+            experiment: experiment.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Record one sweep point. `params` are (name, value) pairs; numeric
+    /// values pass through bare, anything else is quoted.
+    pub fn row(&mut self, params: &[(&str, String)], metrics: &Snapshot) {
+        let params_json: Vec<String> = params
+            .iter()
+            .map(|(k, v)| {
+                if v.parse::<f64>().is_ok() {
+                    format!("\"{k}\": {v}")
+                } else {
+                    format!("\"{k}\": \"{v}\"")
+                }
+            })
+            .collect();
+        self.rows.push(format!(
+            "{{\"params\": {{{}}}, \"metrics\": {}}}",
+            params_json.join(", "),
+            metrics.to_json()
+        ));
+    }
+
+    /// Where the JSON will land: `$FGL_METRICS_DIR` or `./metrics`.
+    pub fn out_path(&self) -> PathBuf {
+        let dir = std::env::var("FGL_METRICS_DIR").unwrap_or_else(|_| "metrics".to_string());
+        PathBuf::from(dir).join(format!("{}.json", self.experiment))
+    }
+
+    /// Write the collected rows; prints the path so runs are traceable.
+    pub fn finish(&self) {
+        let path = self.out_path();
+        if let Some(parent) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("metrics: cannot create {}: {e}", parent.display());
+                return;
+            }
+        }
+        let json = format!(
+            "{{\"experiment\": \"{}\", \"rows\": [\n{}\n]}}\n",
+            self.experiment,
+            self.rows.join(",\n")
+        );
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("metrics written to {}", path.display()),
+            Err(e) => eprintln!("metrics: cannot write {}: {e}", path.display()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -98,9 +98,17 @@ impl ClientCore {
             };
         }
         let reply = st.llm.handle_callback(kind);
-        fgl_common::fgl_trace!("{:?} callback {kind:?} -> {reply:?}", self.id());
         let outcome = match reply {
             CallbackReply::Done { retained } => {
+                // A complied de-escalation replaced our page lock with
+                // object locks (§3.2) — the adaptive scheme's signature
+                // moment, so it gets its own event.
+                if matches!(kind, CallbackKind::DeEscalatePage(_)) {
+                    fgl_obs::emit(fgl_obs::Event::DeEscalate {
+                        client: self.id(),
+                        page: kind.page(),
+                    });
+                }
                 let sheds = !matches!(kind, CallbackKind::DeEscalatePage(_));
                 let page = kind.page();
                 // Any complied callback that leaves the page visible to a

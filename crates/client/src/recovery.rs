@@ -23,6 +23,7 @@ use crate::runtime::{ClientCore, DptState};
 use crate::txn::{TxnState, TxnStatus};
 use fgl_common::{FglError, Lsn, ObjectId, PageId, Psn, Result, TxnId};
 use fgl_net::peer::RecoveredPageOutcome;
+use fgl_obs::{emit, Event, LogOwner, RecoveryPhase};
 use fgl_storage::merge::merge_pages;
 use fgl_storage::page::Page;
 use fgl_wal::records::LogPayload;
@@ -46,6 +47,14 @@ pub struct ClientRecoveryReport {
     /// Update/CLR records actually re-applied.
     pub records_applied: usize,
     pub elapsed: Duration,
+    /// ARIES analysis pass wall time.
+    pub analysis: Duration,
+    /// DCT-filtered redo pass wall time.
+    pub redo: Duration,
+    /// Loser-rollback pass wall time.
+    pub undo: Duration,
+    /// Ship + force + checkpoint (hardening) wall time.
+    pub harden: Duration,
 }
 
 #[derive(Clone, Debug)]
@@ -103,6 +112,11 @@ impl ClientCore {
         }
 
         // ---- analysis pass ---------------------------------------------------
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Client(self.id()),
+            phase: RecoveryPhase::Analysis,
+        });
+        let analysis_start = Instant::now();
         let (att, dpt, max_seq, scanned) = {
             let st = self.st.lock();
             let ckpt = st.wal.last_checkpoint();
@@ -194,6 +208,7 @@ impl ClientCore {
         };
         report.records_scanned += scanned;
         report.winners = att.values().filter(|e| e.committed).count();
+        report.analysis = analysis_start.elapsed();
 
         // ---- redo pass -----------------------------------------------------
         // Plain client crash: Property 1 lets us skip pages without a DCT
@@ -203,6 +218,11 @@ impl ClientCore {
         if !dct_complete {
             return self.recover_after_server_restart(start, report, att, dpt, max_seq);
         }
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Client(self.id()),
+            phase: RecoveryPhase::Redo,
+        });
+        let redo_pass_start = Instant::now();
         let redo_dpt: HashMap<PageId, Lsn> = dpt
             .iter()
             .filter(|(p, _)| !options.use_dct_filter || dct.contains_key(*p))
@@ -283,7 +303,14 @@ impl ClientCore {
             }
         }
 
+        report.redo = redo_pass_start.elapsed();
+
         // ---- undo pass ---------------------------------------------------------
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Client(self.id()),
+            phase: RecoveryPhase::Undo,
+        });
+        let undo_start = Instant::now();
         {
             let mut st = self.st.lock();
             st.next_seq = st.next_seq.max(max_seq);
@@ -305,8 +332,14 @@ impl ClientCore {
         for txn in losers {
             self.rollback_loser(txn)?;
         }
+        report.undo = undo_start.elapsed();
 
         // ---- harden and release --------------------------------------------------
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Client(self.id()),
+            phase: RecoveryPhase::Harden,
+        });
+        let harden_start = Instant::now();
         let dirty: Vec<PageId> = {
             let st = self.st.lock();
             st.cache.dirty_ids()
@@ -325,7 +358,9 @@ impl ClientCore {
             st.txns.clear();
         }
         self.cv.notify_all();
+        report.harden = harden_start.elapsed();
         report.elapsed = start.elapsed();
+        self.finish_recovery_report(&report);
         Ok(report)
     }
 
@@ -342,6 +377,12 @@ impl ClientCore {
         dpt: HashMap<PageId, Lsn>,
         max_seq: u32,
     ) -> Result<ClientRecoveryReport> {
+        report.analysis = start.elapsed();
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Client(self.id()),
+            phase: RecoveryPhase::Replay,
+        });
+        let redo_pass_start = Instant::now();
         report.pages_recovered = dpt.len();
         // Pages replay in parallel: a replay blocked on another crashed
         // client's progress (recovery_fetch) must not stall this client's
@@ -381,7 +422,13 @@ impl ClientCore {
                 ));
             }
         }
+        report.redo = redo_pass_start.elapsed();
         // Undo losers (their pages are now cached).
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Client(self.id()),
+            phase: RecoveryPhase::Undo,
+        });
+        let undo_start = Instant::now();
         {
             let mut st = self.st.lock();
             st.next_seq = st.next_seq.max(max_seq);
@@ -403,7 +450,13 @@ impl ClientCore {
         for txn in losers {
             self.rollback_loser(txn)?;
         }
+        report.undo = undo_start.elapsed();
         // Harden: ship and force every recovered page.
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Client(self.id()),
+            phase: RecoveryPhase::Harden,
+        });
+        let harden_start = Instant::now();
         let dirty: Vec<PageId> = {
             let st = self.st.lock();
             st.cache.dirty_ids()
@@ -420,8 +473,38 @@ impl ClientCore {
             st.txns.clear();
         }
         self.cv.notify_all();
+        report.harden = harden_start.elapsed();
         report.elapsed = start.elapsed();
+        self.finish_recovery_report(&report);
         Ok(report)
+    }
+
+    /// Emit the terminal recovery event and fold the phase timings into
+    /// the shared metrics registry.
+    fn finish_recovery_report(&self, report: &ClientRecoveryReport) {
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Client(self.id()),
+            phase: RecoveryPhase::Done,
+        });
+        self.metrics.add("client_recoveries", 1);
+        self.metrics.add(
+            "client_recovery_analysis_us",
+            report.analysis.as_micros() as u64,
+        );
+        self.metrics
+            .add("client_recovery_redo_us", report.redo.as_micros() as u64);
+        self.metrics
+            .add("client_recovery_undo_us", report.undo.as_micros() as u64);
+        self.metrics.add(
+            "client_recovery_harden_us",
+            report.harden.as_micros() as u64,
+        );
+        self.metrics.add(
+            "client_recovery_records_scanned",
+            report.records_scanned as u64,
+        );
+        self.metrics
+            .add("client_recovery_pages", report.pages_recovered as u64);
     }
 
     /// Undo one loser transaction during restart (§3.3: "transaction

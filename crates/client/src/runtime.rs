@@ -20,6 +20,7 @@ use fgl_locks::llm::{LlmCore, LocalDecision};
 use fgl_locks::mode::ObjMode;
 use fgl_net::stats::NetSim;
 use fgl_net::wait::GrantMsg;
+use fgl_obs::{emit, Event, HistKind, LogOwner, Metrics};
 use fgl_server::runtime::{LockResponse, ServerCore};
 use fgl_storage::page::Page;
 use fgl_wal::manager::LogManager;
@@ -89,6 +90,8 @@ pub struct ClientCore {
     pub(crate) st: Mutex<ClientState>,
     /// Woken on callback completion / flush notification / txn end.
     pub(crate) cv: Condvar,
+    /// Shared with the server: one registry covers the whole system.
+    pub(crate) metrics: Arc<Metrics>,
     commits: AtomicU64,
     aborts: AtomicU64,
     deadlock_victims: AtomicU64,
@@ -140,10 +143,12 @@ impl ClientCore {
         id: ClientId,
         server: Arc<ServerCore>,
         net: Arc<NetSim>,
-        wal: LogManager,
+        mut wal: LogManager,
         crashed: bool,
     ) -> Arc<Self> {
         let cfg = server.config().clone();
+        let metrics = server.metrics();
+        wal.attach_obs(metrics.clone(), LogOwner::Client(id));
         let state = ClientState {
             llm: LlmCore::new(cfg.granularity, cfg.update_policy),
             cache: ClientCache::new(cfg.client_cache_pages),
@@ -164,6 +169,7 @@ impl ClientCore {
             net,
             st: Mutex::new(state),
             cv: Condvar::new(),
+            metrics,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             deadlock_victims: AtomicU64::new(0),
@@ -250,6 +256,7 @@ impl ClientCore {
     /// observe the commit without racing the next writer of the same
     /// objects.
     pub fn commit_with(&self, txn: TxnId, before_release: impl FnOnce()) -> Result<()> {
+        let commit_start = self.metrics.now_us();
         let (policy, ship_log, dirtied) = {
             let mut st = self.st.lock();
             let t = st.txns.get(&txn).ok_or(FglError::InvalidTxnState {
@@ -306,7 +313,9 @@ impl ClientCore {
         }
         before_release();
         self.commits.fetch_add(1, Ordering::Relaxed);
-        self.finish_txn(txn)
+        let released = self.finish_txn(txn);
+        self.metrics.observe_since(HistKind::Commit, commit_start);
+        released
     }
 
     /// Roll back and terminate the transaction.
@@ -326,6 +335,10 @@ impl ClientCore {
                 t.status = TxnStatus::Aborted;
             }
         }
+        emit(Event::TxnAbort {
+            client: self.id,
+            txn,
+        });
         self.aborts.fetch_add(1, Ordering::Relaxed);
         self.finish_txn(txn)
     }
@@ -578,11 +591,6 @@ impl ClientCore {
                 let (b, a) = f(p)?;
                 (b, a, p.psn())
             };
-            fgl_common::fgl_trace!(
-                "{:?} write {oid} psn_before={:?} txn={txn}",
-                self.id,
-                psn_before
-            );
             let record = LogPayload::Update(UpdateRecord {
                 txn,
                 prev_lsn: prev,
@@ -689,7 +697,13 @@ impl ClientCore {
                         if Instant::now() >= deadline {
                             drop(st);
                             self.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+                            emit(Event::LockTimeout {
+                                client: self.id,
+                                txn,
+                                page: oid.page,
+                            });
                             self.on_lock_failure(txn, true)?;
+                            fgl_obs::dump_on_anomaly("lock-timeout");
                             return Err(FglError::LockTimeout(txn));
                         }
                         self.cv.wait_for(&mut st, Duration::from_millis(20));
@@ -709,6 +723,7 @@ impl ClientCore {
                 }
                 LocalDecision::NeedGlobal(target) => {
                     self.global_lock_requests.fetch_add(1, Ordering::Relaxed);
+                    let wait_start = self.metrics.now_us();
                     let cached_psn = {
                         let mut st = self.st.lock();
                         // Guard the in-flight window: a callback arriving
@@ -736,22 +751,26 @@ impl ClientCore {
                                 self.deadlock_victims.fetch_add(1, Ordering::Relaxed);
                                 self.clear_inflight(txn);
                                 self.on_lock_failure(txn, true)?;
+                                fgl_obs::dump_on_anomaly("deadlock-victim");
                                 return Err(FglError::DeadlockVictim(txn));
                             }
                             None => {
                                 self.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+                                emit(Event::LockTimeout {
+                                    client: self.id,
+                                    txn,
+                                    page: oid.page,
+                                });
                                 self.server.cancel_wait(self.id, txn);
                                 self.clear_inflight(txn);
                                 self.on_lock_failure(txn, true)?;
+                                fgl_obs::dump_on_anomaly("lock-timeout");
                                 return Err(FglError::LockTimeout(txn));
                             }
                         },
                     };
                     if let Some((eff, evidence)) = granted {
-                        fgl_common::fgl_trace!(
-                            "{:?} granted {eff:?} for {oid} mode={mode:?} txn={txn} evidence={evidence:?}",
-                            self.id
-                        );
+                        self.metrics.observe_since(HistKind::LockWait, wait_start);
                         let mut st = self.st.lock();
                         st.llm.global_granted(txn, oid, mode, eff);
                         st.llm.end_global_request(txn);
@@ -811,6 +830,10 @@ impl ClientCore {
                 t.status = TxnStatus::Aborted;
             }
             drop(st);
+            emit(Event::TxnAbort {
+                client: self.id,
+                txn,
+            });
             self.aborts.fetch_add(1, Ordering::Relaxed);
             self.finish_txn(txn)?;
         }
@@ -839,7 +862,9 @@ impl ClientCore {
                     return Ok(());
                 }
             }
+            let fetch_start = self.metrics.now_us();
             let (bytes, _dct_psn) = self.server.fetch_page(self.id, page)?;
+            self.metrics.observe_since(HistKind::PageFetch, fetch_start);
             let incoming = Page::from_bytes(bytes)?;
             let evicted = {
                 let mut st = self.st.lock();
@@ -1055,7 +1080,12 @@ impl ClientCore {
         })?;
         st.wal.force()?;
         st.wal.set_checkpoint(lsn)?;
+        emit(Event::Checkpoint {
+            owner: LogOwner::Client(self.id),
+            lsn,
+        });
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.metrics.add("client_checkpoints", 1);
         Ok(())
     }
 

@@ -15,20 +15,3 @@ pub mod rng;
 pub use config::{CommitPolicy, LockGranularity, SystemConfig, UpdatePolicy};
 pub use error::{FglError, Result};
 pub use ids::{ClientId, Lsn, ObjectId, PageId, Psn, SlotId, TxnId};
-
-/// Protocol tracing for debugging: set `FGL_TRACE=1` to emit events on
-/// stderr. Compiled in, gated by a once-checked env var.
-pub fn trace_enabled() -> bool {
-    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var_os("FGL_TRACE").is_some())
-}
-
-/// Emit one trace event if tracing is on.
-#[macro_export]
-macro_rules! fgl_trace {
-    ($($arg:tt)*) => {
-        if $crate::trace_enabled() {
-            eprintln!("[fgl] {}", format!($($arg)*));
-        }
-    };
-}

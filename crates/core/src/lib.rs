@@ -46,7 +46,10 @@ pub use fgl_common::config::{CommitPolicy, LockGranularity, SystemConfig, Update
 pub use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Psn, Result, SlotId, TxnId};
 pub use fgl_locks::mode::{LockTarget, Mode, ObjMode};
 pub use fgl_net::stats::{MsgKind, NetSim, NetSnapshot};
-pub use fgl_server::{RestartReport, ServerCore, ServerStats};
+pub use fgl_obs::{
+    CaptureSink, Event, HistKind, HistSnapshot, LogOwner, Metrics, RecoveryPhase, Snapshot,
+};
+pub use fgl_server::{RestartReport, ServerCore, ServerStats, ShardStats};
 pub use fgl_storage::page::Page;
 
 use fgl_storage::disk::{DiskBackend, MemDisk, SimDisk};
@@ -58,6 +61,9 @@ pub struct System {
     pub server: Arc<ServerCore>,
     pub clients: Vec<Arc<ClientCore>>,
     pub net: Arc<NetSim>,
+    /// Present when [`System::build`] wired the latency-injecting disk —
+    /// lets [`metrics_snapshot`](System::metrics_snapshot) fold I/O counts in.
+    sim_disk: Option<Arc<SimDisk>>,
 }
 
 impl System {
@@ -66,9 +72,10 @@ impl System {
     /// private logs with exact crash semantics.
     pub fn build(cfg: SystemConfig, n_clients: usize) -> Result<System> {
         cfg.validate()?;
-        let disk: Arc<dyn DiskBackend> =
-            Arc::new(SimDisk::new(Arc::new(MemDisk::new()), cfg.disk_latency));
-        Self::build_with_disk(cfg, n_clients, disk)
+        let sim = Arc::new(SimDisk::new(Arc::new(MemDisk::new()), cfg.disk_latency));
+        let mut sys = Self::build_with_disk(cfg, n_clients, sim.clone())?;
+        sys.sim_disk = Some(sim);
+        Ok(sys)
     }
 
     /// Build over a caller-provided server disk backend (e.g. a
@@ -99,12 +106,89 @@ impl System {
             server,
             clients,
             net,
+            sim_disk: None,
         })
     }
 
     /// The `i`-th client (zero-based).
     pub fn client(&self, i: usize) -> &Arc<ClientCore> {
         &self.clients[i]
+    }
+
+    /// The shared metrics registry (one per system, owned by the server).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.server.metrics()
+    }
+
+    /// One unified [`Snapshot`]: the registry's histograms and counters
+    /// plus the four legacy stats surfaces — [`ServerStats`] (with its
+    /// per-shard breakdown), the summed [`ClientStats`], the per-kind
+    /// [`NetSnapshot`] and the simulated-disk I/O counts — folded in as
+    /// named counters. Two of these subtract cleanly via
+    /// [`Snapshot::delta_since`] to measure an interval.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.server.metrics().snapshot();
+
+        let s = self.server.stats();
+        snap.set_counter("server_lock_requests", s.lock_requests);
+        snap.set_counter("server_page_fetches", s.page_fetches);
+        snap.set_counter("server_pages_received", s.pages_received);
+        snap.set_counter("server_pages_flushed", s.pages_flushed);
+        snap.set_counter("server_replacement_records", s.replacement_records);
+        snap.set_counter("server_checkpoints", s.server_checkpoints);
+        snap.set_counter("server_commit_log_ships", s.commit_log_ships);
+        snap.set_counter("server_merges", s.merges);
+        for (i, sh) in s.per_shard.iter().enumerate() {
+            snap.set_counter(&format!("shard{i}_lock_requests"), sh.lock_requests);
+            snap.set_counter(&format!("shard{i}_page_fetches"), sh.page_fetches);
+            snap.set_counter(&format!("shard{i}_merges"), sh.merges);
+        }
+
+        let mut c = ClientStats::default();
+        for client in &self.clients {
+            let cs = client.stats();
+            c.commits += cs.commits;
+            c.aborts += cs.aborts;
+            c.deadlock_victims += cs.deadlock_victims;
+            c.lock_timeouts += cs.lock_timeouts;
+            c.local_grants += cs.local_grants;
+            c.global_lock_requests += cs.global_lock_requests;
+            c.pages_shipped += cs.pages_shipped;
+            c.forced_flush_requests += cs.forced_flush_requests;
+            c.checkpoints += cs.checkpoints;
+            c.log_forces += cs.log_forces;
+            c.log_bytes += cs.log_bytes;
+            c.log_stall_events += cs.log_stall_events;
+        }
+        snap.set_counter("client_commits", c.commits);
+        snap.set_counter("client_aborts", c.aborts);
+        snap.set_counter("client_deadlock_victims", c.deadlock_victims);
+        snap.set_counter("client_lock_timeouts", c.lock_timeouts);
+        snap.set_counter("client_local_grants", c.local_grants);
+        snap.set_counter("client_global_lock_requests", c.global_lock_requests);
+        snap.set_counter("client_pages_shipped", c.pages_shipped);
+        snap.set_counter("client_forced_flush_requests", c.forced_flush_requests);
+        snap.set_counter("client_checkpoints", c.checkpoints);
+        snap.set_counter("client_log_forces", c.log_forces);
+        snap.set_counter("client_log_bytes", c.log_bytes);
+        snap.set_counter("client_log_stall_events", c.log_stall_events);
+
+        let n = self.net.snapshot();
+        for (i, (&count, &bytes)) in n.counts.iter().zip(n.bytes.iter()).enumerate() {
+            let name = NetSnapshot::kind_name(i);
+            snap.set_counter(&format!("msg_{name}"), count);
+            snap.set_counter(&format!("msg_{name}_bytes"), bytes);
+        }
+        snap.set_counter("net_total_messages", n.total_messages());
+        snap.set_counter("net_total_bytes", n.total_bytes());
+
+        if let Some(disk) = &self.sim_disk {
+            let (reads, writes, syncs) = disk.stats.snapshot();
+            snap.set_counter("disk_reads", reads);
+            snap.set_counter("disk_writes", writes);
+            snap.set_counter("disk_syncs", syncs);
+        }
+        snap
     }
 
     /// Attach one more client to a running system.

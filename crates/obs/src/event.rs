@@ -1,0 +1,251 @@
+//! The typed event vocabulary: every load-bearing moment of the paper's
+//! protocol, structured so tests and tools can consume it
+//! programmatically (the old `fgl_trace!` emitted free-form strings).
+
+use fgl_common::{ClientId, Lsn, PageId, Psn, TxnId};
+use std::fmt;
+
+/// Which log (and recovery path) an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogOwner {
+    /// The server's global log (replacement records, checkpoints, §3.1).
+    Server,
+    /// A client's private log (client-based logging, §2).
+    Client(ClientId),
+}
+
+/// The shape of a lock callback (§3.2), mirrored from
+/// `fgl_locks::glm::CallbackKind` without depending on the locks crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallbackClass {
+    ReleaseObject,
+    DowngradeObject,
+    ReleasePage,
+    DowngradePage,
+    DeEscalatePage,
+}
+
+/// A restart-recovery phase transition (§3.3 client, §3.4/§3.5 server).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// ARIES analysis over the private log (client, §3.3).
+    Analysis,
+    /// DCT-filtered redo pass (client, §3.3).
+    Redo,
+    /// Loser rollback (client, §3.3).
+    Undo,
+    /// Ship + force recovered pages, checkpoint (client).
+    Harden,
+    /// Gather client states, rebuild the GLM (server, §3.4 a+b).
+    Gather,
+    /// DCT reconstruction from checkpoint + replacement records (§3.4 c).
+    DctRebuild,
+    /// Coordinated per-(page, client) log replay (§3.4 d).
+    Replay,
+    /// Recovery finished.
+    Done,
+}
+
+/// One structured protocol event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Client → server lock request arrived at the GLM (§3.2).
+    LockRequest {
+        client: ClientId,
+        txn: TxnId,
+        page: PageId,
+        exclusive: bool,
+    },
+    /// The GLM granted a lock. `queued` distinguishes asynchronous grants
+    /// (the requester parked and was woken) from synchronous ones.
+    LockGrant {
+        client: ClientId,
+        txn: TxnId,
+        page: PageId,
+        queued: bool,
+    },
+    /// The GLM queued the request behind a conflict.
+    LockQueue {
+        client: ClientId,
+        txn: TxnId,
+        page: PageId,
+    },
+    /// A page lock was replaced by object locks (adaptive scheme, §3.2).
+    DeEscalate { client: ClientId, page: PageId },
+    /// Server → client callback sent (§3.2).
+    CallbackIssued {
+        to: ClientId,
+        page: PageId,
+        class: CallbackClass,
+    },
+    /// The client deferred the callback (a local txn holds the lock).
+    CallbackDeferred { from: ClientId, page: PageId },
+    /// The callback completed (immediately or after a deferral).
+    CallbackCompleted { from: ClientId, page: PageId },
+    /// A page copy crossed the wire, with the PSN it carried.
+    PageShip {
+        client: ClientId,
+        page: PageId,
+        psn: Psn,
+        to_server: bool,
+    },
+    /// The server merged an incoming copy into its current one (§3.1).
+    PageMerge {
+        from: ClientId,
+        page: PageId,
+        psn: Psn,
+    },
+    /// A log force completed; `lsn` is the new durable horizon.
+    LogForce { owner: LogOwner, lsn: Lsn },
+    /// A fuzzy checkpoint was taken (§3.2).
+    Checkpoint { owner: LogOwner, lsn: Lsn },
+    /// The waits-for graph chose this transaction as a deadlock victim.
+    DeadlockVictim { txn: TxnId },
+    /// A lock wait hit the timeout backstop.
+    LockTimeout {
+        client: ClientId,
+        txn: TxnId,
+        page: PageId,
+    },
+    /// A transaction aborted (rollback complete).
+    TxnAbort { client: ClientId, txn: TxnId },
+    /// A restart-recovery phase began.
+    RecoveryPhase {
+        owner: LogOwner,
+        phase: RecoveryPhase,
+    },
+}
+
+impl Event {
+    /// Stable kebab-case tag for the event kind (JSON, filtering).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::LockRequest { .. } => "lock-request",
+            Event::LockGrant { .. } => "lock-grant",
+            Event::LockQueue { .. } => "lock-queue",
+            Event::DeEscalate { .. } => "de-escalate",
+            Event::CallbackIssued { .. } => "callback-issued",
+            Event::CallbackDeferred { .. } => "callback-deferred",
+            Event::CallbackCompleted { .. } => "callback-completed",
+            Event::PageShip { .. } => "page-ship",
+            Event::PageMerge { .. } => "page-merge",
+            Event::LogForce { .. } => "log-force",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::DeadlockVictim { .. } => "deadlock-victim",
+            Event::LockTimeout { .. } => "lock-timeout",
+            Event::TxnAbort { .. } => "txn-abort",
+            Event::RecoveryPhase { .. } => "recovery-phase",
+        }
+    }
+}
+
+impl fmt::Display for LogOwner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogOwner::Server => write!(f, "server"),
+            LogOwner::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::LockRequest {
+                client,
+                txn,
+                page,
+                exclusive,
+            } => write!(
+                f,
+                "lock-request {client} txn={txn} {page} {}",
+                if *exclusive { "X" } else { "S" }
+            ),
+            Event::LockGrant {
+                client,
+                txn,
+                page,
+                queued,
+            } => write!(
+                f,
+                "lock-grant {client} txn={txn} {page}{}",
+                if *queued { " (async)" } else { "" }
+            ),
+            Event::LockQueue { client, txn, page } => {
+                write!(f, "lock-queue {client} txn={txn} {page}")
+            }
+            Event::DeEscalate { client, page } => write!(f, "de-escalate {client} {page}"),
+            Event::CallbackIssued { to, page, class } => {
+                write!(f, "callback-issued to {to} {page} {class:?}")
+            }
+            Event::CallbackDeferred { from, page } => {
+                write!(f, "callback-deferred by {from} {page}")
+            }
+            Event::CallbackCompleted { from, page } => {
+                write!(f, "callback-completed by {from} {page}")
+            }
+            Event::PageShip {
+                client,
+                page,
+                psn,
+                to_server,
+            } => write!(
+                f,
+                "page-ship {page} {} {client} psn={psn:?}",
+                if *to_server { "from" } else { "to" }
+            ),
+            Event::PageMerge { from, page, psn } => {
+                write!(f, "page-merge {page} from {from} psn={psn:?}")
+            }
+            Event::LogForce { owner, lsn } => write!(f, "log-force {owner} lsn={lsn:?}"),
+            Event::Checkpoint { owner, lsn } => write!(f, "checkpoint {owner} lsn={lsn:?}"),
+            Event::DeadlockVictim { txn } => write!(f, "deadlock-victim txn={txn}"),
+            Event::LockTimeout { client, txn, page } => {
+                write!(f, "lock-timeout {client} txn={txn} {page}")
+            }
+            Event::TxnAbort { client, txn } => write!(f, "txn-abort {client} txn={txn}"),
+            Event::RecoveryPhase { owner, phase } => {
+                write!(f, "recovery-phase {owner} {phase:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_nonempty() {
+        let evs = [
+            Event::LockRequest {
+                client: ClientId(1),
+                txn: TxnId(2),
+                page: PageId(3),
+                exclusive: true,
+            },
+            Event::LockQueue {
+                client: ClientId(1),
+                txn: TxnId(2),
+                page: PageId(3),
+            },
+            Event::DeEscalate {
+                client: ClientId(1),
+                page: PageId(3),
+            },
+            Event::PageMerge {
+                from: ClientId(1),
+                page: PageId(3),
+                psn: Psn(9),
+            },
+            Event::RecoveryPhase {
+                owner: LogOwner::Client(ClientId(1)),
+                phase: RecoveryPhase::Redo,
+            },
+        ];
+        for e in evs {
+            assert!(!e.kind().is_empty());
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The flight recorder: a bounded ring of recent events per thread.
+//!
+//! Each thread appends only to its own ring, so the hot path never
+//! contends with another recorder (the per-ring mutex is touched by a
+//! second thread only during a dump, which is rare by construction).
+//! Events carry a global sequence number, so a dump merged across rings
+//! is totally ordered even though each ring is thread-local.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events a single thread's ring retains before overwriting the oldest.
+pub const RING_CAPACITY: usize = 256;
+
+/// One stamped flight-recorder entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stamped {
+    /// Global emission sequence number (total order across threads).
+    pub seq: u64,
+    /// Microseconds since the process's first observability call.
+    pub at_us: u64,
+    pub event: Event,
+}
+
+struct Ring {
+    slots: Mutex<VecDeque<Stamped>>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<Ring> = {
+        let ring = Arc::new(Ring {
+            slots: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+        });
+        registry().lock().unwrap().push(ring.clone());
+        ring
+    };
+}
+
+/// Append to the calling thread's ring, evicting the oldest entry at
+/// capacity.
+pub(crate) fn record(stamped: Stamped) {
+    LOCAL.with(|ring| {
+        let mut slots = ring.slots.lock().unwrap();
+        if slots.len() == RING_CAPACITY {
+            slots.pop_front();
+        }
+        slots.push_back(stamped);
+    });
+}
+
+/// Merge every thread's ring into one sequence-ordered trace of the most
+/// recent events.
+pub fn dump() -> Vec<Stamped> {
+    let rings: Vec<Arc<Ring>> = registry().lock().unwrap().clone();
+    let mut all: Vec<Stamped> = Vec::new();
+    for ring in rings {
+        all.extend(ring.slots.lock().unwrap().iter().copied());
+    }
+    all.sort_by_key(|s| s.seq);
+    all
+}
+
+type DumpStore = Mutex<Option<(String, Vec<Stamped>)>>;
+
+fn last_dump_store() -> &'static DumpStore {
+    static LAST: OnceLock<DumpStore> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+pub(crate) fn store_last_dump(reason: &str, events: &[Stamped]) {
+    *last_dump_store().lock().unwrap() = Some((reason.to_string(), events.to_vec()));
+}
+
+/// The most recent anomaly dump (deadlock abort / lock timeout), if any:
+/// `(reason, events)`. Retained for tests and post-mortem inspection.
+pub fn last_dump() -> Option<(String, Vec<Stamped>)> {
+    last_dump_store().lock().unwrap().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgl_common::TxnId;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        for i in 0..(RING_CAPACITY as u64 + 50) {
+            crate::emit(Event::DeadlockVictim { txn: TxnId(i) });
+        }
+        let d = dump();
+        // This thread's ring holds at most RING_CAPACITY entries; other
+        // test threads may contribute more, but order must hold globally.
+        for w in d.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        let mine: Vec<&Stamped> = d
+            .iter()
+            .filter(|s| matches!(s.event, Event::DeadlockVictim { .. }))
+            .collect();
+        assert!(mine.len() <= RING_CAPACITY + 50);
+        // The newest event must have survived the eviction.
+        assert!(mine.iter().any(|s| s.event
+            == Event::DeadlockVictim {
+                txn: TxnId(RING_CAPACITY as u64 + 49)
+            }));
+    }
+}

@@ -19,6 +19,7 @@ use crate::runtime::ServerCore;
 use fgl_common::{ClientId, Lsn, PageId, Psn, Result};
 use fgl_net::peer::{ClientPeer, RecoveredPageOutcome};
 use fgl_net::stats::MsgKind;
+use fgl_obs::{emit, Event, LogOwner, RecoveryPhase};
 use fgl_wal::records::LogPayload;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -33,8 +34,16 @@ pub struct RestartReport {
     pub clients_involved: usize,
     /// (page, client) replay units executed.
     pub recovery_units: usize,
+    /// Server log records scanned during DCT reconstruction.
+    pub records_scanned: usize,
     /// Wall-clock duration of the whole restart.
     pub elapsed: Duration,
+    /// Phase (a)+(b): gathering client states, rebuilding the GLM.
+    pub gather: Duration,
+    /// Phase (c): DCT reconstruction from checkpoint + replacement records.
+    pub dct_rebuild: Duration,
+    /// Phase (d): coordinated per-(page, client) log replay.
+    pub replay: Duration,
 }
 
 impl ServerCore {
@@ -49,6 +58,10 @@ impl ServerCore {
         let crashed = self.crashed_set();
 
         // ---- (a)+(b): gather client states, rebuild the GLM ----------------
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Server,
+            phase: RecoveryPhase::Gather,
+        });
         let mut dpt_by_client: HashMap<ClientId, Vec<(PageId, Lsn)>> = HashMap::new();
         let mut cached_by_client: HashMap<ClientId, HashMap<PageId, Psn>> = HashMap::new();
         for peer in &peers {
@@ -78,6 +91,12 @@ impl ServerCore {
         }
 
         // ---- (c): reconstruct the DCT ---------------------------------------
+        let gather = start.elapsed();
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Server,
+            phase: RecoveryPhase::DctRebuild,
+        });
+        let dct_start = Instant::now();
         // Step 1: <PID, CID, NULL, NULL> for all DPT pages of operational
         // clients.
         for (client, dpt) in &dpt_by_client {
@@ -124,6 +143,7 @@ impl ServerCore {
                 .map(|e| (e.lsn, e.payload))
                 .collect()
         };
+        let records_scanned = replacement_records.len();
         for (lsn, payload) in replacement_records {
             if let LogPayload::Replacement(r) = payload {
                 let mut dct = self.dct_for(r.page);
@@ -159,6 +179,12 @@ impl ServerCore {
         }
 
         // ---- (d): coordinate per-page client replay --------------------------
+        let dct_rebuild = dct_start.elapsed();
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Server,
+            phase: RecoveryPhase::Replay,
+        });
+        let replay_start = Instant::now();
         let peer_map: HashMap<ClientId, Arc<dyn ClientPeer>> =
             peers.iter().map(|p| (p.client_id(), p.clone())).collect();
         let units: Vec<(PageId, ClientId)> = involved
@@ -241,11 +267,31 @@ impl ServerCore {
         // Fresh checkpoint so the next crash starts from the rebuilt DCT.
         self.mark_up();
         self.checkpoint()?;
-        Ok(RestartReport {
+        let replay = replay_start.elapsed();
+        emit(Event::RecoveryPhase {
+            owner: LogOwner::Server,
+            phase: RecoveryPhase::Done,
+        });
+        let report = RestartReport {
             pages_recovered: involved.len(),
             clients_involved: involved_clients.len(),
             recovery_units: units.len(),
+            records_scanned,
             elapsed: start.elapsed(),
-        })
+            gather,
+            dct_rebuild,
+            replay,
+        };
+        let metrics = self.metrics();
+        metrics.add("server_restarts", 1);
+        metrics.add("server_recovery_gather_us", gather.as_micros() as u64);
+        metrics.add(
+            "server_recovery_dct_rebuild_us",
+            dct_rebuild.as_micros() as u64,
+        );
+        metrics.add("server_recovery_replay_us", replay.as_micros() as u64);
+        metrics.add("server_recovery_records_scanned", records_scanned as u64);
+        metrics.add("server_recovery_pages", report.pages_recovered as u64);
+        Ok(report)
     }
 }

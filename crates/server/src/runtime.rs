@@ -5,7 +5,7 @@
 //! # Sharding
 //!
 //! The hot path is partitioned into `cfg.server_shards` independent
-//! [`Shard`]s keyed by `PageId % N`. Each shard owns its slice of the lock
+//! `Shard`s keyed by `PageId % N`. Each shard owns its slice of the lock
 //! table (a [`GlmCore`]), the buffer pool + space-map partition (a
 //! [`PageStore`] allocating ids in the shard's residue class), the DCT,
 //! the parked lock waiters, and the per-page bookkeeping (`replaced_by`,
@@ -42,6 +42,7 @@ use fgl_locks::WaitGraph;
 use fgl_net::peer::{CallbackOutcome, ClientPeer};
 use fgl_net::stats::{MsgKind, NetSim};
 use fgl_net::wait::{grant_pair, GrantMsg, GrantSlot, GrantWaiter};
+use fgl_obs::{emit, CallbackClass, Event, HistKind, LogOwner, Metrics};
 use fgl_storage::disk::DiskBackend;
 use fgl_storage::page::Page;
 use fgl_wal::manager::LogManager;
@@ -77,7 +78,7 @@ pub enum LockResponse {
 }
 
 /// Aggregate counters exposed for experiments.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServerStats {
     pub lock_requests: u64,
     pub page_fetches: u64,
@@ -87,6 +88,28 @@ pub struct ServerStats {
     pub server_checkpoints: u64,
     pub commit_log_ships: u64,
     pub merges: u64,
+    /// Hot-path traffic per shard, index = `PageId % server_shards` — the
+    /// E11 scaling experiment reads the skew straight off this.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// One shard's slice of the hot-path counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    pub lock_requests: u64,
+    pub page_fetches: u64,
+    pub merges: u64,
+}
+
+/// Map a GLM callback to its observability class.
+fn class_of(kind: &CallbackKind) -> CallbackClass {
+    match kind {
+        CallbackKind::ReleaseObject(_) => CallbackClass::ReleaseObject,
+        CallbackKind::DowngradeObject(_) => CallbackClass::DowngradeObject,
+        CallbackKind::ReleasePage(_) => CallbackClass::ReleasePage,
+        CallbackKind::DowngradePage(_) => CallbackClass::DowngradePage,
+        CallbackKind::DeEscalatePage(_) => CallbackClass::DeEscalatePage,
+    }
 }
 
 /// One partition of the server's hot path: everything keyed by a page in
@@ -105,6 +128,10 @@ struct Shard {
     /// Last client to ship each page, with the shipped PSN — callback
     /// log-record evidence (§3.1).
     last_ship: Mutex<HashMap<PageId, (ClientId, Psn)>>,
+    /// Shard-local traffic counters (surfaced in [`ServerStats::per_shard`]).
+    lock_requests: AtomicU64,
+    page_fetches: AtomicU64,
+    merges: AtomicU64,
 }
 
 /// The page server.
@@ -136,6 +163,9 @@ pub struct ServerCore {
     /// §3.4 step 3 ("the server will request P from CID").
     recovery_needs: Mutex<Vec<(ClientId, PageId, Psn)>>,
     down: AtomicBool,
+    /// Shared metrics registry: histograms + counters for the whole
+    /// system. Clients and WAL managers clone this handle.
+    metrics: Arc<Metrics>,
     lock_requests: AtomicU64,
     page_fetches: AtomicU64,
     pages_received: AtomicU64,
@@ -167,15 +197,20 @@ impl ServerCore {
                 waiters: Mutex::new(HashMap::new()),
                 replaced_by: Mutex::new(HashMap::new()),
                 last_ship: Mutex::new(HashMap::new()),
+                lock_requests: AtomicU64::new(0),
+                page_fetches: AtomicU64::new(0),
+                merges: AtomicU64::new(0),
             })
             .collect();
-        let slog = LogManager::new(
+        let metrics = Arc::new(Metrics::new());
+        let mut slog = LogManager::new(
             Box::new(fgl_wal::store::SimLogStore::new(
                 Box::new(MemLogStore::new()),
                 cfg.disk_latency,
             )),
             cfg.server_log_bytes,
         );
+        slog.attach_obs(metrics.clone(), LogOwner::Server);
         Arc::new(ServerCore {
             cfg,
             net,
@@ -191,6 +226,7 @@ impl ServerCore {
             recovery_cv: Condvar::new(),
             recovery_needs: Mutex::new(Vec::new()),
             down: AtomicBool::new(false),
+            metrics,
             lock_requests: AtomicU64::new(0),
             page_fetches: AtomicU64::new(0),
             pages_received: AtomicU64::new(0),
@@ -233,7 +269,22 @@ impl ServerCore {
             server_checkpoints: self.server_checkpoints.load(Ordering::Relaxed),
             commit_log_ships: self.commit_log_ships.load(Ordering::Relaxed),
             merges: self.shards.iter().map(|s| s.store.lock().merges()).sum(),
+            per_shard: self
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    lock_requests: s.lock_requests.load(Ordering::Relaxed),
+                    page_fetches: s.page_fetches.load(Ordering::Relaxed),
+                    merges: s.merges.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
+    }
+
+    /// The shared metrics registry (histograms + counters). Clients attach
+    /// to this same instance so one snapshot covers the whole system.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.metrics.clone()
     }
 
     // ---- registration ------------------------------------------------------
@@ -264,6 +315,13 @@ impl ServerCore {
         self.net.msg(MsgKind::LockReq, 40);
         self.lock_requests.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard_of(target.page());
+        shard.lock_requests.fetch_add(1, Ordering::Relaxed);
+        emit(Event::LockRequest {
+            client,
+            txn,
+            page: target.page(),
+            exclusive: target.mode() == ObjMode::X,
+        });
         // Hold the waiter registry across the GLM call: once the GLM
         // queues the request (and releases its mutex), a concurrent
         // `drive` may already carry the Grant/Victim for this txn, and it
@@ -285,6 +343,12 @@ impl ServerCore {
                 }
                 self.drive(events);
                 self.net.msg(MsgKind::LockReply, 24);
+                emit(Event::LockGrant {
+                    client,
+                    txn,
+                    page: effective.page(),
+                    queued: false,
+                });
                 let evidence = self.grant_evidence(client, &effective);
                 Ok(LockResponse::Granted {
                     target: effective,
@@ -296,6 +360,11 @@ impl ServerCore {
                 let (slot, waiter) = grant_pair();
                 parked.insert(txn, (slot, cached_psn));
                 drop(parked);
+                emit(Event::LockQueue {
+                    client,
+                    txn,
+                    page: target.page(),
+                });
                 self.drive(events);
                 Ok(LockResponse::Wait(waiter))
             }
@@ -330,6 +399,12 @@ impl ServerCore {
                         continue;
                     };
                     self.net.msg(MsgKind::Callback, 24);
+                    emit(Event::CallbackIssued {
+                        to: cb.to,
+                        page: cb.kind.page(),
+                        class: class_of(&cb.kind),
+                    });
+                    let issued_at = self.metrics.now_us();
                     let outcome = peer.deliver_callback(cb.kind);
                     self.net.msg(MsgKind::CallbackReply, 24);
                     let shard = self.shard_of(cb.kind.page());
@@ -338,6 +413,15 @@ impl ServerCore {
                             retained,
                             page_copy,
                         } => {
+                            // A synchronous completion bounds the round
+                            // trip; deferred callbacks are timed out-of-band
+                            // when `callback_complete` arrives.
+                            self.metrics
+                                .observe_since(HistKind::CallbackRoundTrip, issued_at);
+                            emit(Event::CallbackCompleted {
+                                from: cb.to,
+                                page: cb.kind.page(),
+                            });
                             if let Some(bytes) = page_copy {
                                 let _ = self.absorb_page(cb.to, bytes, false);
                             }
@@ -349,6 +433,10 @@ impl ServerCore {
                             queue.extend(evs);
                         }
                         CallbackOutcome::Deferred { blockers } => {
+                            emit(Event::CallbackDeferred {
+                                from: cb.to,
+                                page: cb.kind.page(),
+                            });
                             let evs = shard.glm.lock().callback_reply(
                                 cb.to,
                                 cb.kind,
@@ -364,7 +452,12 @@ impl ServerCore {
                     target,
                     first_exclusive_on_page,
                 } => {
-                    fgl_common::fgl_trace!("server async-grant {target:?} to {client} txn={txn}");
+                    emit(Event::LockGrant {
+                        client,
+                        txn,
+                        page: target.page(),
+                        queued: true,
+                    });
                     let shard = self.shard_of(target.page());
                     let slot = shard.waiters.lock().remove(&txn);
                     if let Some((slot, cached_psn)) = slot {
@@ -381,6 +474,8 @@ impl ServerCore {
                     }
                 }
                 GlmEvent::AbortTxn { txn, .. } => {
+                    emit(Event::DeadlockVictim { txn });
+                    self.metrics.add("deadlock_victims", 1);
                     // The victim of a cross-shard cycle may be parked on a
                     // page of *another* shard than the GLM that detected
                     // the cycle, so its waiter is hunted everywhere; the
@@ -424,6 +519,10 @@ impl ServerCore {
     ) -> Result<()> {
         self.check_up()?;
         self.net.msg(MsgKind::CallbackComplete, 24);
+        emit(Event::CallbackCompleted {
+            from: client,
+            page: kind.page(),
+        });
         if let Some(bytes) = page_copy {
             self.absorb_page(client, bytes, false)?;
         }
@@ -461,13 +560,21 @@ impl ServerCore {
         self.check_up()?;
         self.net.msg(MsgKind::FetchPage, 16);
         self.page_fetches.fetch_add(1, Ordering::Relaxed);
+        self.shard_of(page)
+            .page_fetches
+            .fetch_add(1, Ordering::Relaxed);
         let copy = self.read_page_copy(page)?;
         let dct_psn = {
             let mut dct = self.shard_of(page).dct.lock();
             dct.set_psn_if_unset(page, client, copy.psn());
             dct.psn_of(page, client)
         };
-        fgl_common::fgl_trace!("server ship {page} to {client} psn={:?}", copy.psn());
+        emit(Event::PageShip {
+            client,
+            page,
+            psn: copy.psn(),
+            to_server: false,
+        });
         self.net.msg(MsgKind::PageShip, copy.size());
         Ok((copy.into_bytes(), dct_psn))
     }
@@ -502,14 +609,26 @@ impl ServerCore {
     pub fn ship_page(&self, client: ClientId, bytes: Vec<u8>, replaced: bool) -> Result<()> {
         self.check_up()?;
         self.net.msg(MsgKind::PageShip, bytes.len());
-        self.absorb_page(client, bytes, replaced)
+        let page = Page::from_bytes(bytes)?;
+        emit(Event::PageShip {
+            client,
+            page: page.id(),
+            psn: page.psn(),
+            to_server: true,
+        });
+        self.absorb_parsed(client, page, replaced)
     }
 
     fn absorb_page(&self, client: ClientId, bytes: Vec<u8>, replaced: bool) -> Result<()> {
-        let page = Page::from_bytes(bytes)?;
+        self.absorb_parsed(client, Page::from_bytes(bytes)?, replaced)
+    }
+
+    fn absorb_parsed(&self, client: ClientId, page: Page, replaced: bool) -> Result<()> {
         let id = page.id();
         self.pages_received.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard_of(id);
+        shard.merges.fetch_add(1, Ordering::Relaxed);
+        let merge_start = self.metrics.now_us();
         // Pool-first merge; on a miss the disk read runs unlocked and the
         // merge re-checks the pool (a copy that slipped in wins as the
         // resident side).
@@ -525,7 +644,12 @@ impl ServerCore {
                 shard.store.lock().receive_with(page, disk_copy)?
             }
         };
-        fgl_common::fgl_trace!("server absorb {id} from {client} psn={incoming_psn:?}");
+        self.metrics.observe_since(HistKind::Merge, merge_start);
+        emit(Event::PageMerge {
+            from: client,
+            page: id,
+            psn: incoming_psn,
+        });
         shard.dct.lock().set_psn(id, client, incoming_psn);
         shard.last_ship.lock().insert(id, (client, incoming_psn));
         if replaced {
@@ -664,7 +788,13 @@ impl ServerCore {
         } else {
             slog.advance_low_water(lsn)?;
         }
+        drop(slog);
+        emit(Event::Checkpoint {
+            owner: LogOwner::Server,
+            lsn,
+        });
         self.server_checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.metrics.add("server_checkpoints", 1);
         Ok(())
     }
 
@@ -901,9 +1031,11 @@ impl ServerCore {
                 }
                 let timeout = deadline.saturating_duration_since(std::time::Instant::now());
                 if timeout.is_zero() {
-                    fgl_common::fgl_trace!(
-                        "recovery_fetch fallback: {cid} has not recovered {page} past {psn:?}"
-                    );
+                    if fgl_obs::trace_enabled() {
+                        eprintln!(
+                            "[fgl] recovery_fetch fallback: {cid} has not recovered {page} past {psn:?}"
+                        );
+                    }
                     break;
                 }
                 self.recovery_cv.wait_for(&mut gen, timeout);

@@ -46,6 +46,9 @@ pub struct CrashScenarioReport {
     pub verify_after_recovery: VerifyReport,
     pub phase2: RunReport,
     pub verify_final: VerifyReport,
+    /// Whole-scenario unified metrics snapshot (both phases + recovery);
+    /// carries the `*_recovery_*` phase counters.
+    pub metrics: fgl::Snapshot,
 }
 
 impl CrashScenarioReport {
@@ -121,6 +124,7 @@ pub fn run_crash_scenario(
     let phase2 = run_workload(&sys, &layout, Some(&oracle), &opts)?;
     let verify_final = oracle.verify_via_reads(sys.client(0))?;
 
+    let metrics = sys.metrics_snapshot();
     Ok(CrashScenarioReport {
         kind_name: kind.name(),
         phase1,
@@ -128,6 +132,7 @@ pub fn run_crash_scenario(
         verify_after_recovery,
         phase2,
         verify_final,
+        metrics,
     })
 }
 

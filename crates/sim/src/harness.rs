@@ -3,7 +3,7 @@
 use crate::oracle::Oracle;
 use crate::setup::DatabaseLayout;
 use crate::workload::{Op, WorkloadSpec};
-use fgl::{NetSnapshot, ObjectId, Result, System};
+use fgl::{NetSnapshot, ObjectId, Result, Snapshot, System};
 use fgl_common::rng::DetRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +42,10 @@ pub struct RunReport {
     pub commit_latencies_us: Vec<u64>,
     /// Message-fabric delta over the run.
     pub net: NetSnapshot,
+    /// Unified observability delta over the run: registry histograms
+    /// (lock-wait, commit, callback RTT, …) plus every stats surface
+    /// folded in as counters (see [`System::metrics_snapshot`]).
+    pub metrics: Snapshot,
 }
 
 impl RunReport {
@@ -90,6 +94,7 @@ pub fn run_workload(
 ) -> Result<RunReport> {
     let n = sys.clients.len();
     let before = sys.net.snapshot();
+    let metrics_before = sys.metrics_snapshot();
     let start = Instant::now();
     let mut master = DetRng::new(opts.seed);
     let seeds: Vec<u64> = (0..n).map(|i| master.fork(i as u64).next_u64()).collect();
@@ -154,6 +159,7 @@ pub fn run_workload(
         report.commit_latencies_us.extend(lat);
     }
     report.net = sys.net.snapshot().delta_since(&before);
+    report.metrics = sys.metrics_snapshot().delta_since(&metrics_before);
     Ok(report)
 }
 
@@ -221,6 +227,11 @@ mod tests {
         assert_eq!(report.commits, 20);
         assert_eq!(report.aborts, 0);
         assert_eq!(report.commit_latencies_us.len(), 20);
+        // The unified metrics delta must cover the run: one commit
+        // histogram sample per commit, and the folded-in counters.
+        let commit_hist = report.metrics.hist(fgl::HistKind::Commit).unwrap();
+        assert_eq!(commit_hist.count, 20);
+        assert_eq!(report.metrics.counters["client_commits"], 20);
     }
 
     #[test]

@@ -23,6 +23,8 @@ use crate::codec::checksum;
 use crate::records::LogPayload;
 use crate::store::{LogStore, MasterAnchor};
 use fgl_common::{FglError, Lsn, Result};
+use fgl_obs::{Event, HistKind, LogOwner, Metrics};
+use std::sync::Arc;
 
 const FRAME_HEADER: usize = 8;
 
@@ -50,6 +52,9 @@ pub struct LogManager {
     appended_bytes: u64,
     /// Number of force (sync) calls (informational).
     forces: u64,
+    /// Observability hook: when attached, forces are timed into the
+    /// registry's log-force histogram and emitted as typed events.
+    obs: Option<(Arc<Metrics>, LogOwner)>,
 }
 
 impl LogManager {
@@ -65,7 +70,15 @@ impl LogManager {
             appended: 0,
             appended_bytes: 0,
             forces: 0,
+            obs: None,
         }
+    }
+
+    /// Attach the metrics registry: subsequent [`LogManager::force`] calls
+    /// are timed into the log-force histogram and emit [`Event::LogForce`]
+    /// tagged with `owner` (the server log or one client's private log).
+    pub fn attach_obs(&mut self, metrics: Arc<Metrics>, owner: LogOwner) {
+        self.obs = Some((metrics, owner));
     }
 
     /// Reopen a store after a crash: read the master anchor and validate
@@ -170,9 +183,19 @@ impl LogManager {
 
     /// Force the log: everything appended so far becomes durable.
     pub fn force(&mut self) -> Result<Lsn> {
+        let start = self.obs.as_ref().map(|(m, _)| m.now_us());
         self.store.sync()?;
         self.forces += 1;
-        Ok(self.durable_lsn())
+        let durable = self.durable_lsn();
+        if let Some((metrics, owner)) = &self.obs {
+            metrics.observe_since(HistKind::LogForce, start.unwrap());
+            metrics.add("log_forces", 1);
+            fgl_obs::emit(Event::LogForce {
+                owner: *owner,
+                lsn: durable,
+            });
+        }
+        Ok(durable)
     }
 
     /// Force only if `lsn` is not yet durable (WAL rule helper).

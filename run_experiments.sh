@@ -1,6 +1,12 @@
 #!/bin/sh
 # Run the full experiment suite (E1-E11). Pass --quick for smaller sweeps.
+# Each binary also writes machine-readable metrics JSON (counters +
+# latency histograms per sweep point) to $FGL_METRICS_DIR (default
+# ./metrics).
 set -e
+FGL_METRICS_DIR="${FGL_METRICS_DIR:-metrics}"
+export FGL_METRICS_DIR
+mkdir -p "$FGL_METRICS_DIR"
 for exp in e1_logging_scalability e2_lock_granularity e3_merge_vs_token \
            e4_client_recovery e5_server_recovery e6_checkpoints \
            e7_log_space e8_crash_matrix e9_commit_latency e10_adaptive_traffic \
@@ -8,3 +14,4 @@ for exp in e1_logging_scalability e2_lock_granularity e3_merge_vs_token \
   cargo run --release -q -p fgl-bench --bin "$exp" -- "$@"
   echo
 done
+echo "metrics JSON in $FGL_METRICS_DIR/"
