@@ -1,0 +1,29 @@
+# Convenience targets; CI runs the same commands.
+
+METRICS_DIR ?= metrics
+BASELINE    := ci/latency_baseline.json
+GATED       := $(METRICS_DIR)/e11_server_shard_scaling.json \
+               $(METRICS_DIR)/e12_callback_batching.json
+
+.PHONY: test check-latency refresh-baselines experiments
+
+test:
+	cargo build --release
+	cargo test -q --workspace
+
+# Re-run the gated obs-smoke experiments and compare their p95 commit /
+# lock-wait latencies against the checked-in baseline.
+check-latency:
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e11_server_shard_scaling -- --quick
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e12_callback_batching -- --quick
+	python3 scripts/check_latency_regression.py $(BASELINE) $(GATED)
+
+# Rebuild the baseline from a fresh run (after an intentional latency
+# change); commit the updated $(BASELINE).
+refresh-baselines:
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e11_server_shard_scaling -- --quick
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e12_callback_batching -- --quick
+	python3 scripts/check_latency_regression.py --update $(BASELINE) $(GATED)
+
+experiments:
+	./run_experiments.sh --quick

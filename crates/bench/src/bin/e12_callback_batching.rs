@@ -1,0 +1,196 @@
+//! **E12 — Per-destination callback batching and group commit** (§3.2,
+//! §4.1).
+//!
+//! Two ablations of the commit/callback fast path:
+//!
+//! 1. *Callback batching*: every callback a GLM decision emits for one
+//!    client ships as a single batch message, and batches to distinct
+//!    holders go out in parallel — a grant blocked on N holders waits
+//!    max(RTT) instead of sum(RTT), and the callback message count per
+//!    commit collapses. The ablation (`callback_batching = false`)
+//!    reproduces the one-callback-one-round-trip protocol.
+//! 2. *Group commit*: concurrent committers on one client coalesce into
+//!    a single private-log force; a committer whose commit record is
+//!    already durable piggybacks. The ablation forces once per commit.
+//!
+//! Both halves verify committed state against the oracle — batching and
+//! coalescing must not lose or reorder any update.
+
+use fgl::{MsgKind, System};
+use fgl_bench::{banner, experiment_config, standard_spec, txns_per_client, MetricsEmitter};
+use fgl_sim::crash::prepare;
+use fgl_sim::harness::{run_workload, HarnessOptions, RunReport};
+use fgl_sim::table::{f1, f2, Table};
+use fgl_sim::workload::WorkloadKind;
+
+fn run_batching_cell(clients: usize, batching: bool) -> RunReport {
+    let cfg = experiment_config().with_callback_batching(batching);
+    let sys = System::build(cfg, clients).expect("build");
+    // HICON with a high write fraction: every client updates objects of
+    // the same few hot pages, so lock grants routinely call back several
+    // holders at once — the multi-destination case batching targets. A
+    // slice of structural updates (resize → page-X, §3.1) adds the
+    // multi-callback-per-holder case: a page-X grant calls back every
+    // object lock a holder has cached on that page in one wave.
+    let mut spec = standard_spec(WorkloadKind::HiCon, clients);
+    spec.write_fraction = 0.5;
+    spec.structural_fraction = 0.1;
+    // Scale the hot set with the client count so page-X storms stay
+    // contended but short of full serialization.
+    spec.hot_pages = (2 * clients).max(4);
+    let (layout, oracle) = prepare(&sys, &spec).expect("prepare");
+    let mut opts = HarnessOptions::new(spec, txns_per_client() / 2);
+    opts.seed = 0xE12;
+    let report = run_workload(&sys, &layout, Some(&oracle), &opts).expect("run");
+    let verify = oracle.verify_via_reads(sys.client(0)).expect("verify");
+    assert!(
+        verify.is_clean(),
+        "stale objects with batching={batching}: {:?}",
+        verify.mismatches
+    );
+    report
+}
+
+fn run_group_commit_cell(clients: usize, committers: usize, group_commit: bool) -> RunReport {
+    let cfg = experiment_config().with_group_commit(group_commit);
+    let sys = System::build(cfg, clients).expect("build");
+    // PRIVATE keeps lock conflicts out of the measurement: the contended
+    // resource is each client's own log disk, which is exactly what group
+    // commit arbitrates.
+    let mut spec = standard_spec(WorkloadKind::Private, clients);
+    spec.write_fraction = 0.5;
+    let (layout, oracle) = prepare(&sys, &spec).expect("prepare");
+    let mut opts = HarnessOptions::new(spec, txns_per_client() / 2);
+    opts.seed = 0x6C12;
+    opts.threads_per_client = committers;
+    let report = run_workload(&sys, &layout, Some(&oracle), &opts).expect("run");
+    let verify = oracle.verify_via_reads(sys.client(0)).expect("verify");
+    assert!(
+        verify.is_clean(),
+        "stale objects with group_commit={group_commit}: {:?}",
+        verify.mismatches
+    );
+    report
+}
+
+fn main() {
+    banner(
+        "E12: callback batching fan-out and group commit",
+        "one batch message per holder delivered in parallel vs. one round \
+         trip per callback; coalesced private-log forces vs. one per commit",
+    );
+    let client_counts: Vec<usize> = if fgl_bench::quick_mode() {
+        vec![2, 4]
+    } else {
+        vec![4, 8, 12]
+    };
+    let mut emitter = MetricsEmitter::new("e12_callback_batching");
+
+    println!("callback batching (HICON, object-level conflicts):");
+    let mut table = Table::new(&[
+        "clients",
+        "batching",
+        "commits/s",
+        "cb msgs/commit",
+        "cb bytes/commit",
+        "cb rtt p95 us",
+        "commit p95 us",
+    ]);
+    for &n in &client_counts {
+        let mut per_commit = Vec::new();
+        for batching in [true, false] {
+            let report = run_batching_cell(n, batching);
+            let commits = report.commits.max(1) as f64;
+            let cb_msgs = (report.net.count(MsgKind::Callback)
+                + report.net.count(MsgKind::CallbackReply)) as f64
+                / commits;
+            let cb_bytes = (report.net.bytes[MsgKind::Callback as usize]
+                + report.net.bytes[MsgKind::CallbackReply as usize])
+                as f64
+                / commits;
+            let rtt_p95 = report
+                .metrics
+                .hist(fgl::HistKind::CallbackRoundTrip)
+                .map(|h| h.p95())
+                .unwrap_or(0);
+            emitter.row(
+                &[
+                    ("section", "batching".to_string()),
+                    ("clients", n.to_string()),
+                    ("batching", batching.to_string()),
+                ],
+                &report.metrics,
+            );
+            table.row(vec![
+                n.to_string(),
+                if batching { "on" } else { "off" }.into(),
+                f1(report.throughput()),
+                f2(cb_msgs),
+                f1(cb_bytes),
+                rtt_p95.to_string(),
+                report.latency_us(95.0).to_string(),
+            ]);
+            per_commit.push(cb_msgs);
+        }
+        let (on, off) = (per_commit[0], per_commit[1]);
+        if off > 0.0 {
+            println!(
+                "  {n} clients: callback msgs/commit {:.2} -> {:.2} ({:+.0}%)",
+                off,
+                on,
+                (on - off) / off * 100.0
+            );
+        }
+    }
+    table.print();
+
+    println!();
+    println!("group commit (PRIVATE, 4 committer threads per client):");
+    let committers = 4;
+    let mut gc_table = Table::new(&[
+        "clients",
+        "group commit",
+        "commits/s",
+        "p50 us",
+        "p95 us",
+        "forces/commit",
+        "piggybacked",
+    ]);
+    for &n in &client_counts {
+        for group_commit in [true, false] {
+            let report = run_group_commit_cell(n, committers, group_commit);
+            let commits = report.commits.max(1);
+            let forces = report
+                .metrics
+                .hist(fgl::HistKind::LogForce)
+                .map(|h| h.count)
+                .unwrap_or(0);
+            let piggybacked = report
+                .metrics
+                .counters
+                .get("client_commits_piggybacked")
+                .copied()
+                .unwrap_or(0);
+            emitter.row(
+                &[
+                    ("section", "group_commit".to_string()),
+                    ("clients", n.to_string()),
+                    ("committers", committers.to_string()),
+                    ("group_commit", group_commit.to_string()),
+                ],
+                &report.metrics,
+            );
+            gc_table.row(vec![
+                n.to_string(),
+                if group_commit { "on" } else { "off" }.into(),
+                f1(report.throughput()),
+                report.latency_us(50.0).to_string(),
+                report.latency_us(95.0).to_string(),
+                f2(forces as f64 / commits as f64),
+                piggybacked.to_string(),
+            ]);
+        }
+    }
+    gc_table.print();
+    emitter.finish();
+}

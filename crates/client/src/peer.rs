@@ -45,6 +45,19 @@ impl ClientPeer for PeerHandle {
         }
     }
 
+    fn deliver_callback_batch(&self, kinds: &[CallbackKind]) -> Vec<CallbackOutcome> {
+        match self.core() {
+            Some(core) => core.handle_server_callback_batch(kinds),
+            None => kinds
+                .iter()
+                .map(|_| CallbackOutcome::Done {
+                    retained: vec![],
+                    page_copy: None,
+                })
+                .collect(),
+        }
+    }
+
     fn notify_page_flushed(&self, page: PageId) {
         if let Some(core) = self.core() {
             core.handle_flush_notification(page);
@@ -88,70 +101,115 @@ impl ClientCore {
     /// Handle a lock callback from the server (§3.2). Runs on a
     /// server-driving thread.
     pub(crate) fn handle_server_callback(&self, kind: CallbackKind) -> CallbackOutcome {
+        self.handle_server_callback_batch(std::slice::from_ref(&kind))
+            .pop()
+            .expect("batch handler returns one outcome per kind")
+    }
+
+    /// Handle a batch of callbacks in one pass over the client state:
+    /// one mutex acquisition, at most one WAL force covering every page
+    /// the batch ships, at most one page copy per page, one waiter
+    /// wakeup. Outcomes are parallel to `kinds`.
+    pub(crate) fn handle_server_callback_batch(
+        &self,
+        kinds: &[CallbackKind],
+    ) -> Vec<CallbackOutcome> {
         let mut st = self.st.lock();
         if st.crashed {
             // Lost race with a crash simulation; the server will queue and
             // re-deliver after recovery.
-            return CallbackOutcome::Done {
-                retained: vec![],
-                page_copy: None,
-            };
+            return kinds
+                .iter()
+                .map(|_| CallbackOutcome::Done {
+                    retained: vec![],
+                    page_copy: None,
+                })
+                .collect();
         }
-        let reply = st.llm.handle_callback(kind);
-        let outcome = match reply {
-            CallbackReply::Done { retained } => {
-                // A complied de-escalation replaced our page lock with
-                // object locks (§3.2) — the adaptive scheme's signature
-                // moment, so it gets its own event.
-                if matches!(kind, CallbackKind::DeEscalatePage(_)) {
-                    fgl_obs::emit(fgl_obs::Event::DeEscalate {
-                        client: self.id(),
-                        page: kind.page(),
-                    });
-                }
-                let sheds = !matches!(kind, CallbackKind::DeEscalatePage(_));
-                let page = kind.page();
-                // Any complied callback that leaves the page visible to a
-                // competitor ships the dirty copy: the requester's fetch
-                // must observe our (committed or steal-protected) updates.
-                // An evicted-but-not-yet-shipped copy counts (in transit).
-                let page_copy = if let Some(bytes) = st.in_transit.remove(&page) {
-                    Some(bytes)
-                } else if st.cache.is_dirty(page) {
-                    // WAL: the log covering the shipped state must be
-                    // durable before the page leaves (§2).
-                    if st.wal.force().is_err() {
-                        None
-                    } else {
-                        let bytes = st.cache.peek(page).map(|p| p.as_bytes().to_vec());
-                        if bytes.is_some() {
-                            st.cache.mark_clean(page);
-                            // Remember the ship point so a later flush
-                            // advances our DPT RedoLSN (§3.6).
-                            let end = st.wal.end_lsn();
-                            if let Some(e) = st.dpt.get_mut(&page) {
-                                e.remembered = Some(end);
-                                e.updated_since_ship = false;
-                            }
-                        }
-                        bytes
+        // The st mutex is held for the whole batch and nothing below
+        // appends to the WAL, so the first force covers every page the
+        // batch ships (§2: the log covering shipped state must be durable
+        // before the page leaves).
+        let mut forced = false;
+        let mut shipped: Vec<PageId> = Vec::new();
+        let mut outcomes = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            let reply = st.llm.handle_callback(kind);
+            let outcome = match reply {
+                CallbackReply::Done { retained } => {
+                    // A complied de-escalation replaced our page lock with
+                    // object locks (§3.2) — the adaptive scheme's signature
+                    // moment, so it gets its own event.
+                    if matches!(kind, CallbackKind::DeEscalatePage(_)) {
+                        fgl_obs::emit(fgl_obs::Event::DeEscalate {
+                            client: self.id(),
+                            page: kind.page(),
+                        });
                     }
-                } else {
-                    None
-                };
-                if sheds {
-                    self.drop_if_unlocked(&mut st, page);
+                    let sheds = !matches!(kind, CallbackKind::DeEscalatePage(_));
+                    let page = kind.page();
+                    // Any complied callback that leaves the page visible
+                    // to a competitor ships the dirty copy: the
+                    // requester's fetch must observe our (committed or
+                    // steal-protected) updates. A page already shipped by
+                    // this batch is clean by construction.
+                    //
+                    // A copy travels in the reply, and the server absorbs
+                    // it only when the delivering wave applies that reply.
+                    // A second wave's callback for the same page can run
+                    // here first, find the page clean, and reply with no
+                    // copy — letting the server grant + ship its stale
+                    // store copy before the first wave's reply lands. So
+                    // the stash in `in_transit` is *retained* after a
+                    // reply-ship: any racing wave re-ships the same bytes
+                    // and the server absorbs them before it grants
+                    // (absorption is a per-slot PSN-max merge, so the
+                    // re-ship is idempotent). A freshly dirty cache copy
+                    // always wins over the stash.
+                    let page_copy = if shipped.contains(&page) {
+                        None
+                    } else if st.cache.is_dirty(page) {
+                        let log_durable = forced || st.wal.force().is_ok();
+                        if log_durable {
+                            forced = true;
+                            let bytes = st.cache.peek(page).map(|p| p.as_bytes().to_vec());
+                            if let Some(b) = &bytes {
+                                st.cache.mark_clean(page);
+                                // Remember the ship point so a later flush
+                                // advances our DPT RedoLSN (§3.6).
+                                let end = st.wal.end_lsn();
+                                if let Some(e) = st.dpt.get_mut(&page) {
+                                    e.remembered = Some(end);
+                                    e.updated_since_ship = false;
+                                }
+                                st.in_transit.insert(page, b.clone());
+                                shipped.push(page);
+                            }
+                            bytes
+                        } else {
+                            None
+                        }
+                    } else if let Some(bytes) = st.in_transit.get(&page).cloned() {
+                        shipped.push(page);
+                        Some(bytes)
+                    } else {
+                        None
+                    };
+                    if sheds {
+                        self.drop_if_unlocked(&mut st, page);
+                    }
+                    CallbackOutcome::Done {
+                        retained,
+                        page_copy,
+                    }
                 }
-                CallbackOutcome::Done {
-                    retained,
-                    page_copy,
-                }
-            }
-            CallbackReply::Deferred { blockers } => CallbackOutcome::Deferred { blockers },
-        };
+                CallbackReply::Deferred { blockers } => CallbackOutcome::Deferred { blockers },
+            };
+            outcomes.push(outcome);
+        }
         drop(st);
         self.cv.notify_all();
-        outcome
+        outcomes
     }
 
     /// §3.6 flush notification: advance the DPT entry's RedoLSN to the
@@ -241,5 +299,94 @@ impl ClientCore {
             return None;
         }
         st.cache.peek(page).map(|p| p.as_bytes().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgl_common::SystemConfig;
+    use fgl_net::peer::CallbackOutcome;
+    use fgl_net::stats::NetSim;
+    use fgl_server::runtime::ServerCore;
+    use fgl_storage::disk::MemDisk;
+    use fgl_storage::page::Page;
+
+    fn build() -> Arc<ClientCore> {
+        let cfg = SystemConfig::default();
+        let net = Arc::new(NetSim::new(cfg.net_latency));
+        let server = ServerCore::new(cfg, net.clone(), Arc::new(MemDisk::new()));
+        ClientCore::new(ClientId(1), server, net)
+    }
+
+    /// A batch whose callbacks span several pages ships exactly one copy
+    /// per distinct page — and each copy carries a PSN at least as fresh
+    /// as the client's committed updates, because the copy is taken from
+    /// the cache *after* the WAL force and never re-shipped within the
+    /// batch (the second callback on a page finds it already clean).
+    #[test]
+    fn batch_reply_ships_one_copy_per_page() {
+        let c = build();
+        let t = c.begin().unwrap();
+        let p1 = c.create_page(t).unwrap();
+        let p2 = c.create_page(t).unwrap();
+        let a = c.insert(t, p1, b"aaaa").unwrap();
+        let b = c.insert(t, p1, b"bbbb").unwrap();
+        let x = c.insert(t, p2, b"xxxx").unwrap();
+        c.commit(t).unwrap();
+        let t = c.begin().unwrap();
+        c.write(t, a, b"AAAA").unwrap();
+        c.write(t, b, b"BBBB").unwrap();
+        c.write(t, x, b"XXXX").unwrap();
+        c.commit(t).unwrap();
+
+        // Both pages are dirty in the cache. A single batch calls back all
+        // three object locks: p1 twice, p2 once.
+        let outcomes = c.handle_server_callback_batch(&[
+            CallbackKind::ReleaseObject(a),
+            CallbackKind::ReleaseObject(b),
+            CallbackKind::ReleaseObject(x),
+        ]);
+        let copies: Vec<Option<Psn>> = outcomes
+            .iter()
+            .map(|o| match o {
+                CallbackOutcome::Done { page_copy, .. } => page_copy
+                    .as_ref()
+                    .map(|bytes| Page::from_bytes(bytes.clone()).unwrap().psn()),
+                CallbackOutcome::Deferred { .. } => panic!("no txn active: {o:?}"),
+            })
+            .collect();
+        assert!(copies[0].is_some(), "first callback on p1 ships the copy");
+        assert!(
+            copies[1].is_none(),
+            "second callback on p1 must not ship a duplicate copy"
+        );
+        assert!(copies[2].is_some(), "p2 ships its own copy");
+
+        // PSN monotonicity: each shipped copy reflects all three committed
+        // updates — two PSN bumps on p1, one on p2 (plus the inserts).
+        let t = c.begin().unwrap();
+        let (psn1, psn2) = (copies[0].unwrap(), copies[2].unwrap());
+        c.abort(t).unwrap();
+        assert!(
+            psn1 > psn2,
+            "p1 took more updates than p2: {psn1:?} vs {psn2:?}"
+        );
+
+        // A later batch on a re-dirtied page ships a strictly newer copy.
+        let t = c.begin().unwrap();
+        c.write(t, x, b"YYYY").unwrap();
+        c.commit(t).unwrap();
+        let outcomes = c.handle_server_callback_batch(&[CallbackKind::ReleaseObject(x)]);
+        match &outcomes[0] {
+            CallbackOutcome::Done {
+                page_copy: Some(bytes),
+                ..
+            } => {
+                let newer = Page::from_bytes(bytes.clone()).unwrap().psn();
+                assert!(newer > psn2, "re-shipped copy must advance the PSN");
+            }
+            other => panic!("expected a fresh copy: {other:?}"),
+        }
     }
 }

@@ -79,6 +79,10 @@ pub struct ClientStats {
     pub log_forces: u64,
     pub log_bytes: u64,
     pub log_stall_events: u64,
+    /// Group commit: commits that ran the force themselves.
+    pub commits_forced: u64,
+    /// Group commit: commits covered by a cohort member's force.
+    pub commits_piggybacked: u64,
 }
 
 /// The client runtime.
@@ -90,6 +94,12 @@ pub struct ClientCore {
     pub(crate) st: Mutex<ClientState>,
     /// Woken on callback completion / flush notification / txn end.
     pub(crate) cv: Condvar,
+    /// Group-commit coordinator: end LSN the in-flight private-log force
+    /// will cover; `None` when no force is in flight. Guards nothing else
+    /// — the WAL itself stays under `st`.
+    force_state: Mutex<Option<Lsn>>,
+    /// Woken when the in-flight force retires.
+    force_cv: Condvar,
     /// Shared with the server: one registry covers the whole system.
     pub(crate) metrics: Arc<Metrics>,
     commits: AtomicU64,
@@ -102,6 +112,8 @@ pub struct ClientCore {
     forced_flush_requests: AtomicU64,
     checkpoints: AtomicU64,
     log_stall_events: AtomicU64,
+    commits_forced: AtomicU64,
+    commits_piggybacked: AtomicU64,
 }
 
 impl ClientCore {
@@ -169,6 +181,8 @@ impl ClientCore {
             net,
             st: Mutex::new(state),
             cv: Condvar::new(),
+            force_state: Mutex::new(None),
+            force_cv: Condvar::new(),
             metrics,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -180,6 +194,8 @@ impl ClientCore {
             forced_flush_requests: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             log_stall_events: AtomicU64::new(0),
+            commits_forced: AtomicU64::new(0),
+            commits_piggybacked: AtomicU64::new(0),
         });
         if !crashed {
             core.server
@@ -212,6 +228,8 @@ impl ClientCore {
             log_forces,
             log_bytes,
             log_stall_events: self.log_stall_events.load(Ordering::Relaxed),
+            commits_forced: self.commits_forced.load(Ordering::Relaxed),
+            commits_piggybacked: self.commits_piggybacked.load(Ordering::Relaxed),
         }
     }
 
@@ -257,7 +275,7 @@ impl ClientCore {
     /// objects.
     pub fn commit_with(&self, txn: TxnId, before_release: impl FnOnce()) -> Result<()> {
         let commit_start = self.metrics.now_us();
-        let (policy, ship_log, dirtied) = {
+        let (policy, ship_log, dirtied, group_force_upto) = {
             let mut st = self.st.lock();
             let t = st.txns.get(&txn).ok_or(FglError::InvalidTxnState {
                 txn,
@@ -279,9 +297,19 @@ impl ClientCore {
                 },
             )?;
             match self.cfg.commit_policy {
+                CommitPolicy::ClientLog if self.cfg.group_commit => {
+                    // Group commit: release the state mutex *between* the
+                    // commit-record append and the force. Concurrent
+                    // committers append behind us in that window; whoever
+                    // reacquires the mutex first forces once for the whole
+                    // cohort and the rest find their records already
+                    // durable (see `group_force`).
+                    let upto = st.wal.end_lsn();
+                    (CommitPolicy::ClientLog, None, dirtied, Some(upto))
+                }
                 CommitPolicy::ClientLog => {
                     st.wal.force()?;
-                    (CommitPolicy::ClientLog, None, dirtied)
+                    (CommitPolicy::ClientLog, None, dirtied, None)
                 }
                 CommitPolicy::ServerLog | CommitPolicy::ShipPagesAtCommit => {
                     // ARIES/CSA shape: the durable copy of the log lives at
@@ -293,10 +321,13 @@ impl ClientCore {
                     // The local store is volatile under this policy, but
                     // mark it durable so local scans (rollback) still work.
                     st.wal.force()?;
-                    (self.cfg.commit_policy, Some(bytes), dirtied)
+                    (self.cfg.commit_policy, Some(bytes), dirtied, None)
                 }
             }
         };
+        if let Some(upto) = group_force_upto {
+            self.group_force(txn, upto)?;
+        }
         if let Some(bytes) = ship_log {
             self.server.commit_ship_log(self.id, bytes)?;
             if policy == CommitPolicy::ShipPagesAtCommit {
@@ -316,6 +347,67 @@ impl ClientCore {
         let released = self.finish_txn(txn);
         self.metrics.observe_since(HistKind::Commit, commit_start);
         released
+    }
+
+    /// Group commit (client-based logging): make the commit record ending
+    /// at `upto` durable. The commit must not return before its LSN is
+    /// durable; every exit below re-establishes `durable_lsn() >= upto`.
+    ///
+    /// Leader/follower protocol: the first committer to find no force in
+    /// flight becomes the leader — it captures the current end of log as
+    /// the force's goal, pays the device latency with **no locks held**
+    /// (the window in which cohort committers append behind it), then
+    /// promotes the captured range. A committer that finds an in-flight
+    /// force covering its LSN just waits for that force to retire
+    /// (piggybacked — no disk time of its own); one whose record is past
+    /// the goal waits for the slot and leads the next force.
+    fn group_force(&self, txn: TxnId, upto: Lsn) -> Result<()> {
+        let wait_start = self.metrics.now_us();
+        let mut forced = false;
+        loop {
+            if self.st.lock().wal.durable_lsn() >= upto {
+                break;
+            }
+            let mut fs = self.force_state.lock();
+            if fs.is_some() {
+                // An in-flight force either covers us (wait → durable) or
+                // predates our record (wait → lead the next one).
+                self.force_cv.wait(&mut fs);
+                continue;
+            }
+            // Become the leader. Capture the goal under the state mutex:
+            // everything appended so far rides this force.
+            let goal = self.st.lock().wal.end_lsn();
+            *fs = Some(goal);
+            drop(fs);
+            let started = self.metrics.now_us();
+            if !self.cfg.disk_latency.is_zero() {
+                // The device works here, outside every lock — cohort
+                // committers append their records behind `goal` now.
+                std::thread::sleep(self.cfg.disk_latency);
+            }
+            let res = self.st.lock().wal.complete_force(goal, Some(started));
+            *self.force_state.lock() = None;
+            self.force_cv.notify_all();
+            res?;
+            forced = true;
+            break;
+        }
+        self.metrics
+            .observe_since(HistKind::GroupCommit, wait_start);
+        if forced {
+            self.commits_forced.fetch_add(1, Ordering::Relaxed);
+            self.metrics.add("group_commit_forced", 1);
+        } else {
+            self.commits_piggybacked.fetch_add(1, Ordering::Relaxed);
+            self.metrics.add("group_commit_piggybacked", 1);
+        }
+        emit(Event::GroupCommit {
+            client: self.id,
+            txn,
+            forced,
+        });
+        Ok(())
     }
 
     /// Roll back and terminate the transaction.

@@ -89,6 +89,17 @@ pub struct SystemConfig {
     /// table, buffer pool and DCT so requests on different pages never
     /// contend. `1` reproduces the unsharded server.
     pub server_shards: usize,
+    /// Ship callbacks emitted by one GLM decision as one batch message
+    /// per destination client, delivered to distinct holders in parallel
+    /// (a grant blocked on N holders resolves after max(RTT) instead of
+    /// sum(RTT)). `false` reproduces the one-callback-one-round-trip
+    /// protocol for ablation.
+    pub callback_batching: bool,
+    /// Group commit: concurrent committers on one client coalesce into a
+    /// single private-log force — a committer whose commit record is
+    /// already covered by a cohort member's force piggybacks instead of
+    /// forcing again. `false` forces once per commit.
+    pub group_commit: bool,
 }
 
 impl Default for SystemConfig {
@@ -108,6 +119,8 @@ impl Default for SystemConfig {
             net_latency: Duration::ZERO,
             disk_latency: Duration::ZERO,
             server_shards: 1,
+            callback_batching: true,
+            group_commit: true,
         }
     }
 }
@@ -173,6 +186,18 @@ impl SystemConfig {
         self.server_shards = n;
         self
     }
+
+    /// Builder-style setter for per-destination callback batching.
+    pub fn with_callback_batching(mut self, on: bool) -> Self {
+        self.callback_batching = on;
+        self
+    }
+
+    /// Builder-style setter for group commit.
+    pub fn with_group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -218,11 +243,18 @@ mod tests {
             .with_granularity(LockGranularity::Page)
             .with_update_policy(UpdatePolicy::UpdateToken)
             .with_commit_policy(CommitPolicy::ServerLog)
-            .with_server_shards(4);
+            .with_server_shards(4)
+            .with_callback_batching(false)
+            .with_group_commit(false);
         assert_eq!(c.granularity, LockGranularity::Page);
         assert_eq!(c.update_policy, UpdatePolicy::UpdateToken);
         assert_eq!(c.commit_policy, CommitPolicy::ServerLog);
         assert_eq!(c.server_shards, 4);
+        assert!(!c.callback_batching);
+        assert!(!c.group_commit);
+        let d = SystemConfig::default();
+        assert!(d.callback_batching);
+        assert!(d.group_commit);
     }
 
     #[test]

@@ -159,6 +159,8 @@ impl System {
             c.log_forces += cs.log_forces;
             c.log_bytes += cs.log_bytes;
             c.log_stall_events += cs.log_stall_events;
+            c.commits_forced += cs.commits_forced;
+            c.commits_piggybacked += cs.commits_piggybacked;
         }
         snap.set_counter("client_commits", c.commits);
         snap.set_counter("client_aborts", c.aborts);
@@ -172,6 +174,8 @@ impl System {
         snap.set_counter("client_log_forces", c.log_forces);
         snap.set_counter("client_log_bytes", c.log_bytes);
         snap.set_counter("client_log_stall_events", c.log_stall_events);
+        snap.set_counter("client_commits_forced", c.commits_forced);
+        snap.set_counter("client_commits_piggybacked", c.commits_piggybacked);
 
         let n = self.net.snapshot();
         for (i, (&count, &bytes)) in n.counts.iter().zip(n.bytes.iter()).enumerate() {
@@ -366,6 +370,149 @@ mod tests {
         let t = bob.begin().unwrap();
         assert_eq!(bob.read(t, obj).unwrap(), b"committed!");
         bob.commit(t).unwrap();
+    }
+
+    #[test]
+    fn page_x_callbacks_to_one_holder_ship_as_one_batch() {
+        let sys = System::build(quiet_cfg(), 2).unwrap();
+        let (alice, bob) = (sys.client(0), sys.client(1));
+        let t = alice.begin().unwrap();
+        let page = alice.create_page(t).unwrap();
+        let oa = alice.insert(t, page, b"aaaa").unwrap();
+        let ob = alice.insert(t, page, b"bbbb").unwrap();
+        alice.commit(t).unwrap();
+        let t = alice.begin().unwrap();
+        alice.write(t, oa, b"AAAA").unwrap();
+        alice.write(t, ob, b"BBBB").unwrap();
+        alice.commit(t).unwrap();
+
+        // Alice now caches X locks on both objects and a dirty copy of the
+        // page. Bob's structural update needs page X, which calls back
+        // *both* of alice's object locks — one batch message, one reply,
+        // one shipped page copy carrying both committed updates.
+        let before = sys.net.snapshot();
+        let t = bob.begin().unwrap();
+        bob.resize(t, oa, 2).unwrap();
+        bob.commit(t).unwrap();
+        let delta = sys.net.snapshot().delta_since(&before);
+        assert_eq!(
+            delta.count(MsgKind::Callback),
+            1,
+            "two callbacks to one holder must ship as one batch message"
+        );
+        assert_eq!(delta.count(MsgKind::CallbackReply), 1);
+
+        // Bob's fetched copy observed both of alice's updates (the single
+        // page copy in the batch reply was absorbed PSN-monotonically).
+        let t = bob.begin().unwrap();
+        assert_eq!(bob.read(t, oa).unwrap(), b"AA");
+        assert_eq!(bob.read(t, ob).unwrap(), b"BBBB");
+        bob.commit(t).unwrap();
+    }
+
+    #[test]
+    fn crash_of_deferring_holder_does_not_strand_waiter() {
+        let sys = System::build(quiet_cfg(), 2).unwrap();
+        let (alice, bob) = (sys.client(0), sys.client(1));
+        let t = alice.begin().unwrap();
+        let page = alice.create_page(t).unwrap();
+        let oa = alice.insert(t, page, b"aaaa").unwrap();
+        let ob = alice.insert(t, page, b"bbbb").unwrap();
+        alice.commit(t).unwrap();
+
+        // Alice's in-flight transaction holds X on both objects, so bob's
+        // page-X request defers its whole callback batch behind her txn.
+        let ta = alice.begin().unwrap();
+        alice.write(ta, oa, b"dirt").unwrap();
+        alice.write(ta, ob, b"dirt").unwrap();
+
+        let bob2 = bob.clone();
+        let waiter = std::thread::spawn(move || {
+            let tb = bob2.begin().unwrap();
+            bob2.resize(tb, oa, 2)?;
+            bob2.commit(tb)
+        });
+        // Let bob park behind the deferred callbacks, then crash alice
+        // mid-defer. Her exclusive locks survive the crash (§3.3), so the
+        // grant stays pending until recovery resolves her loser txn and
+        // releases them — at which point bob must wake, not time out.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        alice.crash();
+        alice.recover().unwrap();
+        waiter
+            .join()
+            .unwrap()
+            .expect("waiter must be granted after the holder recovers");
+
+        // Alice's uncommitted writes rolled back; bob's resize committed.
+        let t = alice.begin().unwrap();
+        assert_eq!(alice.read(t, oa).unwrap(), b"aa");
+        assert_eq!(alice.read(t, ob).unwrap(), b"bbbb");
+        alice.commit(t).unwrap();
+    }
+
+    #[test]
+    fn group_commit_returns_only_durable_commits() {
+        // Four concurrent committers on one client coalesce their log
+        // forces (group commit); a commit that returned Ok must survive a
+        // crash immediately after — the force it piggybacked on has to
+        // cover its commit record, or this loses data.
+        let sys = System::build(quiet_cfg(), 1).unwrap();
+        let c = sys.client(0);
+        let t = c.begin().unwrap();
+        let page = c.create_page(t).unwrap();
+        let objs: Vec<_> = (0..4)
+            .map(|_| c.insert(t, page, b"....").unwrap())
+            .collect();
+        c.commit(t).unwrap();
+
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = objs
+            .iter()
+            .map(|&obj| {
+                let c = c.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let t = c.begin().unwrap();
+                    c.write(t, obj, b"done").unwrap();
+                    c.commit(t)
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap().expect("commit must succeed");
+        }
+
+        // Crash drops the log's non-durable tail. Every commit that
+        // returned Ok above must still be there.
+        c.crash();
+        c.recover().unwrap();
+        let t = c.begin().unwrap();
+        for &obj in &objs {
+            assert_eq!(
+                c.read(t, obj).unwrap(),
+                b"done",
+                "a commit that returned Ok must be durable across a crash"
+            );
+        }
+        c.commit(t).unwrap();
+        let snap = sys.metrics_snapshot();
+        let forced = snap
+            .counters
+            .get("client_commits_forced")
+            .copied()
+            .unwrap_or(0);
+        let piggybacked = snap
+            .counters
+            .get("client_commits_piggybacked")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            forced + piggybacked,
+            6,
+            "every commit is forced or piggybacked"
+        );
     }
 
     #[test]

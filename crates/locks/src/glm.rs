@@ -489,6 +489,45 @@ impl GlmCore {
         self.suppress_crashed(events)
     }
 
+    /// Process one client's merged reply to a callback batch in a single
+    /// pass: every `Done` outcome applies its state change first, then
+    /// each touched page re-evaluates once, then `Deferred` outcomes
+    /// record their waits-for edges against the post-batch state. A grant
+    /// blocked on N holders of one page thus resolves from one merged
+    /// reply instead of N interleaved re-evaluations.
+    pub fn callback_reply_batch(
+        &mut self,
+        from: ClientId,
+        replies: Vec<(CallbackKind, CallbackReply)>,
+    ) -> Vec<GlmEvent> {
+        let mut events = Vec::new();
+        let mut touched: Vec<PageId> = Vec::new();
+        let mut deferred: Vec<(CallbackKind, Vec<TxnId>)> = Vec::new();
+        for (kind, reply) in replies {
+            match reply {
+                CallbackReply::Done { retained } => {
+                    let page = kind.page();
+                    let action = CallbackAction { to: from, kind };
+                    if let Some(entry) = self.pages.get_mut(&page) {
+                        entry.outstanding.remove(&action);
+                    }
+                    self.apply_done(from, kind, &retained);
+                    if !touched.contains(&page) {
+                        touched.push(page);
+                    }
+                }
+                CallbackReply::Deferred { blockers } => deferred.push((kind, blockers)),
+            }
+        }
+        for page in touched {
+            events.extend(self.re_evaluate(page));
+        }
+        for (kind, blockers) in deferred {
+            events.extend(self.callback_reply(from, kind, CallbackReply::Deferred { blockers }));
+        }
+        self.suppress_crashed(events)
+    }
+
     fn apply_done(&mut self, from: ClientId, kind: CallbackKind, retained: &[(ObjectId, ObjMode)]) {
         let page = kind.page();
         let Some(entry) = self.pages.get_mut(&page) else {
@@ -1342,5 +1381,106 @@ mod tests {
         assert_eq!(g.tracked_pages(), 1);
         g.release_object(C1, obj(1, 0));
         assert_eq!(g.tracked_pages(), 0);
+    }
+
+    #[test]
+    fn batch_reply_with_mixed_done_and_deferred_outcomes() {
+        // C1 caches locks on two objects (different pages); C2 and C3
+        // queue conflicting requests, so C1 owes two callbacks. Its one
+        // merged reply complies with the first and defers the second: the
+        // Done half must grant immediately, the Deferred half must leave
+        // the callback outstanding so `callback_complete` can finish it.
+        let mut g = GlmCore::new();
+        g.lock(C1, t(C1, 1), LockTarget::Object(obj(1, 0), ObjMode::X));
+        g.lock(C1, t(C1, 1), LockTarget::Object(obj(2, 0), ObjMode::X));
+        let (o, _t, _) = g.lock(C2, t(C2, 1), LockTarget::Object(obj(1, 0), ObjMode::X));
+        assert_eq!(o, LockOutcome::Queued);
+        let (o, _t, _) = g.lock(C3, t(C3, 1), LockTarget::Object(obj(2, 0), ObjMode::S));
+        assert_eq!(o, LockOutcome::Queued);
+
+        let ev = g.callback_reply_batch(
+            C1,
+            vec![
+                (
+                    CallbackKind::ReleaseObject(obj(1, 0)),
+                    CallbackReply::Done { retained: vec![] },
+                ),
+                (
+                    CallbackKind::DowngradeObject(obj(2, 0)),
+                    CallbackReply::Deferred {
+                        blockers: vec![t(C1, 1)],
+                    },
+                ),
+            ],
+        );
+        let grants: Vec<ClientId> = ev
+            .iter()
+            .filter_map(|e| match e {
+                GlmEvent::Grant { client, .. } => Some(*client),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants, vec![C2], "Done half grants, Deferred half waits");
+        assert!(
+            !ev.iter().any(|e| matches!(e, GlmEvent::AbortTxn { .. })),
+            "no deadlock in this shape: {ev:?}"
+        );
+
+        // The deferred callback is still outstanding: completing it later
+        // (C1's blocking txn ended) releases the grant to C3.
+        let ev = g.callback_reply(
+            C1,
+            CallbackKind::DowngradeObject(obj(2, 0)),
+            CallbackReply::Done { retained: vec![] },
+        );
+        assert!(
+            matches!(ev.as_slice(), [GlmEvent::Grant { client, .. }] if *client == C3),
+            "deferred callback completes into the pending grant: {ev:?}"
+        );
+    }
+
+    #[test]
+    fn batch_reply_applies_done_before_deferred_edges() {
+        // Both halves of the batch target the same page: the Done reply
+        // releases the lock C2's waiter needs, and the Deferred reply's
+        // waits-for edges must be computed against the *post-Done* state —
+        // a self-referential blocker must not abort a transaction whose
+        // wait was already satisfied within the batch.
+        let mut g = GlmCore::new();
+        g.lock(C1, t(C1, 1), LockTarget::Object(obj(1, 0), ObjMode::X));
+        g.lock(C1, t(C1, 1), LockTarget::Object(obj(1, 1), ObjMode::X));
+        let (o, _t, _) = g.lock(C2, t(C2, 1), LockTarget::Object(obj(1, 0), ObjMode::X));
+        assert_eq!(o, LockOutcome::Queued);
+        let (o, _t, _) = g.lock(C3, t(C3, 1), LockTarget::Object(obj(1, 1), ObjMode::X));
+        assert_eq!(o, LockOutcome::Queued);
+
+        let ev = g.callback_reply_batch(
+            C1,
+            vec![
+                (
+                    CallbackKind::ReleaseObject(obj(1, 0)),
+                    CallbackReply::Done { retained: vec![] },
+                ),
+                (
+                    CallbackKind::ReleaseObject(obj(1, 1)),
+                    CallbackReply::Deferred {
+                        blockers: vec![t(C1, 1)],
+                    },
+                ),
+            ],
+        );
+        let grants: Vec<ClientId> = ev
+            .iter()
+            .filter_map(|e| match e {
+                GlmEvent::Grant { client, .. } => Some(*client),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants, vec![C2]);
+        assert!(
+            !ev.iter()
+                .any(|e| matches!(e, GlmEvent::AbortTxn { txn, .. } if *txn == t(C2, 1))),
+            "the already-granted waiter must not become a deadlock victim: {ev:?}"
+        );
     }
 }

@@ -17,6 +17,7 @@
 pub mod peer;
 pub mod stats;
 pub mod wait;
+pub mod wire;
 
 pub use peer::{CallbackOutcome, ClientPeer, ClientStateReport, RecoveredPageOutcome};
 pub use stats::{MsgKind, NetSim, NetSnapshot, NetStats};

@@ -57,6 +57,15 @@ pub trait ClientPeer: Send + Sync {
     /// blocking transactions.
     fn deliver_callback(&self, kind: CallbackKind) -> CallbackOutcome;
 
+    /// Deliver a batch of callbacks in one message and return one outcome
+    /// per kind, parallel to `kinds`. A batch-aware client processes all
+    /// of them in a single pass over its state and ships at most one page
+    /// copy per page across the whole batch. The default implementation
+    /// degrades to per-kind delivery so existing peers stay correct.
+    fn deliver_callback_batch(&self, kinds: &[CallbackKind]) -> Vec<CallbackOutcome> {
+        kinds.iter().map(|k| self.deliver_callback(*k)).collect()
+    }
+
     /// §3.6: the server forced this page to disk; the client advances or
     /// drops the matching DPT entry.
     fn notify_page_flushed(&self, page: PageId);

@@ -1,0 +1,48 @@
+//! Nominal wire sizes for the counted message fabric.
+//!
+//! The fabric has no real encoding, but the E-series experiments report
+//! bytes/commit, so counted sizes must be proportional to what a real
+//! implementation would send: a fixed envelope per message plus
+//! variable-length parts (callback kinds, retained-lock sets, blocker
+//! lists, page images) sized by their actual content.
+
+use crate::peer::CallbackOutcome;
+
+/// Fixed per-message envelope: kind tag, sender/receiver ids, sequence.
+pub const HEADER: usize = 16;
+/// One encoded callback kind: discriminant + page id + optional slot id.
+pub const CALLBACK_KIND: usize = 12;
+/// One `(object, mode)` retained-lock entry in a de-escalation reply.
+pub const RETAINED_ENTRY: usize = 12;
+/// One blocker transaction id in a deferred reply.
+pub const BLOCKER_ENTRY: usize = 8;
+
+/// Size of a callback batch message carrying `n_kinds` callbacks.
+pub fn callback_batch(n_kinds: usize) -> usize {
+    HEADER + n_kinds * CALLBACK_KIND
+}
+
+/// Size of one callback outcome within a reply (excluding the shared
+/// envelope): retained sets, blocker lists and any shipped page image.
+pub fn outcome_body(outcome: &CallbackOutcome) -> usize {
+    match outcome {
+        CallbackOutcome::Done {
+            retained,
+            page_copy,
+        } => {
+            4 + retained.len() * RETAINED_ENTRY + page_copy.as_ref().map_or(0, |bytes| bytes.len())
+        }
+        CallbackOutcome::Deferred { blockers } => 4 + blockers.len() * BLOCKER_ENTRY,
+    }
+}
+
+/// Size of a merged callback reply message covering `outcomes`.
+pub fn callback_reply(outcomes: &[CallbackOutcome]) -> usize {
+    HEADER + outcomes.iter().map(outcome_body).sum::<usize>()
+}
+
+/// Size of a deferred-completion (`callback_complete`) message: the
+/// original kind, the retained set and any shipped page image.
+pub fn callback_complete(retained: usize, page_copy: Option<usize>) -> usize {
+    HEADER + CALLBACK_KIND + retained * RETAINED_ENTRY + page_copy.unwrap_or(0)
+}

@@ -78,6 +78,9 @@ pub enum Event {
         page: PageId,
         class: CallbackClass,
     },
+    /// A per-destination batch of callbacks left the server as one
+    /// message (`count` kinds coalesced).
+    CallbackBatch { to: ClientId, count: u32 },
     /// The client deferred the callback (a local txn holds the lock).
     CallbackDeferred { from: ClientId, page: PageId },
     /// The callback completed (immediately or after a deferral).
@@ -97,6 +100,14 @@ pub enum Event {
     },
     /// A log force completed; `lsn` is the new durable horizon.
     LogForce { owner: LogOwner, lsn: Lsn },
+    /// A commit reached durability. `forced` is true when this committer
+    /// ran the force itself, false when it piggybacked on a cohort
+    /// member's in-flight force (group commit).
+    GroupCommit {
+        client: ClientId,
+        txn: TxnId,
+        forced: bool,
+    },
     /// A fuzzy checkpoint was taken (§3.2).
     Checkpoint { owner: LogOwner, lsn: Lsn },
     /// The waits-for graph chose this transaction as a deadlock victim.
@@ -125,11 +136,13 @@ impl Event {
             Event::LockQueue { .. } => "lock-queue",
             Event::DeEscalate { .. } => "de-escalate",
             Event::CallbackIssued { .. } => "callback-issued",
+            Event::CallbackBatch { .. } => "callback-batch",
             Event::CallbackDeferred { .. } => "callback-deferred",
             Event::CallbackCompleted { .. } => "callback-completed",
             Event::PageShip { .. } => "page-ship",
             Event::PageMerge { .. } => "page-merge",
             Event::LogForce { .. } => "log-force",
+            Event::GroupCommit { .. } => "group-commit",
             Event::Checkpoint { .. } => "checkpoint",
             Event::DeadlockVictim { .. } => "deadlock-victim",
             Event::LockTimeout { .. } => "lock-timeout",
@@ -178,6 +191,9 @@ impl fmt::Display for Event {
             Event::CallbackIssued { to, page, class } => {
                 write!(f, "callback-issued to {to} {page} {class:?}")
             }
+            Event::CallbackBatch { to, count } => {
+                write!(f, "callback-batch to {to} count={count}")
+            }
             Event::CallbackDeferred { from, page } => {
                 write!(f, "callback-deferred by {from} {page}")
             }
@@ -198,6 +214,15 @@ impl fmt::Display for Event {
                 write!(f, "page-merge {page} from {from} psn={psn:?}")
             }
             Event::LogForce { owner, lsn } => write!(f, "log-force {owner} lsn={lsn:?}"),
+            Event::GroupCommit {
+                client,
+                txn,
+                forced,
+            } => write!(
+                f,
+                "group-commit {client} txn={txn} {}",
+                if *forced { "forced" } else { "piggybacked" }
+            ),
             Event::Checkpoint { owner, lsn } => write!(f, "checkpoint {owner} lsn={lsn:?}"),
             Event::DeadlockVictim { txn } => write!(f, "deadlock-victim txn={txn}"),
             Event::LockTimeout { client, txn, page } => {

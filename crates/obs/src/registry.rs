@@ -26,16 +26,21 @@ pub enum HistKind {
     PageFetch,
     /// Server-side merge of an incoming page copy (§3.1).
     Merge,
+    /// Group commit: time a committer waits for its commit record to
+    /// become durable — bimodal by design (piggybacked ≈ 0, forced ≈
+    /// one log-force).
+    GroupCommit,
 }
 
 /// All kinds, in display order.
-pub const HIST_KINDS: [HistKind; 6] = [
+pub const HIST_KINDS: [HistKind; 7] = [
     HistKind::LockWait,
     HistKind::Commit,
     HistKind::CallbackRoundTrip,
     HistKind::LogForce,
     HistKind::PageFetch,
     HistKind::Merge,
+    HistKind::GroupCommit,
 ];
 
 impl HistKind {
@@ -48,6 +53,7 @@ impl HistKind {
             HistKind::LogForce => "log_force_us",
             HistKind::PageFetch => "page_fetch_us",
             HistKind::Merge => "merge_us",
+            HistKind::GroupCommit => "commit_group_wait_us",
         }
     }
 
@@ -59,6 +65,7 @@ impl HistKind {
             HistKind::LogForce => 3,
             HistKind::PageFetch => 4,
             HistKind::Merge => 5,
+            HistKind::GroupCommit => 6,
         }
     }
 }
@@ -107,10 +114,11 @@ impl Clock for ManualClock {
     }
 }
 
-/// The registry: six histograms, a dynamic set of named counters, one
-/// clock. Shared via `Arc` between server, clients and the WAL managers.
+/// The registry: one histogram per [`HistKind`], a dynamic set of named
+/// counters, one clock. Shared via `Arc` between server, clients and the
+/// WAL managers.
 pub struct Metrics {
-    hists: [Histogram; 6],
+    hists: [Histogram; HIST_KINDS.len()],
     counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
     clock: Box<dyn Clock>,
 }

@@ -387,109 +387,268 @@ impl ServerCore {
     /// Turn GLM events into protocol actions. Runs with no server mutex
     /// held; each step routes to the owning shard and takes exactly the
     /// locks it needs.
+    ///
+    /// Callbacks are **batched per destination**: every `SendCallback` in
+    /// the current wave of events is collected into one message per
+    /// holder, the batches are delivered to distinct holders in parallel
+    /// (legal precisely because `drive` holds no server mutex), and each
+    /// holder's merged reply feeds the owning shards' GLMs in one pass.
+    /// A grant blocked on N holders thus resolves after max(RTT) instead
+    /// of sum(RTT), and the E2/E10 callbacks-per-commit constant drops
+    /// with the fan-out. `cfg.callback_batching = false` reproduces the
+    /// one-callback-one-round-trip protocol for ablation.
     fn drive(&self, events: Vec<GlmEvent>) {
         let mut queue: std::collections::VecDeque<GlmEvent> = events.into();
-        while let Some(ev) = queue.pop_front() {
-            match ev {
-                GlmEvent::SendCallback(cb) => {
-                    if self.crashed_clients.lock().contains(&cb.to) {
-                        continue;
-                    }
-                    let Some(peer) = self.peer(cb.to) else {
-                        continue;
-                    };
-                    self.net.msg(MsgKind::Callback, 24);
-                    emit(Event::CallbackIssued {
-                        to: cb.to,
-                        page: cb.kind.page(),
-                        class: class_of(&cb.kind),
-                    });
-                    let issued_at = self.metrics.now_us();
-                    let outcome = peer.deliver_callback(cb.kind);
-                    self.net.msg(MsgKind::CallbackReply, 24);
-                    let shard = self.shard_of(cb.kind.page());
-                    match outcome {
-                        CallbackOutcome::Done {
-                            retained,
-                            page_copy,
-                        } => {
-                            // A synchronous completion bounds the round
-                            // trip; deferred callbacks are timed out-of-band
-                            // when `callback_complete` arrives.
-                            self.metrics
-                                .observe_since(HistKind::CallbackRoundTrip, issued_at);
-                            emit(Event::CallbackCompleted {
-                                from: cb.to,
-                                page: cb.kind.page(),
-                            });
-                            if let Some(bytes) = page_copy {
-                                let _ = self.absorb_page(cb.to, bytes, false);
+        loop {
+            // Wave: drain the queue, accumulating callbacks into
+            // per-destination batches; grants and aborts apply inline.
+            let mut batches: Vec<(ClientId, Vec<CallbackKind>)> = Vec::new();
+            while let Some(ev) = queue.pop_front() {
+                match ev {
+                    GlmEvent::SendCallback(cb) => {
+                        if self.cfg.callback_batching {
+                            match batches.iter_mut().find(|(to, _)| *to == cb.to) {
+                                Some((_, kinds)) => kinds.push(cb.kind),
+                                None => batches.push((cb.to, vec![cb.kind])),
                             }
-                            let evs = shard.glm.lock().callback_reply(
-                                cb.to,
-                                cb.kind,
-                                CallbackReply::Done { retained },
-                            );
-                            queue.extend(evs);
-                        }
-                        CallbackOutcome::Deferred { blockers } => {
-                            emit(Event::CallbackDeferred {
-                                from: cb.to,
-                                page: cb.kind.page(),
-                            });
-                            let evs = shard.glm.lock().callback_reply(
-                                cb.to,
-                                cb.kind,
-                                CallbackReply::Deferred { blockers },
-                            );
-                            queue.extend(evs);
+                        } else {
+                            self.deliver_callback_now(cb.to, cb.kind, &mut queue);
                         }
                     }
-                }
-                GlmEvent::Grant {
-                    client,
-                    txn,
-                    target,
-                    first_exclusive_on_page,
-                } => {
-                    emit(Event::LockGrant {
+                    GlmEvent::Grant {
                         client,
                         txn,
-                        page: target.page(),
-                        queued: true,
-                    });
-                    let shard = self.shard_of(target.page());
-                    let slot = shard.waiters.lock().remove(&txn);
-                    if let Some((slot, cached_psn)) = slot {
-                        if first_exclusive_on_page {
-                            shard.dct.lock().insert(target.page(), client, cached_psn);
-                        }
-                        self.net.msg(MsgKind::LockReply, 24);
-                        let evidence = self.grant_evidence(client, &target);
-                        slot.fulfil(GrantMsg::Granted {
-                            target,
-                            first_exclusive_on_page,
-                            evidence,
+                        target,
+                        first_exclusive_on_page,
+                    } => {
+                        emit(Event::LockGrant {
+                            client,
+                            txn,
+                            page: target.page(),
+                            queued: true,
                         });
-                    }
-                }
-                GlmEvent::AbortTxn { txn, .. } => {
-                    emit(Event::DeadlockVictim { txn });
-                    self.metrics.add("deadlock_victims", 1);
-                    // The victim of a cross-shard cycle may be parked on a
-                    // page of *another* shard than the GLM that detected
-                    // the cycle, so its waiter is hunted everywhere; the
-                    // cancellation is idempotent on non-owning shards.
-                    for shard in &self.shards {
+                        let shard = self.shard_of(target.page());
                         let slot = shard.waiters.lock().remove(&txn);
-                        if let Some((slot, _)) = slot {
-                            self.net.msg(MsgKind::Abort, 16);
-                            slot.fulfil(GrantMsg::Victim);
+                        if let Some((slot, cached_psn)) = slot {
+                            if first_exclusive_on_page {
+                                shard.dct.lock().insert(target.page(), client, cached_psn);
+                            }
+                            self.net.msg(MsgKind::LockReply, 24);
+                            let evidence = self.grant_evidence(client, &target);
+                            slot.fulfil(GrantMsg::Granted {
+                                target,
+                                first_exclusive_on_page,
+                                evidence,
+                            });
                         }
-                        queue.extend(shard.glm.lock().cancel_wait(txn));
+                    }
+                    GlmEvent::AbortTxn { txn, .. } => {
+                        emit(Event::DeadlockVictim { txn });
+                        self.metrics.add("deadlock_victims", 1);
+                        // The victim of a cross-shard cycle may be parked
+                        // on a page of *another* shard than the GLM that
+                        // detected the cycle, so its waiter is hunted
+                        // everywhere; the cancellation is idempotent on
+                        // non-owning shards.
+                        for shard in &self.shards {
+                            let slot = shard.waiters.lock().remove(&txn);
+                            if let Some((slot, _)) = slot {
+                                self.net.msg(MsgKind::Abort, 16);
+                                slot.fulfil(GrantMsg::Victim);
+                            }
+                            queue.extend(shard.glm.lock().cancel_wait(txn));
+                        }
                     }
                 }
             }
+            if batches.is_empty() {
+                break;
+            }
+            for (to, kinds, outcomes) in self.fan_out_batches(batches) {
+                self.apply_batch_reply(to, kinds, outcomes, &mut queue);
+            }
+        }
+    }
+
+    /// Unbatched (ablation) delivery of a single callback, counted and
+    /// applied exactly like the pre-batching protocol — except messages
+    /// are now sized by payload.
+    fn deliver_callback_now(
+        &self,
+        to: ClientId,
+        kind: CallbackKind,
+        queue: &mut std::collections::VecDeque<GlmEvent>,
+    ) {
+        if self.crashed_clients.lock().contains(&to) {
+            return;
+        }
+        let Some(peer) = self.peer(to) else {
+            return;
+        };
+        self.net
+            .msg(MsgKind::Callback, fgl_net::wire::callback_batch(1));
+        emit(Event::CallbackIssued {
+            to,
+            page: kind.page(),
+            class: class_of(&kind),
+        });
+        let issued_at = self.metrics.now_us();
+        let outcome = peer.deliver_callback(kind);
+        self.net.msg(
+            MsgKind::CallbackReply,
+            fgl_net::wire::callback_reply(std::slice::from_ref(&outcome)),
+        );
+        match &outcome {
+            CallbackOutcome::Done { .. } => {
+                // A synchronous completion bounds the round trip; deferred
+                // callbacks are timed out-of-band when `callback_complete`
+                // arrives.
+                self.metrics
+                    .observe_since(HistKind::CallbackRoundTrip, issued_at);
+                emit(Event::CallbackCompleted {
+                    from: to,
+                    page: kind.page(),
+                });
+            }
+            CallbackOutcome::Deferred { .. } => {
+                emit(Event::CallbackDeferred {
+                    from: to,
+                    page: kind.page(),
+                });
+            }
+        }
+        self.apply_batch_reply(to, vec![kind], vec![outcome], queue);
+    }
+
+    /// Ship one callback batch per destination, concurrently for distinct
+    /// destinations. Message counting (and the injected one-way latency)
+    /// runs inside each delivery thread, so N holders cost max(RTT), not
+    /// sum(RTT), while the per-kind message counts stay deterministic.
+    #[allow(clippy::type_complexity)]
+    fn fan_out_batches(
+        &self,
+        batches: Vec<(ClientId, Vec<CallbackKind>)>,
+    ) -> Vec<(ClientId, Vec<CallbackKind>, Vec<CallbackOutcome>)> {
+        let mut deliveries: Vec<(ClientId, Arc<dyn ClientPeer>, Vec<CallbackKind>)> = Vec::new();
+        for (to, kinds) in batches {
+            // A client that crashed between GLM decision and delivery is
+            // skipped entirely: its callbacks stay outstanding in the GLM
+            // and are re-delivered after recovery, and the GLM's
+            // crash_client path re-evaluates the waiters so the grant is
+            // not stranded.
+            if self.crashed_clients.lock().contains(&to) {
+                continue;
+            }
+            let Some(peer) = self.peer(to) else {
+                continue;
+            };
+            deliveries.push((to, peer, kinds));
+        }
+        let deliver = |to: ClientId,
+                       peer: &Arc<dyn ClientPeer>,
+                       kinds: &[CallbackKind]|
+         -> Vec<CallbackOutcome> {
+            self.net.msg(
+                MsgKind::Callback,
+                fgl_net::wire::callback_batch(kinds.len()),
+            );
+            emit(Event::CallbackBatch {
+                to,
+                count: kinds.len() as u32,
+            });
+            for kind in kinds {
+                emit(Event::CallbackIssued {
+                    to,
+                    page: kind.page(),
+                    class: class_of(kind),
+                });
+            }
+            let issued_at = self.metrics.now_us();
+            let outcomes = peer.deliver_callback_batch(kinds);
+            self.net.msg(
+                MsgKind::CallbackReply,
+                fgl_net::wire::callback_reply(&outcomes),
+            );
+            for (kind, outcome) in kinds.iter().zip(&outcomes) {
+                match outcome {
+                    CallbackOutcome::Done { .. } => {
+                        self.metrics
+                            .observe_since(HistKind::CallbackRoundTrip, issued_at);
+                        emit(Event::CallbackCompleted {
+                            from: to,
+                            page: kind.page(),
+                        });
+                    }
+                    CallbackOutcome::Deferred { .. } => {
+                        emit(Event::CallbackDeferred {
+                            from: to,
+                            page: kind.page(),
+                        });
+                    }
+                }
+            }
+            outcomes
+        };
+        if deliveries.len() <= 1 {
+            // One destination: no thread to pay for.
+            return deliveries
+                .into_iter()
+                .map(|(to, peer, kinds)| {
+                    let outcomes = deliver(to, &peer, &kinds);
+                    (to, kinds, outcomes)
+                })
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = deliveries
+                .iter()
+                .map(|(to, peer, kinds)| scope.spawn(|| deliver(*to, peer, kinds)))
+                .collect();
+            handles
+                .into_iter()
+                .zip(deliveries.iter())
+                .map(|(h, (to, _, kinds))| (*to, kinds.clone(), h.join().unwrap()))
+                .collect()
+        })
+    }
+
+    /// Apply one destination's merged reply: absorb shipped page copies
+    /// first (PSN monotonicity — merges still go through `absorb_page`),
+    /// then feed the per-kind replies to each owning shard's GLM in one
+    /// batch pass.
+    fn apply_batch_reply(
+        &self,
+        from: ClientId,
+        kinds: Vec<CallbackKind>,
+        outcomes: Vec<CallbackOutcome>,
+        queue: &mut std::collections::VecDeque<GlmEvent>,
+    ) {
+        let mut per_shard: Vec<(usize, Vec<(CallbackKind, CallbackReply)>)> = Vec::new();
+        for (kind, outcome) in kinds.into_iter().zip(outcomes) {
+            let reply = match outcome {
+                CallbackOutcome::Done {
+                    retained,
+                    page_copy,
+                } => {
+                    if let Some(bytes) = page_copy {
+                        let _ = self.absorb_page(from, bytes, false);
+                    }
+                    CallbackReply::Done { retained }
+                }
+                CallbackOutcome::Deferred { blockers } => CallbackReply::Deferred { blockers },
+            };
+            let idx = (kind.page().0 % self.shards.len() as u64) as usize;
+            match per_shard.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, replies)) => replies.push((kind, reply)),
+                None => per_shard.push((idx, vec![(kind, reply)])),
+            }
+        }
+        for (idx, replies) in per_shard {
+            let evs = self.shards[idx]
+                .glm
+                .lock()
+                .callback_reply_batch(from, replies);
+            queue.extend(evs);
         }
     }
 
@@ -518,7 +677,13 @@ impl ServerCore {
         page_copy: Option<Vec<u8>>,
     ) -> Result<()> {
         self.check_up()?;
-        self.net.msg(MsgKind::CallbackComplete, 24);
+        self.net.msg(
+            MsgKind::CallbackComplete,
+            fgl_net::wire::callback_complete(
+                retained.len(),
+                page_copy.as_ref().map(|bytes| bytes.len()),
+            ),
+        );
         emit(Event::CallbackCompleted {
             from: client,
             page: kind.page(),

@@ -1,0 +1,62 @@
+//! Soak driver for the cross-wave reply-ship race (DESIGN §6.12): loop
+//! the server-crash scenario and, if a post-restart stale object ever
+//! appears again, dump the flight recorder filtered to the stale page.
+//! Before the fix this fired within ~150-300 iterations; it is the tool
+//! that pinned the root cause, kept as a regression soak
+//! (`cargo run --release -p fgl-sim --example pin_restart_race`).
+
+use fgl::SystemConfig;
+use fgl_sim::crash::{run_crash_scenario, CrashKind};
+use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let mut spec = WorkloadSpec::new(WorkloadKind::HotCold);
+    spec.pages = 12;
+    spec.objects_per_page = 8;
+    spec.ops_per_txn = 4;
+    spec.write_fraction = 0.5;
+
+    for i in 1..=2000u32 {
+        let r = run_crash_scenario(
+            SystemConfig::default(),
+            3,
+            CrashKind::Server,
+            spec.clone(),
+            10,
+            2,
+        )
+        .unwrap();
+        if !r.is_clean() {
+            println!(
+                "iteration {i}: after-recovery {:?} / final {:?}",
+                r.verify_after_recovery.mismatches, r.verify_final.mismatches
+            );
+            let pages: Vec<String> = r
+                .verify_final
+                .mismatches
+                .iter()
+                .chain(r.verify_after_recovery.mismatches.iter())
+                .map(|o| format!("{}", o.page))
+                .collect();
+            let all = fgl_obs::dump();
+            let start = all.len().saturating_sub(12000);
+            for s in &all[start..] {
+                let line = format!("{}", s.event);
+                let relevant = pages
+                    .iter()
+                    .any(|p| line.ends_with(p.as_str()) || line.contains(&format!("{p} ")))
+                    || line.contains("recovery-phase")
+                    || line.contains("txn-abort")
+                    || line.contains("abort");
+                if relevant {
+                    println!("{:>10} {:>9} {line}", s.seq, s.at_us);
+                }
+            }
+            std::process::exit(1);
+        }
+        if i % 50 == 0 {
+            eprintln!("iter {i} clean");
+        }
+    }
+    eprintln!("no failure in 2000 iterations");
+}

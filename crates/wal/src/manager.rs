@@ -198,6 +198,31 @@ impl LogManager {
         Ok(durable)
     }
 
+    /// Second half of a group-commit force: promote everything up to
+    /// `upto` (the end LSN the leader captured when the force began) to
+    /// durable. The leader pays the device latency *between* capturing
+    /// `upto` and calling this, with no locks held, so cohort committers
+    /// can append behind it; records appended after the capture stay
+    /// pending and belong to the next force. `started_us` (a prior
+    /// [`Metrics::now_us`](fgl_obs::Metrics::now_us) reading taken at
+    /// capture time) keeps the log-force histogram honest about the real
+    /// device time.
+    pub fn complete_force(&mut self, upto: Lsn, started_us: Option<u64>) -> Result<Lsn> {
+        self.store.sync_range(Self::offset(upto))?;
+        self.forces += 1;
+        let durable = self.durable_lsn();
+        if let Some((metrics, owner)) = &self.obs {
+            let start = started_us.unwrap_or_else(|| metrics.now_us());
+            metrics.observe_since(HistKind::LogForce, start);
+            metrics.add("log_forces", 1);
+            fgl_obs::emit(Event::LogForce {
+                owner: *owner,
+                lsn: durable,
+            });
+        }
+        Ok(durable)
+    }
+
     /// Force only if `lsn` is not yet durable (WAL rule helper).
     pub fn force_up_to(&mut self, lsn: Lsn) -> Result<()> {
         if lsn >= self.durable_lsn() {

@@ -74,6 +74,14 @@ pub trait LogStore: Send {
     fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>>;
     /// Promote all pending bytes to durable.
     fn sync(&mut self) -> Result<()>;
+    /// Promote pending bytes up to logical length `upto` to durable,
+    /// without paying device latency (the caller already has, outside its
+    /// locks — the group-commit two-phase force). Bytes appended after the
+    /// caller captured `upto` stay pending: they belong to the next force.
+    fn sync_range(&mut self, upto: u64) -> Result<()> {
+        let _ = upto;
+        self.sync()
+    }
     /// Durably store the master anchor (implies its own sync).
     fn write_master(&mut self, anchor: MasterAnchor) -> Result<()>;
     /// Read the master anchor (default if never written).
@@ -135,6 +143,13 @@ impl LogStore for MemLogStore {
 
     fn sync(&mut self) -> Result<()> {
         self.durable.append(&mut self.pending);
+        Ok(())
+    }
+
+    fn sync_range(&mut self, upto: u64) -> Result<()> {
+        let take = (upto.min(self.len()) as usize).saturating_sub(self.durable.len());
+        self.durable
+            .extend(self.pending.drain(..take.min(self.pending.len())));
         Ok(())
     }
 
@@ -295,6 +310,13 @@ impl LogStore for SimLogStore {
             std::thread::sleep(self.latency);
         }
         self.inner.sync()
+    }
+
+    fn sync_range(&mut self, upto: u64) -> Result<()> {
+        // No sleep: the group-commit leader paid the device latency
+        // outside its locks before promoting the range.
+        self.syncs += 1;
+        self.inner.sync_range(upto)
     }
 
     fn write_master(&mut self, anchor: MasterAnchor) -> Result<()> {
