@@ -3,7 +3,8 @@
 METRICS_DIR ?= metrics
 BASELINE    := ci/latency_baseline.json
 GATED       := $(METRICS_DIR)/e11_server_shard_scaling.json \
-               $(METRICS_DIR)/e12_callback_batching.json
+               $(METRICS_DIR)/e12_callback_batching.json \
+               $(METRICS_DIR)/e13_client_scaling.json
 
 .PHONY: test check-latency refresh-baselines experiments
 
@@ -16,6 +17,7 @@ test:
 check-latency:
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e11_server_shard_scaling -- --quick
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e12_callback_batching -- --quick
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e13_client_scaling -- --quick
 	python3 scripts/check_latency_regression.py $(BASELINE) $(GATED)
 
 # Rebuild the baseline from a fresh run (after an intentional latency
@@ -23,6 +25,7 @@ check-latency:
 refresh-baselines:
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e11_server_shard_scaling -- --quick
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e12_callback_batching -- --quick
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e13_client_scaling -- --quick
 	python3 scripts/check_latency_regression.py --update $(BASELINE) $(GATED)
 
 experiments:

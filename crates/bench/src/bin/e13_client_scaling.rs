@@ -1,0 +1,193 @@
+//! **E13 — Client scaling: event-driven scheduler** (tentpole for the
+//! M:N driver).
+//!
+//! Claim: the `threads` driver needs one OS thread per simulated client,
+//! so a 1024-client sweep costs 1024 kernel threads mostly asleep in
+//! simulated disk/network latency. The `event` driver multiplexes the
+//! same committer loops as green tasks onto a fixed `fgl-sched` worker
+//! pool, parking latency on a timer wheel instead — thousands of clients
+//! on a handful of OS threads, with identical protocol semantics (the
+//! counted message fabric sees the same per-kind traffic).
+//!
+//! Sweep: clients {16, 64, 256, 1024} × scheduler {threads, event},
+//! PRIVATE workload (disjoint per-client footprints keep counts
+//! interleaving-independent). Reported per cell: throughput, p50/p95
+//! commit latency, driver threads, and the peak OS-thread count of the
+//! whole process sampled from `/proc/self/status` while the cell runs.
+
+use fgl::{System, SystemConfig};
+use fgl_bench::{banner, experiment_config, quick_mode, MetricsEmitter};
+use fgl_sim::harness::{run_workload, HarnessOptions, RunReport, SchedulerKind};
+use fgl_sim::setup::populate;
+use fgl_sim::table::{f1, Table};
+use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec_for(clients: usize) -> WorkloadSpec {
+    let mut s = WorkloadSpec::new(WorkloadKind::Private);
+    // Two private pages per client keeps the populated database small
+    // enough for the 1024-client cell while preserving disjointness.
+    s.pages = (clients * 2).max(32);
+    s.objects_per_page = 8;
+    s.ops_per_txn = 4;
+    s.write_fraction = 0.5;
+    s
+}
+
+fn cfg_for(clients: usize) -> SystemConfig {
+    let mut cfg = experiment_config();
+    // Shrink per-client state so the 1024-client cell fits comfortably:
+    // small pages, small caches; the server pool holds the working set so
+    // the sweep measures scheduling, not buffer-pool churn.
+    cfg.page_size = 1024;
+    cfg.client_cache_pages = 8;
+    cfg.server_cache_pages = (clients * 2).max(256);
+    cfg
+}
+
+/// Transactions per client, scaled down as the fleet grows so every cell
+/// does a comparable amount of total work.
+fn txns_for(clients: usize) -> usize {
+    let budget = if quick_mode() { 2048 } else { 8192 };
+    (budget / clients).clamp(4, 40)
+}
+
+/// Current OS-thread count of this process (`Threads:` in
+/// `/proc/self/status`); 0 if unreadable (non-Linux).
+fn current_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Run `f` while a sampler thread tracks the process's peak thread
+/// count. The sampler itself is included in the peak — it inflates both
+/// schedulers equally by one.
+fn with_peak_threads<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let sampler = std::thread::spawn(move || {
+        let mut peak = current_threads();
+        while !stop2.load(Ordering::Relaxed) {
+            peak = peak.max(current_threads());
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        peak
+    });
+    let r = f();
+    stop.store(true, Ordering::Relaxed);
+    let peak = sampler.join().expect("sampler");
+    (r, peak)
+}
+
+fn run_cell(clients: usize, scheduler: SchedulerKind) -> (RunReport, usize) {
+    let sys = System::build(cfg_for(clients), clients).expect("build");
+    let spec = spec_for(clients);
+    let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 32).expect("populate");
+    let mut opts = HarnessOptions::new(spec, txns_for(clients));
+    opts.seed = 0xE13;
+    opts.scheduler = scheduler;
+    with_peak_threads(|| run_workload(&sys, &layout, None, &opts).expect("run"))
+}
+
+fn main() {
+    banner(
+        "E13: client scaling, threads vs event scheduler",
+        "green tasks on a fixed worker pool replace one-OS-thread-per-client; \
+         simulated latency parks on a timer wheel (PRIVATE workload)",
+    );
+    let cells: Vec<(usize, SchedulerKind)> = if quick_mode() {
+        // CI shape: the small cell both ways (parity check) plus the
+        // 256-client cell under the event scheduler (the scaling claim).
+        vec![
+            (16, SchedulerKind::Threads),
+            (16, SchedulerKind::Event),
+            (256, SchedulerKind::Event),
+        ]
+    } else {
+        let mut v = Vec::new();
+        for &clients in &[16usize, 64, 256, 1024] {
+            v.push((clients, SchedulerKind::Threads));
+            v.push((clients, SchedulerKind::Event));
+        }
+        v
+    };
+
+    let mut emitter = MetricsEmitter::new("e13_client_scaling");
+    let mut table = Table::new(&[
+        "clients",
+        "scheduler",
+        "txns/cl",
+        "commits/s",
+        "p50 commit us",
+        "p95 commit us",
+        "aborts",
+        "driver thr",
+        "peak thr",
+    ]);
+    let mut event_1024_peak: Option<(usize, usize)> = None;
+    let mut parity: Vec<(usize, SchedulerKind, f64)> = Vec::new();
+    for &(clients, scheduler) in &cells {
+        let (report, peak) = run_cell(clients, scheduler);
+        emitter.row(
+            &[
+                ("clients", clients.to_string()),
+                ("scheduler", scheduler.name().to_string()),
+                ("txns_per_client", txns_for(clients).to_string()),
+                ("driver_threads", report.driver_threads.to_string()),
+                ("peak_threads", peak.to_string()),
+            ],
+            &report.metrics,
+        );
+        table.row(vec![
+            clients.to_string(),
+            scheduler.name().to_string(),
+            txns_for(clients).to_string(),
+            f1(report.throughput()),
+            report.latency_us(50.0).to_string(),
+            report.latency_us(95.0).to_string(),
+            report.aborts.to_string(),
+            report.driver_threads.to_string(),
+            peak.to_string(),
+        ]);
+        if scheduler == SchedulerKind::Event && clients == 1024 {
+            event_1024_peak = Some((report.driver_threads, peak));
+        }
+        parity.push((clients, scheduler, report.throughput()));
+    }
+    table.print();
+
+    println!();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Some((drivers, peak)) = event_1024_peak {
+        println!(
+            "1024-client event cell: {drivers} driver threads, {peak} process threads peak \
+             (host has {cores} cores; budget 2x cores + harness overhead)"
+        );
+    }
+    // Small-cell parity: the event scheduler should be within noise of
+    // the threads driver where threads are cheap.
+    let t16 = parity
+        .iter()
+        .find(|(c, s, _)| *c == 16 && *s == SchedulerKind::Threads);
+    let e16 = parity
+        .iter()
+        .find(|(c, s, _)| *c == 16 && *s == SchedulerKind::Event);
+    if let (Some((_, _, t)), Some((_, _, e))) = (t16, e16) {
+        if *t > 0.0 {
+            println!(
+                "16-client parity: event/threads throughput ratio {}",
+                f1(e / t)
+            );
+        }
+    }
+    emitter.finish();
+}

@@ -79,7 +79,7 @@ impl ClientPeer for PeerHandle {
             .unwrap_or_default()
     }
 
-    fn ship_cached_page(&self, page: PageId) -> Option<Vec<u8>> {
+    fn ship_cached_page(&self, page: PageId) -> Option<Arc<[u8]>> {
         self.core().and_then(|c| c.ship_cached_page_bytes(page))
     }
 
@@ -172,7 +172,11 @@ impl ClientCore {
                         let log_durable = forced || st.wal.force().is_ok();
                         if log_durable {
                             forced = true;
-                            let bytes = st.cache.peek(page).map(|p| p.as_bytes().to_vec());
+                            // One snapshot of the cache copy, shared from
+                            // here on: the reply, the stash and any racing
+                            // wave all alias this frame.
+                            let bytes: Option<Arc<[u8]>> =
+                                st.cache.peek(page).map(|p| Arc::from(p.as_bytes()));
                             if let Some(b) = &bytes {
                                 st.cache.mark_clean(page);
                                 // Remember the ship point so a later flush
@@ -182,7 +186,7 @@ impl ClientCore {
                                     e.remembered = Some(end);
                                     e.updated_since_ship = false;
                                 }
-                                st.in_transit.insert(page, b.clone());
+                                st.in_transit.insert(page, Arc::clone(b));
                                 shipped.push(page);
                             }
                             bytes
@@ -190,6 +194,11 @@ impl ClientCore {
                             None
                         }
                     } else if let Some(bytes) = st.in_transit.get(&page).cloned() {
+                        // Racing wave: re-ship the stashed frame. The clone
+                        // is an Arc bump, not a page copy — account the
+                        // bytes we did NOT re-allocate.
+                        self.metrics
+                            .add("page_ship_bytes_shared", bytes.len() as u64);
                         shipped.push(page);
                         Some(bytes)
                     } else {
@@ -290,7 +299,7 @@ impl ClientCore {
     }
 
     /// §3.4 step 4: ship the cached copy, forcing the log first (WAL).
-    pub(crate) fn ship_cached_page_bytes(&self, page: PageId) -> Option<Vec<u8>> {
+    pub(crate) fn ship_cached_page_bytes(&self, page: PageId) -> Option<Arc<[u8]>> {
         let mut st = self.st.lock();
         if !st.cache.contains(page) {
             return None;
@@ -298,7 +307,7 @@ impl ClientCore {
         if st.wal.force().is_err() {
             return None;
         }
-        st.cache.peek(page).map(|p| p.as_bytes().to_vec())
+        st.cache.peek(page).map(|p| Arc::from(p.as_bytes()))
     }
 }
 
@@ -352,7 +361,7 @@ mod tests {
             .map(|o| match o {
                 CallbackOutcome::Done { page_copy, .. } => page_copy
                     .as_ref()
-                    .map(|bytes| Page::from_bytes(bytes.clone()).unwrap().psn()),
+                    .map(|bytes| Page::from_bytes(bytes.to_vec()).unwrap().psn()),
                 CallbackOutcome::Deferred { .. } => panic!("no txn active: {o:?}"),
             })
             .collect();
@@ -383,7 +392,7 @@ mod tests {
                 page_copy: Some(bytes),
                 ..
             } => {
-                let newer = Page::from_bytes(bytes.clone()).unwrap().psn();
+                let newer = Page::from_bytes(bytes.to_vec()).unwrap().psn();
                 assert!(newer > psn2, "re-shipped copy must advance the PSN");
             }
             other => panic!("expected a fresh copy: {other:?}"),

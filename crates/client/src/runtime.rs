@@ -60,7 +60,7 @@ pub(crate) struct ClientState {
     /// not completed yet. A callback racing that window must answer with
     /// this copy — otherwise the requester can fetch a stale server
     /// version and cache it under its fresh lock.
-    pub in_transit: HashMap<PageId, Vec<u8>>,
+    pub in_transit: HashMap<PageId, Arc<[u8]>>,
     pub crashed: bool,
 }
 
@@ -384,7 +384,7 @@ impl ClientCore {
             if !self.cfg.disk_latency.is_zero() {
                 // The device works here, outside every lock — cohort
                 // committers append their records behind `goal` now.
-                std::thread::sleep(self.cfg.disk_latency);
+                fgl_sched::pause(self.cfg.disk_latency);
             }
             let res = self.st.lock().wal.complete_force(goal, Some(started));
             *self.force_state.lock() = None;
@@ -501,7 +501,7 @@ impl ClientCore {
 
     /// When a completed callback sheds a lock on a dirtied page, ship the
     /// copy with the completion (§3.2) — forcing the log first (WAL).
-    fn page_copy_for_callback(&self, kind: CallbackKind) -> Result<Option<Vec<u8>>> {
+    fn page_copy_for_callback(&self, kind: CallbackKind) -> Result<Option<Arc<[u8]>>> {
         let sheds = !matches!(kind, CallbackKind::DeEscalatePage(_));
         let page = kind.page();
         let mut st = self.st.lock();
@@ -512,7 +512,7 @@ impl ClientCore {
             return Ok(None);
         }
         st.wal.force()?;
-        let bytes = st.cache.peek(page).map(|p| p.as_bytes().to_vec());
+        let bytes: Option<Arc<[u8]>> = st.cache.peek(page).map(|p| Arc::from(p.as_bytes()));
         if bytes.is_some() {
             st.cache.mark_clean(page);
             self.pages_shipped.fetch_add(1, Ordering::Relaxed);
@@ -986,7 +986,8 @@ impl ClientCore {
         let bytes = {
             let st = self.st.lock();
             match st.in_transit.get(&pid) {
-                Some(b) => b.clone(),
+                // Arc bump — the stash and the ship share one frame.
+                Some(b) => Arc::clone(b),
                 None => return Ok(()), // a callback already shipped it
             }
         };
@@ -1011,7 +1012,7 @@ impl ClientCore {
         let pid = ev.page.id();
         st.wal.force()?;
         self.note_shipped(st, pid);
-        st.in_transit.insert(pid, ev.page.into_bytes());
+        st.in_transit.insert(pid, ev.page.into_bytes().into());
         Ok(Some(pid))
     }
 
@@ -1032,10 +1033,10 @@ impl ClientCore {
                 return Ok(());
             }
             st.wal.force()?;
-            let b = st
+            let b: Arc<[u8]> = st
                 .cache
                 .peek(page)
-                .map(|p| p.as_bytes().to_vec())
+                .map(|p| Arc::from(p.as_bytes()))
                 .ok_or(FglError::PageNotFound(page))?;
             st.cache.mark_clean(page);
             self.note_shipped(&mut st, page);

@@ -10,6 +10,7 @@ use fgl_common::{ClientId, Lsn, ObjectId, PageId, Psn, TxnId};
 use fgl_locks::glm::CallbackKind;
 use fgl_locks::mode::{LockTarget, ObjMode};
 use fgl_wal::records::DptEntry;
+use std::sync::Arc;
 
 /// A client's response to a delivered callback.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -17,9 +18,14 @@ pub enum CallbackOutcome {
     /// Complied immediately. `retained` carries de-escalation retentions;
     /// `page_copy` carries the page when the protocol ships it with the
     /// response (downgrade/release of a dirtied page, §3.2).
+    ///
+    /// The copy travels as a shared frame (`Arc<[u8]>`): the client's
+    /// `in_transit` stash and every racing callback wave alias one
+    /// snapshot instead of deep-copying per wave; the server pays the
+    /// single unavoidable copy when it parses the frame into a `Page`.
     Done {
         retained: Vec<(ObjectId, ObjMode)>,
-        page_copy: Option<Vec<u8>>,
+        page_copy: Option<Arc<[u8]>>,
     },
     /// In use by the named transactions; a `callback_complete` call will
     /// follow when they terminate.
@@ -85,7 +91,7 @@ pub trait ClientPeer: Send + Sync {
     ) -> Vec<(ObjectId, Psn)>;
 
     /// §3.4 step 4: ship the cached copy of `page` (None if not cached).
-    fn ship_cached_page(&self, page: PageId) -> Option<Vec<u8>>;
+    fn ship_cached_page(&self, page: PageId) -> Option<Arc<[u8]>>;
 
     /// §3.4 final phase: replay the private log against `base` (which the
     /// server sends together with the PSN to install and the merged

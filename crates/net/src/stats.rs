@@ -133,7 +133,7 @@ impl NetSim {
     pub fn msg(&self, kind: MsgKind, bytes: usize) {
         self.stats.record(kind, bytes);
         if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
+            fgl_sched::pause(self.latency);
         }
     }
 

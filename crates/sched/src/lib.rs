@@ -1,0 +1,786 @@
+//! fgl-sched: a dependency-free M:N green-task scheduler.
+//!
+//! The simulator historically modeled every client as an OS thread, and
+//! every simulated disk or network latency as a `thread::sleep` — capping
+//! realistic scale at a few dozen clients. This crate multiplexes client
+//! transactions, as **stackful green tasks**, onto a fixed worker pool: a
+//! waiting client costs a parked task (a queue entry plus a timer-wheel
+//! slot), not an OS thread.
+//!
+//! Design:
+//! - [`run_scoped`] runs a batch of jobs as green tasks on `workers` OS
+//!   threads and returns when all of them (and any subtasks they spawned
+//!   via [`fanout`]) have finished. Jobs may borrow from the caller —
+//!   the call joins everything before returning.
+//! - Each task owns a heap-allocated stack; the `ctx` module switches between the
+//!   worker's stack and the task's with one small assembly routine.
+//! - [`pause`] is the drop-in replacement for `thread::sleep` at the
+//!   simulated-latency points: on a green task it parks in the shared
+//!   [`TimerWheel`]; on a plain OS thread it sleeps, so code that is not
+//!   running under the scheduler behaves exactly as before.
+//! - [`current_unparker`]/[`park_until`] are the primitive the local
+//!   `parking_lot` shim uses to make condition-variable waits park the
+//!   *task*: blocking primitives auto-detect task context, so the same
+//!   protocol code runs unchanged under both the `threads` and `event`
+//!   schedulers.
+//!
+//! Determinism: the scheduler never reorders the *semantics* of the
+//! protocol — message counting happens inside the counted fabric before
+//! any wait — so per-kind message counts for conflict-free workloads are
+//! identical under both schedulers (asserted by the workspace
+//! `scheduler_determinism` test).
+//!
+//! On architectures without a context-switch implementation (anything
+//! but x86-64 today), [`supported`] is `false` and [`run_scoped`] /
+//! [`fanout`] degrade to one OS thread per job — the `threads` behavior.
+
+mod ctx;
+mod timer;
+
+pub use timer::TimerWheel;
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Granularity of the shared timer wheel. Fine enough that the smallest
+/// simulated latencies in the experiment configs (tens of microseconds)
+/// round up by at most one tick.
+const TICK: Duration = Duration::from_micros(20);
+
+/// Idle workers re-check for shutdown/timers at least this often.
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+// ---- task states ------------------------------------------------------------
+
+const QUEUED: u8 = 0;
+const RUNNING: u8 = 1;
+const PARKED: u8 = 2;
+/// An unpark arrived while the task was running (or mid-park); the next
+/// park attempt consumes it and returns immediately.
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// Why a task switched back to its worker.
+#[derive(Clone, Copy)]
+enum Intent {
+    None,
+    Yield,
+    Park(Option<Instant>),
+    Done,
+}
+
+// ---- stacks -----------------------------------------------------------------
+
+/// Default task stack: 256 KiB reserved. Allocations this size are
+/// served by `mmap` and only the touched pages become resident, so a
+/// thousand mostly-idle tasks stay cheap.
+const DEFAULT_STACK: usize = 256 * 1024;
+
+fn stack_size() -> usize {
+    static SIZE: AtomicUsize = AtomicUsize::new(0);
+    let cached = SIZE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let kb = std::env::var("FGL_SCHED_STACK_KB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&kb| kb >= 32);
+    let size = kb.map_or(DEFAULT_STACK, |kb| kb * 1024);
+    SIZE.store(size, Ordering::Relaxed);
+    size
+}
+
+struct Stack {
+    mem: Box<[MaybeUninit<u8>]>,
+}
+
+impl Stack {
+    fn new(size: usize) -> Self {
+        // Deliberately uninitialized: zeroing would touch (commit) every
+        // page of every task stack up front.
+        Stack {
+            mem: Box::new_uninit_slice(size),
+        }
+    }
+
+    fn top(&mut self) -> *mut u8 {
+        let range = self.mem.as_mut_ptr_range();
+        range.end as *mut u8
+    }
+}
+
+// ---- the shared scheduler ---------------------------------------------------
+
+struct TimerTarget {
+    task: Arc<TaskCore>,
+    seq: u64,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<TaskCore>>>,
+    queue_cv: Condvar,
+    timers: Mutex<TimerWheel<TimerTarget>>,
+    seeds_left: AtomicUsize,
+    shutdown: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct TaskCore {
+    state: AtomicU8,
+    /// Bumped once per park; timer entries carry the seq they were armed
+    /// for, so a stale timer firing after an early wakeup is ignored.
+    park_seq: AtomicU64,
+    /// Saved stack pointer while the task is suspended.
+    sp: Cell<*mut u8>,
+    intent: Cell<Intent>,
+    entry: Cell<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    _stack: Stack,
+    shared: Arc<Shared>,
+    /// Seed tasks gate scheduler shutdown; subtasks are joined by their
+    /// parent's wait group instead.
+    seed: bool,
+    wg: Option<Arc<WaitGroup>>,
+}
+
+// SAFETY: `sp`, `intent` and `entry` are only touched by the worker
+// currently running the task (or holding it freshly popped from the run
+// queue); cross-worker handoff is synchronized by the queue mutex and
+// the `state` atomic.
+unsafe impl Send for TaskCore {}
+unsafe impl Sync for TaskCore {}
+
+/// Completion barrier for [`fanout`]: the parent task parks until every
+/// subtask has finished; the first subtask panic is delivered to the
+/// parent.
+struct WaitGroup {
+    remaining: AtomicUsize,
+    waiter: Mutex<Option<Unparker>>,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl WaitGroup {
+    fn new(n: usize) -> Self {
+        WaitGroup {
+            remaining: AtomicUsize::new(n),
+            waiter: Mutex::new(None),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn complete(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(u) = self.waiter.lock().unwrap().take() {
+                u.unpark();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        *self.waiter.lock().unwrap() = Some(current_unparker().expect("fanout wait on a task"));
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            park_until(None);
+        }
+    }
+}
+
+// ---- per-worker thread-local state ------------------------------------------
+
+struct WorkerTls {
+    shared: Arc<Shared>,
+    /// Saved worker stack pointer while a task runs; the task switches
+    /// back through it.
+    worker_sp: Cell<*mut u8>,
+    current: RefCell<Option<Arc<TaskCore>>>,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<Rc<WorkerTls>>> = const { RefCell::new(None) };
+}
+
+fn worker_tls() -> Option<Rc<WorkerTls>> {
+    TLS.with(|t| t.borrow().clone())
+}
+
+fn current_task() -> Option<Arc<TaskCore>> {
+    TLS.with(|t| {
+        t.borrow()
+            .as_ref()
+            .and_then(|tls| tls.current.borrow().clone())
+    })
+}
+
+// ---- public API -------------------------------------------------------------
+
+/// Whether green tasks are available on this architecture.
+pub fn supported() -> bool {
+    ctx::SUPPORTED
+}
+
+/// True when the calling code is running on a green task.
+pub fn on_task() -> bool {
+    TLS.with(|t| {
+        t.borrow()
+            .as_ref()
+            .is_some_and(|tls| tls.current.borrow().is_some())
+    })
+}
+
+/// Worker-pool width used by `run_scoped` callers that don't choose one:
+/// one worker per core, but at least two so a task parked mid-protocol
+/// never leaves the pool without a runner.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+}
+
+/// Drop-in replacement for `thread::sleep` at simulated-latency points:
+/// parks the green task in the timer wheel when called on one, sleeps
+/// the OS thread otherwise. Never returns before `d` has elapsed.
+pub fn pause(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if !on_task() {
+        std::thread::sleep(d);
+        return;
+    }
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        park_until(Some(deadline));
+    }
+}
+
+/// Reschedule the current task (or OS thread) without blocking.
+pub fn yield_now() {
+    if on_task() {
+        switch_out(Intent::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Wake handle for a parked task; clonable and usable from any thread.
+#[derive(Clone)]
+pub struct Unparker {
+    task: Arc<TaskCore>,
+}
+
+impl Unparker {
+    pub fn unpark(&self) {
+        unpark_task(&self.task);
+    }
+}
+
+/// Unparker for the calling green task; `None` on a plain OS thread.
+/// The local `parking_lot` shim uses this to decide whether a condvar
+/// wait should park the task or the thread.
+pub fn current_unparker() -> Option<Unparker> {
+    current_task().map(|task| Unparker { task })
+}
+
+/// Park the calling green task until [`Unparker::unpark`] or `deadline`.
+/// May wake spuriously (a stale timer or a consumed notification), so
+/// callers re-check their condition in a loop — exactly the condvar
+/// contract. Must be called on a green task.
+pub fn park_until(deadline: Option<Instant>) {
+    let task = current_task().expect("park_until called off-task");
+    // Consume a notification that raced ahead of the park.
+    if task
+        .state
+        .compare_exchange(NOTIFIED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        return;
+    }
+    drop(task);
+    switch_out(Intent::Park(deadline));
+}
+
+fn unpark_task(task: &Arc<TaskCore>) {
+    loop {
+        match task.state.load(Ordering::Acquire) {
+            PARKED => {
+                if task
+                    .state
+                    .compare_exchange(PARKED, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    let shared = &task.shared;
+                    shared.queue.lock().unwrap().push_back(task.clone());
+                    shared.queue_cv.notify_one();
+                    return;
+                }
+            }
+            RUNNING => {
+                if task
+                    .state
+                    .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+            // QUEUED and NOTIFIED already guarantee a wakeup; DONE needs
+            // none.
+            _ => return,
+        }
+    }
+}
+
+/// Run `jobs` concurrently and return once all have finished. On a green
+/// task this spawns subtasks onto the running scheduler and parks the
+/// caller until they complete; elsewhere it falls back to scoped OS
+/// threads. Panics in a job propagate to the caller after all jobs have
+/// settled, mirroring `thread::scope`.
+pub fn fanout<'env>(jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    if jobs.is_empty() {
+        return;
+    }
+    if on_task() {
+        let shared = worker_tls().expect("on_task implies worker").shared.clone();
+        let wg = Arc::new(WaitGroup::new(jobs.len()));
+        for job in jobs {
+            // SAFETY: lifetime erasure only; `wg.wait()` below joins
+            // every subtask before this frame returns, so borrows in the
+            // closures outlive their use.
+            let job: Box<dyn FnOnce() + Send + 'static> = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'env>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(job)
+            };
+            spawn_onto(&shared, job, false, Some(wg.clone()));
+        }
+        wg.wait();
+        if let Some(p) = wg.panic.lock().unwrap().take() {
+            resume_unwind(p);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(job);
+        }
+    });
+}
+
+/// Run `jobs` as green tasks on a pool of `workers` OS threads (the
+/// calling thread is one of them) and return once every job — and every
+/// subtask spawned via [`fanout`] — has finished. Jobs may borrow from
+/// the caller's environment. Returns the number of pool threads actually
+/// used (0 when green tasks are unsupported and the call degraded to one
+/// OS thread per job). The first job panic is re-raised after the pool
+/// drains, mirroring `thread::scope`.
+pub fn run_scoped<'env>(workers: usize, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) -> usize {
+    if jobs.is_empty() {
+        return 0;
+    }
+    assert!(!on_task(), "run_scoped cannot be nested inside a task");
+    if !ctx::SUPPORTED {
+        std::thread::scope(|scope| {
+            for job in jobs {
+                scope.spawn(job);
+            }
+        });
+        return 0;
+    }
+    let workers = workers.max(1);
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        timers: Mutex::new(TimerWheel::new(TICK)),
+        seeds_left: AtomicUsize::new(jobs.len()),
+        shutdown: AtomicBool::new(false),
+        panic: Mutex::new(None),
+    });
+    for job in jobs {
+        // SAFETY: lifetime erasure only; the worker scope below joins
+        // every task before `run_scoped` returns.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        spawn_onto(&shared, job, true, None);
+    }
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            let shared = shared.clone();
+            scope.spawn(move || worker_loop(&shared));
+        }
+        worker_loop(&shared);
+    });
+    // Stale entries for tasks that were woken early would otherwise keep
+    // task→shared→timer→task reference cycles alive.
+    shared.timers.lock().unwrap().clear();
+    if let Some(p) = shared.panic.lock().unwrap().take() {
+        resume_unwind(p);
+    }
+    workers
+}
+
+// ---- scheduler internals ----------------------------------------------------
+
+fn spawn_onto(
+    shared: &Arc<Shared>,
+    job: Box<dyn FnOnce() + Send + 'static>,
+    seed: bool,
+    wg: Option<Arc<WaitGroup>>,
+) {
+    let mut stack = Stack::new(stack_size());
+    // SAFETY: the stack region is freshly allocated and large enough.
+    let sp = unsafe { ctx::bootstrap(stack.top(), trampoline) };
+    let task = Arc::new(TaskCore {
+        state: AtomicU8::new(QUEUED),
+        park_seq: AtomicU64::new(0),
+        sp: Cell::new(sp),
+        intent: Cell::new(Intent::None),
+        entry: Cell::new(Some(job)),
+        _stack: stack,
+        shared: shared.clone(),
+        seed,
+        wg,
+    });
+    shared.queue.lock().unwrap().push_back(task);
+    shared.queue_cv.notify_one();
+}
+
+/// First frame of every task. Runs the job under `catch_unwind`, records
+/// a panic, then switches back to the worker for good. Everything owned
+/// by this frame is dropped *before* the final switch — frames live at
+/// that point are abandoned with the stack, never unwound.
+extern "C" fn trampoline() -> ! {
+    let task = current_task().expect("trampoline without a current task");
+    let job = task.entry.take().expect("task entry already taken");
+    let result = catch_unwind(AssertUnwindSafe(job));
+    if let Err(payload) = result {
+        let slot = match &task.wg {
+            Some(wg) => &wg.panic,
+            None => &task.shared.panic,
+        };
+        let mut slot = slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    drop(task);
+    switch_out(Intent::Done);
+    unreachable!("completed task resumed");
+}
+
+/// Switch from the current task back to its worker. All TLS borrows and
+/// owned handles are released before the switch: for `Done` the frame is
+/// abandoned (drops would never run), and for the resumable intents the
+/// worker mutates the same TLS cells while we are suspended.
+fn switch_out(intent: Intent) {
+    let (task_sp_cell, worker_sp) = TLS.with(|t| {
+        let borrow = t.borrow();
+        let tls = borrow.as_ref().expect("switch_out off-worker");
+        let current = tls.current.borrow();
+        let task = current.as_ref().expect("switch_out without current task");
+        task.intent.set(intent);
+        (task.sp.as_ptr(), tls.worker_sp.get())
+    });
+    // SAFETY: `worker_sp` is the stack the worker saved when it switched
+    // into this task; `task_sp_cell` stays valid because the worker holds
+    // an `Arc` to the task for the whole activation.
+    unsafe { ctx::fgl_sched_switch(task_sp_cell, worker_sp) };
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let tls = Rc::new(WorkerTls {
+        shared: shared.clone(),
+        worker_sp: Cell::new(std::ptr::null_mut()),
+        current: RefCell::new(None),
+    });
+    TLS.with(|t| {
+        let prev = t.borrow_mut().replace(tls.clone());
+        assert!(prev.is_none(), "nested worker_loop on one thread");
+    });
+    loop {
+        fire_due_timers(shared);
+        let popped = shared.queue.lock().unwrap().pop_front();
+        if let Some(task) = popped {
+            run_task(&tls, task);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let wait = shared
+            .timers
+            .lock()
+            .unwrap()
+            .next_deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+            .unwrap_or(IDLE_POLL)
+            .min(IDLE_POLL);
+        let queue = shared.queue.lock().unwrap();
+        if queue.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+            let _ = shared
+                .queue_cv
+                .wait_timeout(queue, wait.max(Duration::from_micros(1)))
+                .unwrap();
+        }
+    }
+    TLS.with(|t| t.borrow_mut().take());
+}
+
+fn fire_due_timers(shared: &Arc<Shared>) {
+    let fired = shared.timers.lock().unwrap().advance(Instant::now());
+    for t in fired {
+        // A stale entry (the task was unparked early and has parked
+        // again since) is ignored; at worst a matching-seq entry for a
+        // task that already resumed produces a spurious notification.
+        if t.task.park_seq.load(Ordering::Acquire) == t.seq {
+            unpark_task(&t.task);
+        }
+    }
+}
+
+fn run_task(tls: &Rc<WorkerTls>, task: Arc<TaskCore>) {
+    task.state.store(RUNNING, Ordering::Release);
+    tls.current.borrow_mut().replace(task.clone());
+    // SAFETY: `task.sp` holds either the bootstrap frame or the stack
+    // pointer saved at the task's last `switch_out`; the queue mutex
+    // hand-off ordered that write before this read.
+    unsafe { ctx::fgl_sched_switch(tls.worker_sp.as_ptr(), task.sp.get()) };
+    tls.current.borrow_mut().take();
+    let shared = &tls.shared;
+    match task.intent.replace(Intent::None) {
+        Intent::Done => {
+            task.state.store(DONE, Ordering::Release);
+            if let Some(wg) = &task.wg {
+                wg.complete();
+            }
+            if task.seed && shared.seeds_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                shared.shutdown.store(true, Ordering::Release);
+                shared.queue_cv.notify_all();
+            }
+        }
+        Intent::Yield => {
+            task.state.store(QUEUED, Ordering::Release);
+            shared.queue.lock().unwrap().push_back(task);
+            shared.queue_cv.notify_one();
+        }
+        Intent::Park(deadline) => {
+            let seq = task.park_seq.fetch_add(1, Ordering::AcqRel) + 1;
+            if let Some(d) = deadline {
+                shared.timers.lock().unwrap().insert(
+                    d,
+                    TimerTarget {
+                        task: task.clone(),
+                        seq,
+                    },
+                );
+            }
+            if task
+                .state
+                .compare_exchange(RUNNING, PARKED, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // Notified while switching out: runnable again at once.
+                task.state.store(QUEUED, Ordering::Release);
+                shared.queue.lock().unwrap().push_back(task);
+                shared.queue_cv.notify_one();
+            }
+        }
+        Intent::None => unreachable!("task switched out without an intent"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn boxed<'env>(f: impl FnOnce() + Send + 'env) -> Box<dyn FnOnce() + Send + 'env> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn runs_every_job_with_borrows() {
+        let counter = AtomicU32::new(0);
+        let jobs = (0..100)
+            .map(|_| {
+                boxed(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        run_scoped(2, jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn many_tasks_few_workers_with_pauses() {
+        if !supported() {
+            return;
+        }
+        let counter = AtomicU32::new(0);
+        let jobs = (0..256)
+            .map(|_| {
+                boxed(|| {
+                    pause(Duration::from_micros(200));
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    pause(Duration::from_micros(100));
+                })
+            })
+            .collect();
+        run_scoped(2, jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn pause_never_returns_early() {
+        if !supported() {
+            return;
+        }
+        let jobs = (0..8)
+            .map(|_| {
+                boxed(|| {
+                    let start = Instant::now();
+                    pause(Duration::from_millis(5));
+                    assert!(start.elapsed() >= Duration::from_millis(5));
+                })
+            })
+            .collect();
+        run_scoped(2, jobs);
+    }
+
+    #[test]
+    fn fanout_joins_subtasks_and_their_results() {
+        if !supported() {
+            return;
+        }
+        let total = AtomicU32::new(0);
+        run_scoped(
+            2,
+            vec![boxed(|| {
+                let results: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+                let jobs = (0..10u32)
+                    .map(|i| {
+                        let results = &results;
+                        boxed(move || {
+                            pause(Duration::from_micros(50));
+                            results.lock().unwrap().push(i);
+                        })
+                    })
+                    .collect();
+                fanout(jobs);
+                let got = results.into_inner().unwrap();
+                assert_eq!(got.len(), 10);
+                total.fetch_add(got.iter().sum::<u32>(), Ordering::Relaxed);
+            })],
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn nested_fanout() {
+        if !supported() {
+            return;
+        }
+        let count = AtomicU32::new(0);
+        run_scoped(
+            3,
+            vec![boxed(|| {
+                fanout(
+                    (0..4)
+                        .map(|_| {
+                            boxed(|| {
+                                fanout(
+                                    (0..4)
+                                        .map(|_| {
+                                            boxed(|| {
+                                                pause(Duration::from_micros(30));
+                                                count.fetch_add(1, Ordering::Relaxed);
+                                            })
+                                        })
+                                        .collect(),
+                                );
+                            })
+                        })
+                        .collect(),
+                );
+            })],
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn unparker_wakes_a_parked_task() {
+        if !supported() {
+            return;
+        }
+        let woke = AtomicBool::new(false);
+        let handle: Mutex<Option<Unparker>> = Mutex::new(None);
+        run_scoped(2, {
+            vec![
+                boxed(|| {
+                    *handle.lock().unwrap() = Some(current_unparker().unwrap());
+                    // Long backstop: the sibling's unpark must arrive first.
+                    park_until(Some(Instant::now() + Duration::from_secs(5)));
+                    woke.store(true, Ordering::Release);
+                }),
+                boxed(|| {
+                    pause(Duration::from_millis(2));
+                    loop {
+                        if let Some(u) = handle.lock().unwrap().take() {
+                            u.unpark();
+                            break;
+                        }
+                        yield_now();
+                    }
+                }),
+            ]
+        });
+        assert!(woke.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        if !supported() {
+            return;
+        }
+        let survived = Arc::new(AtomicU32::new(0));
+        let s2 = survived.clone();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_scoped(
+                2,
+                vec![
+                    boxed(|| panic!("boom")),
+                    boxed(move || {
+                        pause(Duration::from_millis(1));
+                        s2.fetch_add(1, Ordering::Relaxed);
+                    }),
+                ],
+            );
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert_eq!(
+            survived.load(Ordering::Relaxed),
+            1,
+            "other tasks still drain"
+        );
+    }
+
+    #[test]
+    fn off_task_primitives_fall_back() {
+        assert!(!on_task());
+        assert!(current_unparker().is_none());
+        let start = Instant::now();
+        pause(Duration::from_millis(2));
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        yield_now();
+    }
+}

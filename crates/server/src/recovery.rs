@@ -172,7 +172,7 @@ impl ServerCore {
                     self.net.msg(MsgKind::Recovery, 16);
                     if let Some(bytes) = peer.ship_cached_page(*page) {
                         self.net.msg(MsgKind::PageShip, bytes.len());
-                        self.install_recovered(id, bytes)?;
+                        self.install_recovered(id, bytes.to_vec())?;
                     }
                 }
             }

@@ -599,17 +599,29 @@ impl ServerCore {
                 })
                 .collect();
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = deliveries
-                .iter()
-                .map(|(to, peer, kinds)| scope.spawn(|| deliver(*to, peer, kinds)))
-                .collect();
-            handles
-                .into_iter()
-                .zip(deliveries.iter())
-                .map(|(h, (to, _, kinds))| (*to, kinds.clone(), h.join().unwrap()))
-                .collect()
-        })
+        // One concurrent delivery per destination holder: green subtasks
+        // when driven from the event scheduler, scoped OS threads
+        // otherwise (`fanout` joins either way before returning).
+        let results: Vec<Mutex<Option<Vec<CallbackOutcome>>>> =
+            deliveries.iter().map(|_| Mutex::new(None)).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = deliveries
+            .iter()
+            .zip(&results)
+            .map(|((to, peer, kinds), slot)| {
+                let deliver = &deliver;
+                Box::new(move || {
+                    *slot.lock() = Some(deliver(*to, peer, kinds));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        fgl_sched::fanout(jobs);
+        deliveries
+            .iter()
+            .zip(results)
+            .map(|((to, _, kinds), slot)| {
+                (*to, kinds.clone(), slot.into_inner().expect("delivery ran"))
+            })
+            .collect()
     }
 
     /// Apply one destination's merged reply: absorb shipped page copies
@@ -631,7 +643,7 @@ impl ServerCore {
                     page_copy,
                 } => {
                     if let Some(bytes) = page_copy {
-                        let _ = self.absorb_page(from, bytes, false);
+                        let _ = self.absorb_page(from, &bytes, false);
                     }
                     CallbackReply::Done { retained }
                 }
@@ -674,7 +686,7 @@ impl ServerCore {
         client: ClientId,
         kind: CallbackKind,
         retained: Vec<(fgl_common::ObjectId, ObjMode)>,
-        page_copy: Option<Vec<u8>>,
+        page_copy: Option<std::sync::Arc<[u8]>>,
     ) -> Result<()> {
         self.check_up()?;
         self.net.msg(
@@ -689,7 +701,7 @@ impl ServerCore {
             page: kind.page(),
         });
         if let Some(bytes) = page_copy {
-            self.absorb_page(client, bytes, false)?;
+            self.absorb_page(client, &bytes, false)?;
         }
         let events = self.shard_of(kind.page()).glm.lock().callback_reply(
             client,
@@ -771,10 +783,15 @@ impl ServerCore {
     /// A dirty page arrives from a client (cache replacement ships it to
     /// the server, §2). `replaced` marks cache replacement, which enrolls
     /// the client for the §3.6 flush notification.
-    pub fn ship_page(&self, client: ClientId, bytes: Vec<u8>, replaced: bool) -> Result<()> {
+    pub fn ship_page(
+        &self,
+        client: ClientId,
+        bytes: std::sync::Arc<[u8]>,
+        replaced: bool,
+    ) -> Result<()> {
         self.check_up()?;
         self.net.msg(MsgKind::PageShip, bytes.len());
-        let page = Page::from_bytes(bytes)?;
+        let page = self.parse_frame(&bytes)?;
         emit(Event::PageShip {
             client,
             page: page.id(),
@@ -784,8 +801,17 @@ impl ServerCore {
         self.absorb_parsed(client, page, replaced)
     }
 
-    fn absorb_page(&self, client: ClientId, bytes: Vec<u8>, replaced: bool) -> Result<()> {
-        self.absorb_parsed(client, Page::from_bytes(bytes)?, replaced)
+    fn absorb_page(&self, client: ClientId, bytes: &[u8], replaced: bool) -> Result<()> {
+        let page = self.parse_frame(bytes)?;
+        self.absorb_parsed(client, page, replaced)
+    }
+
+    /// The ship path's single copy: materialize an owned page from a
+    /// shared frame, accounting the copied bytes.
+    fn parse_frame(&self, bytes: &[u8]) -> Result<Page> {
+        self.metrics
+            .add("page_ship_bytes_copied", bytes.len() as u64);
+        fgl_storage::merge::parse_incoming(bytes)
     }
 
     fn absorb_parsed(&self, client: ClientId, page: Page, replaced: bool) -> Result<()> {
@@ -978,7 +1004,7 @@ impl ServerCore {
         logs.entry(client).or_default().extend_from_slice(&records);
         // Force: one disk write per commit, serialized on this mutex.
         if !self.cfg.disk_latency.is_zero() {
-            std::thread::sleep(self.cfg.disk_latency);
+            fgl_sched::pause(self.cfg.disk_latency);
         }
         Ok(())
     }
@@ -1263,7 +1289,7 @@ impl ServerCore {
     /// Install a client's recovered copy of a page (final phase of §3.4).
     pub fn install_recovered(&self, client: ClientId, bytes: Vec<u8>) -> Result<()> {
         self.net.msg(MsgKind::PageShip, bytes.len());
-        self.absorb_page(client, bytes, false)
+        self.absorb_page(client, &bytes, false)
     }
 
     /// Diagnostics: PSN of the server's current copy (pool else disk).

@@ -39,12 +39,12 @@ impl ClientPeer for ScriptedPeer {
     fn callback_list_for(&self, _: PageId, _: ClientId, _: Lsn) -> Vec<(ObjectId, Psn)> {
         vec![]
     }
-    fn ship_cached_page(&self, page: PageId) -> Option<Vec<u8>> {
+    fn ship_cached_page(&self, page: PageId) -> Option<std::sync::Arc<[u8]>> {
         self.cached_copies
             .lock()
             .iter()
             .find(|(p, _)| *p == page)
-            .map(|(_, b)| b.clone())
+            .map(|(_, b)| b.as_slice().into())
     }
     fn recover_page(
         &self,
@@ -85,7 +85,7 @@ fn property2_dct_psns_rebuilt_from_matching_replacement_record() {
     let slot = copy.insert_object(b"prop2-payload").unwrap();
     let shipped_psn = copy.psn();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+    s.ship_page(ClientId(1), copy.as_bytes().into(), true)
         .unwrap();
     s.flush_page(pid).unwrap();
 
@@ -168,7 +168,7 @@ fn restart_rebuilds_glm_from_reported_lock_tables() {
         .unwrap();
     let page = Page::from_bytes(bytes).unwrap();
     let pid = page.id();
-    s.ship_page(ClientId(1), page.as_bytes().to_vec(), true)
+    s.ship_page(ClientId(1), page.as_bytes().into(), true)
         .unwrap();
     s.flush_page(pid).unwrap();
     s.crash();

@@ -45,7 +45,7 @@ impl ClientPeer for FakePeer {
     fn callback_list_for(&self, _: PageId, _: ClientId, _: Lsn) -> Vec<(ObjectId, Psn)> {
         vec![]
     }
-    fn ship_cached_page(&self, _: PageId) -> Option<Vec<u8>> {
+    fn ship_cached_page(&self, _: PageId) -> Option<std::sync::Arc<[u8]>> {
         None
     }
     fn recover_page(
@@ -110,12 +110,16 @@ fn ship_page_merges_and_updates_dct_psn() {
     let mut copy = Page::from_bytes(bytes).unwrap();
     let slot = copy.insert_object(b"hello-dct").unwrap();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+    s.ship_page(ClientId(1), copy.as_bytes().into(), true)
         .unwrap();
     // The server's merged copy carries the update.
     let merged = s.page_copy(pid).unwrap();
     assert_eq!(merged.read_object(slot).unwrap(), b"hello-dct");
     assert!(merged.psn() > copy.psn(), "merge bumps the PSN");
+    // Shipped frames travel shared; the parse into an owned Page is the
+    // single copy of the path and is accounted per byte.
+    let copied = s.metrics().snapshot().counters["page_ship_bytes_copied"];
+    assert_eq!(copied, copy.as_bytes().len() as u64);
 }
 
 #[test]
@@ -126,7 +130,7 @@ fn force_page_notifies_replacers_once() {
     let mut copy = Page::from_bytes(bytes).unwrap();
     copy.insert_object(b"dirty").unwrap();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+    s.ship_page(ClientId(1), copy.as_bytes().into(), true)
         .unwrap();
     s.force_page(ClientId(1), pid).unwrap();
     assert_eq!(p1.lock().flushes, vec![pid]);
@@ -143,7 +147,7 @@ fn replacement_records_written_before_page_force() {
     let mut copy = Page::from_bytes(bytes).unwrap();
     copy.insert_object(b"payload").unwrap();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+    s.ship_page(ClientId(1), copy.as_bytes().into(), true)
         .unwrap();
     let before = s.stats();
     s.force_page(ClientId(1), pid).unwrap();
@@ -160,7 +164,7 @@ fn crash_drops_volatile_state_but_disk_survives() {
     let mut copy = Page::from_bytes(bytes).unwrap();
     copy.insert_object(b"durable-bytes").unwrap();
     let pid = copy.id();
-    s.ship_page(ClientId(1), copy.as_bytes().to_vec(), true)
+    s.ship_page(ClientId(1), copy.as_bytes().into(), true)
         .unwrap();
     s.force_page(ClientId(1), pid).unwrap();
     s.crash();

@@ -4,31 +4,64 @@
 //! Before the fix this fired within ~150-300 iterations; it is the tool
 //! that pinned the root cause, kept as a regression soak
 //! (`cargo run --release -p fgl-sim --example pin_restart_race`).
+//!
+//! Iteration count, base seed and scheduler are configurable so CI can
+//! run a short leg and a reproduction can replay an exact failure:
+//!
+//! ```text
+//! pin_restart_race [ITERS] [SEED]
+//! FGL_SOAK_ITERS=100 FGL_SOAK_SEED=7 FGL_SOAK_SCHED=event pin_restart_race
+//! ```
+//!
+//! Positional args win over env vars; each iteration `i` runs with seed
+//! `SEED + i - 1`, so a reported failing iteration is replayable alone
+//! with `ITERS=1` and that iteration's seed.
 
 use fgl::SystemConfig;
-use fgl_sim::crash::{run_crash_scenario, CrashKind};
+use fgl_sim::crash::{run_crash_scenario_with, CrashKind};
+use fgl_sim::harness::SchedulerKind;
 use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
 
+fn arg_or_env(pos: usize, env: &str, default: u64) -> u64 {
+    std::env::args()
+        .nth(pos)
+        .or_else(|| std::env::var(env).ok())
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {env}/arg: {v}")))
+        .unwrap_or(default)
+}
+
 fn main() {
+    let iters = arg_or_env(1, "FGL_SOAK_ITERS", 2000);
+    let base_seed = arg_or_env(2, "FGL_SOAK_SEED", 2);
+    let scheduler: SchedulerKind = std::env::var("FGL_SOAK_SCHED")
+        .map(|v| v.parse().expect("FGL_SOAK_SCHED"))
+        .unwrap_or_default();
+
     let mut spec = WorkloadSpec::new(WorkloadKind::HotCold);
     spec.pages = 12;
     spec.objects_per_page = 8;
     spec.ops_per_txn = 4;
     spec.write_fraction = 0.5;
 
-    for i in 1..=2000u32 {
-        let r = run_crash_scenario(
+    eprintln!(
+        "soak: {iters} iterations, seeds {base_seed}.., scheduler={}",
+        scheduler.name()
+    );
+    for i in 1..=iters {
+        let seed = base_seed + (i - 1);
+        let r = run_crash_scenario_with(
             SystemConfig::default(),
             3,
             CrashKind::Server,
             spec.clone(),
             10,
-            2,
+            seed,
+            scheduler,
         )
         .unwrap();
         if !r.is_clean() {
             println!(
-                "iteration {i}: after-recovery {:?} / final {:?}",
+                "iteration {i} (seed {seed}): after-recovery {:?} / final {:?}",
                 r.verify_after_recovery.mismatches, r.verify_final.mismatches
             );
             let pages: Vec<String> = r
@@ -58,5 +91,5 @@ fn main() {
             eprintln!("iter {i} clean");
         }
     }
-    eprintln!("no failure in 2000 iterations");
+    eprintln!("no failure in {iters} iterations");
 }

@@ -6,7 +6,7 @@
 //! oracle, and finally runs a second workload phase to prove the system
 //! is fully operational again.
 
-use crate::harness::{run_workload, HarnessOptions, RunReport};
+use crate::harness::{run_workload, HarnessOptions, RunReport, SchedulerKind};
 use crate::oracle::{Oracle, VerifyReport};
 use crate::setup::{populate, DatabaseLayout};
 use crate::workload::WorkloadSpec;
@@ -67,6 +67,30 @@ pub fn run_crash_scenario(
     txns_per_phase: usize,
     seed: u64,
 ) -> Result<CrashScenarioReport> {
+    run_crash_scenario_with(
+        cfg,
+        n_clients,
+        kind,
+        spec,
+        txns_per_phase,
+        seed,
+        SchedulerKind::Threads,
+    )
+}
+
+/// [`run_crash_scenario`] with an explicit driver scheduler for the two
+/// workload phases. Recovery itself always runs on OS threads — it is
+/// invoked between phases from the orchestrating thread, not from tasks.
+#[allow(clippy::too_many_arguments)]
+pub fn run_crash_scenario_with(
+    cfg: SystemConfig,
+    n_clients: usize,
+    kind: CrashKind,
+    spec: WorkloadSpec,
+    txns_per_phase: usize,
+    seed: u64,
+    scheduler: SchedulerKind,
+) -> Result<CrashScenarioReport> {
     let sys = System::build(cfg, n_clients)?;
     let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 32)?;
     let oracle = Oracle::new();
@@ -74,6 +98,7 @@ pub fn run_crash_scenario(
 
     let mut opts = HarnessOptions::new(spec, txns_per_phase);
     opts.seed = seed;
+    opts.scheduler = scheduler;
     let phase1 = run_workload(&sys, &layout, Some(&oracle), &opts)?;
 
     let recovery_start = std::time::Instant::now();

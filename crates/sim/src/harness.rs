@@ -5,8 +5,41 @@ use crate::setup::DatabaseLayout;
 use crate::workload::{Op, WorkloadSpec};
 use fgl::{NetSnapshot, ObjectId, Result, Snapshot, System};
 use fgl_common::rng::DetRng;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How the harness multiplexes client transaction drivers onto the host.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// One OS thread per committer — the original driver model.
+    #[default]
+    Threads,
+    /// Green tasks on a fixed `fgl-sched` worker pool: thousands of
+    /// simulated clients multiplex onto a handful of OS threads, with
+    /// simulated disk/network latency parked on a timer wheel instead of
+    /// blocking a thread in `sleep`.
+    Event,
+}
+
+impl SchedulerKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Threads => "threads",
+            SchedulerKind::Event => "event",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "threads" => Ok(SchedulerKind::Threads),
+            "event" => Ok(SchedulerKind::Event),
+            other => Err(format!("unknown scheduler `{other}` (threads|event)")),
+        }
+    }
+}
 
 /// Driver parameters.
 #[derive(Clone, Debug)]
@@ -33,6 +66,13 @@ pub struct HarnessOptions {
     /// transactions have disjoint footprints under partitioned workloads
     /// (PRIVATE regions, HICON hot-page slots).
     pub threads_per_client: usize,
+    /// Driver multiplexing model. Defaults to [`SchedulerKind::Threads`];
+    /// [`SchedulerKind::Event`] runs the same per-committer loops as
+    /// green tasks on a fixed worker pool.
+    pub scheduler: SchedulerKind,
+    /// Worker-pool size for [`SchedulerKind::Event`]; `0` picks
+    /// [`fgl_sched::default_workers`]. Ignored under `Threads`.
+    pub event_workers: usize,
 }
 
 impl HarnessOptions {
@@ -43,6 +83,8 @@ impl HarnessOptions {
             seed: 42,
             max_retries: 10,
             threads_per_client: 1,
+            scheduler: SchedulerKind::default(),
+            event_workers: 0,
         }
     }
 }
@@ -61,6 +103,9 @@ pub struct RunReport {
     /// (lock-wait, commit, callback RTT, …) plus every stats surface
     /// folded in as counters (see [`System::metrics_snapshot`]).
     pub metrics: Snapshot,
+    /// OS threads the driver used: committer count under `Threads`,
+    /// worker-pool size under `Event`.
+    pub driver_threads: usize,
 }
 
 impl RunReport {
@@ -98,9 +143,13 @@ impl RunReport {
     }
 }
 
-/// Run the workload: one thread per client, `txns_per_client`
-/// transactions each, deadlock/timeout aborts retried. Committed write
-/// sets are recorded into `oracle` when provided.
+/// Per-committer tally: (commits, aborts, commit latencies in µs).
+type DriverResult = Result<(u64, u64, Vec<u64>)>;
+
+/// Run the workload: one committer per client (OS thread or green task
+/// per [`HarnessOptions::scheduler`]), `txns_per_client` transactions
+/// each, deadlock/timeout aborts retried. Committed write sets are
+/// recorded into `oracle` when provided.
 pub fn run_workload(
     sys: &System,
     layout: &DatabaseLayout,
@@ -117,63 +166,91 @@ pub fn run_workload(
         .map(|t| master.fork(t as u64).next_u64())
         .collect();
 
-    let results: Vec<Result<(u64, u64, Vec<u64>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let i = t % n;
-                let client = sys.clients[i].clone();
-                let spec = opts.spec.clone();
-                let oracle = oracle.cloned();
-                let object_size = layout.object_size;
-                let seed = seeds[t];
-                let txns = opts.txns_per_client;
-                let max_retries = opts.max_retries;
-                scope.spawn(move || -> Result<(u64, u64, Vec<u64>)> {
-                    let mut rng = DetRng::new(seed);
-                    let mut commits = 0u64;
-                    let mut aborts = 0u64;
-                    let mut latencies = Vec::with_capacity(txns);
-                    for _ in 0..txns {
-                        // Partition by thread, not by client: each committer
-                        // thread is a logical workload client so concurrent
-                        // local transactions stay disjoint (see
-                        // `threads_per_client`). With one thread per client
-                        // this is the identity.
-                        let template = spec.next_txn(t, threads, &mut rng);
-                        let mut attempts = 0;
-                        loop {
-                            match run_one_txn(
-                                &client,
-                                &template,
-                                object_size,
-                                oracle.as_deref(),
-                                &mut rng,
-                            ) {
-                                Ok(latency) => {
-                                    commits += 1;
-                                    latencies.push(latency.as_micros() as u64);
-                                    break;
-                                }
-                                Err(e) if e.is_transaction_abort() => {
-                                    aborts += 1;
-                                    attempts += 1;
-                                    if attempts > max_retries {
-                                        break; // give up on this template
-                                    }
-                                }
-                                Err(e) => return Err(e),
-                            }
+    // One committer body, shared by both scheduler modes so they stay
+    // semantically identical.
+    let oracle = oracle.cloned();
+    let drive = |t: usize| -> DriverResult {
+        let client = &sys.clients[t % n];
+        let mut rng = DetRng::new(seeds[t]);
+        let mut commits = 0u64;
+        let mut aborts = 0u64;
+        let mut latencies = Vec::with_capacity(opts.txns_per_client);
+        for _ in 0..opts.txns_per_client {
+            // Partition by committer, not by client: each committer is a
+            // logical workload client so concurrent local transactions
+            // stay disjoint (see `threads_per_client`). With one
+            // committer per client this is the identity.
+            let template = opts.spec.next_txn(t, threads, &mut rng);
+            let mut attempts = 0;
+            loop {
+                match run_one_txn(
+                    client,
+                    &template,
+                    layout.object_size,
+                    oracle.as_deref(),
+                    &mut rng,
+                ) {
+                    Ok(latency) => {
+                        commits += 1;
+                        latencies.push(latency.as_micros() as u64);
+                        break;
+                    }
+                    Err(e) if e.is_transaction_abort() => {
+                        aborts += 1;
+                        attempts += 1;
+                        if attempts > opts.max_retries {
+                            break; // give up on this template
                         }
                     }
-                    Ok((commits, aborts, latencies))
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok((commits, aborts, latencies))
+    };
+
+    let (results, driver_threads): (Vec<DriverResult>, usize) = match opts.scheduler {
+        SchedulerKind::Threads => {
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let drive = &drive;
+                        scope.spawn(move || drive(t))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            (results, threads)
+        }
+        SchedulerKind::Event => {
+            let slots: Vec<Mutex<Option<DriverResult>>> =
+                (0..threads).map(|_| Mutex::new(None)).collect();
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
+                .map(|t| {
+                    let drive = &drive;
+                    let slot = &slots[t];
+                    Box::new(move || {
+                        *slot.lock().unwrap() = Some(drive(t));
+                    }) as Box<dyn FnOnce() + Send + '_>
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+                .collect();
+            let workers = if opts.event_workers == 0 {
+                fgl_sched::default_workers()
+            } else {
+                opts.event_workers
+            };
+            let used = fgl_sched::run_scoped(workers, jobs);
+            let results = slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("committer task ran"))
+                .collect();
+            (results, used)
+        }
+    };
 
     let mut report = RunReport {
         elapsed: start.elapsed(),
+        driver_threads,
         ..RunReport::default()
     };
     for r in results {
@@ -334,6 +411,28 @@ mod tests {
             "oracle mismatch on {:?}",
             verify.mismatches
         );
+    }
+
+    #[test]
+    fn event_scheduler_runs_more_clients_than_workers() {
+        let sys = System::build(SystemConfig::default(), 8).unwrap();
+        let spec = small_spec(WorkloadKind::Private);
+        let layout = populate(sys.client(0), spec.pages, spec.objects_per_page, 32).unwrap();
+        let oracle = Oracle::new();
+        oracle.seed(sys.client(0), &layout).unwrap();
+        let mut opts = HarnessOptions::new(spec, 5);
+        opts.scheduler = SchedulerKind::Event;
+        let report = run_workload(&sys, &layout, Some(&oracle), &opts).unwrap();
+        assert_eq!(report.commits, 40);
+        assert_eq!(report.aborts, 0);
+        // 8 committers multiplexed onto the fixed worker pool.
+        assert!(
+            report.driver_threads <= fgl_sched::default_workers(),
+            "event mode used {} driver threads",
+            report.driver_threads
+        );
+        let verify = oracle.verify_via_reads(sys.client(0)).unwrap();
+        assert!(verify.is_clean(), "{:?}", verify.mismatches);
     }
 
     #[test]

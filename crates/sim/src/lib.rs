@@ -24,8 +24,8 @@ pub mod setup;
 pub mod table;
 pub mod workload;
 
-pub use crash::{run_crash_scenario, CrashKind, CrashScenarioReport};
-pub use harness::{run_workload, HarnessOptions, RunReport};
+pub use crash::{run_crash_scenario, run_crash_scenario_with, CrashKind, CrashScenarioReport};
+pub use harness::{run_workload, HarnessOptions, RunReport, SchedulerKind};
 pub use oracle::Oracle;
 pub use setup::{populate, DatabaseLayout};
 pub use table::Table;

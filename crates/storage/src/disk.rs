@@ -195,7 +195,7 @@ impl SimDisk {
 
     fn pause(&self) {
         if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
+            fgl_sched::pause(self.latency);
         }
     }
 }

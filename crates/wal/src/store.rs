@@ -307,7 +307,7 @@ impl LogStore for SimLogStore {
     fn sync(&mut self) -> Result<()> {
         self.syncs += 1;
         if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
+            fgl_sched::pause(self.latency);
         }
         self.inner.sync()
     }

@@ -24,10 +24,16 @@ import sys
 RATIO = 2.0
 ABS_SLACK_US = 500
 TRACKED = ("commit_us", "lock_wait_us")
+# Measured-environment params (sampled thread counts, pool sizes derived
+# from host cores) would make baseline keys host-dependent; identify
+# sweep points by the swept knobs only.
+VOLATILE = ("peak_threads", "driver_threads")
 
 
 def row_key(params):
-    return json.dumps(params, sort_keys=True)
+    return json.dumps(
+        {k: v for k, v in params.items() if k not in VOLATILE}, sort_keys=True
+    )
 
 
 def extract(path):

@@ -1,0 +1,106 @@
+//! The event scheduler is a pure driver substitution: the same seed and
+//! config must produce the same protocol traffic and the same committed
+//! state whether the committers are OS threads or green tasks.
+//!
+//! The PRIVATE workload gives every committer a disjoint footprint, so
+//! the per-kind message/byte counts on the fabric are independent of how
+//! the committers interleave — any divergence between the two schedulers
+//! is a semantic change in the protocol path, not scheduling noise.
+
+use fgl::{NetSnapshot, System, SystemConfig};
+use fgl_sim::harness::{run_workload, HarnessOptions, RunReport, SchedulerKind};
+use fgl_sim::oracle::Oracle;
+use fgl_sim::setup::populate;
+use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+
+fn spec() -> WorkloadSpec {
+    let mut s = WorkloadSpec::new(WorkloadKind::Private);
+    s.pages = 32;
+    s.objects_per_page = 8;
+    s.ops_per_txn = 4;
+    s.write_fraction = 0.5;
+    s
+}
+
+fn run(scheduler: SchedulerKind) -> (RunReport, bool) {
+    let sys = System::build(SystemConfig::default(), 6).unwrap();
+    let sp = spec();
+    let layout = populate(sys.client(0), sp.pages, sp.objects_per_page, 32).unwrap();
+    let oracle = Oracle::new();
+    oracle.seed(sys.client(0), &layout).unwrap();
+    let mut opts = HarnessOptions::new(sp, 12);
+    opts.seed = 0xD373;
+    opts.scheduler = scheduler;
+    let report = run_workload(&sys, &layout, Some(&oracle), &opts).unwrap();
+    let clean = oracle.verify_via_reads(sys.client(0)).unwrap().is_clean();
+    (report, clean)
+}
+
+fn assert_same_traffic(a: &NetSnapshot, b: &NetSnapshot) {
+    for i in 0..a.counts.len() {
+        assert_eq!(
+            a.counts[i],
+            b.counts[i],
+            "per-kind message count diverged for {}: threads={} event={}",
+            NetSnapshot::kind_name(i),
+            a.counts[i],
+            b.counts[i]
+        );
+        assert_eq!(
+            a.bytes[i],
+            b.bytes[i],
+            "per-kind byte count diverged for {}",
+            NetSnapshot::kind_name(i)
+        );
+    }
+}
+
+/// Same seed + config ⇒ identical per-kind fabric counts, identical
+/// commit/abort totals, and a clean oracle under both schedulers.
+#[test]
+fn event_and_thread_schedulers_produce_identical_traffic() {
+    let (threads, threads_clean) = run(SchedulerKind::Threads);
+    let (event, event_clean) = run(SchedulerKind::Event);
+    assert!(threads_clean, "threads run diverged from oracle");
+    assert!(event_clean, "event run diverged from oracle");
+    assert_eq!(threads.commits, event.commits);
+    assert_eq!(threads.aborts, event.aborts);
+    assert_same_traffic(&threads.net, &event.net);
+}
+
+/// The event scheduler itself is deterministic: two runs from the same
+/// seed match each other exactly.
+#[test]
+fn event_scheduler_is_self_deterministic() {
+    let (a, a_clean) = run(SchedulerKind::Event);
+    let (b, b_clean) = run(SchedulerKind::Event);
+    assert!(a_clean && b_clean);
+    assert_eq!(a.commits, b.commits);
+    assert_same_traffic(&a.net, &b.net);
+}
+
+/// Crash recovery stays correct when the workload phases run on the
+/// event scheduler: the full server-crash scenario (phase 1, crash,
+/// recovery, verify, phase 2, verify) ends clean.
+#[test]
+fn crash_scenario_oracle_is_clean_under_event_scheduler() {
+    let mut s = spec();
+    s.pages = 12;
+    let r = fgl_sim::crash::run_crash_scenario_with(
+        SystemConfig::default(),
+        3,
+        fgl_sim::crash::CrashKind::Server,
+        s,
+        10,
+        0xD373,
+        SchedulerKind::Event,
+    )
+    .unwrap();
+    assert!(
+        r.is_clean(),
+        "after-recovery {:?} / final {:?}",
+        r.verify_after_recovery.mismatches,
+        r.verify_final.mismatches
+    );
+    assert!(r.phase2.commits > 0);
+}
