@@ -4,7 +4,8 @@ METRICS_DIR ?= metrics
 BASELINE    := ci/latency_baseline.json
 GATED       := $(METRICS_DIR)/e11_server_shard_scaling.json \
                $(METRICS_DIR)/e12_callback_batching.json \
-               $(METRICS_DIR)/e13_client_scaling.json
+               $(METRICS_DIR)/e13_client_scaling.json \
+               $(METRICS_DIR)/e14_recovery_shootout.json
 
 .PHONY: test check-latency refresh-baselines experiments
 
@@ -18,6 +19,7 @@ check-latency:
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e11_server_shard_scaling -- --quick
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e12_callback_batching -- --quick
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e13_client_scaling -- --quick
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e14_recovery_shootout -- --quick
 	python3 scripts/check_latency_regression.py $(BASELINE) $(GATED)
 
 # Rebuild the baseline from a fresh run (after an intentional latency
@@ -26,6 +28,7 @@ refresh-baselines:
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e11_server_shard_scaling -- --quick
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e12_callback_batching -- --quick
 	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e13_client_scaling -- --quick
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e14_recovery_shootout -- --quick
 	python3 scripts/check_latency_regression.py --update $(BASELINE) $(GATED)
 
 experiments:

@@ -3,16 +3,20 @@
 //! logging), transaction management with savepoints, fuzzy checkpoints,
 //! the §3.6 log-space reclamation protocol, and restart recovery — both
 //! the client-crash procedure of §3.3 and the client half of server
-//! restart (§3.4).
+//! restart (§3.4). The logging policy itself is pluggable: the paper's
+//! client-based ARIES is the default strategy, alongside redo-only,
+//! adaptive-hybrid and write-behind alternatives selected by
+//! `SystemConfig::logging_strategy`.
 
 pub mod cache;
 pub mod peer;
 pub mod recovery;
 pub mod runtime;
+pub(crate) mod strategy;
 pub mod txn;
 
 pub use cache::ClientCache;
 pub use peer::PeerHandle;
 pub use recovery::{ClientRecoveryReport, RecoveryOptions};
 pub use runtime::{ClientCore, ClientStats, DptState};
-pub use txn::{TxnState, TxnStatus};
+pub use txn::{TxnLogMode, TxnState, TxnStatus, UndoEntry};

@@ -126,10 +126,11 @@ impl ClientCore {
                 })
                 .collect();
         }
-        // The st mutex is held for the whole batch and nothing below
-        // appends to the WAL, so the first force covers every page the
-        // batch ships (§2: the log covering shipped state must be durable
-        // before the page leaves).
+        // The st mutex is held for the whole batch, so one force covers
+        // every page the batch ships (§2: the log covering shipped state
+        // must be durable before the page leaves). A strategy that spills
+        // undo records at the steal point resets `forced` so the next
+        // ship forces again over the fresh records.
         let mut forced = false;
         let mut shipped: Vec<PageId> = Vec::new();
         let mut outcomes = Vec::with_capacity(kinds.len());
@@ -169,7 +170,16 @@ impl ClientCore {
                     let page_copy = if shipped.contains(&page) {
                         None
                     } else if st.cache.is_dirty(page) {
-                        let log_durable = forced || st.wal.force().is_ok();
+                        let ship_ok = match self.strategy.before_ship(self, &mut st, page) {
+                            Ok(spilled) => {
+                                if spilled {
+                                    forced = false;
+                                }
+                                true
+                            }
+                            Err(_) => false,
+                        };
+                        let log_durable = ship_ok && (forced || st.wal.force().is_ok());
                         if log_durable {
                             forced = true;
                             // One snapshot of the cache copy, shared from
@@ -302,6 +312,9 @@ impl ClientCore {
     pub(crate) fn ship_cached_page_bytes(&self, page: PageId) -> Option<Arc<[u8]>> {
         let mut st = self.st.lock();
         if !st.cache.contains(page) {
+            return None;
+        }
+        if self.strategy.before_ship(self, &mut st, page).is_err() {
             return None;
         }
         if st.wal.force().is_err() {

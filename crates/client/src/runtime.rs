@@ -12,7 +12,8 @@
 //! callbacks arrive on server-driving threads and take the same mutex.
 
 use crate::cache::ClientCache;
-use crate::txn::{TxnState, TxnStatus};
+use crate::strategy::{strategy_for, LoggingStrategy};
+use crate::txn::{TxnLogMode, TxnState, TxnStatus, UndoEntry};
 use fgl_common::config::CommitPolicy;
 use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Result, SlotId, SystemConfig, TxnId};
 use fgl_locks::glm::CallbackKind;
@@ -23,6 +24,7 @@ use fgl_net::wait::GrantMsg;
 use fgl_obs::{emit, Event, HistKind, LogOwner, Metrics};
 use fgl_server::runtime::{LockResponse, ServerCore};
 use fgl_storage::page::Page;
+use fgl_wal::envelope::{RedoUpdateRecord, StrategyRecord};
 use fgl_wal::manager::LogManager;
 use fgl_wal::records::{LogPayload, UpdateRecord};
 use fgl_wal::store::{LogStore, MemLogStore};
@@ -102,6 +104,8 @@ pub struct ClientCore {
     force_cv: Condvar,
     /// Shared with the server: one registry covers the whole system.
     pub(crate) metrics: Arc<Metrics>,
+    /// The logging strategy, resolved once from the config knob.
+    pub(crate) strategy: &'static dyn LoggingStrategy,
     commits: AtomicU64,
     aborts: AtomicU64,
     deadlock_victims: AtomicU64,
@@ -174,6 +178,7 @@ impl ClientCore {
             in_transit: HashMap::new(),
             crashed,
         };
+        let strategy = strategy_for(cfg.logging_strategy);
         let core = Arc::new(ClientCore {
             id,
             cfg,
@@ -184,6 +189,7 @@ impl ClientCore {
             force_state: Mutex::new(None),
             force_cv: Condvar::new(),
             metrics,
+            strategy,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             deadlock_victims: AtomicU64::new(0),
@@ -297,19 +303,15 @@ impl ClientCore {
                 },
             )?;
             match self.cfg.commit_policy {
-                CommitPolicy::ClientLog if self.cfg.group_commit => {
-                    // Group commit: release the state mutex *between* the
-                    // commit-record append and the force. Concurrent
-                    // committers append behind us in that window; whoever
-                    // reacquires the mutex first forces once for the whole
-                    // cohort and the rest find their records already
-                    // durable (see `group_force`).
-                    let upto = st.wal.end_lsn();
-                    (CommitPolicy::ClientLog, None, dirtied, Some(upto))
-                }
                 CommitPolicy::ClientLog => {
-                    st.wal.force()?;
-                    (CommitPolicy::ClientLog, None, dirtied, None)
+                    // The strategy decides how the commit record becomes
+                    // durable: force right here, or return an LSN to make
+                    // durable *after* the state mutex drops (group commit
+                    // and write-behind release the mutex between the
+                    // commit-record append and the force, so concurrent
+                    // committers can append behind us and share it).
+                    let upto = self.strategy.commit_append_done(self, &mut st)?;
+                    (CommitPolicy::ClientLog, None, dirtied, upto)
                 }
                 CommitPolicy::ServerLog | CommitPolicy::ShipPagesAtCommit => {
                     // ARIES/CSA shape: the durable copy of the log lives at
@@ -326,7 +328,7 @@ impl ClientCore {
             }
         };
         if let Some(upto) = group_force_upto {
-            self.group_force(txn, upto)?;
+            self.strategy.commit_wait_durable(self, txn, upto)?;
         }
         if let Some(bytes) = ship_log {
             self.server.commit_ship_log(self.id, bytes)?;
@@ -361,7 +363,15 @@ impl ClientCore {
     /// force covering its LSN just waits for that force to retire
     /// (piggybacked — no disk time of its own); one whose record is past
     /// the goal waits for the slot and leads the next force.
-    fn group_force(&self, txn: TxnId, upto: Lsn) -> Result<()> {
+    pub(crate) fn group_force(&self, txn: TxnId, upto: Lsn) -> Result<()> {
+        self.force_coalesced(txn, upto, Duration::ZERO)
+    }
+
+    /// The coalescing force behind both [`Self::group_force`] and the
+    /// write-behind strategy. A non-zero `window` makes the leader wait
+    /// *before* capturing its goal, widening the span of records (and
+    /// committers) one device write covers.
+    pub(crate) fn force_coalesced(&self, txn: TxnId, upto: Lsn, window: Duration) -> Result<()> {
         let wait_start = self.metrics.now_us();
         let mut forced = false;
         loop {
@@ -376,10 +386,22 @@ impl ClientCore {
                 continue;
             }
             // Become the leader. Capture the goal under the state mutex:
-            // everything appended so far rides this force.
-            let goal = self.st.lock().wal.end_lsn();
-            *fs = Some(goal);
-            drop(fs);
+            // everything appended so far rides this force. With a
+            // write-behind window the capture is delayed so cohort
+            // committers can append behind us first.
+            let goal = if window.is_zero() {
+                let g = self.st.lock().wal.end_lsn();
+                *fs = Some(g);
+                drop(fs);
+                g
+            } else {
+                *fs = Some(Lsn::NIL); // claim the slot; goal comes later
+                drop(fs);
+                fgl_sched::pause(window);
+                let g = self.st.lock().wal.end_lsn();
+                *self.force_state.lock() = Some(g);
+                g
+            };
             let started = self.metrics.now_us();
             if !self.cfg.disk_latency.is_zero() {
                 // The device works here, outside every lock — cohort
@@ -511,6 +533,7 @@ impl ClientCore {
             }
             return Ok(None);
         }
+        self.strategy.before_ship(self, &mut st, page)?;
         st.wal.force()?;
         let bytes: Option<Arc<[u8]>> = st.cache.peek(page).map(|p| Arc::from(p.as_bytes()));
         if bytes.is_some() {
@@ -586,15 +609,17 @@ impl ClientCore {
             let oid = ObjectId::new(page, slot);
             let prev = self.txn_prev(&st, txn)?;
             let psn_before = st.cache.peek(page).unwrap().psn();
-            let record = LogPayload::Update(UpdateRecord {
+            let mode = self.txn_log_mode(&mut st, txn, bytes.len())?;
+            let record = self.update_record(
+                mode,
                 txn,
-                prev_lsn: prev,
-                object: oid,
+                prev,
+                oid,
                 psn_before,
-                before: None,
-                after: Some(bytes.to_vec()),
-                structural: true,
-            });
+                None,
+                Some(bytes.to_vec()),
+                true,
+            );
             let lsn = match self.append(&mut st, &record, false) {
                 Ok(l) => l,
                 Err(FglError::LogFull) => {
@@ -608,6 +633,7 @@ impl ClientCore {
             let p = st.cache.get_mut(page).ok_or(FglError::PageNotFound(page))?;
             let got = p.insert_object(bytes)?;
             debug_assert_eq!(got, slot);
+            self.note_mem_undo(&mut st, mode, txn, oid, lsn, None);
             self.after_update(&mut st, txn, oid, lsn);
             st.llm.register_object_use(txn, oid, ObjMode::X);
             return Ok(oid);
@@ -683,15 +709,17 @@ impl ClientCore {
                 let (b, a) = f(p)?;
                 (b, a, p.psn())
             };
-            let record = LogPayload::Update(UpdateRecord {
+            let mode = self.txn_log_mode(&mut st, txn, after.as_ref().map_or(0, |a| a.len()))?;
+            let record = self.update_record(
+                mode,
                 txn,
-                prev_lsn: prev,
-                object: oid,
+                prev,
+                oid,
                 psn_before,
-                before: before.clone(),
-                after: after.clone(),
+                before.clone(),
+                after.clone(),
                 structural,
-            });
+            );
             let lsn = match self.append(&mut st, &record, false) {
                 Ok(l) => l,
                 Err(FglError::LogFull) => {
@@ -725,8 +753,94 @@ impl ClientCore {
                     (None, None) => {}
                 }
             }
+            self.note_mem_undo(&mut st, mode, txn, oid, lsn, before);
             self.after_update(&mut st, txn, oid, lsn);
             return Ok(());
+        }
+    }
+
+    /// The transaction's log mode, fixed by the strategy at its first
+    /// update (`payload_len` = that update's after-image length).
+    fn txn_log_mode(
+        &self,
+        st: &mut ClientState,
+        txn: TxnId,
+        payload_len: usize,
+    ) -> Result<TxnLogMode> {
+        let t =
+            st.txns
+                .get_mut(&txn)
+                .filter(|t| t.is_active())
+                .ok_or(FglError::InvalidTxnState {
+                    txn,
+                    state: "not active",
+                })?;
+        Ok(match t.log_mode {
+            Some(m) => m,
+            None => {
+                let m = self.strategy.log_mode_for_txn(payload_len);
+                t.log_mode = Some(m);
+                m
+            }
+        })
+    }
+
+    /// Build the log record for one object update under `mode`: the full
+    /// physical record, or the redo-only envelope (before-image withheld;
+    /// it goes on the in-memory undo stack instead).
+    #[allow(clippy::too_many_arguments)]
+    fn update_record(
+        &self,
+        mode: TxnLogMode,
+        txn: TxnId,
+        prev: Lsn,
+        oid: ObjectId,
+        psn_before: fgl_common::Psn,
+        before: Option<Vec<u8>>,
+        after: Option<Vec<u8>>,
+        structural: bool,
+    ) -> LogPayload {
+        match mode {
+            TxnLogMode::Physical => LogPayload::Update(UpdateRecord {
+                txn,
+                prev_lsn: prev,
+                object: oid,
+                psn_before,
+                before,
+                after,
+                structural,
+            }),
+            TxnLogMode::RedoOnly => StrategyRecord::RedoUpdate(RedoUpdateRecord {
+                txn,
+                prev_lsn: prev,
+                object: oid,
+                psn_before,
+                after,
+                structural,
+            })
+            .into_payload(self.strategy.envelope_id()),
+        }
+    }
+
+    /// RedoOnly mode keeps undo state in memory: push the before-image.
+    fn note_mem_undo(
+        &self,
+        st: &mut ClientState,
+        mode: TxnLogMode,
+        txn: TxnId,
+        oid: ObjectId,
+        lsn: Lsn,
+        before: Option<Vec<u8>>,
+    ) {
+        if mode != TxnLogMode::RedoOnly {
+            return;
+        }
+        if let Some(t) = st.txns.get_mut(&txn) {
+            t.undo.push(UndoEntry {
+                lsn,
+                object: oid,
+                before,
+            });
         }
     }
 
@@ -741,7 +855,7 @@ impl ClientCore {
             })
     }
 
-    fn after_update(&self, st: &mut ClientState, txn: TxnId, oid: ObjectId, lsn: Lsn) {
+    pub(crate) fn after_update(&self, st: &mut ClientState, txn: TxnId, oid: ObjectId, lsn: Lsn) {
         if let Some(t) = st.txns.get_mut(&txn) {
             t.note_record(lsn);
             t.dirtied.insert(oid.page);
@@ -1010,6 +1124,7 @@ impl ClientCore {
             return Ok(None);
         };
         let pid = ev.page.id();
+        self.strategy.before_ship(self, st, pid)?;
         st.wal.force()?;
         self.note_shipped(st, pid);
         st.in_transit.insert(pid, ev.page.into_bytes().into());
@@ -1032,6 +1147,7 @@ impl ClientCore {
             if !st.cache.is_dirty(page) {
                 return Ok(());
             }
+            self.strategy.before_ship(self, &mut st, page)?;
             st.wal.force()?;
             let b: Arc<[u8]> = st
                 .cache
@@ -1179,6 +1295,7 @@ impl ClientCore {
         });
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.metrics.add("client_checkpoints", 1);
+        self.strategy.on_checkpoint(self, st)?;
         Ok(())
     }
 
@@ -1191,7 +1308,13 @@ impl ClientCore {
 
     /// Walk the transaction's log chain backwards, undoing updates and
     /// writing CLRs, until reaching `upto` (NIL = full rollback).
+    /// RedoOnly-mode transactions have no before-images on the log; their
+    /// rollback pops the in-memory undo stack instead.
     fn rollback_chain(&self, txn: TxnId, upto: Lsn) -> Result<()> {
+        let mode = self.st.lock().txns.get(&txn).and_then(|t| t.log_mode);
+        if mode == Some(TxnLogMode::RedoOnly) {
+            return self.rollback_mem(txn, upto);
+        }
         loop {
             // Find the next record to undo.
             let entry = {
@@ -1255,9 +1378,56 @@ impl ClientCore {
         }
     }
 
+    /// Rollback from the in-memory undo stack (RedoOnly mode). Each
+    /// popped entry still writes a real CLR — the restored image must be
+    /// redoable and the PSN ordering observable by merges — but the CLR's
+    /// undo-next is NIL: the stack, not the log chain, carries progress.
+    fn rollback_mem(&self, txn: TxnId, upto: Lsn) -> Result<()> {
+        loop {
+            let entry = {
+                let mut st = self.st.lock();
+                let t = st.txns.get_mut(&txn).ok_or(FglError::InvalidTxnState {
+                    txn,
+                    state: "unknown",
+                })?;
+                match t.undo.last() {
+                    Some(u) if u.lsn > upto => t.undo.pop(),
+                    _ => None,
+                }
+            };
+            let Some(u) = entry else {
+                return Ok(());
+            };
+            self.ensure_page_present(u.object.page)?;
+            let mut st = self.st.lock();
+            let psn_before = st
+                .cache
+                .peek(u.object.page)
+                .ok_or(FglError::PageNotFound(u.object.page))?
+                .psn();
+            let clr = LogPayload::Clr(fgl_wal::records::ClrRecord {
+                txn,
+                prev_lsn: st.txns.get(&txn).unwrap().last_lsn,
+                undo_next: Lsn::NIL,
+                object: u.object,
+                psn_before,
+                after: u.before.clone(),
+            });
+            let clr_lsn = self.append_critical(&mut st, &clr)?;
+            {
+                let p = st
+                    .cache
+                    .get_mut(u.object.page)
+                    .ok_or(FglError::PageNotFound(u.object.page))?;
+                Self::undo_install(p, u.object.slot, u.before.as_deref())?;
+            }
+            self.after_update(&mut st, txn, u.object, clr_lsn);
+        }
+    }
+
     /// Install the before-image during undo (bumps the PSN like a normal
     /// update so later merges order correctly).
-    fn undo_install(page: &mut Page, slot: SlotId, before: Option<&[u8]>) -> Result<()> {
+    pub(crate) fn undo_install(page: &mut Page, slot: SlotId, before: Option<&[u8]>) -> Result<()> {
         match before {
             None => {
                 page.free_object(slot)?;
@@ -1354,5 +1524,10 @@ impl ClientCore {
     pub fn log_usage(&self) -> (u64, u64) {
         let st = self.st.lock();
         (st.wal.bytes_in_use(), st.wal.capacity())
+    }
+
+    /// Bytes appended to the private log per record kind (non-zero only).
+    pub fn wal_bytes_by_kind(&self) -> Vec<(&'static str, u64)> {
+        self.st.lock().wal.bytes_by_kind()
     }
 }

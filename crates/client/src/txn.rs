@@ -7,7 +7,7 @@
 //! partial rollbacks), and the pages dirtied (the ship-pages-at-commit
 //! baseline needs them).
 
-use fgl_common::{Lsn, PageId, TxnId};
+use fgl_common::{Lsn, ObjectId, PageId, TxnId};
 use std::collections::HashSet;
 
 /// Lifecycle of a client transaction.
@@ -16,6 +16,32 @@ pub enum TxnStatus {
     Active,
     Committed,
     Aborted,
+}
+
+/// How a transaction's updates hit the log — decided by the active
+/// `LoggingStrategy` at the transaction's first
+/// update and fixed for its lifetime (the hybrid strategy of Yao et al.,
+/// arXiv 1503.03653, picks per transaction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnLogMode {
+    /// Full ARIES physical logging: before- and after-images on every
+    /// update record; undo walks the log chain.
+    Physical,
+    /// REDO-only logging (Sauer & Härder, arXiv 1409.3682): after-images
+    /// only; undo information lives in [`TxnState::undo`] and is spilled
+    /// to the log only at the steal point.
+    RedoOnly,
+}
+
+/// One in-memory undo entry of a [`TxnLogMode::RedoOnly`] transaction:
+/// everything rollback needs that the log deliberately does not carry.
+#[derive(Clone, Debug)]
+pub struct UndoEntry {
+    /// LSN of the redo record this entry compensates (savepoint bound).
+    pub lsn: Lsn,
+    pub object: ObjectId,
+    /// `None` means "object did not exist before" (undo frees the slot).
+    pub before: Option<Vec<u8>>,
 }
 
 /// One active transaction.
@@ -31,6 +57,13 @@ pub struct TxnState {
     pub savepoints: Vec<(String, Lsn)>,
     /// Pages this transaction dirtied.
     pub dirtied: HashSet<PageId>,
+    /// Logging mode, fixed by the strategy at the first update.
+    pub log_mode: Option<TxnLogMode>,
+    /// In-memory undo stack (RedoOnly mode only), oldest first.
+    pub undo: Vec<UndoEntry>,
+    /// Objects whose first-touch before-image was already spilled to the
+    /// log at a steal point (RedoOnly mode only).
+    pub spilled: HashSet<ObjectId>,
 }
 
 impl TxnState {
@@ -42,6 +75,9 @@ impl TxnState {
             first_lsn: Lsn::NIL,
             savepoints: Vec::new(),
             dirtied: HashSet::new(),
+            log_mode: None,
+            undo: Vec::new(),
+            spilled: HashSet::new(),
         }
     }
 

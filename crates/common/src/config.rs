@@ -35,6 +35,68 @@ pub enum UpdatePolicy {
     UpdateToken,
 }
 
+/// Which logging/recovery strategy the clients run (the `LoggingStrategy`
+/// seam). Orthogonal to [`CommitPolicy`]: strategies other than the
+/// default require `CommitPolicy::ClientLog`, because they reshape the
+/// private-log record stream that the server-log baselines ship verbatim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoggingStrategyKind {
+    /// The paper's client-based ARIES: physical before/after images,
+    /// three-pass (analysis/redo/undo) restart — the default.
+    #[default]
+    ClientAries,
+    /// REDO-only logging with single-pass restart (Sauer & Härder,
+    /// arXiv 1409.3682): update records carry no before-image; undo
+    /// information lives in memory and is spilled to the log only when an
+    /// uncommitted dirty page leaves the client.
+    RedoOnly,
+    /// Adaptive command/physical hybrid (Yao et al., arXiv 1503.03653):
+    /// each transaction picks redo-only ("command-sized") or full physical
+    /// records at its first update, based on payload size.
+    Hybrid,
+    /// No-force write-behind baseline: commit records are not forced
+    /// individually; a deferred batched force makes whole cohorts durable
+    /// at once (commit still blocks until its record is covered).
+    WriteBehind,
+}
+
+impl LoggingStrategyKind {
+    /// Stable snake_case name used for metrics keys and CLI/env parsing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoggingStrategyKind::ClientAries => "client_aries",
+            LoggingStrategyKind::RedoOnly => "redo_only",
+            LoggingStrategyKind::Hybrid => "hybrid",
+            LoggingStrategyKind::WriteBehind => "write_behind",
+        }
+    }
+
+    /// All strategies, in shootout order.
+    pub const ALL: [LoggingStrategyKind; 4] = [
+        LoggingStrategyKind::ClientAries,
+        LoggingStrategyKind::RedoOnly,
+        LoggingStrategyKind::Hybrid,
+        LoggingStrategyKind::WriteBehind,
+    ];
+}
+
+impl std::str::FromStr for LoggingStrategyKind {
+    type Err = FglError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s.replace('-', "_").as_str() {
+            "client_aries" | "aries" => Ok(LoggingStrategyKind::ClientAries),
+            "redo_only" => Ok(LoggingStrategyKind::RedoOnly),
+            "hybrid" => Ok(LoggingStrategyKind::Hybrid),
+            "write_behind" => Ok(LoggingStrategyKind::WriteBehind),
+            other => Err(FglError::Config(format!(
+                "unknown logging strategy {other:?} (expected client_aries, \
+                 redo_only, hybrid, or write_behind)"
+            ))),
+        }
+    }
+}
+
 /// Where log records live and what commit ships (§4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommitPolicy {
@@ -73,6 +135,8 @@ pub struct SystemConfig {
     pub update_policy: UpdatePolicy,
     /// Commit/logging policy.
     pub commit_policy: CommitPolicy,
+    /// Client logging/recovery strategy (the `LoggingStrategy` seam).
+    pub logging_strategy: LoggingStrategyKind,
     /// A client takes a fuzzy checkpoint after this many log records.
     pub client_checkpoint_every: u64,
     /// The server takes a fuzzy checkpoint after this many log records.
@@ -113,6 +177,7 @@ impl Default for SystemConfig {
             granularity: LockGranularity::Object,
             update_policy: UpdatePolicy::MergeCopies,
             commit_policy: CommitPolicy::ClientLog,
+            logging_strategy: LoggingStrategyKind::ClientAries,
             client_checkpoint_every: 2_000,
             server_checkpoint_every: 4_000,
             lock_timeout: Duration::from_secs(5),
@@ -160,6 +225,15 @@ impl SystemConfig {
                 self.server_shards
             )));
         }
+        if self.logging_strategy != LoggingStrategyKind::ClientAries
+            && self.commit_policy != CommitPolicy::ClientLog
+        {
+            return Err(FglError::Config(format!(
+                "logging_strategy {:?} requires CommitPolicy::ClientLog \
+                 (server-log baselines ship the default record stream)",
+                self.logging_strategy
+            )));
+        }
         Ok(())
     }
 
@@ -178,6 +252,12 @@ impl SystemConfig {
     /// Builder-style setter for the commit policy.
     pub fn with_commit_policy(mut self, p: CommitPolicy) -> Self {
         self.commit_policy = p;
+        self
+    }
+
+    /// Builder-style setter for the logging strategy.
+    pub fn with_logging_strategy(mut self, s: LoggingStrategyKind) -> Self {
+        self.logging_strategy = s;
         self
     }
 
@@ -255,6 +335,32 @@ mod tests {
         let d = SystemConfig::default();
         assert!(d.callback_batching);
         assert!(d.group_commit);
+    }
+
+    #[test]
+    fn logging_strategy_parses_and_defaults() {
+        assert_eq!(
+            SystemConfig::default().logging_strategy,
+            LoggingStrategyKind::ClientAries
+        );
+        for k in LoggingStrategyKind::ALL {
+            assert_eq!(k.name().parse::<LoggingStrategyKind>().unwrap(), k);
+        }
+        assert_eq!(
+            "redo-only".parse::<LoggingStrategyKind>().unwrap(),
+            LoggingStrategyKind::RedoOnly
+        );
+        assert!("paranoid".parse::<LoggingStrategyKind>().is_err());
+    }
+
+    #[test]
+    fn non_default_strategy_requires_client_log() {
+        let c = SystemConfig::default()
+            .with_logging_strategy(LoggingStrategyKind::RedoOnly)
+            .with_commit_policy(CommitPolicy::ServerLog);
+        assert!(c.validate().is_err());
+        let c = SystemConfig::default().with_logging_strategy(LoggingStrategyKind::WriteBehind);
+        c.validate().unwrap();
     }
 
     #[test]

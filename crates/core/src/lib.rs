@@ -42,7 +42,9 @@
 //! on its own.
 
 pub use fgl_client::{ClientCore, ClientRecoveryReport, ClientStats, RecoveryOptions};
-pub use fgl_common::config::{CommitPolicy, LockGranularity, SystemConfig, UpdatePolicy};
+pub use fgl_common::config::{
+    CommitPolicy, LockGranularity, LoggingStrategyKind, SystemConfig, UpdatePolicy,
+};
 pub use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Psn, Result, SlotId, TxnId};
 pub use fgl_locks::mode::{LockTarget, Mode, ObjMode};
 pub use fgl_net::stats::{MsgKind, NetSim, NetSnapshot};
@@ -191,6 +193,21 @@ impl System {
             snap.set_counter("disk_reads", reads);
             snap.set_counter("disk_writes", writes);
             snap.set_counter("disk_syncs", syncs);
+        }
+
+        // Per-record-kind WAL byte accounting, summed across every client
+        // log plus the server log (satellite obs for the strategy seam).
+        let mut by_kind: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        for client in &self.clients {
+            for (kind, bytes) in client.wal_bytes_by_kind() {
+                *by_kind.entry(kind).or_insert(0) += bytes;
+            }
+        }
+        for (kind, bytes) in self.server.wal_bytes_by_kind() {
+            *by_kind.entry(kind).or_insert(0) += bytes;
+        }
+        for (kind, bytes) in by_kind {
+            snap.set_counter(&format!("wal_bytes_{kind}"), bytes);
         }
         snap
     }
@@ -513,6 +530,139 @@ mod tests {
             6,
             "every commit is forced or piggybacked"
         );
+    }
+
+    fn strategy_cfg(kind: LoggingStrategyKind) -> SystemConfig {
+        SystemConfig::default().with_logging_strategy(kind)
+    }
+
+    /// A committed update must survive a client crash + recovery under
+    /// every logging strategy, and an in-flight one must roll back.
+    #[test]
+    fn every_strategy_commits_durably_and_rolls_back_losers() {
+        for kind in LoggingStrategyKind::ALL {
+            let sys = System::build(strategy_cfg(kind), 1).unwrap();
+            let c = sys.client(0);
+            let t = c.begin().unwrap();
+            let page = c.create_page(t).unwrap();
+            let obj = c.insert(t, page, b"durable!").unwrap();
+            c.commit(t).unwrap();
+
+            let t = c.begin().unwrap();
+            c.write(t, obj, b"in-flite").unwrap();
+            c.checkpoint().unwrap();
+            c.crash();
+            c.recover().unwrap();
+
+            let t = c.begin().unwrap();
+            assert_eq!(
+                c.read(t, obj).unwrap(),
+                b"durable!",
+                "strategy {kind:?}: commit lost or loser not undone"
+            );
+            c.commit(t).unwrap();
+        }
+    }
+
+    /// Rollback without a crash (plain abort) must work under the
+    /// redo-only strategies, which undo from the in-memory stack rather
+    /// than the log's undo chain.
+    #[test]
+    fn redo_only_abort_uses_memory_undo() {
+        for kind in [LoggingStrategyKind::RedoOnly, LoggingStrategyKind::Hybrid] {
+            let sys = System::build(strategy_cfg(kind), 1).unwrap();
+            let c = sys.client(0);
+            let t = c.begin().unwrap();
+            let page = c.create_page(t).unwrap();
+            let a = c.insert(t, page, b"keep").unwrap();
+            c.commit(t).unwrap();
+
+            let t = c.begin().unwrap();
+            c.write(t, a, b"temp").unwrap();
+            let b = c.insert(t, page, b"gone").unwrap();
+            c.abort(t).unwrap();
+
+            let t = c.begin().unwrap();
+            assert_eq!(c.read(t, a).unwrap(), b"keep", "strategy {kind:?}");
+            assert!(c.read(t, b).is_err(), "strategy {kind:?}: insert survived");
+            c.commit(t).unwrap();
+        }
+    }
+
+    /// REDO-only logging writes no before-images, so the same committed
+    /// workload must produce a strictly smaller log than full ARIES.
+    #[test]
+    fn redo_only_logs_fewer_bytes_than_aries() {
+        let run = |kind| {
+            let sys = System::build(strategy_cfg(kind), 1).unwrap();
+            let c = sys.client(0);
+            let t = c.begin().unwrap();
+            let page = c.create_page(t).unwrap();
+            let obj = c.insert(t, page, &[7u8; 200]).unwrap();
+            c.commit(t).unwrap();
+            for _ in 0..20 {
+                let t = c.begin().unwrap();
+                c.write(t, obj, &[9u8; 200]).unwrap();
+                c.commit(t).unwrap();
+            }
+            sys.client(0).stats().log_bytes
+        };
+        let aries = run(LoggingStrategyKind::ClientAries);
+        let redo = run(LoggingStrategyKind::RedoOnly);
+        assert!(
+            redo < aries,
+            "redo-only ({redo} B) must log less than aries ({aries} B)"
+        );
+    }
+
+    /// The hybrid strategy picks physical (ARIES) logging for large
+    /// payloads and redo-only for small ones, per transaction.
+    #[test]
+    fn hybrid_mixes_update_and_ext_records() {
+        let sys = System::build(strategy_cfg(LoggingStrategyKind::Hybrid), 1).unwrap();
+        let c = sys.client(0);
+        let t = c.begin().unwrap();
+        let page = c.create_page(t).unwrap();
+        let small = c.insert(t, page, b"tiny").unwrap(); // <= threshold → redo-only
+        let big = c.insert(t, page, &[1u8; 120]).unwrap(); // > threshold → physical
+        c.commit(t).unwrap();
+        for _ in 0..3 {
+            let t = c.begin().unwrap();
+            c.write(t, small, b"tidy").unwrap();
+            c.commit(t).unwrap();
+            let t = c.begin().unwrap();
+            c.write(t, big, &[2u8; 120]).unwrap();
+            c.commit(t).unwrap();
+        }
+        let snap = sys.metrics_snapshot();
+        let ext = snap.counters.get("wal_bytes_ext").copied().unwrap_or(0);
+        let upd = snap.counters.get("wal_bytes_update").copied().unwrap_or(0);
+        assert!(ext > 0, "hybrid must emit ext (redo-only) records");
+        assert!(upd > 0, "hybrid must emit physical update records");
+    }
+
+    /// wal_bytes_<kind> counters fold into the unified snapshot and cover
+    /// the commit/update traffic of an ordinary ARIES run.
+    #[test]
+    fn metrics_snapshot_folds_wal_bytes_by_kind() {
+        let sys = System::build(quiet_cfg(), 1).unwrap();
+        let c = sys.client(0);
+        let t = c.begin().unwrap();
+        let page = c.create_page(t).unwrap();
+        let obj = c.insert(t, page, b"data").unwrap();
+        c.commit(t).unwrap();
+        let t = c.begin().unwrap();
+        c.write(t, obj, b"more").unwrap();
+        c.commit(t).unwrap();
+        let snap = sys.metrics_snapshot();
+        for kind in ["begin", "update", "commit"] {
+            let v = snap
+                .counters
+                .get(&format!("wal_bytes_{kind}"))
+                .copied()
+                .unwrap_or(0);
+            assert!(v > 0, "wal_bytes_{kind} must be non-zero");
+        }
     }
 
     #[test]

@@ -115,11 +115,17 @@ impl Clock for ManualClock {
 }
 
 /// The registry: one histogram per [`HistKind`], a dynamic set of named
-/// counters, one clock. Shared via `Arc` between server, clients and the
-/// WAL managers.
+/// counters and named histograms, one clock. Shared via `Arc` between
+/// server, clients and the WAL managers.
+///
+/// The fixed [`HistKind`] histograms cover the always-on hot paths (no
+/// allocation, no map lookup); the *named* histograms carry
+/// strategy-keyed series such as `recovery_phase_us_<strategy>_<phase>`,
+/// where the key set is not known at compile time.
 pub struct Metrics {
     hists: [Histogram; HIST_KINDS.len()],
-    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    named_hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
     clock: Box<dyn Clock>,
 }
 
@@ -140,6 +146,7 @@ impl Metrics {
         Metrics {
             hists: Default::default(),
             counters: RwLock::new(BTreeMap::new()),
+            named_hists: RwLock::new(BTreeMap::new()),
             clock,
         }
     }
@@ -160,7 +167,7 @@ impl Metrics {
     }
 
     /// Add to a named counter, creating it on first use.
-    pub fn add(&self, name: &'static str, delta: u64) {
+    pub fn add(&self, name: &str, delta: u64) {
         if let Some(c) = self.counters.read().unwrap().get(name) {
             c.fetch_add(delta, Ordering::Relaxed);
             return;
@@ -168,9 +175,26 @@ impl Metrics {
         self.counters
             .write()
             .unwrap()
-            .entry(name)
+            .entry(name.to_string())
             .or_default()
             .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Record into a named histogram, creating it on first use. For
+    /// series whose key set is only known at runtime (e.g. keyed by the
+    /// configured logging strategy); hot paths use the fixed
+    /// [`HistKind`] histograms instead.
+    pub fn observe_named(&self, name: &str, micros: u64) {
+        if let Some(h) = self.named_hists.read().unwrap().get(name) {
+            h.record(micros);
+            return;
+        }
+        self.named_hists
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .record(micros);
     }
 
     /// Point-in-time copy of every counter and histogram.
@@ -185,6 +209,9 @@ impl Metrics {
         let mut hists = BTreeMap::new();
         for kind in HIST_KINDS {
             hists.insert(kind.name().to_string(), self.hists[kind.index()].snapshot());
+        }
+        for (k, h) in self.named_hists.read().unwrap().iter() {
+            hists.insert(k.clone(), h.snapshot());
         }
         Snapshot { counters, hists }
     }
@@ -390,6 +417,21 @@ mod tests {
         let d = after.delta_since(&before);
         assert_eq!(d.counters["msgs"], 7);
         assert_eq!(d.counters["new_counter"], 1);
+    }
+
+    #[test]
+    fn named_histograms_appear_in_snapshot() {
+        let m = Metrics::new();
+        m.observe_named("recovery_phase_us_redo_only_redo", 40);
+        m.observe_named("recovery_phase_us_redo_only_redo", 60);
+        let s = m.snapshot();
+        let h = &s.hists["recovery_phase_us_redo_only_redo"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 100);
+        // Named histograms participate in deltas like the fixed ones.
+        m.observe_named("recovery_phase_us_redo_only_redo", 10);
+        let d = m.snapshot().delta_since(&s);
+        assert_eq!(d.hists["recovery_phase_us_redo_only_redo"].count, 1);
     }
 
     #[test]

@@ -111,27 +111,27 @@ impl ServerCore {
                 disk_psn.insert(*page, p.psn());
             }
         }
-        // Step 3: reload the checkpoint DCT, then scan replacement records.
-        let (ckpt_lsn, scan_from, ckpt_dct) = {
+        // Step 3: reload the checkpoint DCT, then scan forward through
+        // the shared checkpoint-anchored iterator — the floor is the
+        // checkpointed DCT's minimum RedoLSN (or the low-water mark when
+        // the checkpoint is unusable).
+        let (scan_floor, ckpt_dct) = {
             let slog = self.slog_mut();
-            let ckpt = slog.last_checkpoint();
-            if ckpt.is_nil() {
-                (ckpt, slog.low_water(), Vec::new())
-            } else {
-                match slog.read_at(ckpt) {
-                    Ok(entry) => match entry.payload {
-                        LogPayload::ServerCheckpoint { dct } => {
-                            let min_redo =
-                                dct.iter().filter_map(|e| e.redo_lsn).min().unwrap_or(ckpt);
-                            (ckpt, min_redo.min(ckpt), dct)
-                        }
-                        _ => (ckpt, slog.low_water(), Vec::new()),
-                    },
-                    Err(_) => (ckpt, slog.low_water(), Vec::new()),
-                }
+            match slog.checkpoint_entry() {
+                Some(entry) => match entry.payload {
+                    LogPayload::ServerCheckpoint { dct } => {
+                        let min_redo = dct
+                            .iter()
+                            .filter_map(|e| e.redo_lsn)
+                            .min()
+                            .unwrap_or(Lsn::NIL);
+                        (min_redo, dct)
+                    }
+                    _ => (slog.low_water(), Vec::new()),
+                },
+                None => (slog.low_water(), Vec::new()),
             }
         };
-        let _ = ckpt_lsn;
         // §3.5: checkpointed entries (which may reference crashed
         // clients' pages) seed the table, each in its page's shard.
         for e in ckpt_dct {
@@ -139,7 +139,7 @@ impl ServerCore {
         }
         let replacement_records: Vec<(Lsn, LogPayload)> = {
             let slog = self.slog_mut();
-            slog.scan_from(scan_from)
+            slog.scan_from_checkpoint(scan_floor)
                 .map(|e| (e.lsn, e.payload))
                 .collect()
         };
@@ -283,6 +283,17 @@ impl ServerCore {
             replay,
         };
         let metrics = self.metrics();
+        let strategy = self.config().logging_strategy.name();
+        for (phase, took) in [
+            ("gather", gather),
+            ("dct_rebuild", dct_rebuild),
+            ("replay", replay),
+        ] {
+            metrics.observe_named(
+                &format!("recovery_phase_us_{strategy}_server_{phase}"),
+                took.as_micros() as u64,
+            );
+        }
         metrics.add("server_restarts", 1);
         metrics.add("server_recovery_gather_us", gather.as_micros() as u64);
         metrics.add(

@@ -1324,4 +1324,9 @@ impl ServerCore {
         let slog = self.slog.lock();
         (slog.last_checkpoint(), slog.end_lsn())
     }
+
+    /// Bytes appended to the server log per record kind (non-zero only).
+    pub fn wal_bytes_by_kind(&self) -> Vec<(&'static str, u64)> {
+        self.slog.lock().bytes_by_kind()
+    }
 }

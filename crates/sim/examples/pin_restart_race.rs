@@ -11,6 +11,7 @@
 //! ```text
 //! pin_restart_race [ITERS] [SEED]
 //! FGL_SOAK_ITERS=100 FGL_SOAK_SEED=7 FGL_SOAK_SCHED=event pin_restart_race
+//! FGL_SOAK_STRATEGY=redo-only pin_restart_race   # non-default logging
 //! ```
 //!
 //! Positional args win over env vars; each iteration `i` runs with seed
@@ -36,6 +37,10 @@ fn main() {
     let scheduler: SchedulerKind = std::env::var("FGL_SOAK_SCHED")
         .map(|v| v.parse().expect("FGL_SOAK_SCHED"))
         .unwrap_or_default();
+    let strategy: fgl::LoggingStrategyKind = std::env::var("FGL_SOAK_STRATEGY")
+        .map(|v| v.parse().expect("FGL_SOAK_STRATEGY"))
+        .unwrap_or_default();
+    let cfg = SystemConfig::default().with_logging_strategy(strategy);
 
     let mut spec = WorkloadSpec::new(WorkloadKind::HotCold);
     spec.pages = 12;
@@ -44,13 +49,14 @@ fn main() {
     spec.write_fraction = 0.5;
 
     eprintln!(
-        "soak: {iters} iterations, seeds {base_seed}.., scheduler={}",
-        scheduler.name()
+        "soak: {iters} iterations, seeds {base_seed}.., scheduler={}, strategy={}",
+        scheduler.name(),
+        strategy.name()
     );
     for i in 1..=iters {
         let seed = base_seed + (i - 1);
         let r = run_crash_scenario_with(
-            SystemConfig::default(),
+            cfg.clone(),
             3,
             CrashKind::Server,
             spec.clone(),

@@ -1,0 +1,248 @@
+//! Strategy-owned record semantics, carried inside the tagged envelope.
+//!
+//! The log transport ([`crate::manager`], [`crate::records`]) understands
+//! exactly one extension tag: [`ExtRecord`], an
+//! envelope with a transport-visible header (owning strategy, record kind,
+//! optional txn/page for scans) and an opaque body. This module defines
+//! the bodies the non-default logging strategies put inside it:
+//!
+//! * [`RedoUpdateRecord`] — an object update with **no before-image**
+//!   (REDO-only logging, Sauer & Härder arXiv 1409.3682; also the
+//!   "command-sized" side of the hybrid strategy, Yao et al.
+//!   arXiv 1503.03653). Undo information stays in client memory.
+//! * [`UndoSpillRecord`] — the first-touch before-image of one object of
+//!   an uncommitted transaction, forced right before the dirty page
+//!   carrying that update leaves the client (the steal point). This is
+//!   the only undo information a redo-only loser leaves behind, and it is
+//!   exactly enough: updates that never shipped need no undo after a
+//!   crash.
+//!
+//! Strategies may define further kinds; unknown kinds decode to an error
+//! so scans of a newer log fail loudly instead of misinterpreting bytes.
+
+use crate::codec::{Reader, Writer};
+use crate::records::{ExtRecord, LogPayload};
+use fgl_common::{FglError, Lsn, ObjectId, Psn, Result, TxnId};
+
+/// Envelope `strategy` ids (who owns the body encoding).
+pub const STRATEGY_REDO_ONLY: u8 = 1;
+pub const STRATEGY_HYBRID: u8 = 2;
+
+const EXT_KIND_REDO_UPDATE: u8 = 1;
+const EXT_KIND_UNDO_SPILL: u8 = 2;
+
+/// An object update whose before-image was deliberately not logged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RedoUpdateRecord {
+    pub txn: TxnId,
+    /// Backward chain within the transaction (ARIES PrevLSN).
+    pub prev_lsn: Lsn,
+    pub object: ObjectId,
+    /// PSN of the page immediately before this update was applied.
+    pub psn_before: Psn,
+    /// `None` means "object deleted".
+    pub after: Option<Vec<u8>>,
+    pub structural: bool,
+}
+
+/// First-touch before-image of one uncommitted object update, spilled at
+/// the steal point (right before the dirty page ships).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UndoSpillRecord {
+    pub txn: TxnId,
+    pub object: ObjectId,
+    /// `None` means "object was absent before the transaction touched it"
+    /// (undo frees the slot).
+    pub before: Option<Vec<u8>>,
+}
+
+/// Typed view of a strategy-owned envelope body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StrategyRecord {
+    RedoUpdate(RedoUpdateRecord),
+    UndoSpill(UndoSpillRecord),
+}
+
+impl StrategyRecord {
+    /// Wrap into a transport envelope owned by `strategy`.
+    pub fn into_payload(self, strategy: u8) -> LogPayload {
+        let (kind, txn, page, body) = match &self {
+            StrategyRecord::RedoUpdate(u) => {
+                let mut w = Writer::new();
+                w.txn(u.txn);
+                w.lsn(u.prev_lsn);
+                w.object(u.object);
+                w.psn(u.psn_before);
+                w.opt_bytes(u.after.as_deref());
+                w.bool(u.structural);
+                (
+                    EXT_KIND_REDO_UPDATE,
+                    Some(u.txn),
+                    Some(u.object.page),
+                    w.into_bytes(),
+                )
+            }
+            StrategyRecord::UndoSpill(s) => {
+                let mut w = Writer::new();
+                w.txn(s.txn);
+                w.object(s.object);
+                w.opt_bytes(s.before.as_deref());
+                (
+                    EXT_KIND_UNDO_SPILL,
+                    Some(s.txn),
+                    Some(s.object.page),
+                    w.into_bytes(),
+                )
+            }
+        };
+        LogPayload::Ext(ExtRecord {
+            strategy,
+            kind,
+            txn,
+            page,
+            body,
+        })
+    }
+
+    /// Decode the body of an envelope (any owning strategy; the body
+    /// layouts are shared between the redo-only and hybrid strategies).
+    pub fn decode(ext: &ExtRecord) -> Result<StrategyRecord> {
+        let mut r = Reader::new(&ext.body);
+        let rec = match ext.kind {
+            EXT_KIND_REDO_UPDATE => StrategyRecord::RedoUpdate(RedoUpdateRecord {
+                txn: r.txn()?,
+                prev_lsn: r.lsn()?,
+                object: r.object()?,
+                psn_before: r.psn()?,
+                after: r.opt_bytes()?,
+                structural: r.bool()?,
+            }),
+            EXT_KIND_UNDO_SPILL => StrategyRecord::UndoSpill(UndoSpillRecord {
+                txn: r.txn()?,
+                object: r.object()?,
+                before: r.opt_bytes()?,
+            }),
+            k => {
+                return Err(FglError::Corrupt(format!(
+                    "unknown strategy record kind {k} (strategy {})",
+                    ext.strategy
+                )))
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(FglError::Corrupt(format!(
+                "{} trailing bytes in strategy record body",
+                r.remaining()
+            )));
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgl_common::{ClientId, PageId, SlotId};
+
+    fn obj(p: u64, s: u16) -> ObjectId {
+        ObjectId::new(PageId(p), SlotId(s))
+    }
+
+    fn roundtrip(rec: StrategyRecord, strategy: u8) {
+        let payload = rec.clone().into_payload(strategy);
+        let bytes = payload.encode();
+        let decoded = LogPayload::decode(&bytes).unwrap();
+        let LogPayload::Ext(ext) = &decoded else {
+            panic!("expected Ext envelope, got {decoded:?}");
+        };
+        assert_eq!(ext.strategy, strategy);
+        assert_eq!(StrategyRecord::decode(ext).unwrap(), rec);
+    }
+
+    #[test]
+    fn strategy_records_roundtrip_through_envelope() {
+        let txn = TxnId::compose(ClientId(3), 11);
+        roundtrip(
+            StrategyRecord::RedoUpdate(RedoUpdateRecord {
+                txn,
+                prev_lsn: Lsn(64),
+                object: obj(7, 4),
+                psn_before: Psn(2),
+                after: Some(b"redo image".to_vec()),
+                structural: false,
+            }),
+            STRATEGY_REDO_ONLY,
+        );
+        roundtrip(
+            StrategyRecord::RedoUpdate(RedoUpdateRecord {
+                txn,
+                prev_lsn: Lsn::NIL,
+                object: obj(7, 5),
+                psn_before: Psn(0),
+                after: None,
+                structural: true,
+            }),
+            STRATEGY_HYBRID,
+        );
+        roundtrip(
+            StrategyRecord::UndoSpill(UndoSpillRecord {
+                txn,
+                object: obj(7, 4),
+                before: Some(b"old".to_vec()),
+            }),
+            STRATEGY_REDO_ONLY,
+        );
+        roundtrip(
+            StrategyRecord::UndoSpill(UndoSpillRecord {
+                txn,
+                object: obj(9, 0),
+                before: None,
+            }),
+            STRATEGY_HYBRID,
+        );
+    }
+
+    #[test]
+    fn envelope_accessors_come_from_header() {
+        let txn = TxnId::compose(ClientId(1), 2);
+        let payload = StrategyRecord::UndoSpill(UndoSpillRecord {
+            txn,
+            object: obj(42, 1),
+            before: None,
+        })
+        .into_payload(STRATEGY_REDO_ONLY);
+        assert_eq!(payload.txn(), Some(txn));
+        assert_eq!(payload.page(), Some(PageId(42)));
+    }
+
+    #[test]
+    fn unknown_strategy_kind_rejected() {
+        let ext = ExtRecord {
+            strategy: STRATEGY_REDO_ONLY,
+            kind: 200,
+            txn: None,
+            page: None,
+            body: vec![1, 2, 3],
+        };
+        assert!(StrategyRecord::decode(&ext).is_err());
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let txn = TxnId::compose(ClientId(1), 2);
+        let payload = StrategyRecord::RedoUpdate(RedoUpdateRecord {
+            txn,
+            prev_lsn: Lsn(8),
+            object: obj(1, 0),
+            psn_before: Psn(1),
+            after: Some(b"x".to_vec()),
+            structural: false,
+        })
+        .into_payload(STRATEGY_HYBRID);
+        let LogPayload::Ext(mut ext) = payload else {
+            unreachable!()
+        };
+        ext.body.truncate(ext.body.len() - 2);
+        assert!(StrategyRecord::decode(&ext).is_err());
+    }
+}

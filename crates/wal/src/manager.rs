@@ -20,7 +20,7 @@
 //! back — the standard way WAL systems avoid deadlocking on their own log.
 
 use crate::codec::checksum;
-use crate::records::LogPayload;
+use crate::records::{LogPayload, KIND_NAMES};
 use crate::store::{LogStore, MasterAnchor};
 use fgl_common::{FglError, Lsn, Result};
 use fgl_obs::{Event, HistKind, LogOwner, Metrics};
@@ -50,6 +50,10 @@ pub struct LogManager {
     appended: u64,
     /// Total bytes appended (informational).
     appended_bytes: u64,
+    /// Bytes appended per record kind, indexed like
+    /// [`KIND_NAMES`](crate::records::KIND_NAMES) (framed sizes, so the
+    /// per-kind numbers sum to `appended_bytes`).
+    bytes_by_kind: [u64; KIND_NAMES.len()],
     /// Number of force (sync) calls (informational).
     forces: u64,
     /// Observability hook: when attached, forces are timed into the
@@ -69,6 +73,7 @@ impl LogManager {
             last_checkpoint: Lsn::NIL,
             appended: 0,
             appended_bytes: 0,
+            bytes_by_kind: [0; KIND_NAMES.len()],
             forces: 0,
             obs: None,
         }
@@ -143,6 +148,17 @@ impl LogManager {
         (self.appended, self.appended_bytes, self.forces)
     }
 
+    /// Framed bytes appended per record kind: `(kind name, bytes)` for
+    /// every kind that has appeared.
+    pub fn bytes_by_kind(&self) -> Vec<(&'static str, u64)> {
+        KIND_NAMES
+            .iter()
+            .zip(self.bytes_by_kind)
+            .filter(|(_, b)| *b > 0)
+            .map(|(n, b)| (*n, b))
+            .collect()
+    }
+
     fn frame(payload: &LogPayload) -> Vec<u8> {
         let body = payload.encode();
         let mut framed = Vec::with_capacity(body.len() + FRAME_HEADER);
@@ -166,6 +182,7 @@ impl LogManager {
         self.store.append(&framed)?;
         self.appended += 1;
         self.appended_bytes += framed.len() as u64;
+        self.bytes_by_kind[payload.kind_index()] += framed.len() as u64;
         Ok(lsn)
     }
 
@@ -297,6 +314,32 @@ impl LogManager {
     /// convenience).
     pub fn collect_from(&self, from: Lsn) -> Vec<LogRecordEntry> {
         self.scan_from(from).collect()
+    }
+
+    /// Read and decode the last complete checkpoint record, if one exists
+    /// and is still readable (it may have been reclaimed past, or the
+    /// anchor may point into a torn region — both degrade to `None`, and
+    /// the caller falls back to a full scan).
+    pub fn checkpoint_entry(&self) -> Option<LogRecordEntry> {
+        if self.last_checkpoint.is_nil() {
+            return None;
+        }
+        self.read_at(self.last_checkpoint).ok()
+    }
+
+    /// The checkpoint-anchored analysis scan both restart paths share:
+    /// records from `min(last checkpoint, floor)` to the end. `floor` is
+    /// the earliest LSN the caller's checkpoint payload says may still
+    /// need work (a DPT/DCT minimum RedoLSN); pass [`Lsn::NIL`] when there
+    /// is none. With no checkpoint at all the scan covers the whole
+    /// usable log (from the low-water mark).
+    pub fn scan_from_checkpoint(&self, floor: Lsn) -> LogScan<'_> {
+        let start = match (self.last_checkpoint.is_nil(), floor.is_nil()) {
+            (true, _) => Lsn::NIL,
+            (false, true) => self.last_checkpoint,
+            (false, false) => self.last_checkpoint.min(floor),
+        };
+        self.scan_from(start)
     }
 
     /// Simulate a crash: the store drops its non-durable tail.
@@ -536,6 +579,81 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].payload, begin(1));
         assert_eq!(got[1].payload, update(1, 3));
+    }
+
+    #[test]
+    fn truncated_tail_ends_scan_cleanly() {
+        // Simulate a crash mid-record: write two full frames and then a
+        // prefix of a third directly into the store. The scan must yield
+        // the two complete records and stop — no error, no garbage.
+        let mut store = MemLogStore::new();
+        let good1 = LogManager::frame(&begin(1));
+        let good2 = LogManager::frame(&update(1, 2));
+        let torn = LogManager::frame(&update(1, 3));
+        store.append(&good1).unwrap();
+        store.append(&good2).unwrap();
+        store.append(&torn[..torn.len() - 5]).unwrap();
+        store.sync().unwrap();
+        let m = LogManager::recover(Box::new(store), 64 * 1024).unwrap();
+        let got = m.collect_from(Lsn::NIL);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, begin(1));
+        assert_eq!(got[1].payload, update(1, 2));
+
+        // Same for a tail that is only part of a frame header.
+        let mut store = MemLogStore::new();
+        store.append(&good1).unwrap();
+        store.append(&[0xAB, 0xCD]).unwrap();
+        store.sync().unwrap();
+        let m = LogManager::recover(Box::new(store), 64 * 1024).unwrap();
+        assert_eq!(m.collect_from(Lsn::NIL).len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_anchored_scan() {
+        let mut m = mgr();
+        m.append(&begin(1)).unwrap();
+        let early = m.append(&update(1, 0)).unwrap();
+        let ck = m
+            .append(&LogPayload::ClientCheckpoint {
+                active_txns: vec![],
+                dpt: vec![],
+            })
+            .unwrap();
+        m.append(&begin(2)).unwrap();
+        m.force().unwrap();
+
+        // No checkpoint recorded yet: entry is None, scan covers all.
+        assert!(m.checkpoint_entry().is_none());
+        assert_eq!(m.scan_from_checkpoint(Lsn::NIL).count(), 4);
+
+        m.set_checkpoint(ck).unwrap();
+        let entry = m.checkpoint_entry().unwrap();
+        assert_eq!(entry.lsn, ck);
+        assert!(matches!(entry.payload, LogPayload::ClientCheckpoint { .. }));
+        // Anchored scan starts at the checkpoint...
+        let got: Vec<_> = m.scan_from_checkpoint(Lsn::NIL).collect();
+        assert_eq!(got[0].lsn, ck);
+        assert_eq!(got.len(), 2);
+        // ...unless a floor (a DPT minimum RedoLSN) reaches further back.
+        let got: Vec<_> = m.scan_from_checkpoint(early).collect();
+        assert_eq!(got[0].lsn, early);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn bytes_by_kind_sums_to_total() {
+        let mut m = mgr();
+        m.append(&begin(1)).unwrap();
+        m.append(&update(1, 0)).unwrap();
+        m.append(&update(1, 1)).unwrap();
+        let by_kind = m.bytes_by_kind();
+        let (_, total, _) = m.stats();
+        assert_eq!(by_kind.iter().map(|(_, b)| b).sum::<u64>(), total);
+        let upd = by_kind.iter().find(|(n, _)| *n == "update").unwrap().1;
+        let beg = by_kind.iter().find(|(n, _)| *n == "begin").unwrap().1;
+        assert_eq!(upd, 2 * LogManager::frame(&update(1, 0)).len() as u64);
+        assert_eq!(beg, LogManager::frame(&begin(1)).len() as u64);
     }
 
     #[test]

@@ -97,6 +97,26 @@ pub struct DctEntry {
     pub redo_lsn: Option<Lsn>,
 }
 
+/// Strategy-owned record envelope: a transport-visible header (which
+/// strategy owns the record, a strategy-local kind, and the txn/page the
+/// scans need) wrapped around an opaque body whose layout the owning
+/// strategy defines (see [`crate::envelope`]). The transport never
+/// interprets `body`; adding a strategy record kind therefore cannot
+/// perturb the nine fixed record encodings above.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtRecord {
+    /// Owning strategy id (see [`crate::envelope`]).
+    pub strategy: u8,
+    /// Strategy-local record kind.
+    pub kind: u8,
+    /// Transaction header for analysis scans, if the record has one.
+    pub txn: Option<TxnId>,
+    /// Page header for replay filters, if the record has one.
+    pub page: Option<PageId>,
+    /// Opaque strategy-owned body.
+    pub body: Vec<u8>,
+}
+
 /// Every record that can appear in a log.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LogPayload {
@@ -122,6 +142,8 @@ pub enum LogPayload {
     Replacement(ReplacementRecord),
     /// Server fuzzy checkpoint: the DCT (§3.2).
     ServerCheckpoint { dct: Vec<DctEntry> },
+    /// Strategy-owned record (tagged envelope).
+    Ext(ExtRecord),
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -133,6 +155,22 @@ const TAG_CALLBACK: u8 = 6;
 const TAG_CLIENT_CKPT: u8 = 7;
 const TAG_REPLACEMENT: u8 = 8;
 const TAG_SERVER_CKPT: u8 = 9;
+const TAG_EXT: u8 = 10;
+
+/// Per-kind names, indexed by [`LogPayload::kind_index`]; used for the
+/// per-kind appended-byte accounting in the log manager.
+pub const KIND_NAMES: [&str; 10] = [
+    "begin",
+    "update",
+    "clr",
+    "commit",
+    "abort",
+    "callback",
+    "client_ckpt",
+    "replacement",
+    "server_ckpt",
+    "ext",
+];
 
 impl LogPayload {
     /// The transaction this record belongs to, if any.
@@ -143,6 +181,7 @@ impl LogPayload {
             LogPayload::Clr(c) => Some(c.txn),
             LogPayload::Commit { txn, .. } => Some(*txn),
             LogPayload::Abort { txn, .. } => Some(*txn),
+            LogPayload::Ext(e) => e.txn,
             _ => None,
         }
     }
@@ -154,8 +193,31 @@ impl LogPayload {
             LogPayload::Clr(c) => Some(c.object.page),
             LogPayload::Callback(c) => Some(c.object.page),
             LogPayload::Replacement(r) => Some(r.page),
+            LogPayload::Ext(e) => e.page,
             _ => None,
         }
+    }
+
+    /// Index into [`KIND_NAMES`] for this record's kind.
+    pub fn kind_index(&self) -> usize {
+        let tag = match self {
+            LogPayload::Begin { .. } => TAG_BEGIN,
+            LogPayload::Update(_) => TAG_UPDATE,
+            LogPayload::Clr(_) => TAG_CLR,
+            LogPayload::Commit { .. } => TAG_COMMIT,
+            LogPayload::Abort { .. } => TAG_ABORT,
+            LogPayload::Callback(_) => TAG_CALLBACK,
+            LogPayload::ClientCheckpoint { .. } => TAG_CLIENT_CKPT,
+            LogPayload::Replacement(_) => TAG_REPLACEMENT,
+            LogPayload::ServerCheckpoint { .. } => TAG_SERVER_CKPT,
+            LogPayload::Ext(_) => TAG_EXT,
+        };
+        tag as usize - 1
+    }
+
+    /// Stable snake_case name of this record's kind.
+    pub fn kind_name(&self) -> &'static str {
+        KIND_NAMES[self.kind_index()]
     }
 
     /// Serialize to bytes (without framing/checksum — the log manager adds
@@ -235,6 +297,20 @@ impl LogPayload {
                     w.opt_lsn(e.redo_lsn);
                 }
             }
+            LogPayload::Ext(e) => {
+                w.u8(TAG_EXT);
+                w.u8(e.strategy);
+                w.u8(e.kind);
+                w.bool(e.txn.is_some());
+                if let Some(t) = e.txn {
+                    w.txn(t);
+                }
+                w.bool(e.page.is_some());
+                if let Some(p) = e.page {
+                    w.page(p);
+                }
+                w.bytes(&e.body);
+            }
         }
         w.into_bytes()
     }
@@ -313,6 +389,20 @@ impl LogPayload {
                     });
                 }
                 LogPayload::ServerCheckpoint { dct }
+            }
+            TAG_EXT => {
+                let strategy = r.u8()?;
+                let kind = r.u8()?;
+                let txn = if r.bool()? { Some(r.txn()?) } else { None };
+                let page = if r.bool()? { Some(r.page()?) } else { None };
+                let body = r.bytes()?;
+                LogPayload::Ext(ExtRecord {
+                    strategy,
+                    kind,
+                    txn,
+                    page,
+                    body,
+                })
             }
             t => return Err(FglError::Corrupt(format!("unknown log record tag {t}"))),
         };
@@ -410,6 +500,81 @@ mod tests {
                 redo_lsn: None,
             }],
         });
+        roundtrip(LogPayload::Ext(ExtRecord {
+            strategy: 1,
+            kind: 2,
+            txn: Some(txn),
+            page: Some(PageId(6)),
+            body: b"strategy-owned body".to_vec(),
+        }));
+        roundtrip(LogPayload::Ext(ExtRecord {
+            strategy: 2,
+            kind: 1,
+            txn: None,
+            page: None,
+            body: vec![],
+        }));
+    }
+
+    #[test]
+    fn kind_names_cover_every_tag() {
+        let txn = TxnId::compose(ClientId(0), 1);
+        let all = [
+            LogPayload::Begin { txn },
+            LogPayload::Update(UpdateRecord {
+                txn,
+                prev_lsn: Lsn::NIL,
+                object: obj(1, 0),
+                psn_before: Psn(0),
+                before: None,
+                after: None,
+                structural: false,
+            }),
+            LogPayload::Clr(ClrRecord {
+                txn,
+                prev_lsn: Lsn::NIL,
+                undo_next: Lsn::NIL,
+                object: obj(1, 0),
+                psn_before: Psn(0),
+                after: None,
+            }),
+            LogPayload::Commit {
+                txn,
+                prev_lsn: Lsn::NIL,
+            },
+            LogPayload::Abort {
+                txn,
+                prev_lsn: Lsn::NIL,
+            },
+            LogPayload::Callback(CallbackRecord {
+                object: obj(1, 0),
+                from_client: ClientId(0),
+                psn: Psn(0),
+            }),
+            LogPayload::ClientCheckpoint {
+                active_txns: vec![],
+                dpt: vec![],
+            },
+            LogPayload::Replacement(ReplacementRecord {
+                page: PageId(0),
+                psn: Psn(0),
+                clients: vec![],
+            }),
+            LogPayload::ServerCheckpoint { dct: vec![] },
+            LogPayload::Ext(ExtRecord {
+                strategy: 1,
+                kind: 1,
+                txn: None,
+                page: None,
+                body: vec![],
+            }),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for p in &all {
+            assert_eq!(KIND_NAMES[p.kind_index()], p.kind_name());
+            assert!(seen.insert(p.kind_index()), "duplicate kind index");
+        }
+        assert_eq!(seen.len(), KIND_NAMES.len());
     }
 
     #[test]
