@@ -5,9 +5,13 @@ BASELINE    := ci/latency_baseline.json
 GATED       := $(METRICS_DIR)/e11_server_shard_scaling.json \
                $(METRICS_DIR)/e12_callback_batching.json \
                $(METRICS_DIR)/e13_client_scaling.json \
-               $(METRICS_DIR)/e14_recovery_shootout.json
+               $(METRICS_DIR)/e14_recovery_shootout.json \
+               $(METRICS_DIR)/e15_trace_attribution.json
 
-.PHONY: test check-latency refresh-baselines experiments
+GATED_BINS  := e11_server_shard_scaling e12_callback_batching \
+               e13_client_scaling e14_recovery_shootout e15_trace_attribution
+
+.PHONY: test check-latency refresh-baselines validate-metrics experiments
 
 test:
 	cargo build --release
@@ -16,20 +20,23 @@ test:
 # Re-run the gated obs-smoke experiments and compare their p95 commit /
 # lock-wait latencies against the checked-in baseline.
 check-latency:
-	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e11_server_shard_scaling -- --quick
-	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e12_callback_batching -- --quick
-	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e13_client_scaling -- --quick
-	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e14_recovery_shootout -- --quick
+	for b in $(GATED_BINS); do \
+	  FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin $$b -- --quick || exit 1; \
+	done
 	python3 scripts/check_latency_regression.py $(BASELINE) $(GATED)
 
 # Rebuild the baseline from a fresh run (after an intentional latency
 # change); commit the updated $(BASELINE).
 refresh-baselines:
-	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e11_server_shard_scaling -- --quick
-	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e12_callback_batching -- --quick
-	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e13_client_scaling -- --quick
-	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e14_recovery_shootout -- --quick
+	for b in $(GATED_BINS); do \
+	  FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin $$b -- --quick || exit 1; \
+	done
 	python3 scripts/check_latency_regression.py --update $(BASELINE) $(GATED)
+
+# Schema/content validation of the emitted metrics JSON (same script CI
+# runs; add --trace <file> for Chrome trace files).
+validate-metrics:
+	python3 scripts/validate_metrics_json.py $(GATED)
 
 experiments:
 	./run_experiments.sh --quick

@@ -281,6 +281,7 @@ impl ClientCore {
     /// objects.
     pub fn commit_with(&self, txn: TxnId, before_release: impl FnOnce()) -> Result<()> {
         let commit_start = self.metrics.now_us();
+        let _span = fgl_obs::trace::span(fgl_obs::SpanKind::Commit, txn);
         let (policy, ship_log, dirtied, group_force_upto) = {
             let mut st = self.st.lock();
             let t = st.txns.get(&txn).ok_or(FglError::InvalidTxnState {
@@ -373,6 +374,9 @@ impl ClientCore {
     /// committers) one device write covers.
     pub(crate) fn force_coalesced(&self, txn: TxnId, upto: Lsn, window: Duration) -> Result<()> {
         let wait_start = self.metrics.now_us();
+        // Covers the whole durability wait: leader device time and
+        // piggybacked waits alike.
+        let _span = fgl_obs::trace::span(fgl_obs::SpanKind::WalForce, txn);
         let mut forced = false;
         loop {
             if self.st.lock().wal.durable_lsn() >= upto {
@@ -930,6 +934,9 @@ impl ClientCore {
                 LocalDecision::NeedGlobal(target) => {
                     self.global_lock_requests.fetch_add(1, Ordering::Relaxed);
                     let wait_start = self.metrics.now_us();
+                    // Dropped on every exit from this arm: grant, victim,
+                    // timeout and transport error all close the span.
+                    let _span = fgl_obs::trace::span(fgl_obs::SpanKind::LockWait, txn);
                     let cached_psn = {
                         let mut st = self.st.lock();
                         // Guard the in-flight window: a callback arriving
@@ -1069,7 +1076,9 @@ impl ClientCore {
                 }
             }
             let fetch_start = self.metrics.now_us();
+            let fetch_span = fgl_obs::trace::span(fgl_obs::SpanKind::PageFetch, TxnId(0));
             let (bytes, _dct_psn) = self.server.fetch_page(self.id, page)?;
+            drop(fetch_span);
             self.metrics.observe_since(HistKind::PageFetch, fetch_start);
             let incoming = Page::from_bytes(bytes)?;
             let evicted = {

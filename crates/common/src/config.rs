@@ -164,6 +164,11 @@ pub struct SystemConfig {
     /// already covered by a cohort member's force piggybacks instead of
     /// forcing again. `false` forces once per commit.
     pub group_commit: bool,
+    /// Per-thread flight-recorder ring capacity (events retained before
+    /// the oldest is evicted). Raise it for trace-assembly runs that need
+    /// the whole event window; evictions are counted in the
+    /// `ring_dropped_events` metric either way.
+    pub obs_ring_entries: usize,
 }
 
 impl Default for SystemConfig {
@@ -186,6 +191,7 @@ impl Default for SystemConfig {
             server_shards: 1,
             callback_batching: true,
             group_commit: true,
+            obs_ring_entries: 256,
         }
     }
 }
@@ -223,6 +229,12 @@ impl SystemConfig {
             return Err(FglError::Config(format!(
                 "server_shards {} out of supported range [1, 256]",
                 self.server_shards
+            )));
+        }
+        if self.obs_ring_entries < 16 || self.obs_ring_entries > 1 << 20 {
+            return Err(FglError::Config(format!(
+                "obs_ring_entries {} out of supported range [16, 1M]",
+                self.obs_ring_entries
             )));
         }
         if self.logging_strategy != LoggingStrategyKind::ClientAries
@@ -278,6 +290,12 @@ impl SystemConfig {
         self.group_commit = on;
         self
     }
+
+    /// Builder-style setter for the flight-recorder ring capacity.
+    pub fn with_obs_ring_entries(mut self, entries: usize) -> Self {
+        self.obs_ring_entries = entries;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +333,17 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn obs_ring_entries_bounds() {
+        assert_eq!(SystemConfig::default().obs_ring_entries, 256);
+        let mut c = SystemConfig::default().with_obs_ring_entries(8);
+        assert!(c.validate().is_err());
+        c.obs_ring_entries = (1 << 20) + 1;
+        assert!(c.validate().is_err());
+        c.obs_ring_entries = 65_536;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

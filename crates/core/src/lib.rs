@@ -88,6 +88,7 @@ impl System {
         disk: Arc<dyn DiskBackend>,
     ) -> Result<System> {
         cfg.validate()?;
+        fgl_obs::ring::set_capacity(cfg.obs_ring_entries);
         let net = Arc::new(NetSim::new(cfg.net_latency));
         let disk_latency = cfg.disk_latency;
         let server = ServerCore::new(cfg, net.clone(), disk);
@@ -208,6 +209,21 @@ impl System {
         }
         for (kind, bytes) in by_kind {
             snap.set_counter(&format!("wal_bytes_{kind}"), bytes);
+        }
+
+        // Flight-recorder pressure and the GLM contention profile: the
+        // top-4 hottest pages by cumulative wait time, flattened into
+        // rank-indexed counters so JSON consumers need no new schema.
+        snap.set_counter("ring_dropped_events", fgl_obs::ring::dropped_events());
+        snap.set_counter(
+            "contention_pages_tracked",
+            self.server.contention_pages_tracked() as u64,
+        );
+        for (rank, (page, c)) in self.server.contention_top(4).into_iter().enumerate() {
+            snap.set_counter(&format!("hot_page_rank{rank}_page"), page.0);
+            snap.set_counter(&format!("hot_page_rank{rank}_wait_us"), c.wait_us);
+            snap.set_counter(&format!("hot_page_rank{rank}_waits"), c.waits);
+            snap.set_counter(&format!("hot_page_rank{rank}_callbacks"), c.callbacks);
         }
         snap
     }

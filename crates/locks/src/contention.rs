@@ -1,0 +1,135 @@
+//! Lock-contention profiler: which pages are hot, and how hot.
+//!
+//! The GLM sees every queued wait and every callback it issues, but its
+//! own state is transient — once a grant resolves, the wait is gone. This
+//! profiler accumulates, per page, the **cumulative wait time** of
+//! requests that queued on it and the **callback fan-out** it caused, so
+//! the server can answer "which page's callback storm stalled the run?"
+//! with a top-N ranking instead of a global histogram.
+//!
+//! Pure state machine like the rest of the crate: the caller supplies
+//! timestamps (`now_us`), so tests can drive it with a manual clock and
+//! the crate stays free of clock/obs dependencies.
+
+use crate::mode::LockTarget;
+use fgl_common::{PageId, TxnId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Accumulated contention for one page.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageContention {
+    /// Total µs transactions spent queued on this page.
+    pub wait_us: u64,
+    /// Number of waits that queued on this page.
+    pub waits: u64,
+    /// Callbacks issued for this page.
+    pub callbacks: u64,
+}
+
+/// Per-page contention accumulator (see module docs).
+#[derive(Default)]
+pub struct ContentionProfiler {
+    /// txn → (page it is queued on, queue-entry timestamp). A txn waits
+    /// on at most one target at a time.
+    inflight: Mutex<HashMap<TxnId, (PageId, u64)>>,
+    pages: Mutex<HashMap<PageId, PageContention>>,
+}
+
+impl ContentionProfiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A request queued behind a conflict.
+    pub fn on_queue(&self, txn: TxnId, target: &LockTarget, now_us: u64) {
+        self.inflight.lock().insert(txn, (target.page(), now_us));
+    }
+
+    /// The queued request resolved (grant, victim or cancel). Idempotent
+    /// and a no-op for txns that never queued.
+    pub fn on_resolve(&self, txn: TxnId, now_us: u64) {
+        let Some((page, since)) = self.inflight.lock().remove(&txn) else {
+            return;
+        };
+        let mut pages = self.pages.lock();
+        let c = pages.entry(page).or_default();
+        c.wait_us += now_us.saturating_sub(since);
+        c.waits += 1;
+    }
+
+    /// A callback went out for `page`.
+    pub fn on_callback(&self, page: PageId) {
+        self.pages.lock().entry(page).or_default().callbacks += 1;
+    }
+
+    /// Number of distinct pages that ever saw a wait or a callback.
+    pub fn pages_tracked(&self) -> usize {
+        self.pages.lock().len()
+    }
+
+    /// The `n` hottest pages by cumulative wait time (callback fan-out
+    /// breaks ties), hottest first.
+    pub fn top_n(&self, n: usize) -> Vec<(PageId, PageContention)> {
+        let mut v: Vec<(PageId, PageContention)> =
+            self.pages.lock().iter().map(|(p, c)| (*p, *c)).collect();
+        v.sort_by(|a, b| {
+            (b.1.wait_us, b.1.callbacks, b.1.waits)
+                .cmp(&(a.1.wait_us, a.1.callbacks, a.1.waits))
+                .then(a.0 .0.cmp(&b.0 .0))
+        });
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::ObjMode;
+    use fgl_common::{ObjectId, SlotId};
+
+    fn page_target(p: u64) -> LockTarget {
+        LockTarget::Object(
+            ObjectId {
+                page: PageId(p),
+                slot: SlotId(0),
+            },
+            ObjMode::X,
+        )
+    }
+
+    #[test]
+    fn ranks_by_cumulative_wait() {
+        let prof = ContentionProfiler::new();
+        prof.on_queue(TxnId(1), &page_target(10), 100);
+        prof.on_resolve(TxnId(1), 400); // page 10: 300us
+        prof.on_queue(TxnId(2), &page_target(20), 100);
+        prof.on_resolve(TxnId(2), 200); // page 20: 100us
+        prof.on_queue(TxnId(3), &page_target(10), 500);
+        prof.on_resolve(TxnId(3), 600); // page 10: +100us
+        prof.on_callback(PageId(20));
+        let top = prof.top_n(2);
+        assert_eq!(top[0].0, PageId(10));
+        assert_eq!(
+            top[0].1,
+            PageContention {
+                wait_us: 400,
+                waits: 2,
+                callbacks: 0
+            }
+        );
+        assert_eq!(top[1].0, PageId(20));
+        assert_eq!(top[1].1.callbacks, 1);
+        assert_eq!(prof.pages_tracked(), 2);
+    }
+
+    #[test]
+    fn resolve_without_queue_is_a_noop() {
+        let prof = ContentionProfiler::new();
+        prof.on_resolve(TxnId(9), 1000);
+        prof.on_resolve(TxnId(9), 2000);
+        assert_eq!(prof.pages_tracked(), 0);
+        assert!(prof.top_n(4).is_empty());
+    }
+}

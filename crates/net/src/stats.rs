@@ -133,6 +133,9 @@ impl NetSim {
     pub fn msg(&self, kind: MsgKind, bytes: usize) {
         self.stats.record(kind, bytes);
         if !self.latency.is_zero() {
+            // The span wraps only the simulated wire time; counting
+            // happened above, so tracing never perturbs message counts.
+            let _hop = fgl_obs::trace::span(fgl_obs::SpanKind::NetHop, fgl_common::TxnId(0));
             fgl_sched::pause(self.latency);
         }
     }

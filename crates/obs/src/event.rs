@@ -46,6 +46,60 @@ pub enum RecoveryPhase {
     Done,
 }
 
+/// What a trace span measures. Each kind is one bucket of the
+/// critical-path breakdown the trace assembler computes (see
+/// `crate::trace`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// Root span: one commit attempt, opened in the client runtime.
+    Commit,
+    /// Waiting for a global lock grant (queued at the GLM).
+    LockWait,
+    /// Server-side callback round trip to one client.
+    CallbackRtt,
+    /// Forcing the WAL to its durable horizon (includes group-commit
+    /// piggyback waits).
+    WalForce,
+    /// One counted-fabric message's simulated network latency.
+    NetHop,
+    /// Fetching a page copy from the server.
+    PageFetch,
+    /// Shipping commit-log records to the server.
+    CommitLogShip,
+}
+
+impl SpanKind {
+    /// Stable kebab-case tag (JSON, Chrome trace names).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SpanKind::Commit => "commit",
+            SpanKind::LockWait => "lock-wait",
+            SpanKind::CallbackRtt => "callback-rtt",
+            SpanKind::WalForce => "wal-force",
+            SpanKind::NetHop => "net-hop",
+            SpanKind::PageFetch => "page-fetch",
+            SpanKind::CommitLogShip => "commit-log-ship",
+        }
+    }
+
+    /// Every kind, in display order.
+    pub const ALL: [SpanKind; 7] = [
+        SpanKind::Commit,
+        SpanKind::LockWait,
+        SpanKind::CallbackRtt,
+        SpanKind::WalForce,
+        SpanKind::NetHop,
+        SpanKind::PageFetch,
+        SpanKind::CommitLogShip,
+    ];
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
 /// One structured protocol event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
@@ -125,6 +179,21 @@ pub enum Event {
         owner: LogOwner,
         phase: RecoveryPhase,
     },
+    /// A trace span opened. `parent` is the span id active in the opening
+    /// context (0 = root). `txn` is the transaction the span belongs to
+    /// (`TxnId(0)` when unknown at open time — the assembler resolves it
+    /// through the parent chain).
+    SpanOpen {
+        id: u64,
+        parent: u64,
+        txn: TxnId,
+        kind: SpanKind,
+    },
+    /// The span closed; its duration is `close.at_us - open.at_us`.
+    SpanClose { id: u64 },
+    /// The task carrying span `span` sat runnable in the scheduler queue
+    /// for `wait_us` before a worker picked it up (emitted at pickup).
+    SchedWait { span: u64, wait_us: u64 },
 }
 
 impl Event {
@@ -148,6 +217,9 @@ impl Event {
             Event::LockTimeout { .. } => "lock-timeout",
             Event::TxnAbort { .. } => "txn-abort",
             Event::RecoveryPhase { .. } => "recovery-phase",
+            Event::SpanOpen { .. } => "span-open",
+            Event::SpanClose { .. } => "span-close",
+            Event::SchedWait { .. } => "sched-wait",
         }
     }
 }
@@ -231,6 +303,16 @@ impl fmt::Display for Event {
             Event::TxnAbort { client, txn } => write!(f, "txn-abort {client} txn={txn}"),
             Event::RecoveryPhase { owner, phase } => {
                 write!(f, "recovery-phase {owner} {phase:?}")
+            }
+            Event::SpanOpen {
+                id,
+                parent,
+                txn,
+                kind,
+            } => write!(f, "span-open {kind} id={id} parent={parent} txn={txn}"),
+            Event::SpanClose { id } => write!(f, "span-close id={id}"),
+            Event::SchedWait { span, wait_us } => {
+                write!(f, "sched-wait span={span} {wait_us}us")
             }
         }
     }

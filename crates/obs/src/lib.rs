@@ -28,12 +28,14 @@ pub mod hist;
 pub mod registry;
 pub mod ring;
 pub mod sink;
+pub mod trace;
 
-pub use event::{CallbackClass, Event, LogOwner, RecoveryPhase};
+pub use event::{CallbackClass, Event, LogOwner, RecoveryPhase, SpanKind};
 pub use hist::{HistSnapshot, Histogram};
 pub use registry::{Clock, HistKind, ManualClock, Metrics, Snapshot};
 pub use ring::{dump, last_dump, Stamped};
 pub use sink::{CaptureSink, EventSink, SinkGuard, StderrSink};
+pub use trace::{assemble, span, SpanGuard, SpanRecord, TraceReport};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -47,6 +49,13 @@ pub fn trace_enabled() -> bool {
 }
 
 static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The next sequence number [`emit`] will hand out. Capture one before a
+/// run and keep only `dump()` entries with `seq >= watermark` to scope an
+/// analysis to that run.
+pub fn seq_watermark() -> u64 {
+    SEQ.load(Ordering::Relaxed)
+}
 
 /// Microseconds since the first observability call in this process. Used
 /// only to stamp flight-recorder entries; latency *measurements* go
@@ -76,13 +85,24 @@ pub fn emit(event: Event) {
 pub fn dump_on_anomaly(reason: &str) -> Vec<Stamped> {
     let events = ring::dump();
     if trace_enabled() {
-        eprintln!(
+        // Build the whole dump in one buffer and write it under one lock:
+        // concurrent anomalies (two victims of one deadlock) would
+        // otherwise interleave line-by-line into an unreadable braid.
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
             "[fgl] flight recorder dump ({reason}): {} events",
             events.len()
         );
         for st in &events {
-            eprintln!("[fgl]   #{:<6} +{:>8}us {}", st.seq, st.at_us, st.event);
+            let _ = writeln!(
+                out,
+                "[fgl]   #{:<6} +{:>8}us {}",
+                st.seq, st.at_us, st.event
+            );
         }
+        sink::write_stderr_chunk(&out);
     }
     ring::store_last_dump(reason, &events);
     events

@@ -8,10 +8,35 @@
 
 use crate::event::Event;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Events a single thread's ring retains before overwriting the oldest.
+/// Default events a single thread's ring retains before overwriting the
+/// oldest (see [`set_capacity`]).
 pub const RING_CAPACITY: usize = 256;
+
+static CAPACITY: AtomicUsize = AtomicUsize::new(RING_CAPACITY);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Set the per-thread ring capacity (`SystemConfig::obs_ring_entries`).
+/// Applies to future appends on every ring; shrinking trims each ring
+/// lazily on its next append. Process-wide — concurrent `System`s share
+/// it, last writer wins.
+pub fn set_capacity(entries: usize) {
+    CAPACITY.store(entries.max(1), Ordering::Relaxed);
+}
+
+/// Current per-thread ring capacity.
+pub fn capacity() -> usize {
+    CAPACITY.load(Ordering::Relaxed)
+}
+
+/// Total events evicted from full rings since process start. A non-zero
+/// delta across a run means `dump()` is a truncated view — raise
+/// `obs_ring_entries` if the analysis needs the full window.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
 
 /// One stamped flight-recorder entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,10 +70,12 @@ thread_local! {
 /// Append to the calling thread's ring, evicting the oldest entry at
 /// capacity.
 pub(crate) fn record(stamped: Stamped) {
+    let cap = capacity();
     LOCAL.with(|ring| {
         let mut slots = ring.slots.lock().unwrap();
-        if slots.len() == RING_CAPACITY {
+        while slots.len() >= cap {
             slots.pop_front();
+            DROPPED.fetch_add(1, Ordering::Relaxed);
         }
         slots.push_back(stamped);
     });

@@ -55,12 +55,30 @@ pub(crate) fn ensure_default_sinks() {
     ONCE.get_or_init(|| crate::trace_enabled().then(|| install_sink(Arc::new(StderrSink))));
 }
 
+/// Serializes stderr output from concurrent threads: `eprintln!` locks
+/// stderr per call, so a multi-line dump interleaves with other threads'
+/// lines unless the whole dump is written under one lock.
+fn stderr_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Write a (possibly multi-line) chunk to stderr as one atomic unit with
+/// respect to every other writer going through this function.
+pub(crate) fn write_stderr_chunk(chunk: &str) {
+    use std::io::Write;
+    let _guard = stderr_lock().lock().unwrap();
+    let mut err = std::io::stderr().lock();
+    let _ = err.write_all(chunk.as_bytes());
+    let _ = err.flush();
+}
+
 /// Prints one line per event, in the old `[fgl] ...` format.
 pub struct StderrSink;
 
 impl EventSink for StderrSink {
     fn record(&self, stamped: &Stamped) {
-        eprintln!("[fgl] {}", stamped.event);
+        write_stderr_chunk(&format!("[fgl] {}\n", stamped.event));
     }
 }
 

@@ -1,0 +1,579 @@
+//! Causal per-transaction tracing: span emission, a trace assembler that
+//! stitches flight-recorder rings into per-commit critical-path
+//! breakdowns, and a Chrome trace-event exporter.
+//!
+//! # Context propagation
+//!
+//! There are no message structs in the counted fabric (client→server
+//! calls are direct method calls, server→client goes through `ClientPeer`
+//! on the caller's stack or a `fanout` subtask), so the trace context is
+//! *ambient*: one u64 span id carried by `fgl_sched::trace_tag`. On a
+//! green task the tag lives on the task and follows it across worker
+//! threads; on a plain OS thread it is thread-local; a spawned subtask
+//! inherits the spawner's tag. Opening a span reads the current tag as
+//! its parent and installs its own id; closing restores the parent.
+//!
+//! # Span taxonomy
+//!
+//! See [`SpanKind`]: one root span per commit attempt (`Commit`), with
+//! `LockWait`, `CallbackRtt`, `WalForce`, `NetHop`, `PageFetch` and
+//! `CommitLogShip` nested under it along the causal chain. Scheduler
+//! runnable-wait is not a span of its own: the scheduler reports each
+//! queued→running delay for a tagged task as an [`Event::SchedWait`]
+//! attached to the span that was current, and the assembler turns it
+//! into a `sched-wait` interval nested one level below that span.
+//!
+//! # Critical-path attribution
+//!
+//! For each closed `Commit` root the assembler clips every descendant
+//! interval to its parent chain and sweeps the root's interval, charging
+//! each elementary segment to the **deepest active** span's kind (ties
+//! go to the later-opened span). Uncovered time is the root's own. The
+//! buckets therefore sum *exactly* to the root's duration — nested or
+//! overlapping instrumentation never double-counts.
+//!
+//! Spans are only emitted while tracing is enabled (`FGL_TRACE_OUT` set,
+//! or [`set_enabled`] for tests); disabled, [`span`] is one relaxed
+//! atomic load.
+
+use crate::event::{Event, SpanKind};
+use crate::ring::Stamped;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use fgl_common::TxnId;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Span ids start at 1; 0 means "no span" in `fgl_sched::trace_tag`.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+fn env_init() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        if std::env::var_os("FGL_TRACE_OUT").is_some() {
+            enable();
+        }
+    });
+}
+
+fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+    // First enable wires the scheduler's runnable-wait reporting to the
+    // event stream (process-wide, stays installed).
+    fgl_sched::set_trace_hook(sched_wait_hook);
+}
+
+fn sched_wait_hook(tag: u64, wait_us: u64) {
+    if ENABLED.load(Ordering::Relaxed) && wait_us > 0 {
+        crate::emit(Event::SchedWait { span: tag, wait_us });
+    }
+}
+
+/// Whether span emission is on. Auto-enabled when `FGL_TRACE_OUT` is set.
+pub fn enabled() -> bool {
+    env_init();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span emission on or off programmatically (benches, tests).
+/// Process-wide.
+pub fn set_enabled(on: bool) {
+    env_init();
+    if on {
+        enable();
+    } else {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Closes the span (and restores the parent trace tag) on drop.
+#[must_use = "the span closes when the guard drops"]
+pub struct SpanGuard {
+    id: u64,
+    prev: u64,
+}
+
+impl SpanGuard {
+    /// This span's id (the value sibling contexts see as their parent).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        crate::emit(Event::SpanClose { id: self.id });
+        fgl_sched::set_trace_tag(self.prev);
+    }
+}
+
+/// Open a span of `kind` for `txn` (use `TxnId(0)` when the transaction
+/// is unknown at the site — the assembler resolves it through the parent
+/// chain). Returns `None` when tracing is disabled.
+pub fn span(kind: SpanKind, txn: TxnId) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    let prev = fgl_sched::trace_tag();
+    crate::emit(Event::SpanOpen {
+        id,
+        parent: prev,
+        txn,
+        kind,
+    });
+    fgl_sched::set_trace_tag(id);
+    Some(SpanGuard { id, prev })
+}
+
+// ---- assembler --------------------------------------------------------------
+
+/// One assembled span.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: u64,
+    /// Resolved through the parent chain when the open carried `TxnId(0)`.
+    pub txn: TxnId,
+    pub kind: SpanKind,
+    pub start_us: u64,
+    pub end_us: u64,
+    /// False for orphaned spans (close lost to ring eviction or a crash);
+    /// their `end_us` is the trace horizon.
+    pub closed: bool,
+}
+
+impl SpanRecord {
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Exclusive critical-path breakdown of one committed transaction.
+#[derive(Clone, Debug)]
+pub struct TxnBreakdown {
+    pub txn: TxnId,
+    /// Root `Commit` span id.
+    pub root: u64,
+    /// Root span duration; the bucket values sum to exactly this.
+    pub total_us: u64,
+    /// Exclusive µs per span-kind tag, plus `"sched-wait"` for runnable
+    /// waits; uncovered time lands under the root's own tag (`"commit"`).
+    pub buckets: BTreeMap<&'static str, u64>,
+}
+
+/// Everything the assembler recovered from one event slice.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// All spans, open-order (by id).
+    pub spans: Vec<SpanRecord>,
+    /// Critical-path breakdowns for closed `Commit` roots, txn order.
+    pub commits: Vec<TxnBreakdown>,
+    /// `SchedWait` intervals as `(owning span id, start_us, end_us)`.
+    pub sched_waits: Vec<(u64, u64, u64)>,
+    /// Spans whose close was never seen (crash, ring eviction).
+    pub orphan_opens: usize,
+    /// Closes whose open was never seen (open evicted from the ring).
+    pub orphan_closes: usize,
+}
+
+impl TraceReport {
+    /// Sum of exclusive time per bucket across every commit breakdown.
+    pub fn bucket_totals(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for c in &self.commits {
+            for (tag, us) in &c.buckets {
+                *out.entry(*tag).or_insert(0) += us;
+            }
+        }
+        out
+    }
+}
+
+/// Stitch span events from a (merged, possibly truncated) flight-recorder
+/// slice into spans and per-commit critical paths. Tolerates arbitrary
+/// truncation and crash-orphaned spans — it never panics on a partial
+/// trace.
+pub fn assemble(events: &[Stamped]) -> TraceReport {
+    let mut opens: BTreeMap<u64, (u64, u64, TxnId, SpanKind)> = BTreeMap::new();
+    let mut closed: BTreeMap<u64, SpanRecord> = BTreeMap::new();
+    let mut report = TraceReport::default();
+    let mut horizon = 0u64;
+    for st in events {
+        horizon = horizon.max(st.at_us);
+        match st.event {
+            Event::SpanOpen {
+                id,
+                parent,
+                txn,
+                kind,
+            } => {
+                opens.insert(id, (parent, st.at_us, txn, kind));
+            }
+            Event::SpanClose { id } => match opens.remove(&id) {
+                Some((parent, start_us, txn, kind)) => {
+                    closed.insert(
+                        id,
+                        SpanRecord {
+                            id,
+                            parent,
+                            txn,
+                            kind,
+                            start_us,
+                            end_us: st.at_us.max(start_us),
+                            closed: true,
+                        },
+                    );
+                }
+                None => report.orphan_closes += 1,
+            },
+            Event::SchedWait { span, wait_us } => {
+                report
+                    .sched_waits
+                    .push((span, st.at_us.saturating_sub(wait_us), st.at_us));
+            }
+            _ => {}
+        }
+    }
+    report.orphan_opens = opens.len();
+    for (id, (parent, start_us, txn, kind)) in opens {
+        closed.insert(
+            id,
+            SpanRecord {
+                id,
+                parent,
+                txn,
+                kind,
+                start_us,
+                end_us: horizon.max(start_us),
+                closed: false,
+            },
+        );
+    }
+
+    // Resolve txn ids down the parent chain (a NetHop opened with
+    // TxnId(0) inside a LockWait belongs to that lock wait's txn).
+    let parents: BTreeMap<u64, (u64, TxnId)> =
+        closed.values().map(|s| (s.id, (s.parent, s.txn))).collect();
+    let mut spans: Vec<SpanRecord> = closed.into_values().collect();
+    for s in &mut spans {
+        let mut cur = s.id;
+        while s.txn == TxnId(0) {
+            match parents.get(&cur) {
+                Some(&(parent, txn)) => {
+                    s.txn = txn;
+                    if parent == 0 || s.txn != TxnId(0) {
+                        break;
+                    }
+                    cur = parent;
+                }
+                None => break,
+            }
+        }
+    }
+
+    report.commits = critical_paths(&spans, &report.sched_waits);
+    report.spans = spans;
+    report
+}
+
+/// One interval competing for wall time under a root.
+struct Slice {
+    start: u64,
+    end: u64,
+    depth: usize,
+    /// Open order, for deterministic deepest-tie breaking.
+    order: u64,
+    tag: &'static str,
+}
+
+fn critical_paths(spans: &[SpanRecord], sched_waits: &[(u64, u64, u64)]) -> Vec<TxnBreakdown> {
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let index: BTreeMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent != 0 && index.contains_key(&s.parent) {
+            children.entry(s.parent).or_default().push(i);
+        }
+    }
+    let mut waits_by_span: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for &(span, start, end) in sched_waits {
+        waits_by_span.entry(span).or_default().push((start, end));
+    }
+
+    let mut out = Vec::new();
+    for root in spans {
+        let is_root = root.kind == SpanKind::Commit
+            && (root.parent == 0 || !index.contains_key(&root.parent));
+        if !is_root || !root.closed || root.end_us <= root.start_us {
+            continue;
+        }
+        // Collect descendant slices, clipped to the parent chain.
+        let mut slices: Vec<Slice> = Vec::new();
+        let mut stack = vec![(root.id, 0usize, root.start_us, root.end_us)];
+        while let Some((id, depth, lo, hi)) = stack.pop() {
+            for &(w_lo, w_hi) in waits_by_span.get(&id).into_iter().flatten() {
+                let (s, e) = (w_lo.max(lo), w_hi.min(hi));
+                if s < e {
+                    slices.push(Slice {
+                        start: s,
+                        end: e,
+                        depth: depth + 1,
+                        order: u64::MAX, // waits shadow same-depth spans
+                        tag: "sched-wait",
+                    });
+                }
+            }
+            for &ci in children.get(&id).into_iter().flatten() {
+                let c = &spans[ci];
+                let (s, e) = (c.start_us.max(lo), c.end_us.min(hi));
+                if s >= e {
+                    continue;
+                }
+                slices.push(Slice {
+                    start: s,
+                    end: e,
+                    depth: depth + 1,
+                    order: c.id,
+                    tag: c.kind.tag(),
+                });
+                stack.push((c.id, depth + 1, s, e));
+            }
+        }
+        // Sweep the root interval; each elementary segment goes to the
+        // deepest active slice, or to the root itself when uncovered.
+        let mut bounds: Vec<u64> = vec![root.start_us, root.end_us];
+        bounds.extend(slices.iter().flat_map(|s| [s.start, s.end]));
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut buckets: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if lo < root.start_us || hi > root.end_us {
+                continue;
+            }
+            let winner = slices
+                .iter()
+                .filter(|s| s.start <= lo && s.end >= hi)
+                .max_by_key(|s| (s.depth, s.order))
+                .map_or(root.kind.tag(), |s| s.tag);
+            *buckets.entry(winner).or_insert(0) += hi - lo;
+        }
+        out.push(TxnBreakdown {
+            txn: root.txn,
+            root: root.id,
+            total_us: root.end_us - root.start_us,
+            buckets,
+        });
+    }
+    out.sort_by_key(|b| (b.txn.0, b.root));
+    out
+}
+
+// ---- Chrome trace-event export ----------------------------------------------
+
+/// Render the report as Chrome trace-event JSON (`chrome://tracing` /
+/// Perfetto): complete `"X"` events, one track per transaction.
+pub fn chrome_trace_json(report: &TraceReport) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    for s in &report.spans {
+        push(
+            format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"fgl\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"span\":{},\"parent\":{},\"closed\":{}}}}}",
+                s.kind.tag(),
+                s.start_us,
+                s.duration_us(),
+                s.txn.0,
+                s.id,
+                s.parent,
+                s.closed
+            ),
+            &mut first,
+        );
+    }
+    let span_txn: BTreeMap<u64, u64> = report.spans.iter().map(|s| (s.id, s.txn.0)).collect();
+    for &(span, start, end) in &report.sched_waits {
+        push(
+            format!(
+                "{{\"ph\":\"X\",\"name\":\"sched-wait\",\"cat\":\"fgl\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"span\":{}}}}}",
+                start,
+                end - start,
+                span_txn.get(&span).copied().unwrap_or(0),
+                span
+            ),
+            &mut first,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Directory from `FGL_TRACE_OUT`, if set.
+pub fn trace_out_dir() -> Option<PathBuf> {
+    std::env::var_os("FGL_TRACE_OUT").map(PathBuf::from)
+}
+
+/// Write the Chrome trace to `$FGL_TRACE_OUT/<label>.trace.json`.
+/// Returns the path, or `None` when `FGL_TRACE_OUT` is unset or the
+/// write fails (tracing must never take a run down).
+pub fn write_chrome_trace(report: &TraceReport, label: &str) -> Option<PathBuf> {
+    let dir = trace_out_dir()?;
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{label}.trace.json"));
+    std::fs::write(&path, chrome_trace_json(report)).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(seq: u64, at_us: u64, event: Event) -> Stamped {
+        Stamped { seq, at_us, event }
+    }
+
+    fn open(seq: u64, at: u64, id: u64, parent: u64, txn: u64, kind: SpanKind) -> Stamped {
+        st(
+            seq,
+            at,
+            Event::SpanOpen {
+                id,
+                parent,
+                txn: TxnId(txn),
+                kind,
+            },
+        )
+    }
+
+    fn close(seq: u64, at: u64, id: u64) -> Stamped {
+        st(seq, at, Event::SpanClose { id })
+    }
+
+    #[test]
+    fn nested_spans_attribute_exclusively() {
+        // commit [0,100]; lock-wait [10,60]; net-hop [20,40] inside it.
+        let events = [
+            open(0, 0, 1, 0, 7, SpanKind::Commit),
+            open(1, 10, 2, 1, 7, SpanKind::LockWait),
+            open(2, 20, 3, 2, 0, SpanKind::NetHop),
+            close(3, 40, 3),
+            close(4, 60, 2),
+            close(5, 100, 1),
+        ];
+        let r = assemble(&events);
+        assert_eq!(r.spans.len(), 3);
+        assert_eq!(r.orphan_opens, 0);
+        assert_eq!(r.orphan_closes, 0);
+        // NetHop's txn resolves through the chain.
+        assert!(r.spans.iter().all(|s| s.txn == TxnId(7)), "{:?}", r.spans);
+        assert_eq!(r.commits.len(), 1);
+        let c = &r.commits[0];
+        assert_eq!(c.total_us, 100);
+        assert_eq!(c.buckets["net-hop"], 20);
+        assert_eq!(c.buckets["lock-wait"], 30, "{:?}", c.buckets);
+        assert_eq!(c.buckets["commit"], 50);
+        assert_eq!(c.buckets.values().sum::<u64>(), c.total_us);
+    }
+
+    #[test]
+    fn sched_wait_nests_under_its_span() {
+        let events = [
+            open(0, 0, 1, 0, 3, SpanKind::Commit),
+            open(1, 10, 2, 1, 3, SpanKind::WalForce),
+            // Task picked up at t=50 after 20us runnable: wait [30,50].
+            st(
+                2,
+                50,
+                Event::SchedWait {
+                    span: 2,
+                    wait_us: 20,
+                },
+            ),
+            close(3, 60, 2),
+            close(4, 80, 1),
+        ];
+        let r = assemble(&events);
+        let c = &r.commits[0];
+        assert_eq!(c.buckets["sched-wait"], 20);
+        assert_eq!(c.buckets["wal-force"], 30);
+        assert_eq!(c.buckets["commit"], 30);
+        assert_eq!(c.buckets.values().sum::<u64>(), 80);
+    }
+
+    #[test]
+    fn orphans_are_counted_not_fatal() {
+        let events = [
+            open(0, 0, 1, 0, 1, SpanKind::Commit),
+            open(1, 5, 2, 1, 1, SpanKind::LockWait),
+            // close for 2 lost; close for unknown id 99 seen.
+            close(2, 10, 99),
+            st(3, 30, Event::DeadlockVictim { txn: TxnId(1) }),
+        ];
+        let r = assemble(&events);
+        assert_eq!(r.orphan_opens, 2);
+        assert_eq!(r.orphan_closes, 1);
+        assert_eq!(r.spans.len(), 2);
+        assert!(r.spans.iter().all(|s| !s.closed));
+        assert!(r.commits.is_empty(), "unclosed roots get no critical path");
+        // Orphans extend to the horizon.
+        assert!(r.spans.iter().all(|s| s.end_us == 30));
+    }
+
+    #[test]
+    fn chrome_export_contains_every_span() {
+        let events = [
+            open(0, 0, 1, 0, 9, SpanKind::Commit),
+            open(1, 2, 2, 1, 9, SpanKind::PageFetch),
+            close(2, 5, 2),
+            close(3, 9, 1),
+        ];
+        let json = chrome_trace_json(&assemble(&events));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"commit\""));
+        assert!(json.contains("\"name\":\"page-fetch\""));
+        assert!(json.contains("\"tid\":9"));
+    }
+
+    #[test]
+    fn span_guard_emits_and_restores_tag() {
+        set_enabled(true);
+        let before = fgl_sched::trace_tag();
+        let (sink, _guard) = crate::CaptureSink::install();
+        {
+            let outer = span(SpanKind::Commit, TxnId(41)).expect("enabled");
+            let outer_id = outer.id();
+            assert_eq!(fgl_sched::trace_tag(), outer_id);
+            {
+                let inner = span(SpanKind::LockWait, TxnId(41)).expect("enabled");
+                assert_eq!(fgl_sched::trace_tag(), inner.id());
+            }
+            assert_eq!(fgl_sched::trace_tag(), outer_id);
+        }
+        assert_eq!(fgl_sched::trace_tag(), before);
+        set_enabled(false);
+        assert!(span(SpanKind::Commit, TxnId(41)).is_none());
+        let mine: Vec<_> = sink
+            .drain()
+            .into_iter()
+            .filter(|s| {
+                matches!(s.event,
+                    Event::SpanOpen { txn, .. } if txn == TxnId(41))
+                    || matches!(s.event, Event::SpanClose { .. })
+            })
+            .collect();
+        assert!(mine.len() >= 4, "two opens + two closes, got {mine:?}");
+    }
+}

@@ -45,8 +45,129 @@ use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+// ---- instrumentation --------------------------------------------------------
+
+static TASKS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+static CONTEXT_SWITCHES: AtomicU64 = AtomicU64::new(0);
+static MAX_RUN_QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
+static WORKER_PARKS: AtomicU64 = AtomicU64::new(0);
+static STACK_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+static RUNNABLE_WAIT_US: AtomicU64 = AtomicU64::new(0);
+static RUNNABLE_WAITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide scheduler instrumentation counters (see [`sched_stats`]).
+///
+/// All fields except the two high-water marks are cumulative for the
+/// process; scope them to a run with [`SchedStats::delta_since`].
+/// `runnable_wait_*` are only tracked while a trace hook is installed
+/// (see [`set_trace_hook`]) so the untraced hot path never reads the
+/// clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// Green tasks ever spawned (seeds and `fanout` subtasks).
+    pub tasks_spawned: u64,
+    /// Worker → task context switches (task activations).
+    pub context_switches: u64,
+    /// Deepest run queue observed at any push (high-water mark).
+    pub max_run_queue_depth: u64,
+    /// Idle condvar waits by workers with an empty run queue.
+    pub worker_parks: u64,
+    /// Timer-wheel entries visited but not yet due (later rotation).
+    pub timer_cascades: u64,
+    /// Timer-wheel entries fired.
+    pub timer_fires: u64,
+    /// Deepest task-stack use observed at any switch point, in bytes
+    /// (high-water mark; an underestimate — only suspension points are
+    /// sampled, not the deepest frame between them).
+    pub stack_high_water_bytes: u64,
+    /// Total µs tasks spent queued runnable before a worker picked them
+    /// up (only while a trace hook is installed).
+    pub runnable_wait_us_total: u64,
+    /// Number of queued→running transitions timed into
+    /// `runnable_wait_us_total`.
+    pub runnable_wait_count: u64,
+}
+
+impl SchedStats {
+    /// Counters accumulated since `base` was captured. Monotonic fields
+    /// subtract; the high-water marks keep their current value (they are
+    /// gauges, not counters).
+    pub fn delta_since(&self, base: &SchedStats) -> SchedStats {
+        SchedStats {
+            tasks_spawned: self.tasks_spawned - base.tasks_spawned,
+            context_switches: self.context_switches - base.context_switches,
+            max_run_queue_depth: self.max_run_queue_depth,
+            worker_parks: self.worker_parks - base.worker_parks,
+            timer_cascades: self.timer_cascades - base.timer_cascades,
+            timer_fires: self.timer_fires - base.timer_fires,
+            stack_high_water_bytes: self.stack_high_water_bytes,
+            runnable_wait_us_total: self.runnable_wait_us_total - base.runnable_wait_us_total,
+            runnable_wait_count: self.runnable_wait_count - base.runnable_wait_count,
+        }
+    }
+}
+
+/// Snapshot the process-wide scheduler counters.
+pub fn sched_stats() -> SchedStats {
+    SchedStats {
+        tasks_spawned: TASKS_SPAWNED.load(Ordering::Relaxed),
+        context_switches: CONTEXT_SWITCHES.load(Ordering::Relaxed),
+        max_run_queue_depth: MAX_RUN_QUEUE_DEPTH.load(Ordering::Relaxed),
+        worker_parks: WORKER_PARKS.load(Ordering::Relaxed),
+        timer_cascades: timer::TIMER_CASCADES.load(Ordering::Relaxed),
+        timer_fires: timer::TIMER_FIRES.load(Ordering::Relaxed),
+        stack_high_water_bytes: STACK_HIGH_WATER.load(Ordering::Relaxed),
+        runnable_wait_us_total: RUNNABLE_WAIT_US.load(Ordering::Relaxed),
+        runnable_wait_count: RUNNABLE_WAITS.load(Ordering::Relaxed),
+    }
+}
+
+/// Called with `(trace_tag, wait_us)` each time a task that carries a
+/// non-zero trace tag is picked up after waiting runnable in the queue.
+pub type TraceHook = fn(tag: u64, wait_us: u64);
+
+static TRACE_HOOK: OnceLock<TraceHook> = OnceLock::new();
+static TRACE_HOOK_SET: AtomicBool = AtomicBool::new(false);
+
+/// Install the process-wide runnable-wait hook (first caller wins). Also
+/// switches on queued-at stamping, so `runnable_wait_*` in
+/// [`SchedStats`] start accumulating.
+pub fn set_trace_hook(hook: TraceHook) {
+    let _ = TRACE_HOOK.set(hook);
+    TRACE_HOOK_SET.store(true, Ordering::Release);
+}
+
+fn sched_now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+thread_local! {
+    /// Trace-tag fallback for code running on a plain OS thread.
+    static THREAD_TRACE_TAG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The current trace tag: an opaque u64 the tracing layer attaches to
+/// whatever logical context is executing. On a green task it lives on the
+/// task (so it follows the task across worker threads); on a plain OS
+/// thread it is thread-local. 0 means "none".
+pub fn trace_tag() -> u64 {
+    match current_task() {
+        Some(task) => task.trace_tag.load(Ordering::Relaxed),
+        None => THREAD_TRACE_TAG.with(|c| c.get()),
+    }
+}
+
+/// Set the current trace tag (see [`trace_tag`]).
+pub fn set_trace_tag(tag: u64) {
+    match current_task() {
+        Some(task) => task.trace_tag.store(tag, Ordering::Relaxed),
+        None => THREAD_TRACE_TAG.with(|c| c.set(tag)),
+    }
+}
 
 /// Granularity of the shared timer wheel. Fine enough that the smallest
 /// simulated latencies in the experiment configs (tens of microseconds)
@@ -141,6 +262,13 @@ struct TaskCore {
     sp: Cell<*mut u8>,
     intent: Cell<Intent>,
     entry: Cell<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    /// Trace tag carried across worker threads (see [`trace_tag`]).
+    trace_tag: AtomicU64,
+    /// µs timestamp of the last queue push, `u64::MAX` when not stamped.
+    /// Only written while a trace hook is installed.
+    queued_at_us: AtomicU64,
+    /// Highest address of the task stack, for high-water accounting.
+    stack_top: *mut u8,
     _stack: Stack,
     shared: Arc<Shared>,
     /// Seed tasks gate scheduler shutdown; subtasks are joined by their
@@ -305,6 +433,21 @@ pub fn park_until(deadline: Option<Instant>) {
     switch_out(Intent::Park(deadline));
 }
 
+/// Push a runnable task onto the shared queue, maintaining the
+/// queue-depth high-water mark and (when a trace hook is installed) the
+/// queued-at stamp used for runnable-wait attribution.
+fn push_runnable(shared: &Shared, task: Arc<TaskCore>) {
+    if TRACE_HOOK_SET.load(Ordering::Acquire) {
+        task.queued_at_us.store(sched_now_us(), Ordering::Relaxed);
+    }
+    let mut queue = shared.queue.lock().unwrap();
+    queue.push_back(task);
+    let depth = queue.len() as u64;
+    drop(queue);
+    MAX_RUN_QUEUE_DEPTH.fetch_max(depth, Ordering::Relaxed);
+    shared.queue_cv.notify_one();
+}
+
 fn unpark_task(task: &Arc<TaskCore>) {
     loop {
         match task.state.load(Ordering::Acquire) {
@@ -314,9 +457,7 @@ fn unpark_task(task: &Arc<TaskCore>) {
                     .compare_exchange(PARKED, QUEUED, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    let shared = &task.shared;
-                    shared.queue.lock().unwrap().push_back(task.clone());
-                    shared.queue_cv.notify_one();
+                    push_runnable(&task.shared, task.clone());
                     return;
                 }
             }
@@ -437,21 +578,28 @@ fn spawn_onto(
     wg: Option<Arc<WaitGroup>>,
 ) {
     let mut stack = Stack::new(stack_size());
+    let stack_top = stack.top();
     // SAFETY: the stack region is freshly allocated and large enough.
-    let sp = unsafe { ctx::bootstrap(stack.top(), trampoline) };
+    let sp = unsafe { ctx::bootstrap(stack_top, trampoline) };
+    // A fresh task inherits the spawner's trace tag, so `fanout` subtasks
+    // (callback deliveries, recovery jobs) stay causally linked to the
+    // span that spawned them.
     let task = Arc::new(TaskCore {
         state: AtomicU8::new(QUEUED),
         park_seq: AtomicU64::new(0),
         sp: Cell::new(sp),
         intent: Cell::new(Intent::None),
         entry: Cell::new(Some(job)),
+        trace_tag: AtomicU64::new(trace_tag()),
+        queued_at_us: AtomicU64::new(u64::MAX),
+        stack_top,
         _stack: stack,
         shared: shared.clone(),
         seed,
         wg,
     });
-    shared.queue.lock().unwrap().push_back(task);
-    shared.queue_cv.notify_one();
+    TASKS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+    push_runnable(shared, task);
 }
 
 /// First frame of every task. Runs the job under `catch_unwind`, records
@@ -526,6 +674,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             .min(IDLE_POLL);
         let queue = shared.queue.lock().unwrap();
         if queue.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+            WORKER_PARKS.fetch_add(1, Ordering::Relaxed);
             let _ = shared
                 .queue_cv
                 .wait_timeout(queue, wait.max(Duration::from_micros(1)))
@@ -548,6 +697,21 @@ fn fire_due_timers(shared: &Arc<Shared>) {
 }
 
 fn run_task(tls: &Rc<WorkerTls>, task: Arc<TaskCore>) {
+    CONTEXT_SWITCHES.fetch_add(1, Ordering::Relaxed);
+    if TRACE_HOOK_SET.load(Ordering::Acquire) {
+        let queued_at = task.queued_at_us.swap(u64::MAX, Ordering::Relaxed);
+        if queued_at != u64::MAX {
+            let wait = sched_now_us().saturating_sub(queued_at);
+            RUNNABLE_WAIT_US.fetch_add(wait, Ordering::Relaxed);
+            RUNNABLE_WAITS.fetch_add(1, Ordering::Relaxed);
+            let tag = task.trace_tag.load(Ordering::Relaxed);
+            if tag != 0 {
+                if let Some(hook) = TRACE_HOOK.get() {
+                    hook(tag, wait);
+                }
+            }
+        }
+    }
     task.state.store(RUNNING, Ordering::Release);
     tls.current.borrow_mut().replace(task.clone());
     // SAFETY: `task.sp` holds either the bootstrap frame or the stack
@@ -555,6 +719,10 @@ fn run_task(tls: &Rc<WorkerTls>, task: Arc<TaskCore>) {
     // hand-off ordered that write before this read.
     unsafe { ctx::fgl_sched_switch(tls.worker_sp.as_ptr(), task.sp.get()) };
     tls.current.borrow_mut().take();
+    // `task.sp` now holds the stack pointer saved at the switch-out; the
+    // distance from the stack top is this activation's depth.
+    let used = (task.stack_top as usize).saturating_sub(task.sp.get() as usize) as u64;
+    STACK_HIGH_WATER.fetch_max(used, Ordering::Relaxed);
     let shared = &tls.shared;
     match task.intent.replace(Intent::None) {
         Intent::Done => {
@@ -569,8 +737,7 @@ fn run_task(tls: &Rc<WorkerTls>, task: Arc<TaskCore>) {
         }
         Intent::Yield => {
             task.state.store(QUEUED, Ordering::Release);
-            shared.queue.lock().unwrap().push_back(task);
-            shared.queue_cv.notify_one();
+            push_runnable(shared, task);
         }
         Intent::Park(deadline) => {
             let seq = task.park_seq.fetch_add(1, Ordering::AcqRel) + 1;
@@ -590,8 +757,7 @@ fn run_task(tls: &Rc<WorkerTls>, task: Arc<TaskCore>) {
             {
                 // Notified while switching out: runnable again at once.
                 task.state.store(QUEUED, Ordering::Release);
-                shared.queue.lock().unwrap().push_back(task);
-                shared.queue_cv.notify_one();
+                push_runnable(shared, task);
             }
         }
         Intent::None => unreachable!("task switched out without an intent"),

@@ -12,7 +12,15 @@
 //! to tick `t`, and `advance(now)` only reaches `t` once
 //! `now >= origin + t·tick >= d`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Entries visited by a slot sweep that were *not* due yet (they belong
+/// to a later rotation of the wheel). A hot cascade counter means the
+/// ring is too small for the deadline spread.
+pub(crate) static TIMER_CASCADES: AtomicU64 = AtomicU64::new(0);
+/// Entries actually fired by [`TimerWheel::advance`].
+pub(crate) static TIMER_FIRES: AtomicU64 = AtomicU64::new(0);
 
 struct Entry<T> {
     at_tick: u64,
@@ -118,10 +126,12 @@ impl<T> TimerWheel<T> {
                 if v[j].at_tick <= target {
                     fired.push(v.swap_remove(j));
                 } else {
+                    TIMER_CASCADES.fetch_add(1, Ordering::Relaxed);
                     j += 1;
                 }
             }
         }
+        TIMER_FIRES.fetch_add(fired.len() as u64, Ordering::Relaxed);
         self.len -= fired.len();
         self.cur_tick = target + 1;
         fired.sort_by_key(|e| (e.at_tick, e.id));

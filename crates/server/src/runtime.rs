@@ -36,6 +36,7 @@ use crate::dct::Dct;
 use crate::pagestore::PageStore;
 use fgl_common::config::CommitPolicy;
 use fgl_common::{ClientId, FglError, Lsn, PageId, Psn, Result, SystemConfig, TxnId};
+use fgl_locks::contention::{ContentionProfiler, PageContention};
 use fgl_locks::glm::{CallbackKind, CallbackReply, GlmCore, GlmEvent, LockOutcome};
 use fgl_locks::mode::{LockTarget, ObjMode};
 use fgl_locks::WaitGraph;
@@ -166,6 +167,9 @@ pub struct ServerCore {
     /// Shared metrics registry: histograms + counters for the whole
     /// system. Clients and WAL managers clone this handle.
     metrics: Arc<Metrics>,
+    /// Per-page wait-time / callback fan-out accumulator (top-N hottest
+    /// pages; surfaced through [`ServerCore::contention_top`]).
+    contention: ContentionProfiler,
     lock_requests: AtomicU64,
     page_fetches: AtomicU64,
     pages_received: AtomicU64,
@@ -227,6 +231,7 @@ impl ServerCore {
             recovery_needs: Mutex::new(Vec::new()),
             down: AtomicBool::new(false),
             metrics,
+            contention: ContentionProfiler::new(),
             lock_requests: AtomicU64::new(0),
             page_fetches: AtomicU64::new(0),
             pages_received: AtomicU64::new(0),
@@ -285,6 +290,17 @@ impl ServerCore {
     /// to this same instance so one snapshot covers the whole system.
     pub fn metrics(&self) -> Arc<Metrics> {
         self.metrics.clone()
+    }
+
+    /// The `n` pages with the most cumulative lock-wait time (callback
+    /// fan-out breaks ties), hottest first.
+    pub fn contention_top(&self, n: usize) -> Vec<(PageId, PageContention)> {
+        self.contention.top_n(n)
+    }
+
+    /// Distinct pages that ever saw a queued wait or a callback.
+    pub fn contention_pages_tracked(&self) -> usize {
+        self.contention.pages_tracked()
     }
 
     // ---- registration ------------------------------------------------------
@@ -360,6 +376,8 @@ impl ServerCore {
                 let (slot, waiter) = grant_pair();
                 parked.insert(txn, (slot, cached_psn));
                 drop(parked);
+                self.contention
+                    .on_queue(txn, &target, self.metrics.now_us());
                 emit(Event::LockQueue {
                     client,
                     txn,
@@ -376,6 +394,7 @@ impl ServerCore {
     /// non-owning ones no-op.
     pub fn cancel_wait(&self, _client: ClientId, txn: TxnId) {
         self.net.msg(MsgKind::Control, 16);
+        self.contention.on_resolve(txn, self.metrics.now_us());
         let mut events = Vec::new();
         for shard in &self.shards {
             shard.waiters.lock().remove(&txn);
@@ -427,6 +446,7 @@ impl ServerCore {
                             page: target.page(),
                             queued: true,
                         });
+                        self.contention.on_resolve(txn, self.metrics.now_us());
                         let shard = self.shard_of(target.page());
                         let slot = shard.waiters.lock().remove(&txn);
                         if let Some((slot, cached_psn)) = slot {
@@ -445,6 +465,7 @@ impl ServerCore {
                     GlmEvent::AbortTxn { txn, .. } => {
                         emit(Event::DeadlockVictim { txn });
                         self.metrics.add("deadlock_victims", 1);
+                        self.contention.on_resolve(txn, self.metrics.now_us());
                         // The victim of a cross-shard cycle may be parked
                         // on a page of *another* shard than the GLM that
                         // detected the cycle, so its waiter is hunted
@@ -485,8 +506,10 @@ impl ServerCore {
         let Some(peer) = self.peer(to) else {
             return;
         };
+        let _span = fgl_obs::trace::span(fgl_obs::SpanKind::CallbackRtt, TxnId(0));
         self.net
             .msg(MsgKind::Callback, fgl_net::wire::callback_batch(1));
+        self.contention.on_callback(kind.page());
         emit(Event::CallbackIssued {
             to,
             page: kind.page(),
@@ -548,6 +571,11 @@ impl ServerCore {
                        peer: &Arc<dyn ClientPeer>,
                        kinds: &[CallbackKind]|
          -> Vec<CallbackOutcome> {
+            // One round-trip span per destination batch. A `fanout`
+            // subtask inherits the spawner's trace tag, so concurrent
+            // deliveries stay parented under the span that triggered the
+            // callbacks.
+            let _span = fgl_obs::trace::span(fgl_obs::SpanKind::CallbackRtt, TxnId(0));
             self.net.msg(
                 MsgKind::Callback,
                 fgl_net::wire::callback_batch(kinds.len()),
@@ -557,6 +585,7 @@ impl ServerCore {
                 count: kinds.len() as u32,
             });
             for kind in kinds {
+                self.contention.on_callback(kind.page());
                 emit(Event::CallbackIssued {
                     to,
                     page: kind.page(),
@@ -998,6 +1027,7 @@ impl ServerCore {
     /// runs under it.
     pub fn commit_ship_log(&self, client: ClientId, records: Vec<u8>) -> Result<()> {
         self.check_up()?;
+        let _span = fgl_obs::trace::span(fgl_obs::SpanKind::CommitLogShip, TxnId(0));
         self.net.msg(MsgKind::CommitLogShip, records.len());
         self.commit_log_ships.fetch_add(1, Ordering::Relaxed);
         let mut logs = self.client_logs.lock();

@@ -160,6 +160,7 @@ pub fn run_workload(
     let threads = n * opts.threads_per_client.max(1);
     let before = sys.net.snapshot();
     let metrics_before = sys.metrics_snapshot();
+    let sched_before = fgl_sched::sched_stats();
     let start = Instant::now();
     let mut master = DetRng::new(opts.seed);
     let seeds: Vec<u64> = (0..threads)
@@ -261,6 +262,36 @@ pub fn run_workload(
     }
     report.net = sys.net.snapshot().delta_since(&before);
     report.metrics = sys.metrics_snapshot().delta_since(&metrics_before);
+    // Scheduler profile for the interval (counters are deltas; the two
+    // high-water marks are process-lifetime gauges).
+    let sched = fgl_sched::sched_stats().delta_since(&sched_before);
+    report
+        .metrics
+        .set_counter("sched_tasks_spawned", sched.tasks_spawned);
+    report
+        .metrics
+        .set_counter("sched_context_switches", sched.context_switches);
+    report
+        .metrics
+        .set_counter("sched_max_run_queue_depth", sched.max_run_queue_depth);
+    report
+        .metrics
+        .set_counter("sched_worker_parks", sched.worker_parks);
+    report
+        .metrics
+        .set_counter("sched_timer_cascades", sched.timer_cascades);
+    report
+        .metrics
+        .set_counter("sched_timer_fires", sched.timer_fires);
+    report
+        .metrics
+        .set_counter("sched_stack_high_water_bytes", sched.stack_high_water_bytes);
+    report
+        .metrics
+        .set_counter("sched_runnable_wait_us", sched.runnable_wait_us_total);
+    report
+        .metrics
+        .set_counter("sched_runnable_waits", sched.runnable_wait_count);
     Ok(report)
 }
 

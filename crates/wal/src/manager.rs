@@ -201,6 +201,7 @@ impl LogManager {
     /// Force the log: everything appended so far becomes durable.
     pub fn force(&mut self) -> Result<Lsn> {
         let start = self.obs.as_ref().map(|(m, _)| m.now_us());
+        let _span = fgl_obs::trace::span(fgl_obs::SpanKind::WalForce, fgl_common::TxnId(0));
         self.store.sync()?;
         self.forces += 1;
         let durable = self.durable_lsn();

@@ -8,10 +8,21 @@
 //! is a semantic change in the protocol path, not scheduling noise.
 
 use fgl::{NetSnapshot, System, SystemConfig};
+use fgl_obs::{trace, CaptureSink, Event, SpanKind};
 use fgl_sim::harness::{run_workload, HarnessOptions, RunReport, SchedulerKind};
 use fgl_sim::oracle::Oracle;
 use fgl_sim::setup::populate;
 use fgl_sim::workload::{WorkloadKind, WorkloadSpec};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Span emission is process-wide, so the tracing test must not overlap
+/// the others (their runs would bleed span events into its capture).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn spec() -> WorkloadSpec {
     let mut s = WorkloadSpec::new(WorkloadKind::Private);
@@ -59,6 +70,7 @@ fn assert_same_traffic(a: &NetSnapshot, b: &NetSnapshot) {
 /// commit/abort totals, and a clean oracle under both schedulers.
 #[test]
 fn event_and_thread_schedulers_produce_identical_traffic() {
+    let _g = serial();
     let (threads, threads_clean) = run(SchedulerKind::Threads);
     let (event, event_clean) = run(SchedulerKind::Event);
     assert!(threads_clean, "threads run diverged from oracle");
@@ -72,6 +84,7 @@ fn event_and_thread_schedulers_produce_identical_traffic() {
 /// seed match each other exactly.
 #[test]
 fn event_scheduler_is_self_deterministic() {
+    let _g = serial();
     let (a, a_clean) = run(SchedulerKind::Event);
     let (b, b_clean) = run(SchedulerKind::Event);
     assert!(a_clean && b_clean);
@@ -84,6 +97,7 @@ fn event_scheduler_is_self_deterministic() {
 /// recovery, verify, phase 2, verify) ends clean.
 #[test]
 fn crash_scenario_oracle_is_clean_under_event_scheduler() {
+    let _g = serial();
     let mut s = spec();
     s.pages = 12;
     let r = fgl_sim::crash::run_crash_scenario_with(
@@ -103,4 +117,46 @@ fn crash_scenario_oracle_is_clean_under_event_scheduler() {
         r.verify_final.mismatches
     );
     assert!(r.phase2.commits > 0);
+}
+
+/// Per-kind `SpanOpen` counts for one traced run. Scheduler runnable
+/// waits are deliberately excluded — they are reported as `SchedWait`
+/// events, not spans, precisely so this invariant can hold (the two
+/// drivers park differently but traverse the same protocol path).
+fn traced_span_counts(scheduler: SchedulerKind) -> BTreeMap<SpanKind, u64> {
+    let (sink, guard) = CaptureSink::install();
+    trace::set_enabled(true);
+    let (_report, clean) = run(scheduler);
+    trace::set_enabled(false);
+    drop(guard);
+    assert!(clean, "{scheduler:?} traced run diverged from oracle");
+    let mut counts = BTreeMap::new();
+    for st in sink.drain() {
+        if let Event::SpanOpen { kind, .. } = st.event {
+            *counts.entry(kind).or_insert(0u64) += 1;
+        }
+    }
+    counts
+}
+
+/// Tracing is part of the protocol path, so it must be as deterministic
+/// as the fabric counts: same seed ⇒ identical per-kind span counts
+/// under both drivers. (PRIVATE still emits `LockWait` spans — the
+/// seeding client owns every page at cold start, so first accesses wait
+/// on the ownership hand-off — but deterministically many of them.)
+#[test]
+fn span_counts_are_identical_across_schedulers() {
+    let _g = serial();
+    let threads = traced_span_counts(SchedulerKind::Threads);
+    let event = traced_span_counts(SchedulerKind::Event);
+    assert_eq!(threads, event, "per-kind span counts diverged");
+    assert!(
+        threads[&SpanKind::Commit] > 0,
+        "commits must emit root spans"
+    );
+    assert_eq!(
+        threads.get(&SpanKind::CommitLogShip).copied().unwrap_or(0),
+        0,
+        "client-based logging must never ship log records at commit"
+    );
 }

@@ -1,0 +1,178 @@
+//! Trace-context propagation under adversity: the assembler must turn
+//! any event slice — crash-orphaned, truncated by ring eviction, or both
+//! — into a usable report without panicking, and its per-commit budgets
+//! must keep their accounting identity (buckets sum exactly to the root
+//! span) for every commit that did close.
+//!
+//! Span emission is process-wide, so every test serializes on one mutex
+//! and scopes its analysis with a sequence watermark.
+
+use fgl::{System, SystemConfig};
+use fgl_common::TxnId;
+use fgl_obs::{trace, Event, SpanKind};
+use std::sync::{Mutex, PoisonError};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Events emitted since `watermark`, in sequence order.
+fn events_since(watermark: u64) -> Vec<fgl_obs::Stamped> {
+    fgl_obs::dump()
+        .into_iter()
+        .filter(|s| s.seq >= watermark)
+        .collect()
+}
+
+fn assert_budget_identity(report: &trace::TraceReport) {
+    for c in &report.commits {
+        let sum: u64 = c.buckets.values().sum();
+        assert_eq!(
+            sum, c.total_us,
+            "buckets must sum exactly to the root span for txn {:?}",
+            c.txn
+        );
+    }
+}
+
+/// A client crash with an in-flight transaction, recovery, and further
+/// traffic: the dump assembles cleanly, the committed work appears as
+/// `Commit` breakdowns, and no orphan ever panics the assembler.
+#[test]
+fn spans_survive_client_crash_and_recovery() {
+    let _g = serial();
+    let cfg = SystemConfig::default().with_obs_ring_entries(1 << 14);
+    let sys = System::build(cfg, 2).unwrap();
+    trace::set_enabled(true);
+    let watermark = fgl_obs::seq_watermark();
+
+    let (alice, bob) = (sys.client(0), sys.client(1));
+    let t = alice.begin().unwrap();
+    let page = alice.create_page(t).unwrap();
+    let obj = alice.insert(t, page, b"committed!").unwrap();
+    alice.commit(t).unwrap();
+
+    // In-flight update, then a crash: whatever spans the dead txn left
+    // behind must at worst become orphans, never a panic.
+    let t = alice.begin().unwrap();
+    alice.write(t, obj, b"dirtydirty").unwrap();
+    alice.checkpoint().unwrap();
+    alice.crash();
+    alice.recover().unwrap();
+
+    // Post-recovery traffic still traces.
+    let t = bob.begin().unwrap();
+    assert_eq!(bob.read(t, obj).unwrap(), b"committed!");
+    bob.commit(t).unwrap();
+    trace::set_enabled(false);
+
+    let report = trace::assemble(&events_since(watermark));
+    assert!(
+        report.commits.len() >= 2,
+        "both surviving commits must assemble (got {})",
+        report.commits.len()
+    );
+    assert!(report
+        .spans
+        .iter()
+        .any(|s| s.kind == SpanKind::Commit && s.closed));
+    assert_budget_identity(&report);
+}
+
+/// Truncating the event slice at either end (what ring eviction does)
+/// yields orphans — opens without closes, closes without opens — and the
+/// assembler marks them instead of panicking.
+#[test]
+fn truncated_slices_assemble_with_orphans_marked() {
+    let _g = serial();
+    let cfg = SystemConfig::default().with_obs_ring_entries(1 << 14);
+    let sys = System::build(cfg, 1).unwrap();
+    trace::set_enabled(true);
+    let watermark = fgl_obs::seq_watermark();
+
+    let c = sys.client(0);
+    let t = c.begin().unwrap();
+    let page = c.create_page(t).unwrap();
+    let obj = c.insert(t, page, b"data").unwrap();
+    c.commit(t).unwrap();
+    let t = c.begin().unwrap();
+    c.write(t, obj, b"more").unwrap();
+    c.commit(t).unwrap();
+    trace::set_enabled(false);
+
+    let events = events_since(watermark);
+    let spans: Vec<_> = events
+        .iter()
+        .filter(|s| matches!(s.event, Event::SpanOpen { .. } | Event::SpanClose { .. }))
+        .collect();
+    assert!(spans.len() >= 4, "workload must have emitted span events");
+
+    // Whole slice: no orphans, full identity.
+    let full = trace::assemble(&events);
+    assert_eq!(full.orphan_opens, 0);
+    assert_eq!(full.orphan_closes, 0);
+    assert_budget_identity(&full);
+
+    // Drop everything from the last close on: its open is stranded.
+    let last_close = events
+        .iter()
+        .rposition(|s| matches!(s.event, Event::SpanClose { .. }))
+        .unwrap();
+    let truncated = trace::assemble(&events[..last_close]);
+    assert!(truncated.orphan_opens > 0, "lost closes must mark orphans");
+    assert!(
+        truncated.spans.iter().any(|s| !s.closed),
+        "orphaned spans carry closed=false"
+    );
+    assert_budget_identity(&truncated);
+
+    // Drop everything through the first open (what ring eviction does to
+    // the oldest entries): its close arrives with no matching open.
+    let first_open = events
+        .iter()
+        .position(|s| matches!(s.event, Event::SpanOpen { .. }))
+        .unwrap();
+    let evicted = trace::assemble(&events[first_open + 1..]);
+    assert!(evicted.orphan_closes > 0, "lost opens must be counted");
+    assert_budget_identity(&evicted);
+}
+
+/// Orphaned roots (a `Commit` open whose close was lost) are excluded
+/// from critical paths but still visible as spans, and txn resolution
+/// through the parent chain still works on the surviving structure.
+#[test]
+fn orphaned_commit_root_is_reported_not_attributed() {
+    let _g = serial();
+    trace::set_enabled(true);
+    let watermark = fgl_obs::seq_watermark();
+    {
+        let root = trace::span(SpanKind::Commit, TxnId(4242)).unwrap();
+        let child = trace::span(SpanKind::WalForce, TxnId(0)).unwrap();
+        drop(child);
+        drop(root);
+    }
+    trace::set_enabled(false);
+
+    let events = events_since(watermark);
+    // Cut just after the child's close: the root's close is lost.
+    let cut = events
+        .iter()
+        .position(|s| matches!(s.event, Event::SpanClose { .. }))
+        .unwrap()
+        + 1;
+    let report = trace::assemble(&events[..cut]);
+    assert_eq!(report.orphan_opens, 1);
+    assert!(report.commits.is_empty(), "an unclosed root has no budget");
+    let child = report
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::WalForce)
+        .unwrap();
+    assert_eq!(
+        child.txn,
+        TxnId(4242),
+        "txn must resolve through the orphaned parent"
+    );
+}
