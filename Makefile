@@ -1,17 +1,21 @@
 # Convenience targets; CI runs the same commands.
 
-METRICS_DIR ?= metrics
-BASELINE    := ci/latency_baseline.json
-GATED       := $(METRICS_DIR)/e11_server_shard_scaling.json \
-               $(METRICS_DIR)/e12_callback_batching.json \
-               $(METRICS_DIR)/e13_client_scaling.json \
-               $(METRICS_DIR)/e14_recovery_shootout.json \
-               $(METRICS_DIR)/e15_trace_attribution.json
+METRICS_DIR  ?= metrics
+BASELINE     := ci/latency_baseline.json
+RSS_BASELINE := ci/rss_baseline.json
+GATED        := $(METRICS_DIR)/e11_server_shard_scaling.json \
+                $(METRICS_DIR)/e12_callback_batching.json \
+                $(METRICS_DIR)/e13_client_scaling.json \
+                $(METRICS_DIR)/e14_recovery_shootout.json \
+                $(METRICS_DIR)/e15_trace_attribution.json \
+                $(METRICS_DIR)/e16_memory_cliff.json
 
-GATED_BINS  := e11_server_shard_scaling e12_callback_batching \
-               e13_client_scaling e14_recovery_shootout e15_trace_attribution
+GATED_BINS   := e11_server_shard_scaling e12_callback_batching \
+                e13_client_scaling e14_recovery_shootout \
+                e15_trace_attribution e16_memory_cliff
 
-.PHONY: test check-latency refresh-baselines validate-metrics experiments
+.PHONY: test check-latency refresh-baselines validate-metrics experiments \
+        e16 check-rss refresh-rss-baseline
 
 test:
 	cargo build --release
@@ -40,3 +44,20 @@ validate-metrics:
 
 experiments:
 	./run_experiments.sh --quick
+
+# Full E16 memory-cliff sweep (1k -> 64k clients, one child process per
+# cell). FGL_E16_MAX_CLIENTS / FGL_E16_START_CLIENTS bound the sweep.
+e16:
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e16_memory_cliff
+
+# Quick E16 sweep, then gate per-client RSS growth and the stack-pool
+# hit rate against the checked-in baseline.
+check-rss:
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e16_memory_cliff -- --quick
+	python3 scripts/check_rss_regression.py $(RSS_BASELINE) $(METRICS_DIR)/e16_memory_cliff.json
+
+# Rebuild the RSS baseline after an intentional memory-footprint change;
+# commit the updated $(RSS_BASELINE).
+refresh-rss-baseline:
+	FGL_METRICS_DIR=$(METRICS_DIR) cargo run --release -q -p fgl-bench --bin e16_memory_cliff -- --quick
+	python3 scripts/check_rss_regression.py --update $(RSS_BASELINE) $(METRICS_DIR)/e16_memory_cliff.json

@@ -144,6 +144,19 @@ impl MetricsEmitter {
         ));
     }
 
+    /// Adopt an already-encoded `{"params": ..., "metrics": ...}` row —
+    /// used by sweeps that isolate each cell in a child process (E16) and
+    /// merge the children's rows into one file.
+    pub fn raw_row(&mut self, row_json: String) {
+        self.rows.push(row_json);
+    }
+
+    /// The encoded rows collected so far, in emission order. A cell
+    /// subprocess uses this to hand its row(s) to the parent sweep.
+    pub fn rows_json(&self) -> &[String] {
+        &self.rows
+    }
+
     /// Where the JSON will land: `$FGL_METRICS_DIR` or `./metrics`.
     pub fn out_path(&self) -> PathBuf {
         let dir = std::env::var("FGL_METRICS_DIR").unwrap_or_else(|_| "metrics".to_string());

@@ -25,6 +25,12 @@ impl ClientCache {
         }
     }
 
+    /// Pre-size the frame table for the configured capacity (first-use
+    /// warm-up; see [`BufferPool::warm`]).
+    pub fn warm(&mut self) {
+        self.pool.warm();
+    }
+
     /// Install a copy arriving from the server. Merges with a resident
     /// copy when present (keeping the dirtiness of the resident state);
     /// returns any evicted dirty page that must be shipped to the server.

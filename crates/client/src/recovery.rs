@@ -119,6 +119,9 @@ impl ClientCore {
         self: &Arc<Self>,
         options: RecoveryOptions,
     ) -> Result<ClientRecoveryReport> {
+        // Recovery appends to the WAL and bumps counters, so the client
+        // joins the active set even if it never ran a transaction here.
+        self.touch();
         self.strategy.recover(self, options)
     }
 

@@ -30,7 +30,7 @@ use fgl_wal::records::{LogPayload, UpdateRecord};
 use fgl_wal::store::{LogStore, MemLogStore};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,6 +64,9 @@ pub(crate) struct ClientState {
     /// version and cache it under its fresh lock.
     pub in_transit: HashMap<PageId, Arc<[u8]>>,
     pub crashed: bool,
+    /// First-use warm-up done (hot maps pre-sized, cache frame table
+    /// reserved)? See [`ClientCore::warm_state`].
+    pub warmed: bool,
 }
 
 /// Per-client counters reported by experiments.
@@ -90,7 +93,9 @@ pub struct ClientStats {
 /// The client runtime.
 pub struct ClientCore {
     id: ClientId,
-    cfg: SystemConfig,
+    /// Shared with the server and every sibling client — the config is
+    /// read-mostly, so N clients hold N refcounts, not N copies.
+    cfg: Arc<SystemConfig>,
     pub server: Arc<ServerCore>,
     pub net: Arc<NetSim>,
     pub(crate) st: Mutex<ClientState>,
@@ -106,6 +111,10 @@ pub struct ClientCore {
     pub(crate) metrics: Arc<Metrics>,
     /// The logging strategy, resolved once from the config knob.
     pub(crate) strategy: &'static dyn LoggingStrategy,
+    /// Set on first transactional activity. Aggregations over huge client
+    /// populations ([`stats`](Self::stats), `wal_bytes_by_kind`) short-
+    /// circuit untouched clients without taking their state mutex.
+    touched: AtomicBool,
     commits: AtomicU64,
     aborts: AtomicU64,
     deadlock_victims: AtomicU64,
@@ -137,7 +146,7 @@ impl ClientCore {
         net: Arc<NetSim>,
         log_store: Box<dyn LogStore>,
     ) -> Result<Arc<Self>> {
-        let cfg = server.config().clone();
+        let cfg = server.config_shared();
         let wal = LogManager::recover(log_store, cfg.client_log_bytes)?;
         let core = Self::with_parts(id, server, net, wal, true);
         Ok(core)
@@ -150,8 +159,7 @@ impl ClientCore {
         net: Arc<NetSim>,
         log_store: Box<dyn LogStore>,
     ) -> Arc<Self> {
-        let cfg = server.config().clone();
-        let wal = LogManager::new(log_store, cfg.client_log_bytes);
+        let wal = LogManager::new(log_store, server.config().client_log_bytes);
         Self::with_parts(id, server, net, wal, false)
     }
 
@@ -162,10 +170,10 @@ impl ClientCore {
         mut wal: LogManager,
         crashed: bool,
     ) -> Arc<Self> {
-        let cfg = server.config().clone();
+        let cfg = server.config_shared();
         let metrics = server.metrics();
         wal.attach_obs(metrics.clone(), LogOwner::Client(id));
-        let state = ClientState {
+        let mut state = ClientState {
             llm: LlmCore::new(cfg.granularity, cfg.update_policy),
             cache: ClientCache::new(cfg.client_cache_pages),
             wal,
@@ -177,7 +185,13 @@ impl ClientCore {
             shipped_upto: Lsn(1),
             in_transit: HashMap::new(),
             crashed,
+            warmed: false,
         };
+        if !cfg.lazy_client_init {
+            // Eager mode: pay the full per-client footprint up front (the
+            // pre-scaling behavior, kept for determinism ablation).
+            Self::warm_state(&mut state, &cfg);
+        }
         let strategy = strategy_for(cfg.logging_strategy);
         let core = Arc::new(ClientCore {
             id,
@@ -190,6 +204,7 @@ impl ClientCore {
             force_cv: Condvar::new(),
             metrics,
             strategy,
+            touched: AtomicBool::new(crashed),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             deadlock_victims: AtomicU64::new(0),
@@ -218,7 +233,55 @@ impl ClientCore {
         &self.cfg
     }
 
+    /// First-use warm-up: pre-size the hot per-client containers to their
+    /// steady-state capacities so the transaction path never grows them
+    /// from empty. Deferred to the first `begin` under
+    /// `lazy_client_init` so never-active clients skip the cost entirely.
+    fn warm_state(st: &mut ClientState, cfg: &SystemConfig) {
+        st.cache.warm();
+        // The DPT tracks dirty cached pages, so the cache capacity bounds
+        // its steady state (evictions move entries to `in_transit`).
+        st.dpt.reserve(cfg.client_cache_pages);
+        // Concurrent local transactions (group-commit cohorts) stay small
+        // by the paper's one-transaction-at-a-time-per-client model.
+        st.txns.reserve(8);
+        st.in_transit.reserve(8);
+        st.warmed = true;
+    }
+
+    /// Mark this client active (see the `touched` field).
+    pub(crate) fn touch(&self) {
+        if !self.touched.load(Ordering::Relaxed) {
+            self.touched.store(true, Ordering::Release);
+        }
+    }
+
+    /// Has this client ever run a transaction (or been reopened from an
+    /// existing log)? Cheap — no state lock. Population-wide aggregations
+    /// use this as the active-client set.
+    pub fn is_touched(&self) -> bool {
+        self.touched.load(Ordering::Acquire)
+    }
+
+    /// Capacities of the hot per-client maps `(dpt, txns, in_transit)` —
+    /// introspection for the scaling tests that pin down the lazy-init /
+    /// pre-sizing behavior.
+    pub fn hot_map_capacities(&self) -> (usize, usize, usize) {
+        let st = self.st.lock();
+        (
+            st.dpt.capacity(),
+            st.txns.capacity(),
+            st.in_transit.capacity(),
+        )
+    }
+
     pub fn stats(&self) -> ClientStats {
+        if !self.is_touched() {
+            // Never active: every counter is zero and the WAL is empty.
+            // Skipping the state lock keeps whole-population aggregation
+            // O(active), not O(clients × mutex).
+            return ClientStats::default();
+        }
         let st = self.st.lock();
         let (_, log_bytes, log_forces) = st.wal.stats();
         ClientStats {
@@ -243,10 +306,14 @@ impl ClientCore {
 
     /// Begin a new transaction.
     pub fn begin(&self) -> Result<TxnId> {
+        self.touch();
         loop {
             let mut st = self.st.lock();
             if st.crashed {
                 return Err(FglError::Disconnected("client crashed".into()));
+            }
+            if !st.warmed {
+                Self::warm_state(&mut st, &self.cfg);
             }
             st.next_seq += 1;
             let txn = TxnId::compose(self.id, st.next_seq);
@@ -1537,6 +1604,9 @@ impl ClientCore {
 
     /// Bytes appended to the private log per record kind (non-zero only).
     pub fn wal_bytes_by_kind(&self) -> Vec<(&'static str, u64)> {
+        if !self.is_touched() {
+            return Vec::new();
+        }
         self.st.lock().wal.bytes_by_kind()
     }
 }

@@ -169,6 +169,13 @@ pub struct SystemConfig {
     /// the whole event window; evictions are counted in the
     /// `ring_dropped_events` metric either way.
     pub obs_ring_entries: usize,
+    /// Defer building each client's heavyweight state (pre-sized cache
+    /// frame table, hot transaction/DPT maps) until its first `begin`.
+    /// With 100k simulated clients of which only a subset transact, the
+    /// idle ones then cost almost nothing. `false` builds everything at
+    /// construction — the pre-scaling behavior, kept for determinism
+    /// ablation (state timing must never change protocol traffic).
+    pub lazy_client_init: bool,
 }
 
 impl Default for SystemConfig {
@@ -192,6 +199,7 @@ impl Default for SystemConfig {
             callback_batching: true,
             group_commit: true,
             obs_ring_entries: 256,
+            lazy_client_init: true,
         }
     }
 }
@@ -296,6 +304,12 @@ impl SystemConfig {
         self.obs_ring_entries = entries;
         self
     }
+
+    /// Builder-style setter for lazy per-client state construction.
+    pub fn with_lazy_client_init(mut self, on: bool) -> Self {
+        self.lazy_client_init = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +378,8 @@ mod tests {
         let d = SystemConfig::default();
         assert!(d.callback_batching);
         assert!(d.group_commit);
+        assert!(d.lazy_client_init);
+        assert!(!d.clone().with_lazy_client_init(false).lazy_client_init);
     }
 
     #[test]

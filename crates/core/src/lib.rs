@@ -147,8 +147,13 @@ impl System {
             snap.set_counter(&format!("shard{i}_merges"), sh.merges);
         }
 
+        // Active-client set: clients that never ran a transaction report
+        // all-zero stats and an empty WAL, so the population scans below
+        // skip them with one relaxed atomic load instead of taking each
+        // client's state mutex — at 100k mostly-idle simulated clients
+        // the snapshot cost tracks the *active* count.
         let mut c = ClientStats::default();
-        for client in &self.clients {
+        for client in self.clients.iter().filter(|c| c.is_touched()) {
             let cs = client.stats();
             c.commits += cs.commits;
             c.aborts += cs.aborts;
@@ -199,7 +204,7 @@ impl System {
         // Per-record-kind WAL byte accounting, summed across every client
         // log plus the server log (satellite obs for the strategy seam).
         let mut by_kind: std::collections::BTreeMap<&'static str, u64> = Default::default();
-        for client in &self.clients {
+        for client in self.clients.iter().filter(|c| c.is_touched()) {
             for (kind, bytes) in client.wal_bytes_by_kind() {
                 *by_kind.entry(kind).or_insert(0) += bytes;
             }
@@ -679,6 +684,48 @@ mod tests {
                 .unwrap_or(0);
             assert!(v > 0, "wal_bytes_{kind} must be non-zero");
         }
+    }
+
+    /// Lazy client init: an idle client's hot maps stay unallocated and
+    /// it stays out of the active set; the first `begin` pre-sizes the
+    /// maps from config. Eager mode pays the footprint at construction.
+    #[test]
+    fn lazy_client_init_defers_and_presizes_hot_state() {
+        let sys = System::build(quiet_cfg(), 2).unwrap();
+        let (active, idle) = (sys.client(0), sys.client(1));
+        assert!(!active.is_touched() && !idle.is_touched());
+        assert_eq!(idle.hot_map_capacities(), (0, 0, 0));
+
+        let t = active.begin().unwrap();
+        let page = active.create_page(t).unwrap();
+        let obj = active.insert(t, page, b"data").unwrap();
+        active.commit(t).unwrap();
+        let _ = obj;
+
+        assert!(active.is_touched(), "begin marks the client active");
+        assert!(!idle.is_touched(), "idle client stays out of the set");
+        let (dpt, txns, in_transit) = active.hot_map_capacities();
+        assert!(
+            dpt >= quiet_cfg().client_cache_pages,
+            "dpt pre-sized from client_cache_pages, got {dpt}"
+        );
+        assert!(txns >= 8 && in_transit >= 8);
+        assert_eq!(idle.hot_map_capacities(), (0, 0, 0));
+
+        // Eager mode: the same footprint exists before any transaction.
+        let eager = System::build(quiet_cfg().with_lazy_client_init(false), 1).unwrap();
+        let (dpt, txns, in_transit) = eager.client(0).hot_map_capacities();
+        assert!(dpt >= quiet_cfg().client_cache_pages && txns >= 8 && in_transit >= 8);
+    }
+
+    /// The config is shared behind one `Arc`, not cloned per client.
+    #[test]
+    fn config_is_shared_not_cloned() {
+        let sys = System::build(quiet_cfg(), 3).unwrap();
+        let shared = sys.server.config_shared();
+        // 1 (server) + 3 (clients) + 1 (this handle); sanity-bound it.
+        assert!(Arc::strong_count(&shared) >= 5);
+        assert!(std::ptr::eq(sys.server.config(), sys.client(2).config()));
     }
 
     #[test]

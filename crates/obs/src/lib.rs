@@ -25,6 +25,7 @@
 
 pub mod event;
 pub mod hist;
+pub mod procstat;
 pub mod registry;
 pub mod ring;
 pub mod sink;
@@ -32,6 +33,7 @@ pub mod trace;
 
 pub use event::{CallbackClass, Event, LogOwner, RecoveryPhase, SpanKind};
 pub use hist::{HistSnapshot, Histogram};
+pub use procstat::{current_rss_bytes, current_threads, RssSampler};
 pub use registry::{Clock, HistKind, ManualClock, Metrics, Snapshot};
 pub use ring::{dump, last_dump, Stamped};
 pub use sink::{CaptureSink, EventSink, SinkGuard, StderrSink};

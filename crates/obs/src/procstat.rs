@@ -1,0 +1,114 @@
+//! Process-level resource readings from `/proc/self/status`.
+//!
+//! The scaling experiments (E13, E16) report whole-process figures —
+//! peak OS-thread count, resident set size — alongside the protocol
+//! metrics. Everything here is best-effort: on a platform without
+//! procfs the readers return 0 and the experiments simply print zeros
+//! rather than failing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One field of `/proc/self/status`, parsed as its first numeric column.
+fn status_field(name: &str) -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Current resident set size of this process in bytes (`VmRSS`), or 0 if
+/// `/proc/self/status` is unreadable (non-Linux).
+pub fn current_rss_bytes() -> u64 {
+    status_field("VmRSS:") * 1024
+}
+
+/// Current OS-thread count of this process (`Threads:`), or 0 if
+/// unreadable.
+pub fn current_threads() -> u64 {
+    status_field("Threads:")
+}
+
+/// Samples the process RSS on a background thread while a measured
+/// region runs, retaining the peak.
+///
+/// `VmHWM` would give a process-lifetime high-water mark, but a sweep
+/// runs many cells in one process and needs a *per-cell* peak; sampling
+/// with an explicit start/stop window is the portable way to get one.
+/// The sampler thread itself costs a few pages — identical for every
+/// cell, so per-cell deltas are unaffected.
+pub struct RssSampler {
+    stop: Arc<AtomicBool>,
+    peak: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RssSampler {
+    /// Start sampling every `interval` until [`stop`](RssSampler::stop).
+    pub fn start(interval: Duration) -> RssSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let peak = Arc::new(AtomicU64::new(current_rss_bytes()));
+        let (stop2, peak2) = (Arc::clone(&stop), Arc::clone(&peak));
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                peak2.fetch_max(current_rss_bytes(), Ordering::Relaxed);
+                std::thread::sleep(interval);
+            }
+            peak2.fetch_max(current_rss_bytes(), Ordering::Relaxed);
+        });
+        RssSampler {
+            stop,
+            peak: Arc::clone(&peak),
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the sampler and return the peak RSS in bytes observed over
+    /// the sampling window (including one final sample at stop time).
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for RssSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn rss_and_threads_read_nonzero_on_linux() {
+        assert!(current_rss_bytes() > 0);
+        assert!(current_threads() > 0);
+    }
+
+    #[test]
+    fn sampler_reports_at_least_the_starting_rss() {
+        let before = current_rss_bytes();
+        let sampler = RssSampler::start(Duration::from_millis(1));
+        // Touch some memory so the window has something to observe.
+        let ballast = vec![1u8; 1 << 20];
+        std::hint::black_box(&ballast);
+        std::thread::sleep(Duration::from_millis(5));
+        let peak = sampler.stop();
+        assert!(peak >= before);
+    }
+}

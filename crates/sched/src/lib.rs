@@ -35,13 +35,14 @@
 //! [`fanout`] degrade to one OS thread per job — the `threads` behavior.
 
 mod ctx;
+mod stack;
 mod timer;
 
 pub use timer::TimerWheel;
 
+use stack::{Stack, StackPool};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -89,6 +90,20 @@ pub struct SchedStats {
     /// Number of queued→running transitions timed into
     /// `runnable_wait_us_total`.
     pub runnable_wait_count: u64,
+    /// Effective task stack size in bytes (gauge — the size new stacks
+    /// are allocated with, after env/API overrides).
+    pub stack_size_bytes: u64,
+    /// Stacks allocated fresh (first activations the pool could not
+    /// serve).
+    pub stacks_allocated: u64,
+    /// Stacks returned to the pool by finished tasks.
+    pub stacks_pooled: u64,
+    /// Stack acquisitions served from the pool. In steady state
+    /// `stacks_reused / (stacks_reused + stacks_allocated)` approaches 1.
+    pub stacks_reused: u64,
+    /// Pooled stacks trimmed past the warm limit (pages released with
+    /// `madvise(MADV_FREE)` on Linux).
+    pub stacks_madvised: u64,
 }
 
 impl SchedStats {
@@ -106,6 +121,11 @@ impl SchedStats {
             stack_high_water_bytes: self.stack_high_water_bytes,
             runnable_wait_us_total: self.runnable_wait_us_total - base.runnable_wait_us_total,
             runnable_wait_count: self.runnable_wait_count - base.runnable_wait_count,
+            stack_size_bytes: self.stack_size_bytes,
+            stacks_allocated: self.stacks_allocated - base.stacks_allocated,
+            stacks_pooled: self.stacks_pooled - base.stacks_pooled,
+            stacks_reused: self.stacks_reused - base.stacks_reused,
+            stacks_madvised: self.stacks_madvised - base.stacks_madvised,
         }
     }
 }
@@ -122,6 +142,11 @@ pub fn sched_stats() -> SchedStats {
         stack_high_water_bytes: STACK_HIGH_WATER.load(Ordering::Relaxed),
         runnable_wait_us_total: RUNNABLE_WAIT_US.load(Ordering::Relaxed),
         runnable_wait_count: RUNNABLE_WAITS.load(Ordering::Relaxed),
+        stack_size_bytes: stack_size() as u64,
+        stacks_allocated: stack_pool().stats.allocated.load(Ordering::Relaxed),
+        stacks_pooled: stack_pool().stats.pooled.load(Ordering::Relaxed),
+        stacks_reused: stack_pool().stats.reused.load(Ordering::Relaxed),
+        stacks_madvised: stack_pool().stats.madvised.load(Ordering::Relaxed),
     }
 }
 
@@ -200,41 +225,87 @@ enum Intent {
 
 /// Default task stack: 256 KiB reserved. Allocations this size are
 /// served by `mmap` and only the touched pages become resident, so a
-/// thousand mostly-idle tasks stay cheap.
+/// thousand mostly-idle tasks stay cheap. Harness workloads with a known
+/// shallow `stack_high_water_bytes` can shrink it via [`set_stack_size`]
+/// or `FGL_SCHED_STACK_KB`.
 const DEFAULT_STACK: usize = 256 * 1024;
 
-fn stack_size() -> usize {
-    static SIZE: AtomicUsize = AtomicUsize::new(0);
-    let cached = SIZE.load(Ordering::Relaxed);
-    if cached != 0 {
-        return cached;
+/// Smallest stack accepted: the protocol's deepest observed paths stay
+/// well under this, but anything smaller risks silent corruption (task
+/// stacks have no guard page).
+pub const MIN_STACK: usize = 32 * 1024;
+
+/// Panic unless `bytes` is a usable task-stack size: at least
+/// [`MIN_STACK`] and a whole number of pages. A mis-sized stack fails
+/// loudly here instead of overflowing mid-protocol.
+fn validate_stack_size(bytes: usize, origin: &str) {
+    if bytes == 0 {
+        panic!("{origin}: task stack size must be non-zero");
     }
-    let kb = std::env::var("FGL_SCHED_STACK_KB")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&kb| kb >= 32);
-    let size = kb.map_or(DEFAULT_STACK, |kb| kb * 1024);
-    SIZE.store(size, Ordering::Relaxed);
-    size
+    if bytes < MIN_STACK {
+        panic!(
+            "{origin}: task stack of {bytes} bytes is below the {} KiB safety floor",
+            MIN_STACK / 1024
+        );
+    }
+    if !bytes.is_multiple_of(stack::PAGE) {
+        panic!(
+            "{origin}: task stack of {bytes} bytes is not a multiple of the {} B page size",
+            stack::PAGE
+        );
+    }
 }
 
-struct Stack {
-    mem: Box<[MaybeUninit<u8>]>,
+/// `FGL_SCHED_STACK_KB` override, parsed and validated once. An invalid
+/// value is a configuration error and panics with the offending value.
+fn env_stack_size() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("FGL_SCHED_STACK_KB").ok()?;
+        let kb: usize = raw
+            .parse()
+            .unwrap_or_else(|_| panic!("FGL_SCHED_STACK_KB must be an integer, got {raw:?}"));
+        let bytes = kb
+            .checked_mul(1024)
+            .unwrap_or_else(|| panic!("FGL_SCHED_STACK_KB={kb} overflows"));
+        validate_stack_size(bytes, "FGL_SCHED_STACK_KB");
+        Some(bytes)
+    })
 }
 
-impl Stack {
-    fn new(size: usize) -> Self {
-        // Deliberately uninitialized: zeroing would touch (commit) every
-        // page of every task stack up front.
-        Stack {
-            mem: Box::new_uninit_slice(size),
-        }
-    }
+static CONFIGURED_STACK: AtomicUsize = AtomicUsize::new(DEFAULT_STACK);
 
-    fn top(&mut self) -> *mut u8 {
-        let range = self.mem.as_mut_ptr_range();
-        range.end as *mut u8
-    }
+/// Set the task stack size for stacks allocated from now on (pooled
+/// stacks of other sizes stay in their own size class). The
+/// `FGL_SCHED_STACK_KB` environment override, when present, wins over
+/// this. Panics on sizes below [`MIN_STACK`] or not page-multiples.
+pub fn set_stack_size(bytes: usize) {
+    validate_stack_size(bytes, "set_stack_size");
+    CONFIGURED_STACK.store(bytes, Ordering::Relaxed);
+}
+
+/// The size new task stacks are allocated with.
+pub fn stack_size() -> usize {
+    env_stack_size().unwrap_or_else(|| CONFIGURED_STACK.load(Ordering::Relaxed))
+}
+
+/// The process-wide stack free list (see the `stack` module).
+fn stack_pool() -> &'static StackPool {
+    static POOL: OnceLock<StackPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let limit = std::env::var("FGL_SCHED_STACK_POOL_WARM")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(StackPool::DEFAULT_WARM_LIMIT);
+        StackPool::new(limit)
+    })
+}
+
+/// Pooled stacks kept fully resident per size class; stacks released
+/// beyond this have their pages returned to the kernel (`MADV_FREE`)
+/// while staying reusable. Also settable via `FGL_SCHED_STACK_POOL_WARM`.
+pub fn set_stack_pool_warm_limit(n: usize) {
+    stack_pool().set_warm_limit(n);
 }
 
 // ---- the shared scheduler ---------------------------------------------------
@@ -258,7 +329,8 @@ struct TaskCore {
     /// Bumped once per park; timer entries carry the seq they were armed
     /// for, so a stale timer firing after an early wakeup is ignored.
     park_seq: AtomicU64,
-    /// Saved stack pointer while the task is suspended.
+    /// Saved stack pointer while the task is suspended; null until the
+    /// first activation lazily acquires a stack.
     sp: Cell<*mut u8>,
     intent: Cell<Intent>,
     entry: Cell<Option<Box<dyn FnOnce() + Send + 'static>>>,
@@ -267,9 +339,11 @@ struct TaskCore {
     /// µs timestamp of the last queue push, `u64::MAX` when not stamped.
     /// Only written while a trace hook is installed.
     queued_at_us: AtomicU64,
-    /// Highest address of the task stack, for high-water accounting.
-    stack_top: *mut u8,
-    _stack: Stack,
+    /// Highest address of the task stack, for high-water accounting
+    /// (null until the stack is acquired).
+    stack_top: Cell<*mut u8>,
+    /// Acquired from the pool at first activation, returned on `Done`.
+    stack: Cell<Option<Stack>>,
     shared: Arc<Shared>,
     /// Seed tasks gate scheduler shutdown; subtasks are joined by their
     /// parent's wait group instead.
@@ -277,10 +351,10 @@ struct TaskCore {
     wg: Option<Arc<WaitGroup>>,
 }
 
-// SAFETY: `sp`, `intent` and `entry` are only touched by the worker
-// currently running the task (or holding it freshly popped from the run
-// queue); cross-worker handoff is synchronized by the queue mutex and
-// the `state` atomic.
+// SAFETY: `sp`, `intent`, `entry`, `stack` and `stack_top` are only
+// touched by the worker currently running the task (or holding it
+// freshly popped from the run queue); cross-worker handoff is
+// synchronized by the queue mutex and the `state` atomic.
 unsafe impl Send for TaskCore {}
 unsafe impl Sync for TaskCore {}
 
@@ -577,23 +651,23 @@ fn spawn_onto(
     seed: bool,
     wg: Option<Arc<WaitGroup>>,
 ) {
-    let mut stack = Stack::new(stack_size());
-    let stack_top = stack.top();
-    // SAFETY: the stack region is freshly allocated and large enough.
-    let sp = unsafe { ctx::bootstrap(stack_top, trampoline) };
+    // No stack yet: the first activation acquires one from the pool (see
+    // `run_task`), so a large spawned-but-not-started backlog costs queue
+    // entries, not stacks.
+    //
     // A fresh task inherits the spawner's trace tag, so `fanout` subtasks
     // (callback deliveries, recovery jobs) stay causally linked to the
     // span that spawned them.
     let task = Arc::new(TaskCore {
         state: AtomicU8::new(QUEUED),
         park_seq: AtomicU64::new(0),
-        sp: Cell::new(sp),
+        sp: Cell::new(std::ptr::null_mut()),
         intent: Cell::new(Intent::None),
         entry: Cell::new(Some(job)),
         trace_tag: AtomicU64::new(trace_tag()),
         queued_at_us: AtomicU64::new(u64::MAX),
-        stack_top,
-        _stack: stack,
+        stack_top: Cell::new(std::ptr::null_mut()),
+        stack: Cell::new(None),
         shared: shared.clone(),
         seed,
         wg,
@@ -713,6 +787,17 @@ fn run_task(tls: &Rc<WorkerTls>, task: Arc<TaskCore>) {
         }
     }
     task.state.store(RUNNING, Ordering::Release);
+    if task.sp.get().is_null() {
+        // First activation: acquire a (usually recycled) stack and lay
+        // out the bootstrap frame on it.
+        let stack = stack_pool().acquire(stack_size());
+        let top = stack.top();
+        // SAFETY: `top` is one past a freshly acquired, writable stack
+        // region of at least MIN_STACK bytes.
+        task.sp.set(unsafe { ctx::bootstrap(top, trampoline) });
+        task.stack_top.set(top);
+        task.stack.set(Some(stack));
+    }
     tls.current.borrow_mut().replace(task.clone());
     // SAFETY: `task.sp` holds either the bootstrap frame or the stack
     // pointer saved at the task's last `switch_out`; the queue mutex
@@ -721,12 +806,18 @@ fn run_task(tls: &Rc<WorkerTls>, task: Arc<TaskCore>) {
     tls.current.borrow_mut().take();
     // `task.sp` now holds the stack pointer saved at the switch-out; the
     // distance from the stack top is this activation's depth.
-    let used = (task.stack_top as usize).saturating_sub(task.sp.get() as usize) as u64;
+    let used = (task.stack_top.get() as usize).saturating_sub(task.sp.get() as usize) as u64;
     STACK_HIGH_WATER.fetch_max(used, Ordering::Relaxed);
     let shared = &tls.shared;
     match task.intent.replace(Intent::None) {
         Intent::Done => {
             task.state.store(DONE, Ordering::Release);
+            // The abandoned stack goes back to the free list for the
+            // next spawn (the task frame was already dropped inside the
+            // trampoline before its final switch).
+            if let Some(stack) = task.stack.take() {
+                stack_pool().release(stack);
+            }
             if let Some(wg) = &task.wg {
                 wg.complete();
             }
@@ -938,6 +1029,77 @@ mod tests {
             1,
             "other tasks still drain"
         );
+    }
+
+    #[test]
+    fn stacks_recycle_across_run_scoped_generations() {
+        if !supported() {
+            return;
+        }
+        let before = sched_stats();
+        for _ in 0..3 {
+            let counter = AtomicU32::new(0);
+            let jobs = (0..64)
+                .map(|_| {
+                    boxed(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            run_scoped(2, jobs);
+            assert_eq!(counter.load(Ordering::Relaxed), 64);
+        }
+        let delta = sched_stats().delta_since(&before);
+        assert!(delta.tasks_spawned >= 192);
+        // Every finished task returned its stack…
+        assert!(
+            delta.stacks_pooled >= 192,
+            "finished tasks must pool their stacks (pooled {})",
+            delta.stacks_pooled
+        );
+        // …and later activations were served from the pool instead of
+        // the allocator (run-to-completion jobs on 2 workers need only a
+        // handful of live stacks).
+        assert!(
+            delta.stacks_reused > 0,
+            "later generations must reuse pooled stacks"
+        );
+        assert!(
+            delta.stacks_allocated < delta.tasks_spawned,
+            "lazy pooled stacks: {} allocations for {} tasks",
+            delta.stacks_allocated,
+            delta.tasks_spawned
+        );
+    }
+
+    #[test]
+    fn effective_stack_size_is_surfaced_and_settable() {
+        let base = sched_stats().stack_size_bytes;
+        assert!(base as usize >= MIN_STACK);
+        if std::env::var("FGL_SCHED_STACK_KB").is_ok() {
+            return; // env override wins; nothing to set
+        }
+        set_stack_size(MIN_STACK);
+        assert_eq!(sched_stats().stack_size_bytes as usize, MIN_STACK);
+        set_stack_size(base as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_stack_size_is_rejected() {
+        validate_stack_size(0, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "safety floor")]
+    fn tiny_stack_size_is_rejected() {
+        set_stack_size(MIN_STACK - stack::PAGE);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn unaligned_stack_size_is_rejected() {
+        set_stack_size(MIN_STACK + 1024);
     }
 
     #[test]

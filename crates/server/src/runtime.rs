@@ -137,7 +137,9 @@ struct Shard {
 
 /// The page server.
 pub struct ServerCore {
-    cfg: SystemConfig,
+    /// Read-mostly and shared: clients hold `Arc` clones instead of
+    /// per-client copies (see [`ServerCore::config_shared`]).
+    cfg: Arc<SystemConfig>,
     pub net: Arc<NetSim>,
     /// Hot-path partitions; a page belongs to `shards[page % len]`.
     shards: Vec<Shard>,
@@ -216,7 +218,7 @@ impl ServerCore {
         );
         slog.attach_obs(metrics.clone(), LogOwner::Server);
         Arc::new(ServerCore {
-            cfg,
+            cfg: Arc::new(cfg),
             net,
             shards,
             wait_graph,
@@ -245,6 +247,12 @@ impl ServerCore {
 
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// The shared configuration handle (what clients store — one config
+    /// allocation per system, not per participant).
+    pub fn config_shared(&self) -> Arc<SystemConfig> {
+        self.cfg.clone()
     }
 
     /// Number of hot-path partitions.

@@ -73,6 +73,15 @@ pub struct HarnessOptions {
     /// Worker-pool size for [`SchedulerKind::Event`]; `0` picks
     /// [`fgl_sched::default_workers`]. Ignored under `Threads`.
     pub event_workers: usize,
+    /// Green-task stack size in KiB for [`SchedulerKind::Event`]; `0`
+    /// keeps the scheduler's current default. Harness workloads have a
+    /// known shallow depth (see the `sched_stack_high_water_bytes`
+    /// metric), so scaling runs shrink this well below the 256 KiB
+    /// general-purpose default. Applied via [`fgl_sched::set_stack_size`]
+    /// (process-wide; the `FGL_SCHED_STACK_KB` env override wins), and
+    /// validated there — sizes below the floor or not page-multiples
+    /// panic. Ignored under `Threads`.
+    pub sched_stack_kb: usize,
 }
 
 impl HarnessOptions {
@@ -85,6 +94,7 @@ impl HarnessOptions {
             threads_per_client: 1,
             scheduler: SchedulerKind::default(),
             event_workers: 0,
+            sched_stack_kb: 0,
         }
     }
 }
@@ -224,6 +234,9 @@ pub fn run_workload(
             (results, threads)
         }
         SchedulerKind::Event => {
+            if opts.sched_stack_kb > 0 {
+                fgl_sched::set_stack_size(opts.sched_stack_kb * 1024);
+            }
             let slots: Vec<Mutex<Option<DriverResult>>> =
                 (0..threads).map(|_| Mutex::new(None)).collect();
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
@@ -292,6 +305,21 @@ pub fn run_workload(
     report
         .metrics
         .set_counter("sched_runnable_waits", sched.runnable_wait_count);
+    report
+        .metrics
+        .set_counter("sched_stack_size_bytes", sched.stack_size_bytes);
+    report
+        .metrics
+        .set_counter("sched_stacks_allocated", sched.stacks_allocated);
+    report
+        .metrics
+        .set_counter("sched_stacks_pooled", sched.stacks_pooled);
+    report
+        .metrics
+        .set_counter("sched_stacks_reused", sched.stacks_reused);
+    report
+        .metrics
+        .set_counter("sched_stacks_madvised", sched.stacks_madvised);
     Ok(report)
 }
 

@@ -34,14 +34,25 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Create a pool holding at most `capacity` pages.
+    /// Create a pool holding at most `capacity` pages. The frame table
+    /// starts empty and grows on demand — a pool that is never used costs
+    /// nothing (important when thousands of simulated clients each own
+    /// one); call [`warm`](Self::warm) to pre-size it.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool capacity must be positive");
         BufferPool {
-            frames: HashMap::with_capacity(capacity + 1),
+            frames: HashMap::new(),
             capacity,
             tick: 0,
         }
+    }
+
+    /// Pre-size the frame table for the full capacity (plus the transient
+    /// over-capacity entry `insert` creates before evicting), so the hot
+    /// path never rehashes.
+    pub fn warm(&mut self) {
+        let want = self.capacity + 1;
+        self.frames.reserve(want.saturating_sub(self.frames.len()));
     }
 
     fn touch(&mut self, id: PageId) {

@@ -12,7 +12,7 @@
 //! stream of a page id monotone across incarnations.
 
 use fgl_common::{FglError, PageId, Psn, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Entry {
@@ -26,6 +26,11 @@ struct Entry {
 #[derive(Clone, Debug)]
 pub struct SpaceMap {
     entries: BTreeMap<PageId, Entry>,
+    /// Freed ids awaiting reuse, lowest-first. Kept alongside `entries`
+    /// so [`allocate`](SpaceMap::allocate) is O(log n) — a linear scan
+    /// for a free entry made bulk page allocation O(n²), which dominated
+    /// database population in the big scaling sweeps (E16).
+    free: BTreeSet<PageId>,
     next_unused: u64,
     step: u64,
 }
@@ -49,6 +54,7 @@ impl SpaceMap {
         assert!(step >= 1 && start < step, "stride start must be < step");
         SpaceMap {
             entries: BTreeMap::new(),
+            free: BTreeSet::new(),
             next_unused: start,
             step,
         }
@@ -58,20 +64,14 @@ impl SpaceMap {
     /// `(id, seed_psn)`. The caller formats the page with the returned PSN.
     pub fn allocate(&mut self) -> (PageId, Psn) {
         // Prefer reusing a freed page id (that is where PSN seeding matters).
-        let reusable = self
-            .entries
-            .iter()
-            .find(|(_, e)| !e.allocated)
-            .map(|(id, e)| (*id, e.psn_seed));
-        if let Some((id, seed)) = reusable {
-            self.entries.insert(
-                id,
-                Entry {
-                    allocated: true,
-                    psn_seed: seed,
-                },
-            );
-            return (id, seed);
+        if let Some(id) = self.free.pop_first() {
+            let e = self
+                .entries
+                .get_mut(&id)
+                .expect("free-set id must have an entry");
+            debug_assert!(!e.allocated);
+            e.allocated = true;
+            return (id, e.psn_seed);
         }
         let id = PageId(self.next_unused);
         self.next_unused += self.step;
@@ -92,6 +92,7 @@ impl SpaceMap {
             Some(e) if e.allocated => {
                 e.allocated = false;
                 e.psn_seed = final_psn.next();
+                self.free.insert(id);
                 Ok(())
             }
             Some(_) => Err(FglError::Protocol(format!("{id} already free"))),

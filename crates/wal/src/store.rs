@@ -92,10 +92,18 @@ pub trait LogStore: Send {
 }
 
 /// Heap-backed log store with exact crash semantics.
+///
+/// One buffer plus a durable watermark: bytes below `durable_len` have
+/// "reached the device", bytes above are the pending tail. Promoting
+/// pending to durable just advances the watermark — no copy, no
+/// reallocation. (An earlier two-`Vec` layout moved every synced byte
+/// between exact-sized vectors; with tens of thousands of client logs
+/// forcing small commit records, those per-force reallocations
+/// fragmented the allocator badly enough to dominate the E16 sweep.)
 #[derive(Default)]
 pub struct MemLogStore {
-    durable: Vec<u8>,
-    pending: Vec<u8>,
+    buf: Vec<u8>,
+    durable_len: usize,
     master: MasterAnchor,
 }
 
@@ -107,16 +115,16 @@ impl MemLogStore {
 
 impl LogStore for MemLogStore {
     fn append(&mut self, bytes: &[u8]) -> Result<()> {
-        self.pending.extend_from_slice(bytes);
+        self.buf.extend_from_slice(bytes);
         Ok(())
     }
 
     fn len(&self) -> u64 {
-        (self.durable.len() + self.pending.len()) as u64
+        self.buf.len() as u64
     }
 
     fn durable_len(&self) -> u64 {
-        self.durable.len() as u64
+        self.durable_len as u64
     }
 
     fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
@@ -128,28 +136,17 @@ impl LogStore for MemLogStore {
                 self.len()
             )));
         }
-        let d = self.durable.len();
-        let mut out = Vec::with_capacity(len);
-        if off < d {
-            let upto = end.min(d);
-            out.extend_from_slice(&self.durable[off..upto]);
-        }
-        if end > d {
-            let start = off.max(d) - d;
-            out.extend_from_slice(&self.pending[start..end - d]);
-        }
-        Ok(out)
+        Ok(self.buf[off..end].to_vec())
     }
 
     fn sync(&mut self) -> Result<()> {
-        self.durable.append(&mut self.pending);
+        self.durable_len = self.buf.len();
         Ok(())
     }
 
     fn sync_range(&mut self, upto: u64) -> Result<()> {
-        let take = (upto.min(self.len()) as usize).saturating_sub(self.durable.len());
-        self.durable
-            .extend(self.pending.drain(..take.min(self.pending.len())));
+        let upto = upto.min(self.len()) as usize;
+        self.durable_len = self.durable_len.max(upto);
         Ok(())
     }
 
@@ -163,7 +160,7 @@ impl LogStore for MemLogStore {
     }
 
     fn crash(&mut self) {
-        self.pending.clear();
+        self.buf.truncate(self.durable_len);
     }
 }
 

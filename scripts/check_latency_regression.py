@@ -25,9 +25,15 @@ RATIO = 2.0
 ABS_SLACK_US = 500
 TRACKED = ("commit_us", "lock_wait_us")
 # Measured-environment params (sampled thread counts, pool sizes derived
-# from host cores) would make baseline keys host-dependent; identify
-# sweep points by the swept knobs only.
-VOLATILE = ("peak_threads", "driver_threads")
+# from host cores, RSS readings) would make baseline keys host-dependent;
+# identify sweep points by the swept knobs only.
+VOLATILE = (
+    "peak_threads",
+    "driver_threads",
+    "peak_rss_bytes",
+    "rss_per_client_bytes",
+    "stack_pool_hit_pct",
+)
 
 
 def row_key(params):

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Memory-regression gate for the E16 memory-cliff sweep.
+
+Compares the per-client RSS growth (`rss_per_client_bytes`, measured by
+each cell's own child process against a clean baseline) of a fresh E16
+run against the checked-in baseline, and exits non-zero when a sweep
+cell regresses beyond the band:
+
+    regression  <=>  new > max(base * RATIO, base + ABS_SLACK_BYTES)
+
+RATIO is 1.20 — the cells are dominated by deliberately-allocated state
+(private pages, client caches, WAL buffers), so a >20% jump means a
+per-client structure started being built eagerly again, a stack stopped
+being pooled, or an O(clients) allocation crept back in. The absolute
+slack absorbs page-granularity sampling noise on small cells.
+
+The gate also re-asserts the stack-pool steady-state invariant: every
+baselined cell must keep a >=90% pool hit rate (allocations track live
+concurrency, not fleet size).
+
+Usage:
+    check_rss_regression.py BASELINE e16_memory_cliff.json
+    check_rss_regression.py --update BASELINE e16_memory_cliff.json
+
+`--update` rewrites BASELINE from the given metrics file (after an
+intentional memory-footprint change; commit the result).
+"""
+
+import json
+import sys
+
+RATIO = 1.20
+ABS_SLACK_BYTES = 2048
+MIN_POOL_HIT_PCT = 90
+
+
+def extract(path):
+    """{clients: {rss_per_client_bytes, stack_pool_hit_pct}} for one run."""
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["experiment"] == "e16_memory_cliff", doc["experiment"]
+    cells = {}
+    for row in doc["rows"]:
+        p = row["params"]
+        cells[str(p["clients"])] = {
+            "rss_per_client_bytes": p["rss_per_client_bytes"],
+            "stack_pool_hit_pct": p["stack_pool_hit_pct"],
+        }
+    assert cells, f"{path}: no sweep cells"
+    return cells
+
+
+def main(argv):
+    update = "--update" in argv
+    argv = [a for a in argv if a != "--update"]
+    if len(argv) != 2:
+        sys.exit(__doc__)
+    baseline_path, metrics_path = argv
+    current = extract(metrics_path)
+
+    if update:
+        with open(baseline_path, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"rss baseline updated: {len(current)} cells")
+        return 0
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+    compared = 0
+    for clients, cell in sorted(current.items(), key=lambda kv: int(kv[0])):
+        hit = cell["stack_pool_hit_pct"]
+        if hit < MIN_POOL_HIT_PCT:
+            failures.append(
+                f"{clients} clients: stack-pool hit rate {hit}% < {MIN_POOL_HIT_PCT}%"
+            )
+        base_cell = baseline.get(clients)
+        if base_cell is None:
+            print(f"note: no baseline for the {clients}-client cell")
+            continue
+        compared += 1
+        base = base_cell["rss_per_client_bytes"]
+        new = cell["rss_per_client_bytes"]
+        limit = max(base * RATIO, base + ABS_SLACK_BYTES)
+        if new > limit:
+            failures.append(
+                f"{clients} clients: rss/client {new} B > "
+                f"limit {limit:.0f} B (baseline {base} B)"
+            )
+    for line in failures:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    print(f"{compared} rss cells compared, {len(failures)} regressions")
+    if not compared:
+        print("error: nothing compared — baseline/metrics mismatch?", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

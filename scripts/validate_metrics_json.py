@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Schema/content validation for the experiment metrics JSON (E11-E15)
+"""Schema/content validation for the experiment metrics JSON (E11-E16)
 and the Chrome trace-event files the tracing layer exports.
 
 MetricsEmitter writes one file per experiment:
@@ -151,12 +151,37 @@ def validate_e15(doc):
     return f"{len(rows)} e15 rows (2 traced, worst-case gap within 10%)"
 
 
+def validate_e16(doc):
+    rows = rows_of(doc, "e16_memory_cliff")
+    fleets = sorted(r["params"]["clients"] for r in rows)
+    assert len(fleets) == len(set(fleets)), f"duplicate sweep cells: {fleets}"
+    assert len(fleets) >= 2, f"sweep must cover at least one doubling: {fleets}"
+    for row in rows:
+        p, m = row["params"], row["metrics"]
+        c = m["counters"]
+        assert p["scheduler"] == "event", p
+        assert c["client_commits"] > 0, c
+        check_commit_hist(m)
+        # The cell runs in its own process with an RSS sampler: both
+        # absolute and per-client readings must be live.
+        assert p["peak_rss_bytes"] > 0 and p["rss_per_client_bytes"] > 0, p
+        # The explicit 64 KiB task stack the sweep requests must be the
+        # one the scheduler actually ran with.
+        assert c["sched_stack_size_bytes"] == 64 * 1024, c
+        # Steady state the pool recycles nearly every stack: allocations
+        # track live concurrency (~workers), not configured clients.
+        assert p["stack_pool_hit_pct"] >= 90, p
+        assert 0 < c["sched_stacks_allocated"] < p["clients"], c
+    return f"{len(rows)} e16 cells ({fleets[0]}..{fleets[-1]} clients, pool hit >=90%)"
+
+
 VALIDATORS = {
     "e11_server_shard_scaling": validate_e11,
     "e12_callback_batching": validate_e12,
     "e13_client_scaling": validate_e13,
     "e14_recovery_shootout": validate_e14,
     "e15_trace_attribution": validate_e15,
+    "e16_memory_cliff": validate_e16,
 }
 
 

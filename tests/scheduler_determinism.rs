@@ -34,7 +34,13 @@ fn spec() -> WorkloadSpec {
 }
 
 fn run(scheduler: SchedulerKind) -> (RunReport, bool) {
-    let sys = System::build(SystemConfig::default(), 6).unwrap();
+    run_with(scheduler, SystemConfig::default(), 0)
+}
+
+/// Like [`run`], with an explicit config and (for the event driver) task
+/// stack size in KiB — `0` keeps the current process-wide setting.
+fn run_with(scheduler: SchedulerKind, cfg: SystemConfig, stack_kb: usize) -> (RunReport, bool) {
+    let sys = System::build(cfg, 6).unwrap();
     let sp = spec();
     let layout = populate(sys.client(0), sp.pages, sp.objects_per_page, 32).unwrap();
     let oracle = Oracle::new();
@@ -42,9 +48,26 @@ fn run(scheduler: SchedulerKind) -> (RunReport, bool) {
     let mut opts = HarnessOptions::new(sp, 12);
     opts.seed = 0xD373;
     opts.scheduler = scheduler;
+    opts.sched_stack_kb = stack_kb;
     let report = run_workload(&sys, &layout, Some(&oracle), &opts).unwrap();
     let clean = oracle.verify_via_reads(sys.client(0)).unwrap().is_clean();
     (report, clean)
+}
+
+/// Restores the process-wide task stack size on drop, so a test that
+/// shrinks it cannot leak the setting into later tests.
+struct StackSizeGuard(usize);
+
+impl StackSizeGuard {
+    fn capture() -> StackSizeGuard {
+        StackSizeGuard(fgl_sched::stack_size())
+    }
+}
+
+impl Drop for StackSizeGuard {
+    fn drop(&mut self) {
+        fgl_sched::set_stack_size(self.0);
+    }
 }
 
 fn assert_same_traffic(a: &NetSnapshot, b: &NetSnapshot) {
@@ -119,17 +142,41 @@ fn crash_scenario_oracle_is_clean_under_event_scheduler() {
     assert!(r.phase2.commits > 0);
 }
 
+/// Stack pooling and lazy client initialisation are memory-layout
+/// changes only: a run with eager client init and a non-default
+/// (minimum) task stack must produce the same commits and byte-identical
+/// per-kind fabric traffic as the default lazy/pooled run from the same
+/// seed.
+#[test]
+fn stack_pooling_and_lazy_init_do_not_change_traffic() {
+    let _g = serial();
+    let _stack = StackSizeGuard::capture();
+    let (lazy, lazy_clean) = run(SchedulerKind::Event);
+    let eager_cfg = SystemConfig::default().with_lazy_client_init(false);
+    let (eager, eager_clean) =
+        run_with(SchedulerKind::Event, eager_cfg, fgl_sched::MIN_STACK / 1024);
+    assert!(lazy_clean, "lazy/pooled run diverged from oracle");
+    assert!(eager_clean, "eager/small-stack run diverged from oracle");
+    assert_eq!(lazy.commits, eager.commits);
+    assert_eq!(lazy.aborts, eager.aborts);
+    assert_same_traffic(&lazy.net, &eager.net);
+}
+
 /// Per-kind `SpanOpen` counts for one traced run. Scheduler runnable
 /// waits are deliberately excluded — they are reported as `SchedWait`
 /// events, not spans, precisely so this invariant can hold (the two
 /// drivers park differently but traverse the same protocol path).
 fn traced_span_counts(scheduler: SchedulerKind) -> BTreeMap<SpanKind, u64> {
+    traced_span_counts_of(|| run(scheduler))
+}
+
+fn traced_span_counts_of(run_once: impl FnOnce() -> (RunReport, bool)) -> BTreeMap<SpanKind, u64> {
     let (sink, guard) = CaptureSink::install();
     trace::set_enabled(true);
-    let (_report, clean) = run(scheduler);
+    let (_report, clean) = run_once();
     trace::set_enabled(false);
     drop(guard);
-    assert!(clean, "{scheduler:?} traced run diverged from oracle");
+    assert!(clean, "traced run diverged from oracle");
     let mut counts = BTreeMap::new();
     for st in sink.drain() {
         if let Event::SpanOpen { kind, .. } = st.event {
@@ -159,4 +206,22 @@ fn span_counts_are_identical_across_schedulers() {
         0,
         "client-based logging must never ship log records at commit"
     );
+}
+
+/// The span invariant also holds across the memory-layout knobs: lazy
+/// vs eager client init and default vs minimum task stacks trace the
+/// same protocol path span for span.
+#[test]
+fn span_counts_unchanged_by_pooling_and_lazy_init() {
+    let _g = serial();
+    let _stack = StackSizeGuard::capture();
+    let lazy = traced_span_counts(SchedulerKind::Event);
+    let eager = traced_span_counts_of(|| {
+        run_with(
+            SchedulerKind::Event,
+            SystemConfig::default().with_lazy_client_init(false),
+            fgl_sched::MIN_STACK / 1024,
+        )
+    });
+    assert_eq!(lazy, eager, "per-kind span counts diverged");
 }
