@@ -8,14 +8,16 @@ GATED        := $(METRICS_DIR)/e11_server_shard_scaling.json \
                 $(METRICS_DIR)/e13_client_scaling.json \
                 $(METRICS_DIR)/e14_recovery_shootout.json \
                 $(METRICS_DIR)/e15_trace_attribution.json \
-                $(METRICS_DIR)/e16_memory_cliff.json
+                $(METRICS_DIR)/e16_memory_cliff.json \
+                $(METRICS_DIR)/e17_wire_overhead.json
 
 GATED_BINS   := e11_server_shard_scaling e12_callback_batching \
                 e13_client_scaling e14_recovery_shootout \
-                e15_trace_attribution e16_memory_cliff
+                e15_trace_attribution e16_memory_cliff \
+                e17_wire_overhead
 
 .PHONY: test check-latency refresh-baselines validate-metrics experiments \
-        e16 check-rss refresh-rss-baseline
+        e16 check-rss refresh-rss-baseline two-process-smoke
 
 test:
 	cargo build --release
@@ -44,6 +46,11 @@ validate-metrics:
 
 experiments:
 	./run_experiments.sh --quick
+
+# Server + two clients (one crashing mid-run) + verifier as separate OS
+# processes over a Unix-domain socket; same script CI runs.
+two-process-smoke:
+	./scripts/two_process_smoke.sh
 
 # Full E16 memory-cliff sweep (1k -> 64k clients, one child process per
 # cell). FGL_E16_MAX_CLIENTS / FGL_E16_START_CLIENTS bound the sweep.

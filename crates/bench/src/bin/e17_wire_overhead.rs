@@ -1,0 +1,118 @@
+//! **E17 — Wire-transport overhead and codec fidelity** (transport seam).
+//!
+//! The same contended workload runs over three transports: the
+//! in-process sim fabric (nominal message accounting + injected
+//! latency), and real TCP and Unix-domain sockets carrying the
+//! length-prefixed frame codec. Three questions:
+//!
+//! 1. *Protocol cost*: commits/s and commit latency with real framing,
+//!    syscalls and thread handoffs vs. the simulated 40 µs hop.
+//! 2. *Codec fidelity*: real encoded bytes/commit vs. the nominal
+//!    accounting the paper-series experiments report — the
+//!    `wire/nominal` ratio quantifies exactly how honest the sim's
+//!    byte counts are (callback-family messages encode byte-identically
+//!    by construction; the rest may drift and the drift is *measured*).
+//! 3. *Round-trip shape*: the `wire_rtt_us` histogram of full
+//!    request/reply cycles over the socket.
+//!
+//! Every cell verifies committed state against the oracle: the socket
+//! transports must be indistinguishable from the sim fabric to the
+//! concurrency-control and recovery machinery.
+
+use fgl::{System, TransportKind};
+use fgl_bench::{banner, experiment_config, standard_spec, txns_per_client, MetricsEmitter};
+use fgl_sim::crash::prepare;
+use fgl_sim::harness::{run_workload, HarnessOptions, RunReport};
+use fgl_sim::table::{f1, f2, Table};
+use fgl_sim::workload::WorkloadKind;
+
+fn run_cell(transport: TransportKind, clients: usize) -> RunReport {
+    let cfg = experiment_config().with_transport(transport);
+    let sys = System::build(cfg, clients).expect("build");
+    // HICON with a meaningful write slice: lock traffic, callbacks and
+    // page ships all cross the transport, not just fetches.
+    let mut spec = standard_spec(WorkloadKind::HiCon, clients);
+    spec.write_fraction = 0.5;
+    spec.hot_pages = (2 * clients).max(4);
+    let (layout, oracle) = prepare(&sys, &spec).expect("prepare");
+    let mut opts = HarnessOptions::new(spec, txns_per_client() / 2);
+    opts.seed = 0xE17;
+    let report = run_workload(&sys, &layout, Some(&oracle), &opts).expect("run");
+    let verify = oracle.verify_via_reads(sys.client(0)).expect("verify");
+    assert!(
+        verify.is_clean(),
+        "stale objects over {transport:?}: {:?}",
+        verify.mismatches
+    );
+    report
+}
+
+fn main() {
+    banner(
+        "E17: wire-transport overhead",
+        "the same workload over the in-process sim fabric vs. real TCP and \
+         Unix-domain sockets; real encoded bytes vs. nominal accounting",
+    );
+    let client_counts: Vec<usize> = if fgl_bench::quick_mode() {
+        vec![2, 4]
+    } else {
+        vec![2, 4, 8]
+    };
+    let mut emitter = MetricsEmitter::new("e17_wire_overhead");
+
+    let mut table = Table::new(&[
+        "transport",
+        "clients",
+        "commits/s",
+        "msgs/commit",
+        "nominal B/commit",
+        "wire B/commit",
+        "wire/nominal",
+        "commit p95 us",
+        "wire rtt p95 us",
+    ]);
+    for &n in &client_counts {
+        for transport in TransportKind::ALL {
+            let report = run_cell(transport, n);
+            let commits = report.commits.max(1) as f64;
+            let nominal_bytes = report.net.total_bytes() as f64 / commits;
+            let wire_bytes = report
+                .metrics
+                .counters
+                .get("wire_total_bytes")
+                .copied()
+                .unwrap_or(0) as f64
+                / commits;
+            let ratio = if transport == TransportKind::Sim || nominal_bytes == 0.0 {
+                0.0
+            } else {
+                wire_bytes / nominal_bytes
+            };
+            let rtt_p95 = report
+                .metrics
+                .hist(fgl::HistKind::WireRtt)
+                .map(|h| h.p95())
+                .unwrap_or(0);
+            emitter.row(
+                &[
+                    ("transport", transport.name().to_string()),
+                    ("clients", n.to_string()),
+                ],
+                &report.metrics,
+            );
+            table.row(vec![
+                transport.name().into(),
+                n.to_string(),
+                f1(report.throughput()),
+                f2(report.messages_per_commit()),
+                f1(nominal_bytes),
+                f1(wire_bytes),
+                if ratio == 0.0 { "-".into() } else { f2(ratio) },
+                report.latency_us(95.0).to_string(),
+                rtt_p95.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    emitter.finish();
+}

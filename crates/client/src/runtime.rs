@@ -19,10 +19,10 @@ use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Result, SlotId, Syst
 use fgl_locks::glm::CallbackKind;
 use fgl_locks::llm::{LlmCore, LocalDecision};
 use fgl_locks::mode::ObjMode;
+use fgl_net::api::{LockResponse, ServerApi};
 use fgl_net::stats::NetSim;
 use fgl_net::wait::GrantMsg;
 use fgl_obs::{emit, Event, HistKind, LogOwner, Metrics};
-use fgl_server::runtime::{LockResponse, ServerCore};
 use fgl_storage::page::Page;
 use fgl_wal::envelope::{RedoUpdateRecord, StrategyRecord};
 use fgl_wal::manager::LogManager;
@@ -96,7 +96,7 @@ pub struct ClientCore {
     /// Shared with the server and every sibling client — the config is
     /// read-mostly, so N clients hold N refcounts, not N copies.
     cfg: Arc<SystemConfig>,
-    pub server: Arc<ServerCore>,
+    pub server: Arc<dyn ServerApi>,
     pub net: Arc<NetSim>,
     pub(crate) st: Mutex<ClientState>,
     /// Woken on callback completion / flush notification / txn end.
@@ -132,7 +132,7 @@ pub struct ClientCore {
 impl ClientCore {
     /// Create a client over an in-memory private log (the common case for
     /// experiments; exact crash semantics).
-    pub fn new(id: ClientId, server: Arc<ServerCore>, net: Arc<NetSim>) -> Arc<Self> {
+    pub fn new(id: ClientId, server: Arc<dyn ServerApi>, net: Arc<NetSim>) -> Arc<Self> {
         Self::with_log_store(id, server, net, Box::new(MemLogStore::new()))
     }
 
@@ -142,7 +142,7 @@ impl ClientCore {
     /// starts in the crashed state; call [`Self::recover`].
     pub fn reopen_with_log_store(
         id: ClientId,
-        server: Arc<ServerCore>,
+        server: Arc<dyn ServerApi>,
         net: Arc<NetSim>,
         log_store: Box<dyn LogStore>,
     ) -> Result<Arc<Self>> {
@@ -155,7 +155,7 @@ impl ClientCore {
     /// Create a client whose private log lives on the given store.
     pub fn with_log_store(
         id: ClientId,
-        server: Arc<ServerCore>,
+        server: Arc<dyn ServerApi>,
         net: Arc<NetSim>,
         log_store: Box<dyn LogStore>,
     ) -> Arc<Self> {
@@ -165,7 +165,7 @@ impl ClientCore {
 
     fn with_parts(
         id: ClientId,
-        server: Arc<ServerCore>,
+        server: Arc<dyn ServerApi>,
         net: Arc<NetSim>,
         mut wal: LogManager,
         crashed: bool,

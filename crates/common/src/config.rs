@@ -97,6 +97,50 @@ impl std::str::FromStr for LoggingStrategyKind {
     }
 }
 
+/// Which transport carries the client↔server protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// The in-process counted fabric: requests are direct method calls,
+    /// deterministic and byte-accounted — the default.
+    #[default]
+    Sim,
+    /// Real TCP sockets (loopback in the harness): length-prefixed frames
+    /// over one connection per client.
+    Tcp,
+    /// Unix-domain sockets, same framing as TCP.
+    Uds,
+}
+
+impl TransportKind {
+    /// Stable snake_case name used for metrics keys and CLI/env parsing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Sim => "sim",
+            TransportKind::Tcp => "tcp",
+            TransportKind::Uds => "uds",
+        }
+    }
+
+    /// All transports, in comparison order (E17).
+    pub const ALL: [TransportKind; 3] =
+        [TransportKind::Sim, TransportKind::Tcp, TransportKind::Uds];
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = FglError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "sim" => Ok(TransportKind::Sim),
+            "tcp" => Ok(TransportKind::Tcp),
+            "uds" | "unix" => Ok(TransportKind::Uds),
+            other => Err(FglError::Config(format!(
+                "unknown transport {other:?} (expected sim, tcp, or uds)"
+            ))),
+        }
+    }
+}
+
 /// Where log records live and what commit ships (§4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommitPolicy {
@@ -176,6 +220,12 @@ pub struct SystemConfig {
     /// construction — the pre-scaling behavior, kept for determinism
     /// ablation (state timing must never change protocol traffic).
     pub lazy_client_init: bool,
+    /// Which transport carries the protocol: the in-process counted
+    /// fabric (deterministic default) or real sockets (TCP/UDS) speaking
+    /// the `fgl-net` frame codec. Socket transports ignore `net_latency`
+    /// (the wire supplies its own) and cap `page_size` at 32 KiB (frame
+    /// page-length fields are 16-bit).
+    pub transport: TransportKind,
 }
 
 impl Default for SystemConfig {
@@ -200,6 +250,7 @@ impl Default for SystemConfig {
             group_commit: true,
             obs_ring_entries: 256,
             lazy_client_init: true,
+            transport: TransportKind::Sim,
         }
     }
 }
@@ -243,6 +294,13 @@ impl SystemConfig {
             return Err(FglError::Config(format!(
                 "obs_ring_entries {} out of supported range [16, 1M]",
                 self.obs_ring_entries
+            )));
+        }
+        if self.transport != TransportKind::Sim && self.page_size > 32 * 1024 {
+            return Err(FglError::Config(format!(
+                "page_size {} exceeds the 32 KiB socket-transport cap \
+                 (callback-frame page-length fields are 16-bit)",
+                self.page_size
             )));
         }
         if self.logging_strategy != LoggingStrategyKind::ClientAries
@@ -308,6 +366,12 @@ impl SystemConfig {
     /// Builder-style setter for lazy per-client state construction.
     pub fn with_lazy_client_init(mut self, on: bool) -> Self {
         self.lazy_client_init = on;
+        self
+    }
+
+    /// Builder-style setter for the transport backend.
+    pub fn with_transport(mut self, t: TransportKind) -> Self {
+        self.transport = t;
         self
     }
 }
@@ -406,6 +470,29 @@ mod tests {
         assert!(c.validate().is_err());
         let c = SystemConfig::default().with_logging_strategy(LoggingStrategyKind::WriteBehind);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn transport_parses_and_defaults() {
+        assert_eq!(SystemConfig::default().transport, TransportKind::Sim);
+        for t in TransportKind::ALL {
+            assert_eq!(t.name().parse::<TransportKind>().unwrap(), t);
+        }
+        assert_eq!("unix".parse::<TransportKind>().unwrap(), TransportKind::Uds);
+        assert!("carrier-pigeon".parse::<TransportKind>().is_err());
+    }
+
+    #[test]
+    fn socket_transport_caps_page_size() {
+        let big = SystemConfig {
+            page_size: 64 * 1024,
+            ..Default::default()
+        };
+        big.validate().unwrap();
+        let big_uds = big.clone().with_transport(TransportKind::Uds);
+        assert!(big_uds.validate().is_err());
+        let ok = SystemConfig::default().with_transport(TransportKind::Tcp);
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub mod error;
 pub mod ids;
 pub mod rng;
 
-pub use config::{CommitPolicy, LockGranularity, LoggingStrategyKind, SystemConfig, UpdatePolicy};
+pub use config::{
+    CommitPolicy, LockGranularity, LoggingStrategyKind, SystemConfig, TransportKind, UpdatePolicy,
+};
 pub use error::{FglError, Result};
 pub use ids::{ClientId, Lsn, ObjectId, PageId, Psn, SlotId, TxnId};

@@ -1,0 +1,558 @@
+//! The typed RPC surface between clients and the page server.
+//!
+//! Every client → server request is one [`Request`] variant and every
+//! answer one [`Reply`] variant; the reverse direction (server → client
+//! callbacks, flush notifications and recovery interrogation — the
+//! [`crate::peer::ClientPeer`] surface) is a [`Callback`] /
+//! [`CallbackReplyMsg`] pair. [`ServerApi`] is the trait both backends
+//! implement: the in-process `ServerCore` (the deterministic sim fabric)
+//! and the socket client stub (`crate::transport::socket::RemoteServer`).
+//! Adding a message kind is therefore a compile-error-driven change in
+//! this one module: the enums, [`dispatch`]/[`apply_callback`], and the
+//! codec in [`crate::transport::frame`] all match exhaustively.
+//!
+//! Lock waits are the one request that must not block the transport:
+//! [`dispatch`] returns [`Dispatched::LockWait`] instead of a reply, and
+//! the socket backend maps the eventual grant onto the request's
+//! correlation ID (see `transport::socket`).
+
+use crate::peer::{CallbackOutcome, ClientPeer, ClientStateReport, RecoveredPageOutcome};
+use crate::wait::GrantWaiter;
+use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Psn, Result, SystemConfig, TxnId};
+use fgl_locks::glm::CallbackKind;
+use fgl_locks::mode::LockTarget;
+use fgl_locks::ObjMode;
+use fgl_obs::Metrics;
+use std::sync::Arc;
+
+/// What the server hands a §3.5-recovering client for one page: the base
+/// copy, the PSN the server can vouch for, and the merged `CallBack_P`
+/// list.
+pub type RecoverPagePlan = (Vec<u8>, Psn, Vec<(ObjectId, Psn)>);
+
+/// The §3.3 handshake: the exclusive locks retained for the client and
+/// the DCT view of its pages, plus whether that view is complete.
+pub type RecoveryHandshake = (Vec<LockTarget>, Vec<(PageId, Option<Psn>)>, bool);
+
+/// Immediate answer to a lock request.
+pub enum LockResponse {
+    /// Granted synchronously.
+    Granted {
+        target: LockTarget,
+        first_exclusive_on_page: bool,
+        /// §3.1: last client to ship this page (and the shipped PSN) —
+        /// the grantee writes a callback log record from it on exclusive
+        /// grants.
+        evidence: Option<(ClientId, Psn)>,
+    },
+    /// Queued at the GLM; block on the waiter.
+    Wait(GrantWaiter),
+}
+
+/// Every request a client can make of the page server. One trait, two
+/// implementations: the local runtime (direct calls on the counted sim
+/// fabric) and the socket stub (frames over TCP/UDS). Object-safe on
+/// purpose — clients hold `Arc<dyn ServerApi>`.
+pub trait ServerApi: Send + Sync {
+    // ---- registration ----
+    fn register_client(&self, peer: Arc<dyn ClientPeer>);
+
+    // ---- locking (§3.2) ----
+    fn lock(
+        &self,
+        client: ClientId,
+        txn: TxnId,
+        target: LockTarget,
+        cached_psn: Option<Psn>,
+    ) -> Result<LockResponse>;
+    fn cancel_wait(&self, client: ClientId, txn: TxnId);
+    fn callback_complete(
+        &self,
+        client: ClientId,
+        kind: CallbackKind,
+        retained: Vec<(ObjectId, ObjMode)>,
+        page_copy: Option<Arc<[u8]>>,
+    ) -> Result<()>;
+
+    // ---- pages ----
+    fn fetch_page(&self, client: ClientId, page: PageId) -> Result<(Vec<u8>, Option<Psn>)>;
+    fn allocate_page(&self, client: ClientId, txn: TxnId) -> Result<Vec<u8>>;
+    fn ship_page(&self, client: ClientId, bytes: Arc<[u8]>, replaced: bool) -> Result<()>;
+    fn force_page(&self, client: ClientId, page: PageId) -> Result<()>;
+
+    // ---- server-logging baselines (§4.1) ----
+    fn commit_ship_log(&self, client: ClientId, records: Vec<u8>) -> Result<()>;
+    fn fetch_client_log(&self, client: ClientId) -> Result<Vec<u8>>;
+    fn server_logging(&self) -> bool;
+
+    // ---- crash/recovery (§3.3–§3.5) ----
+    fn client_crashed(&self, client: ClientId);
+    fn client_recovery_begin(
+        &self,
+        client: ClientId,
+        peer: Arc<dyn ClientPeer>,
+    ) -> Result<RecoveryHandshake>;
+    fn client_recovery_end(&self, client: ClientId) -> Result<()>;
+    fn recovery_fetch(
+        &self,
+        client: ClientId,
+        page: PageId,
+        need: Option<(ClientId, Psn)>,
+    ) -> Result<(Vec<u8>, Option<Psn>)>;
+    fn recover_client_page(&self, client: ClientId, page: PageId) -> Result<RecoverPagePlan>;
+    fn poll_recovery_needs(&self, provider: ClientId) -> Vec<(PageId, Psn)>;
+    fn install_recovered(&self, client: ClientId, bytes: Vec<u8>) -> Result<()>;
+
+    // ---- shared handles (resolved locally by both backends) ----
+    fn config(&self) -> &SystemConfig;
+    fn config_shared(&self) -> Arc<SystemConfig>;
+    fn metrics(&self) -> Arc<Metrics>;
+}
+
+/// A client → server request, minus the two implicit parameters every
+/// wire request carries out-of-band: the [`ClientId`] (bound at the
+/// connection handshake) and, for [`Request::Register`] /
+/// [`Request::RecoveryBegin`], the peer handle (the connection itself).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Register,
+    Lock {
+        txn: TxnId,
+        target: LockTarget,
+        cached_psn: Option<Psn>,
+    },
+    CancelWait {
+        txn: TxnId,
+    },
+    CallbackComplete {
+        kind: CallbackKind,
+        retained: Vec<(ObjectId, ObjMode)>,
+        page_copy: Option<Arc<[u8]>>,
+    },
+    FetchPage {
+        page: PageId,
+    },
+    AllocatePage {
+        txn: TxnId,
+    },
+    ShipPage {
+        bytes: Arc<[u8]>,
+        replaced: bool,
+    },
+    ForcePage {
+        page: PageId,
+    },
+    CommitShipLog {
+        records: Vec<u8>,
+    },
+    FetchClientLog,
+    ClientCrashed,
+    RecoveryBegin,
+    RecoveryEnd,
+    RecoveryFetch {
+        page: PageId,
+        need: Option<(ClientId, Psn)>,
+    },
+    RecoverClientPage {
+        page: PageId,
+    },
+    PollRecoveryNeeds,
+    InstallRecovered {
+        bytes: Vec<u8>,
+    },
+}
+
+/// A server → client answer to a [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    Unit,
+    Err(WireError),
+    /// `lock` granted synchronously.
+    LockGranted {
+        target: LockTarget,
+        first_exclusive_on_page: bool,
+        evidence: Option<(ClientId, Psn)>,
+    },
+    /// `lock` queued at the GLM; the grant arrives later as a `Grant`
+    /// frame carrying the same correlation ID.
+    LockQueued,
+    /// `fetch_page` / `recovery_fetch`: the page plus its DCT PSN.
+    Page {
+        bytes: Vec<u8>,
+        psn: Option<Psn>,
+    },
+    /// `allocate_page`: the freshly formatted page image.
+    PageImage(Vec<u8>),
+    /// `fetch_client_log`: raw log bytes.
+    Bytes(Vec<u8>),
+    /// `client_recovery_begin`.
+    Handshake {
+        locks: Vec<LockTarget>,
+        pages: Vec<(PageId, Option<Psn>)>,
+        dct_complete: bool,
+    },
+    /// `recover_client_page`.
+    RecoverPlan {
+        base: Vec<u8>,
+        install_psn: Psn,
+        callback_list: Vec<(ObjectId, Psn)>,
+    },
+    /// `poll_recovery_needs`.
+    Needs(Vec<(PageId, Psn)>),
+}
+
+/// [`FglError`] in a serializable shape. `Io` carries the error text;
+/// `InvalidTxnState` decodes to [`FglError::Protocol`] (the static state
+/// name cannot cross the wire) — the server never returns it to a remote
+/// client in practice. The transaction-abort trio maps 1:1 so
+/// [`FglError::is_transaction_abort`] survives a round trip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    Io(String),
+    PageNotFound(PageId),
+    ObjectNotFound(ObjectId),
+    PageFull {
+        page: PageId,
+        needed: u64,
+        free: u64,
+    },
+    DeadlockVictim(TxnId),
+    LockTimeout(TxnId),
+    TxnAborted(TxnId),
+    InvalidTxnState {
+        txn: TxnId,
+        state: String,
+    },
+    UnknownSavepoint(String),
+    LogFull,
+    Corrupt(String),
+    Disconnected(String),
+    Protocol(String),
+    Config(String),
+}
+
+impl From<&FglError> for WireError {
+    fn from(e: &FglError) -> WireError {
+        match e {
+            FglError::Io(e) => WireError::Io(e.to_string()),
+            FglError::PageNotFound(p) => WireError::PageNotFound(*p),
+            FglError::ObjectNotFound(o) => WireError::ObjectNotFound(*o),
+            FglError::PageFull { page, needed, free } => WireError::PageFull {
+                page: *page,
+                needed: *needed as u64,
+                free: *free as u64,
+            },
+            FglError::DeadlockVictim(t) => WireError::DeadlockVictim(*t),
+            FglError::LockTimeout(t) => WireError::LockTimeout(*t),
+            FglError::TxnAborted(t) => WireError::TxnAborted(*t),
+            FglError::InvalidTxnState { txn, state } => WireError::InvalidTxnState {
+                txn: *txn,
+                state: (*state).to_string(),
+            },
+            FglError::UnknownSavepoint(s) => WireError::UnknownSavepoint(s.clone()),
+            FglError::LogFull => WireError::LogFull,
+            FglError::Corrupt(s) => WireError::Corrupt(s.clone()),
+            FglError::Disconnected(s) => WireError::Disconnected(s.clone()),
+            FglError::Protocol(s) => WireError::Protocol(s.clone()),
+            FglError::Config(s) => WireError::Config(s.clone()),
+        }
+    }
+}
+
+impl From<WireError> for FglError {
+    fn from(e: WireError) -> FglError {
+        match e {
+            WireError::Io(s) => FglError::Io(std::io::Error::other(s)),
+            WireError::PageNotFound(p) => FglError::PageNotFound(p),
+            WireError::ObjectNotFound(o) => FglError::ObjectNotFound(o),
+            WireError::PageFull { page, needed, free } => FglError::PageFull {
+                page,
+                needed: needed as usize,
+                free: free as usize,
+            },
+            WireError::DeadlockVictim(t) => FglError::DeadlockVictim(t),
+            WireError::LockTimeout(t) => FglError::LockTimeout(t),
+            WireError::TxnAborted(t) => FglError::TxnAborted(t),
+            WireError::InvalidTxnState { txn, state } => {
+                FglError::Protocol(format!("invalid txn state for {txn:?}: {state}"))
+            }
+            WireError::UnknownSavepoint(s) => FglError::UnknownSavepoint(s),
+            WireError::LogFull => FglError::LogFull,
+            WireError::Corrupt(s) => FglError::Corrupt(s),
+            WireError::Disconnected(s) => FglError::Disconnected(s),
+            WireError::Protocol(s) => FglError::Protocol(s),
+            WireError::Config(s) => FglError::Config(s),
+        }
+    }
+}
+
+/// A server → client reverse-RPC: the [`ClientPeer`] surface as wire
+/// messages. `NotifyFlushed` is one-way; every other variant expects a
+/// [`CallbackReplyMsg`] under the same correlation ID.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Callback {
+    /// Deliver a batch of lock callbacks (§3.2).
+    DeliverBatch(Vec<CallbackKind>),
+    /// §3.6 flush notification. One-way: no reply.
+    NotifyFlushed(PageId),
+    /// Server-restart interrogation: DPT, cached pages, locks (§3.4).
+    ReportState,
+    /// Merged `CallBack_P` evidence for a recovering peer (§3.5).
+    CallbackListFor {
+        page: PageId,
+        for_client: ClientId,
+        from_lsn: Lsn,
+    },
+    /// §3.4: ship a cached DPT page back to the restarting server.
+    ShipCachedPage(PageId),
+    /// §3.4 per-client page recovery: replay onto `base`.
+    RecoverPage {
+        page: PageId,
+        base: Vec<u8>,
+        install_psn: Psn,
+        callback_list: Vec<(ObjectId, Psn)>,
+    },
+}
+
+/// A client → server answer to a [`Callback`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CallbackReplyMsg {
+    /// Per-kind outcomes for `DeliverBatch`, in delivery order.
+    Outcomes(Vec<CallbackOutcome>),
+    State(ClientStateReport),
+    CallbackList(Vec<(ObjectId, Psn)>),
+    CachedPage(Option<Arc<[u8]>>),
+    Recovered(RecoveredPageOutcome),
+}
+
+impl Request {
+    /// The [`crate::MsgKind`] this request is accounted under on a real
+    /// transport — the same classification the sim fabric uses.
+    pub fn msg_kind(&self) -> crate::MsgKind {
+        use crate::MsgKind::*;
+        match self {
+            Request::Register | Request::CancelWait { .. } | Request::ClientCrashed => Control,
+            Request::AllocatePage { .. } => Control,
+            Request::Lock { .. } => LockReq,
+            Request::CallbackComplete { .. } => CallbackComplete,
+            Request::FetchPage { .. } => FetchPage,
+            Request::ShipPage { .. } | Request::InstallRecovered { .. } => PageShip,
+            Request::ForcePage { .. } => ForcePage,
+            Request::CommitShipLog { .. } => CommitLogShip,
+            Request::FetchClientLog
+            | Request::RecoveryBegin
+            | Request::RecoveryEnd
+            | Request::RecoveryFetch { .. }
+            | Request::RecoverClientPage { .. }
+            | Request::PollRecoveryNeeds => Recovery,
+        }
+    }
+}
+
+impl Reply {
+    /// Accounting classification by payload shape (a reply frame does not
+    /// know which request it answers).
+    pub fn msg_kind(&self) -> crate::MsgKind {
+        use crate::MsgKind::*;
+        match self {
+            Reply::Unit | Reply::Err(_) => Control,
+            Reply::LockGranted { .. } | Reply::LockQueued => LockReply,
+            Reply::Page { .. } | Reply::PageImage(_) => PageShip,
+            Reply::Bytes(_)
+            | Reply::Handshake { .. }
+            | Reply::RecoverPlan { .. }
+            | Reply::Needs(_) => Recovery,
+        }
+    }
+}
+
+impl Callback {
+    pub fn msg_kind(&self) -> crate::MsgKind {
+        match self {
+            Callback::DeliverBatch(_) => crate::MsgKind::Callback,
+            Callback::NotifyFlushed(_) => crate::MsgKind::FlushNotify,
+            Callback::ReportState
+            | Callback::CallbackListFor { .. }
+            | Callback::ShipCachedPage(_)
+            | Callback::RecoverPage { .. } => crate::MsgKind::Recovery,
+        }
+    }
+}
+
+impl CallbackReplyMsg {
+    pub fn msg_kind(&self) -> crate::MsgKind {
+        use crate::MsgKind::*;
+        match self {
+            CallbackReplyMsg::Outcomes(_) => CallbackReply,
+            CallbackReplyMsg::CachedPage(_) => PageShip,
+            CallbackReplyMsg::State(_)
+            | CallbackReplyMsg::CallbackList(_)
+            | CallbackReplyMsg::Recovered(_) => Recovery,
+        }
+    }
+}
+
+/// Outcome of [`dispatch`]: either an immediate reply, or a queued lock
+/// whose grant the transport must deliver out-of-band.
+pub enum Dispatched {
+    Reply(Reply),
+    /// `lock` queued: send [`Reply::LockQueued`] now, then block on the
+    /// waiter and deliver the [`crate::GrantMsg`] under the request's
+    /// correlation ID.
+    LockWait(GrantWaiter),
+}
+
+fn unit(r: Result<()>) -> Reply {
+    match r {
+        Ok(()) => Reply::Unit,
+        Err(e) => Reply::Err(WireError::from(&e)),
+    }
+}
+
+/// Route one decoded [`Request`] to the [`ServerApi`]. `peer` is the
+/// reverse-RPC handle for this connection (consumed by `Register` and
+/// `RecoveryBegin`). Never blocks on a lock queue: a queued `lock`
+/// surfaces as [`Dispatched::LockWait`].
+pub fn dispatch(
+    api: &dyn ServerApi,
+    client: ClientId,
+    req: Request,
+    peer: &Arc<dyn ClientPeer>,
+) -> Dispatched {
+    let reply = match req {
+        Request::Register => {
+            api.register_client(peer.clone());
+            Reply::Unit
+        }
+        Request::Lock {
+            txn,
+            target,
+            cached_psn,
+        } => match api.lock(client, txn, target, cached_psn) {
+            Ok(LockResponse::Granted {
+                target,
+                first_exclusive_on_page,
+                evidence,
+            }) => Reply::LockGranted {
+                target,
+                first_exclusive_on_page,
+                evidence,
+            },
+            Ok(LockResponse::Wait(w)) => return Dispatched::LockWait(w),
+            Err(e) => Reply::Err(WireError::from(&e)),
+        },
+        Request::CancelWait { txn } => {
+            api.cancel_wait(client, txn);
+            Reply::Unit
+        }
+        Request::CallbackComplete {
+            kind,
+            retained,
+            page_copy,
+        } => unit(api.callback_complete(client, kind, retained, page_copy)),
+        Request::FetchPage { page } => match api.fetch_page(client, page) {
+            Ok((bytes, psn)) => Reply::Page { bytes, psn },
+            Err(e) => Reply::Err(WireError::from(&e)),
+        },
+        Request::AllocatePage { txn } => match api.allocate_page(client, txn) {
+            Ok(bytes) => Reply::PageImage(bytes),
+            Err(e) => Reply::Err(WireError::from(&e)),
+        },
+        Request::ShipPage { bytes, replaced } => unit(api.ship_page(client, bytes, replaced)),
+        Request::ForcePage { page } => unit(api.force_page(client, page)),
+        Request::CommitShipLog { records } => unit(api.commit_ship_log(client, records)),
+        Request::FetchClientLog => match api.fetch_client_log(client) {
+            Ok(bytes) => Reply::Bytes(bytes),
+            Err(e) => Reply::Err(WireError::from(&e)),
+        },
+        Request::ClientCrashed => {
+            api.client_crashed(client);
+            Reply::Unit
+        }
+        Request::RecoveryBegin => match api.client_recovery_begin(client, peer.clone()) {
+            Ok((locks, pages, dct_complete)) => Reply::Handshake {
+                locks,
+                pages,
+                dct_complete,
+            },
+            Err(e) => Reply::Err(WireError::from(&e)),
+        },
+        Request::RecoveryEnd => unit(api.client_recovery_end(client)),
+        Request::RecoveryFetch { page, need } => match api.recovery_fetch(client, page, need) {
+            Ok((bytes, psn)) => Reply::Page { bytes, psn },
+            Err(e) => Reply::Err(WireError::from(&e)),
+        },
+        Request::RecoverClientPage { page } => match api.recover_client_page(client, page) {
+            Ok((base, install_psn, callback_list)) => Reply::RecoverPlan {
+                base,
+                install_psn,
+                callback_list,
+            },
+            Err(e) => Reply::Err(WireError::from(&e)),
+        },
+        Request::PollRecoveryNeeds => Reply::Needs(api.poll_recovery_needs(client)),
+        Request::InstallRecovered { bytes } => unit(api.install_recovered(client, bytes)),
+    };
+    Dispatched::Reply(reply)
+}
+
+/// Apply one decoded [`Callback`] to the local [`ClientPeer`]. Returns
+/// `None` for the one-way `NotifyFlushed`.
+pub fn apply_callback(peer: &dyn ClientPeer, cb: Callback) -> Option<CallbackReplyMsg> {
+    match cb {
+        Callback::DeliverBatch(kinds) => Some(CallbackReplyMsg::Outcomes(
+            peer.deliver_callback_batch(&kinds),
+        )),
+        Callback::NotifyFlushed(page) => {
+            peer.notify_page_flushed(page);
+            None
+        }
+        Callback::ReportState => Some(CallbackReplyMsg::State(peer.report_state())),
+        Callback::CallbackListFor {
+            page,
+            for_client,
+            from_lsn,
+        } => Some(CallbackReplyMsg::CallbackList(
+            peer.callback_list_for(page, for_client, from_lsn),
+        )),
+        Callback::ShipCachedPage(page) => {
+            Some(CallbackReplyMsg::CachedPage(peer.ship_cached_page(page)))
+        }
+        Callback::RecoverPage {
+            page,
+            base,
+            install_psn,
+            callback_list,
+        } => Some(CallbackReplyMsg::Recovered(peer.recover_page(
+            page,
+            base,
+            install_psn,
+            callback_list,
+        ))),
+    }
+}
+
+/// The reply a transport fabricates when the peer is unreachable —
+/// byte-for-byte the same degraded answers `fgl-client`'s `PeerHandle`
+/// gives for a dropped core, so a vanished client behaves identically on
+/// both backends.
+pub fn unreachable_callback_reply(cb: &Callback) -> Option<CallbackReplyMsg> {
+    match cb {
+        Callback::DeliverBatch(kinds) => Some(CallbackReplyMsg::Outcomes(
+            kinds
+                .iter()
+                .map(|_| CallbackOutcome::Done {
+                    retained: Vec::new(),
+                    page_copy: None,
+                })
+                .collect(),
+        )),
+        Callback::NotifyFlushed(_) => None,
+        Callback::ReportState => Some(CallbackReplyMsg::State(ClientStateReport::default())),
+        Callback::CallbackListFor { .. } => Some(CallbackReplyMsg::CallbackList(Vec::new())),
+        Callback::ShipCachedPage(_) => Some(CallbackReplyMsg::CachedPage(None)),
+        Callback::RecoverPage { .. } => Some(CallbackReplyMsg::Recovered(
+            RecoveredPageOutcome::Failed("client unreachable".into()),
+        )),
+    }
+}

@@ -1,24 +1,37 @@
 //! The message layer between `fgl` clients and the page server.
 //!
-//! The reproduction replaces the paper's workstation network with an
-//! **in-process, counted message fabric**: client→server requests are
-//! direct method calls on the server runtime, server→client callbacks are
-//! direct calls through the [`ClientPeer`] trait, and *every* logical
-//! message passes through a shared [`NetSim`] that counts it (by kind and
-//! payload size) and injects the configured one-way latency. The
-//! algorithms in the paper depend only on message ordering, counts and
-//! latency — all of which this fabric reproduces and measures — not on a
-//! particular wire encoding.
+//! Two transports carry the same typed RPC surface ([`api`]):
+//!
+//! * The **in-process counted fabric** (the deterministic default):
+//!   client→server requests are direct method calls on the server
+//!   runtime through `Arc<dyn ServerApi>`, server→client callbacks are
+//!   direct calls through the [`ClientPeer`] trait, and *every* logical
+//!   message passes through a shared [`NetSim`] that counts it (by kind
+//!   and nominal [`wire`] size) and injects the configured one-way
+//!   latency. The algorithms in the paper depend only on message
+//!   ordering, counts and latency — all of which this fabric reproduces
+//!   and measures.
+//! * The **socket backend** ([`transport::socket`]): real TCP or
+//!   Unix-domain sockets speaking the length-prefixed frame codec of
+//!   [`transport::frame`], one connection per client, so server and
+//!   clients run as separate processes.
 //!
 //! Blocking lock grants are delivered through [`GrantSlot`]s: the server
 //! parks a waiter and fulfils it when the GLM grants (or names the waiter
-//! a deadlock victim).
+//! a deadlock victim). On the socket backend the fulfilment travels as a
+//! `Grant` frame correlated with the original lock request.
 
+pub mod api;
 pub mod peer;
 pub mod stats;
+pub mod transport;
 pub mod wait;
 pub mod wire;
 
+pub use api::{
+    Callback, CallbackReplyMsg, Dispatched, LockResponse, RecoverPagePlan, RecoveryHandshake,
+    Reply, Request, ServerApi, WireError,
+};
 pub use peer::{CallbackOutcome, ClientPeer, ClientStateReport, RecoveredPageOutcome};
 pub use stats::{MsgKind, NetSim, NetSnapshot, NetStats};
 pub use wait::{GrantMsg, GrantSlot, GrantWaiter};

@@ -1,0 +1,18 @@
+//! The pluggable transport seam.
+//!
+//! Two backends carry the typed RPC surface of [`crate::api`]:
+//!
+//! * the **in-process sim fabric** — direct method calls on the server
+//!   runtime through `Arc<dyn ServerApi>`, byte-accounted by
+//!   [`crate::NetSim`] with the nominal [`crate::wire`] sizes. This is
+//!   the deterministic default; it carries no code of its own here
+//!   because the trait object *is* the transport.
+//! * the **socket backend** ([`socket`]) — real TCP or Unix-domain
+//!   sockets speaking the length-prefixed frames of [`frame`], one
+//!   connection per client, with blocking lock waits mapped onto request
+//!   correlation IDs.
+//!
+//! [`frame`] is the codec both socket flavors share.
+
+pub mod frame;
+pub mod socket;

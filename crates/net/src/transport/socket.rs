@@ -1,0 +1,952 @@
+//! The socket backend: TCP and Unix-domain sockets speaking the
+//! [`crate::transport::frame`] codec.
+//!
+//! One connection per client, three moving parts:
+//!
+//! * [`SocketServer`] — accept loop over an `Arc<dyn ServerApi>`. Each
+//!   connection starts with a `Hello`/`HelloAck` handshake (the client
+//!   announces its [`ClientId`], the server answers with the full
+//!   [`SystemConfig`] so both sides agree on every policy), then a reader
+//!   thread dispatches each request frame on its own thread — a lock
+//!   request that triggers callbacks to *this* client must not block the
+//!   frame reader that would deliver the callback reply.
+//! * [`RemoteClientPeer`] — the server's [`ClientPeer`] view of a
+//!   connected client: reverse RPCs over the same connection, correlated
+//!   like forward requests. When the connection is gone the peer degrades
+//!   to [`unreachable_callback_reply`] — byte-for-byte the answers a
+//!   dropped in-process client gives, so a vanished client behaves
+//!   identically on both transports.
+//! * [`RemoteServer`] — the client-side stub implementing [`ServerApi`].
+//!   Blocking lock waits map onto correlation IDs: the stub registers a
+//!   local [`GrantSlot`] *before* sending `Lock`; a `LockQueued` reply
+//!   hands the caller the matching waiter, and the eventual `Grant` frame
+//!   (same correlation ID) fulfils the slot from the reader thread.
+//!
+//! Real encoded frame sizes are recorded client-side, both directions,
+//! into a transport-owned [`NetStats`] ("wire stats") keyed by the same
+//! [`MsgKind`] classification as the sim fabric — the nominal sim
+//! accounting is never touched, so `transport = sim` runs stay
+//! byte-identical and E17 can report the wire/nominal ratio.
+
+use crate::api::{
+    apply_callback, dispatch, unreachable_callback_reply, Callback, CallbackReplyMsg, Dispatched,
+    LockResponse, RecoverPagePlan, RecoveryHandshake, Reply, Request, ServerApi,
+};
+use crate::peer::{CallbackOutcome, ClientPeer, ClientStateReport, RecoveredPageOutcome};
+use crate::stats::{MsgKind, NetStats};
+use crate::transport::frame::{self, FrameKind};
+use crate::wait::{grant_pair, GrantSlot};
+use fgl_common::config::CommitPolicy;
+use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Psn, Result, SystemConfig, TxnId};
+use fgl_locks::glm::CallbackKind;
+use fgl_locks::mode::{LockTarget, ObjMode};
+use fgl_obs::{HistKind, Metrics};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Extra slack the server-side grant forwarder waits beyond the
+/// configured lock timeout, so a verdict racing the client's own timeout
+/// still gets delivered.
+const GRANT_MARGIN: Duration = Duration::from_secs(5);
+
+/// How long a reverse RPC waits for the client before degrading to the
+/// unreachable-peer answer.
+const CALLBACK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A connected stream of either flavor. Both sides of the protocol are
+/// flavor-agnostic above this enum.
+pub enum ConnStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl ConnStream {
+    fn try_clone(&self) -> std::io::Result<ConnStream> {
+        Ok(match self {
+            ConnStream::Tcp(s) => ConnStream::Tcp(s.try_clone()?),
+            ConnStream::Unix(s) => ConnStream::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) -> std::io::Result<()> {
+        match self {
+            ConnStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            ConnStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl std::io::Read for ConnStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.read(buf),
+            ConnStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for ConnStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.write(buf),
+            ConnStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ConnStream::Tcp(s) => s.flush(),
+            ConnStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(on),
+            Listener::Uds(l) => l.set_nonblocking(on),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<ConnStream> {
+        Ok(match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                ConnStream::Tcp(s)
+            }
+            Listener::Uds(l) => {
+                let (s, _) = l.accept()?;
+                ConnStream::Unix(s)
+            }
+        })
+    }
+}
+
+// ---- server side -----------------------------------------------------------
+
+/// The accepting half: serves an [`ServerApi`] over TCP or UDS until
+/// dropped or [`SocketServer::shutdown`].
+pub struct SocketServer {
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+    addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl SocketServer {
+    /// Bind a TCP listener (use `"127.0.0.1:0"` for an ephemeral port —
+    /// read it back with [`SocketServer::local_addr`]).
+    pub fn serve_tcp(api: Arc<dyn ServerApi>, addr: &str) -> Result<SocketServer> {
+        let l = TcpListener::bind(addr)?;
+        let local = l.local_addr()?;
+        SocketServer::spawn(api, Listener::Tcp(l), Some(local), None)
+    }
+
+    /// Bind a Unix-domain listener, replacing any stale socket file.
+    pub fn serve_uds(api: Arc<dyn ServerApi>, path: &Path) -> Result<SocketServer> {
+        let _ = std::fs::remove_file(path);
+        let l = UnixListener::bind(path)?;
+        SocketServer::spawn(api, Listener::Uds(l), None, Some(path.to_path_buf()))
+    }
+
+    fn spawn(
+        api: Arc<dyn ServerApi>,
+        listener: Listener,
+        addr: Option<SocketAddr>,
+        uds_path: Option<PathBuf>,
+    ) -> Result<SocketServer> {
+        // Nonblocking accept + poll keeps shutdown portable: a stop flag
+        // is checked every pass instead of forcing a wakeup connection.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let accept = thread::Builder::new()
+            .name("fgl-accept".into())
+            .spawn(move || accept_loop(api, listener, flag))?;
+        Ok(SocketServer {
+            stop,
+            accept: Some(accept),
+            addr,
+            uds_path,
+        })
+    }
+
+    /// The bound TCP address (None for UDS).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// The bound socket path (None for TCP).
+    pub fn uds_path(&self) -> Option<&Path> {
+        self.uds_path.as_deref()
+    }
+
+    /// Stop accepting and join the accept loop. Existing connections run
+    /// until their clients disconnect.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(p) = &self.uds_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(api: Arc<dyn ServerApi>, listener: Listener, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok(stream) => {
+                let api = api.clone();
+                let _ = thread::Builder::new()
+                    .name("fgl-conn".into())
+                    .spawn(move || {
+                        if let Err(e) = serve_conn(api, stream) {
+                            // A handshake that never completes is the
+                            // only path here; established connections end
+                            // via the reader loop.
+                            eprintln!("fgl-net: connection setup failed: {e}");
+                        }
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Per-connection server state shared between the reader loop, the
+/// request threads and the [`RemoteClientPeer`].
+struct ServerConn {
+    client: ClientId,
+    writer: Mutex<ConnStream>,
+    cb_pending: Mutex<HashMap<u64, mpsc::Sender<CallbackReplyMsg>>>,
+    cb_corr: AtomicU64,
+    alive: AtomicBool,
+}
+
+impl ServerConn {
+    fn write(&self, segs: &[frame::Seg]) -> Result<()> {
+        let mut w = self.writer.lock();
+        frame::write_frame(&mut *w, segs).map_err(|e| {
+            self.alive.store(false, Ordering::Relaxed);
+            FglError::Io(e)
+        })
+    }
+
+    fn send_reply(&self, corr: u64, reply: &Reply) -> Result<()> {
+        self.write(&frame::encode_reply(corr, reply)?)
+    }
+}
+
+fn serve_conn(api: Arc<dyn ServerApi>, stream: ConnStream) -> Result<()> {
+    stream
+        .try_clone()
+        .map_err(FglError::Io)
+        .and_then(|mut reader| {
+            // Handshake: the client leads with Hello; the config rides
+            // back so both processes agree on every policy knob.
+            let (h, body) = frame::read_frame(&mut reader)?;
+            if h.kind != FrameKind::Hello {
+                return Err(FglError::Protocol(format!(
+                    "expected Hello, got {:?}",
+                    h.kind
+                )));
+            }
+            let client = frame::decode_hello(&body)?;
+            let conn = Arc::new(ServerConn {
+                client,
+                writer: Mutex::new(stream),
+                cb_pending: Mutex::new(HashMap::new()),
+                cb_corr: AtomicU64::new(1),
+                alive: AtomicBool::new(true),
+            });
+            conn.write(&frame::encode_hello_ack(api.config()))?;
+            let peer: Arc<dyn ClientPeer> = Arc::new(RemoteClientPeer { conn: conn.clone() });
+            conn_reader(api, conn, peer, reader);
+            Ok(())
+        })
+}
+
+fn conn_reader(
+    api: Arc<dyn ServerApi>,
+    conn: Arc<ServerConn>,
+    peer: Arc<dyn ClientPeer>,
+    mut reader: ConnStream,
+) {
+    loop {
+        let (h, body) = match frame::read_frame(&mut reader) {
+            Ok(x) => x,
+            Err(FglError::Disconnected(_)) => break,
+            Err(e) => {
+                eprintln!("fgl-net: client {:?} read failed: {e}", conn.client);
+                break;
+            }
+        };
+        match h.kind {
+            FrameKind::Req => match frame::decode_request(&h, &body) {
+                Ok(req) => {
+                    // One thread per request: dispatch may block on disk,
+                    // on callbacks to other clients, or — for callbacks
+                    // to *this* client — on a CbResp frame that only this
+                    // reader can route. The reader must stay free.
+                    let api = api.clone();
+                    let conn = conn.clone();
+                    let peer = peer.clone();
+                    let corr = h.corr;
+                    let _ = thread::Builder::new()
+                        .name("fgl-req".into())
+                        .spawn(move || handle_request(api, conn, peer, corr, req));
+                }
+                Err(e) => {
+                    eprintln!("fgl-net: client {:?} sent bad request: {e}", conn.client);
+                    break;
+                }
+            },
+            FrameKind::CbResp => match frame::decode_callback_reply(&h, &body) {
+                Ok(reply) => {
+                    if let Some(tx) = conn.cb_pending.lock().remove(&h.corr) {
+                        let _ = tx.send(reply);
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "fgl-net: client {:?} sent bad callback reply: {e}",
+                        conn.client
+                    );
+                    break;
+                }
+            },
+            other => {
+                eprintln!(
+                    "fgl-net: client {:?} sent unexpected {other:?} frame",
+                    conn.client
+                );
+                break;
+            }
+        }
+    }
+    // Connection gone. Deliberately NOT auto-marking the client crashed:
+    // a cleanly exiting client keeps its retained locks resolvable via
+    // the unreachable-peer callback fallbacks (release-with-no-copy),
+    // while an actual crash announces itself through
+    // `Request::ClientCrashed` before recovery. Pending reverse RPCs are
+    // failed by dropping their senders.
+    conn.alive.store(false, Ordering::Relaxed);
+    conn.cb_pending.lock().clear();
+}
+
+fn handle_request(
+    api: Arc<dyn ServerApi>,
+    conn: Arc<ServerConn>,
+    peer: Arc<dyn ClientPeer>,
+    corr: u64,
+    req: Request,
+) {
+    match dispatch(&*api, conn.client, req, &peer) {
+        Dispatched::Reply(reply) => {
+            let _ = conn.send_reply(corr, &reply);
+        }
+        Dispatched::LockWait(waiter) => {
+            // LockQueued first, then the grant under the SAME correlation
+            // id — the writer mutex serializes the two frames.
+            let _ = conn.send_reply(corr, &Reply::LockQueued);
+            let deadline = api.config().lock_timeout + GRANT_MARGIN;
+            if let Some(msg) = waiter.wait(deadline) {
+                let _ = conn.write(&frame::encode_grant(corr, &msg));
+            }
+            // On None the client timed out on its own waiter long ago and
+            // has already sent CancelWait; nothing to deliver.
+        }
+    }
+}
+
+/// The server's reverse-RPC handle for one connected client.
+pub struct RemoteClientPeer {
+    conn: Arc<ServerConn>,
+}
+
+impl RemoteClientPeer {
+    fn roundtrip(&self, cb: Callback) -> Option<CallbackReplyMsg> {
+        if !self.conn.alive.load(Ordering::Relaxed) {
+            return unreachable_callback_reply(&cb);
+        }
+        let corr = self.conn.cb_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.conn.cb_pending.lock().insert(corr, tx);
+        let segs = match frame::encode_callback(corr, &cb) {
+            Ok(s) => s,
+            Err(_) => {
+                self.conn.cb_pending.lock().remove(&corr);
+                return unreachable_callback_reply(&cb);
+            }
+        };
+        if self.conn.write(&segs).is_err() {
+            self.conn.cb_pending.lock().remove(&corr);
+            return unreachable_callback_reply(&cb);
+        }
+        match rx.recv_timeout(CALLBACK_TIMEOUT) {
+            Ok(reply) => Some(reply),
+            Err(_) => {
+                self.conn.cb_pending.lock().remove(&corr);
+                unreachable_callback_reply(&cb)
+            }
+        }
+    }
+
+    fn one_way(&self, cb: Callback) {
+        if !self.conn.alive.load(Ordering::Relaxed) {
+            return;
+        }
+        let corr = self.conn.cb_corr.fetch_add(1, Ordering::Relaxed);
+        if let Ok(segs) = frame::encode_callback(corr, &cb) {
+            let _ = self.conn.write(&segs);
+        }
+    }
+}
+
+impl ClientPeer for RemoteClientPeer {
+    fn client_id(&self) -> ClientId {
+        self.conn.client
+    }
+
+    fn deliver_callback(&self, kind: CallbackKind) -> CallbackOutcome {
+        self.deliver_callback_batch(&[kind]).remove(0)
+    }
+
+    fn deliver_callback_batch(&self, kinds: &[CallbackKind]) -> Vec<CallbackOutcome> {
+        let fallback = |kinds: &[CallbackKind]| {
+            kinds
+                .iter()
+                .map(|_| CallbackOutcome::Done {
+                    retained: Vec::new(),
+                    page_copy: None,
+                })
+                .collect()
+        };
+        match self.roundtrip(Callback::DeliverBatch(kinds.to_vec())) {
+            Some(CallbackReplyMsg::Outcomes(outcomes)) if outcomes.len() == kinds.len() => outcomes,
+            _ => fallback(kinds),
+        }
+    }
+
+    fn notify_page_flushed(&self, page: PageId) {
+        self.one_way(Callback::NotifyFlushed(page));
+    }
+
+    fn report_state(&self) -> ClientStateReport {
+        match self.roundtrip(Callback::ReportState) {
+            Some(CallbackReplyMsg::State(s)) => s,
+            _ => ClientStateReport::default(),
+        }
+    }
+
+    fn callback_list_for(
+        &self,
+        page: PageId,
+        for_client: ClientId,
+        from_lsn: Lsn,
+    ) -> Vec<(ObjectId, Psn)> {
+        match self.roundtrip(Callback::CallbackListFor {
+            page,
+            for_client,
+            from_lsn,
+        }) {
+            Some(CallbackReplyMsg::CallbackList(v)) => v,
+            _ => Vec::new(),
+        }
+    }
+
+    fn ship_cached_page(&self, page: PageId) -> Option<Arc<[u8]>> {
+        match self.roundtrip(Callback::ShipCachedPage(page)) {
+            Some(CallbackReplyMsg::CachedPage(p)) => p,
+            _ => None,
+        }
+    }
+
+    fn recover_page(
+        &self,
+        page: PageId,
+        base: Vec<u8>,
+        install_psn: Psn,
+        callback_list: Vec<(ObjectId, Psn)>,
+    ) -> RecoveredPageOutcome {
+        match self.roundtrip(Callback::RecoverPage {
+            page,
+            base,
+            install_psn,
+            callback_list,
+        }) {
+            Some(CallbackReplyMsg::Recovered(o)) => o,
+            _ => RecoveredPageOutcome::Failed("client unreachable".into()),
+        }
+    }
+}
+
+// ---- client side -----------------------------------------------------------
+
+/// Client-side stub: [`ServerApi`] over one framed connection. The
+/// client runtime holds it as `Arc<dyn ServerApi>` exactly like the
+/// in-process `ServerCore`.
+pub struct RemoteServer {
+    id: ClientId,
+    cfg: Arc<SystemConfig>,
+    writer: Mutex<ConnStream>,
+    pending: Mutex<HashMap<u64, mpsc::Sender<Reply>>>,
+    /// Pre-registered grant slots keyed by the `Lock` request's
+    /// correlation id; pruned by `cancel_wait` (by transaction) and by
+    /// grant delivery.
+    grants: Mutex<HashMap<u64, (TxnId, GrantSlot)>>,
+    next_corr: AtomicU64,
+    peer: Mutex<Option<Arc<dyn ClientPeer>>>,
+    metrics: Arc<Metrics>,
+    wire: Arc<NetStats>,
+    down: AtomicBool,
+    rpc_timeout: Duration,
+}
+
+impl RemoteServer {
+    /// Connect over TCP. `wire` receives real encoded frame sizes both
+    /// directions; `metrics` (the shared registry in in-process tests, a
+    /// fresh one in separate processes) gets `wire_rtt_us` observations.
+    pub fn connect_tcp(
+        addr: &str,
+        id: ClientId,
+        wire: Arc<NetStats>,
+        metrics: Option<Arc<Metrics>>,
+    ) -> Result<Arc<RemoteServer>> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true).ok();
+        RemoteServer::finish(ConnStream::Tcp(s), id, wire, metrics)
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_uds(
+        path: &Path,
+        id: ClientId,
+        wire: Arc<NetStats>,
+        metrics: Option<Arc<Metrics>>,
+    ) -> Result<Arc<RemoteServer>> {
+        let s = UnixStream::connect(path)?;
+        RemoteServer::finish(ConnStream::Unix(s), id, wire, metrics)
+    }
+
+    fn finish(
+        stream: ConnStream,
+        id: ClientId,
+        wire: Arc<NetStats>,
+        metrics: Option<Arc<Metrics>>,
+    ) -> Result<Arc<RemoteServer>> {
+        let mut reader = stream.try_clone()?;
+        let mut writer = stream;
+        frame::write_frame(&mut writer, &frame::encode_hello(id))?;
+        let (h, body) = frame::read_frame(&mut reader)?;
+        if h.kind != FrameKind::HelloAck {
+            return Err(FglError::Protocol(format!(
+                "expected HelloAck, got {:?}",
+                h.kind
+            )));
+        }
+        let cfg = frame::decode_hello_ack(&body)?;
+        // Individual RPCs answer fast (queued locks reply LockQueued
+        // immediately); the margin covers dispatches that block on
+        // callback round trips to contended holders.
+        let rpc_timeout = cfg.lock_timeout * 4 + Duration::from_secs(30);
+        let server = Arc::new(RemoteServer {
+            id,
+            cfg: Arc::new(cfg),
+            writer: Mutex::new(writer),
+            pending: Mutex::new(HashMap::new()),
+            grants: Mutex::new(HashMap::new()),
+            next_corr: AtomicU64::new(1),
+            peer: Mutex::new(None),
+            metrics: metrics.unwrap_or_default(),
+            wire,
+            down: AtomicBool::new(false),
+            rpc_timeout,
+        });
+        let rs = server.clone();
+        thread::Builder::new()
+            .name(format!("fgl-wire-{}", id.0))
+            .spawn(move || rs.reader_loop(reader))?;
+        Ok(server)
+    }
+
+    /// The connection's wire-stats sink (real encoded bytes).
+    pub fn wire_stats(&self) -> Arc<NetStats> {
+        self.wire.clone()
+    }
+
+    /// Close the connection; the reader thread (which holds an `Arc` to
+    /// this stub) exits on the resulting EOF.
+    pub fn disconnect(&self) {
+        self.down.store(true, Ordering::Relaxed);
+        let _ = self.writer.lock().shutdown();
+    }
+
+    fn reader_loop(self: Arc<Self>, mut reader: ConnStream) {
+        while let Ok((h, body)) = frame::read_frame(&mut reader) {
+            match h.kind {
+                FrameKind::Resp => {
+                    let reply = match frame::decode_reply(&h, &body) {
+                        Ok(r) => r,
+                        Err(_) => break,
+                    };
+                    self.wire.record(reply.msg_kind(), h.len as usize);
+                    if let Some(tx) = self.pending.lock().remove(&h.corr) {
+                        let _ = tx.send(reply);
+                    }
+                }
+                FrameKind::Grant => {
+                    let msg = match frame::decode_grant(&h, &body) {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    };
+                    self.wire.record(MsgKind::LockReply, h.len as usize);
+                    if let Some((_txn, slot)) = self.grants.lock().remove(&h.corr) {
+                        slot.fulfil(msg);
+                    }
+                }
+                FrameKind::Cb => {
+                    let cb = match frame::decode_callback(&h, &body) {
+                        Ok(c) => c,
+                        Err(_) => break,
+                    };
+                    self.wire.record(cb.msg_kind(), h.len as usize);
+                    // Callbacks run off-thread: applying one can call
+                    // straight back into the server (e.g. shipping a page
+                    // with the outcome is a follow-up request on some
+                    // paths) and must not starve reply routing.
+                    let me = self.clone();
+                    let corr = h.corr;
+                    let _ = thread::Builder::new()
+                        .name("fgl-cb".into())
+                        .spawn(move || me.handle_callback(corr, cb));
+                }
+                _ => break,
+            }
+        }
+        self.down.store(true, Ordering::Relaxed);
+        // Fail outstanding RPCs and lock waits: dropped senders surface
+        // as Disconnected at the callers; dropped slots leave waiters to
+        // their timeout backstop.
+        self.pending.lock().clear();
+        self.grants.lock().clear();
+    }
+
+    fn handle_callback(&self, corr: u64, cb: Callback) {
+        let peer = self.peer.lock().clone();
+        let reply = if let Some(p) = peer {
+            apply_callback(&*p, cb)
+        } else {
+            unreachable_callback_reply(&cb)
+        };
+        if let Some(reply) = reply {
+            if let Ok(segs) = frame::encode_callback_reply(corr, &reply) {
+                self.wire.record(reply.msg_kind(), frame::frame_len(&segs));
+                let mut w = self.writer.lock();
+                if frame::write_frame(&mut *w, &segs).is_err() {
+                    self.down.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn send(&self, corr: u64, req: &Request) -> Result<()> {
+        let segs = frame::encode_request(corr, req)?;
+        self.wire.record(req.msg_kind(), frame::frame_len(&segs));
+        let mut w = self.writer.lock();
+        frame::write_frame(&mut *w, &segs).map_err(|e| {
+            self.down.store(true, Ordering::Relaxed);
+            FglError::Io(e)
+        })
+    }
+
+    fn call(&self, req: Request) -> Result<Reply> {
+        if self.down.load(Ordering::Relaxed) {
+            return Err(FglError::Disconnected("server connection closed".into()));
+        }
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().insert(corr, tx);
+        let t0 = Instant::now();
+        if let Err(e) = self.send(corr, &req) {
+            self.pending.lock().remove(&corr);
+            return Err(e);
+        }
+        match rx.recv_timeout(self.rpc_timeout) {
+            Ok(reply) => {
+                self.metrics
+                    .observe(HistKind::WireRtt, t0.elapsed().as_micros() as u64);
+                Ok(reply)
+            }
+            Err(_) => {
+                self.pending.lock().remove(&corr);
+                Err(FglError::Disconnected(format!(
+                    "no reply from server within {:?}",
+                    self.rpc_timeout
+                )))
+            }
+        }
+    }
+}
+
+fn expect_unit(reply: Reply) -> Result<()> {
+    match reply {
+        Reply::Unit => Ok(()),
+        Reply::Err(e) => Err(e.into()),
+        other => Err(FglError::Protocol(format!(
+            "unexpected reply {other:?} to a unit request"
+        ))),
+    }
+}
+
+fn expect_page(reply: Reply) -> Result<(Vec<u8>, Option<Psn>)> {
+    match reply {
+        Reply::Page { bytes, psn } => Ok((bytes, psn)),
+        Reply::Err(e) => Err(e.into()),
+        other => Err(FglError::Protocol(format!(
+            "unexpected reply {other:?} to a page request"
+        ))),
+    }
+}
+
+impl ServerApi for RemoteServer {
+    fn register_client(&self, peer: Arc<dyn ClientPeer>) {
+        *self.peer.lock() = Some(peer);
+        if let Err(e) = self.call(Request::Register).and_then(expect_unit) {
+            eprintln!("fgl-net: client {:?} registration failed: {e}", self.id);
+        }
+    }
+
+    fn lock(
+        &self,
+        _client: ClientId,
+        txn: TxnId,
+        target: LockTarget,
+        cached_psn: Option<Psn>,
+    ) -> Result<LockResponse> {
+        if self.down.load(Ordering::Relaxed) {
+            return Err(FglError::Disconnected("server connection closed".into()));
+        }
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        // Register the slot BEFORE the request leaves: a grant can race
+        // the LockQueued reply and must find its slot.
+        let (slot, waiter) = grant_pair();
+        self.grants.lock().insert(corr, (txn, slot));
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().insert(corr, tx);
+        let t0 = Instant::now();
+        let req = Request::Lock {
+            txn,
+            target,
+            cached_psn,
+        };
+        if let Err(e) = self.send(corr, &req) {
+            self.pending.lock().remove(&corr);
+            self.grants.lock().remove(&corr);
+            return Err(e);
+        }
+        match rx.recv_timeout(self.rpc_timeout) {
+            Ok(reply) => {
+                self.metrics
+                    .observe(HistKind::WireRtt, t0.elapsed().as_micros() as u64);
+                match reply {
+                    Reply::LockGranted {
+                        target,
+                        first_exclusive_on_page,
+                        evidence,
+                    } => {
+                        self.grants.lock().remove(&corr);
+                        Ok(LockResponse::Granted {
+                            target,
+                            first_exclusive_on_page,
+                            evidence,
+                        })
+                    }
+                    Reply::LockQueued => Ok(LockResponse::Wait(waiter)),
+                    Reply::Err(e) => {
+                        self.grants.lock().remove(&corr);
+                        Err(e.into())
+                    }
+                    other => {
+                        self.grants.lock().remove(&corr);
+                        Err(FglError::Protocol(format!(
+                            "unexpected reply {other:?} to a lock request"
+                        )))
+                    }
+                }
+            }
+            Err(_) => {
+                self.pending.lock().remove(&corr);
+                self.grants.lock().remove(&corr);
+                Err(FglError::Disconnected(format!(
+                    "no reply from server within {:?}",
+                    self.rpc_timeout
+                )))
+            }
+        }
+    }
+
+    fn cancel_wait(&self, _client: ClientId, txn: TxnId) {
+        // Prune local slots first so a racing grant hits a dead letter,
+        // then tell the server to dequeue.
+        self.grants.lock().retain(|_, (t, _)| *t != txn);
+        let _ = self.call(Request::CancelWait { txn });
+    }
+
+    fn callback_complete(
+        &self,
+        _client: ClientId,
+        kind: CallbackKind,
+        retained: Vec<(ObjectId, ObjMode)>,
+        page_copy: Option<Arc<[u8]>>,
+    ) -> Result<()> {
+        self.call(Request::CallbackComplete {
+            kind,
+            retained,
+            page_copy,
+        })
+        .and_then(expect_unit)
+    }
+
+    fn fetch_page(&self, _client: ClientId, page: PageId) -> Result<(Vec<u8>, Option<Psn>)> {
+        self.call(Request::FetchPage { page }).and_then(expect_page)
+    }
+
+    fn allocate_page(&self, _client: ClientId, txn: TxnId) -> Result<Vec<u8>> {
+        match self.call(Request::AllocatePage { txn })? {
+            Reply::PageImage(bytes) => Ok(bytes),
+            Reply::Err(e) => Err(e.into()),
+            other => Err(FglError::Protocol(format!(
+                "unexpected reply {other:?} to allocate_page"
+            ))),
+        }
+    }
+
+    fn ship_page(&self, _client: ClientId, bytes: Arc<[u8]>, replaced: bool) -> Result<()> {
+        self.call(Request::ShipPage { bytes, replaced })
+            .and_then(expect_unit)
+    }
+
+    fn force_page(&self, _client: ClientId, page: PageId) -> Result<()> {
+        self.call(Request::ForcePage { page }).and_then(expect_unit)
+    }
+
+    fn commit_ship_log(&self, _client: ClientId, records: Vec<u8>) -> Result<()> {
+        self.call(Request::CommitShipLog { records })
+            .and_then(expect_unit)
+    }
+
+    fn fetch_client_log(&self, _client: ClientId) -> Result<Vec<u8>> {
+        match self.call(Request::FetchClientLog)? {
+            Reply::Bytes(bytes) => Ok(bytes),
+            Reply::Err(e) => Err(e.into()),
+            other => Err(FglError::Protocol(format!(
+                "unexpected reply {other:?} to fetch_client_log"
+            ))),
+        }
+    }
+
+    fn server_logging(&self) -> bool {
+        self.cfg.commit_policy != CommitPolicy::ClientLog
+    }
+
+    fn client_crashed(&self, _client: ClientId) {
+        let _ = self.call(Request::ClientCrashed);
+    }
+
+    fn client_recovery_begin(
+        &self,
+        _client: ClientId,
+        peer: Arc<dyn ClientPeer>,
+    ) -> Result<RecoveryHandshake> {
+        *self.peer.lock() = Some(peer);
+        match self.call(Request::RecoveryBegin)? {
+            Reply::Handshake {
+                locks,
+                pages,
+                dct_complete,
+            } => Ok((locks, pages, dct_complete)),
+            Reply::Err(e) => Err(e.into()),
+            other => Err(FglError::Protocol(format!(
+                "unexpected reply {other:?} to client_recovery_begin"
+            ))),
+        }
+    }
+
+    fn client_recovery_end(&self, _client: ClientId) -> Result<()> {
+        self.call(Request::RecoveryEnd).and_then(expect_unit)
+    }
+
+    fn recovery_fetch(
+        &self,
+        _client: ClientId,
+        page: PageId,
+        need: Option<(ClientId, Psn)>,
+    ) -> Result<(Vec<u8>, Option<Psn>)> {
+        self.call(Request::RecoveryFetch { page, need })
+            .and_then(expect_page)
+    }
+
+    fn recover_client_page(&self, _client: ClientId, page: PageId) -> Result<RecoverPagePlan> {
+        match self.call(Request::RecoverClientPage { page })? {
+            Reply::RecoverPlan {
+                base,
+                install_psn,
+                callback_list,
+            } => Ok((base, install_psn, callback_list)),
+            Reply::Err(e) => Err(e.into()),
+            other => Err(FglError::Protocol(format!(
+                "unexpected reply {other:?} to recover_client_page"
+            ))),
+        }
+    }
+
+    fn poll_recovery_needs(&self, _provider: ClientId) -> Vec<(PageId, Psn)> {
+        match self.call(Request::PollRecoveryNeeds) {
+            Ok(Reply::Needs(v)) => v,
+            _ => Vec::new(),
+        }
+    }
+
+    fn install_recovered(&self, _client: ClientId, bytes: Vec<u8>) -> Result<()> {
+        self.call(Request::InstallRecovered { bytes })
+            .and_then(expect_unit)
+    }
+
+    fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    fn config_shared(&self) -> Arc<SystemConfig> {
+        self.cfg.clone()
+    }
+
+    fn metrics(&self) -> Arc<Metrics> {
+        self.metrics.clone()
+    }
+}

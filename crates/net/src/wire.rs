@@ -1,10 +1,24 @@
 //! Nominal wire sizes for the counted message fabric.
 //!
-//! The fabric has no real encoding, but the E-series experiments report
-//! bytes/commit, so counted sizes must be proportional to what a real
-//! implementation would send: a fixed envelope per message plus
-//! variable-length parts (callback kinds, retained-lock sets, blocker
-//! lists, page images) sized by their actual content.
+//! The sim fabric has no encoding of its own, but the E-series
+//! experiments report bytes/commit, so counted sizes must be
+//! proportional to what a real implementation would send: a fixed
+//! envelope per message plus variable-length parts (callback kinds,
+//! retained-lock sets, blocker lists, page images) sized by their actual
+//! content.
+//!
+//! The real codec in [`crate::transport::frame`] grew out of these
+//! formulas, and for the callback-family messages it encodes
+//! **byte-identically**: `callback_batch`, `callback_reply` and
+//! `callback_complete` equal the encoded frame sizes exactly ([`HEADER`]
+//! is the real frame header, [`CALLBACK_KIND`]/[`RETAINED_ENTRY`]/
+//! [`BLOCKER_ENTRY`] the real entry encodings), asserted by
+//! `tests/transport_codec.rs` and by `debug_assert`s in every encoder.
+//! The remaining kinds keep their historical nominal constants here (the
+//! sim accounting is pinned by the determinism tests); the accounting
+//! drift against real frames is measured, not hidden — socket runs
+//! record actual encoded sizes into transport-owned wire stats, and E17
+//! reports the wire/nominal ratio per kind.
 
 use crate::peer::CallbackOutcome;
 

@@ -30,10 +30,13 @@ pub enum HistKind {
     /// become durable — bimodal by design (piggybacked ≈ 0, forced ≈
     /// one log-force).
     GroupCommit,
+    /// Socket-transport request round trip: frame written → reply frame
+    /// routed back (E17). Empty under the in-process sim fabric.
+    WireRtt,
 }
 
 /// All kinds, in display order.
-pub const HIST_KINDS: [HistKind; 7] = [
+pub const HIST_KINDS: [HistKind; 8] = [
     HistKind::LockWait,
     HistKind::Commit,
     HistKind::CallbackRoundTrip,
@@ -41,6 +44,7 @@ pub const HIST_KINDS: [HistKind; 7] = [
     HistKind::PageFetch,
     HistKind::Merge,
     HistKind::GroupCommit,
+    HistKind::WireRtt,
 ];
 
 impl HistKind {
@@ -54,6 +58,7 @@ impl HistKind {
             HistKind::PageFetch => "page_fetch_us",
             HistKind::Merge => "merge_us",
             HistKind::GroupCommit => "commit_group_wait_us",
+            HistKind::WireRtt => "wire_rtt_us",
         }
     }
 
@@ -66,6 +71,7 @@ impl HistKind {
             HistKind::PageFetch => 4,
             HistKind::Merge => 5,
             HistKind::GroupCommit => 6,
+            HistKind::WireRtt => 7,
         }
     }
 }

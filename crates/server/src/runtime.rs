@@ -42,7 +42,7 @@ use fgl_locks::mode::{LockTarget, ObjMode};
 use fgl_locks::WaitGraph;
 use fgl_net::peer::{CallbackOutcome, ClientPeer};
 use fgl_net::stats::{MsgKind, NetSim};
-use fgl_net::wait::{grant_pair, GrantMsg, GrantSlot, GrantWaiter};
+use fgl_net::wait::{grant_pair, GrantMsg, GrantSlot};
 use fgl_obs::{emit, CallbackClass, Event, HistKind, LogOwner, Metrics};
 use fgl_storage::disk::DiskBackend;
 use fgl_storage::page::Page;
@@ -54,29 +54,10 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// What the server hands a §3.5-recovering client for one page: the base
-/// copy, the PSN the server can vouch for, and the merged `CallBack_P`
-/// list.
-pub type RecoverPagePlan = (Vec<u8>, Psn, Vec<(fgl_common::ObjectId, Psn)>);
-
-/// The §3.3 handshake: the exclusive locks retained for the client and
-/// the DCT view of its pages, plus whether that view is complete.
-pub type RecoveryHandshake = (Vec<LockTarget>, Vec<(PageId, Option<Psn>)>, bool);
-
-/// Immediate answer to a lock request.
-pub enum LockResponse {
-    /// Granted synchronously.
-    Granted {
-        target: LockTarget,
-        first_exclusive_on_page: bool,
-        /// §3.1: last client to ship this page (and the shipped PSN) —
-        /// the grantee writes a callback log record from it on exclusive
-        /// grants.
-        evidence: Option<(ClientId, Psn)>,
-    },
-    /// Queued at the GLM; block on the waiter.
-    Wait(GrantWaiter),
-}
+// The request/response vocabulary lives with the RPC surface in
+// `fgl-net::api`; re-exported here so server-side callers keep their
+// historical paths.
+pub use fgl_net::api::{LockResponse, RecoverPagePlan, RecoveryHandshake};
 
 /// Aggregate counters exposed for experiments.
 #[derive(Clone, Debug, Default)]
@@ -1366,5 +1347,121 @@ impl ServerCore {
     /// Bytes appended to the server log per record kind (non-zero only).
     pub fn wal_bytes_by_kind(&self) -> Vec<(&'static str, u64)> {
         self.slog.lock().bytes_by_kind()
+    }
+}
+
+// The typed RPC surface: pure delegation to the inherent methods above.
+// The sim transport IS this impl — clients hold `Arc<dyn ServerApi>` and
+// the trait object dispatches straight into the runtime, so the direct
+// call path (and its nominal `NetSim` accounting) is unchanged.
+impl fgl_net::api::ServerApi for ServerCore {
+    fn register_client(&self, peer: Arc<dyn ClientPeer>) {
+        ServerCore::register_client(self, peer);
+    }
+
+    fn lock(
+        &self,
+        client: ClientId,
+        txn: TxnId,
+        target: LockTarget,
+        cached_psn: Option<Psn>,
+    ) -> Result<LockResponse> {
+        ServerCore::lock(self, client, txn, target, cached_psn)
+    }
+
+    fn cancel_wait(&self, client: ClientId, txn: TxnId) {
+        ServerCore::cancel_wait(self, client, txn);
+    }
+
+    fn callback_complete(
+        &self,
+        client: ClientId,
+        kind: CallbackKind,
+        retained: Vec<(fgl_common::ObjectId, ObjMode)>,
+        page_copy: Option<std::sync::Arc<[u8]>>,
+    ) -> Result<()> {
+        ServerCore::callback_complete(self, client, kind, retained, page_copy)
+    }
+
+    fn fetch_page(&self, client: ClientId, page: PageId) -> Result<(Vec<u8>, Option<Psn>)> {
+        ServerCore::fetch_page(self, client, page)
+    }
+
+    fn allocate_page(&self, client: ClientId, txn: TxnId) -> Result<Vec<u8>> {
+        ServerCore::allocate_page(self, client, txn)
+    }
+
+    fn ship_page(
+        &self,
+        client: ClientId,
+        bytes: std::sync::Arc<[u8]>,
+        replaced: bool,
+    ) -> Result<()> {
+        ServerCore::ship_page(self, client, bytes, replaced)
+    }
+
+    fn force_page(&self, client: ClientId, page: PageId) -> Result<()> {
+        ServerCore::force_page(self, client, page)
+    }
+
+    fn commit_ship_log(&self, client: ClientId, records: Vec<u8>) -> Result<()> {
+        ServerCore::commit_ship_log(self, client, records)
+    }
+
+    fn fetch_client_log(&self, client: ClientId) -> Result<Vec<u8>> {
+        ServerCore::fetch_client_log(self, client)
+    }
+
+    fn server_logging(&self) -> bool {
+        ServerCore::server_logging(self)
+    }
+
+    fn client_crashed(&self, client: ClientId) {
+        ServerCore::client_crashed(self, client);
+    }
+
+    fn client_recovery_begin(
+        &self,
+        client: ClientId,
+        peer: Arc<dyn ClientPeer>,
+    ) -> Result<RecoveryHandshake> {
+        ServerCore::client_recovery_begin(self, client, peer)
+    }
+
+    fn client_recovery_end(&self, client: ClientId) -> Result<()> {
+        ServerCore::client_recovery_end(self, client)
+    }
+
+    fn recovery_fetch(
+        &self,
+        client: ClientId,
+        page: PageId,
+        need: Option<(ClientId, Psn)>,
+    ) -> Result<(Vec<u8>, Option<Psn>)> {
+        ServerCore::recovery_fetch(self, client, page, need)
+    }
+
+    fn recover_client_page(&self, client: ClientId, page: PageId) -> Result<RecoverPagePlan> {
+        ServerCore::recover_client_page(self, client, page)
+    }
+
+    fn poll_recovery_needs(&self, provider: ClientId) -> Vec<(PageId, Psn)> {
+        ServerCore::poll_recovery_needs(self, provider)
+    }
+
+    fn install_recovered(&self, client: ClientId, bytes: Vec<u8>) -> Result<()> {
+        ServerCore::install_recovered(self, client, bytes)
+    }
+
+    fn config(&self) -> &SystemConfig {
+        ServerCore::config(self)
+    }
+
+    fn config_shared(&self) -> Arc<SystemConfig> {
+        ServerCore::config_shared(self)
+    }
+
+    fn metrics(&self) -> Arc<Metrics> {
+        ServerCore::metrics(self)
     }
 }

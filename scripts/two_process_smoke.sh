@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Two-process smoke: the ISSUE acceptance scenario as separate OS
+# processes over a Unix-domain socket. One server, two clients on a
+# shared contended database (client 1 crashes mid-run and recovers via
+# the §3.3 protocol), then a fresh verifier process re-reads every
+# object over the wire and compares against the oracle dumps the
+# clients wrote. Everything must exit 0.
+#
+# Usage: scripts/two_process_smoke.sh [path-to-fgl_node]
+# Builds the release binary when no path is given.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+NODE="${1:-}"
+if [[ -z "$NODE" ]]; then
+    cargo build --release -q --bin fgl_node
+    NODE=target/release/fgl_node
+fi
+
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/fgl-smoke.XXXXXX")"
+SERVER_PID=
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$NODE" server --dir "$DIR" --pages 8 --objects 8 --exit-when "$DIR/stop" &
+SERVER_PID=$!
+
+for _ in $(seq 1 300); do
+    [[ -f "$DIR/layout" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died before publishing layout" >&2; exit 1; }
+    sleep 0.2
+done
+[[ -f "$DIR/layout" ]] || { echo "server never published layout" >&2; exit 1; }
+
+"$NODE" client --dir "$DIR" --id 1 --clients 2 --txns 30 --crash-at 10 &
+C1=$!
+"$NODE" client --dir "$DIR" --id 2 --clients 2 --txns 30 &
+C2=$!
+wait "$C1" || { echo "client 1 failed" >&2; exit 1; }
+wait "$C2" || { echo "client 2 failed" >&2; exit 1; }
+
+"$NODE" verify --dir "$DIR" || { echo "verify failed" >&2; exit 1; }
+
+touch "$DIR/stop"
+wait "$SERVER_PID" || { echo "server exited non-zero" >&2; exit 1; }
+SERVER_PID=
+
+echo "two-process smoke: ok"

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Schema/content validation for the experiment metrics JSON (E11-E16)
+"""Schema/content validation for the experiment metrics JSON (E11-E17)
 and the Chrome trace-event files the tracing layer exports.
 
 MetricsEmitter writes one file per experiment:
@@ -175,6 +175,32 @@ def validate_e16(doc):
     return f"{len(rows)} e16 cells ({fleets[0]}..{fleets[-1]} clients, pool hit >=90%)"
 
 
+def validate_e17(doc):
+    rows = rows_of(doc, "e17_wire_overhead")
+    transports = {r["params"]["transport"] for r in rows}
+    assert transports == {"sim", "tcp", "uds"}, transports
+    for row in rows:
+        p, m = row["params"], row["metrics"]
+        c = m["counters"]
+        assert c["client_commits"] > 0, c
+        check_commit_hist(m)
+        if p["transport"] == "sim":
+            # The sim fabric has no wire: only nominal accounting.
+            assert c.get("wire_total_bytes", 0) == 0, c
+            continue
+        # Socket rows: frames actually crossed a socket, round trips were
+        # timed, and the encoded volume tracks the nominal accounting the
+        # paper-series experiments report (the codec-fidelity claim; the
+        # callback family is byte-identical by construction).
+        assert c["wire_total_messages"] > 0, c
+        assert c["wire_total_bytes"] > 0, c
+        hist = m["histograms"].get("wire_rtt_us")
+        assert hist and hist["count"] > 0, m["histograms"].keys()
+        ratio = c["wire_total_bytes"] / c["net_total_bytes"]
+        assert 0.5 <= ratio <= 3.0, f"wire/nominal ratio {ratio:.2f} ({p})"
+    return f"{len(rows)} e17 rows across {len(transports)} transports"
+
+
 VALIDATORS = {
     "e11_server_shard_scaling": validate_e11,
     "e12_callback_batching": validate_e12,
@@ -182,6 +208,7 @@ VALIDATORS = {
     "e14_recovery_shootout": validate_e14,
     "e15_trace_attribution": validate_e15,
     "e16_memory_cliff": validate_e16,
+    "e17_wire_overhead": validate_e17,
 }
 
 

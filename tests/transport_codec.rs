@@ -1,0 +1,664 @@
+//! Codec conformance for the `fgl-net` frame transport.
+//!
+//! Four properties, each over **every** protocol variant:
+//!
+//! 1. Round-trip fidelity: encode → `write_frame` bytes → `read_frame` →
+//!    decode reproduces the message exactly.
+//! 2. Analytic sizing: `frame_len(&segs)` equals the `*_frame_len`
+//!    prediction (release builds skip the encoder `debug_assert`s, so the
+//!    suite checks it explicitly).
+//! 3. Nominal-accounting identity: callback-family frames are
+//!    byte-identical to the `wire::` sizes the sim fabric has always
+//!    counted.
+//! 4. Loud failure: truncated headers/bodies, bad length prefixes,
+//!    unknown kinds/tags and trailing garbage all surface as
+//!    [`FglError::Corrupt`] (clean EOF alone is `Disconnected`), and
+//!    encoders refuse messages whose counts overflow their wire fields.
+
+use std::io::Read;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fgl_common::config::{
+    CommitPolicy, LockGranularity, LoggingStrategyKind, TransportKind, UpdatePolicy,
+};
+use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Psn, SlotId, SystemConfig, TxnId};
+use fgl_locks::glm::CallbackKind;
+use fgl_locks::mode::{LockTarget, ObjMode};
+use fgl_net::transport::frame::{self, FrameHeader, FrameKind, Seg, HEADER, MAX_FRAME};
+use fgl_net::wire;
+use fgl_net::{Callback, CallbackOutcome, CallbackReplyMsg, ClientStateReport, GrantMsg};
+use fgl_net::{RecoveredPageOutcome, Reply, Request, WireError};
+use fgl_wal::records::DptEntry;
+
+fn obj(page: u64, slot: u16) -> ObjectId {
+    ObjectId {
+        page: PageId(page),
+        slot: SlotId(slot),
+    }
+}
+
+fn page_buf(fill: u8, len: usize) -> Arc<[u8]> {
+    Arc::from(vec![fill; len])
+}
+
+/// Flatten a frame and read it back through the public reader, checking
+/// the header invariants every frame shares.
+fn read_back(segs: &[Seg], kind: FrameKind, corr: u64) -> (FrameHeader, Vec<u8>) {
+    let bytes = frame::frame_bytes(segs);
+    let mut r = &bytes[..];
+    let (h, body) = frame::read_frame(&mut r).expect("read_frame");
+    assert!(r.is_empty(), "read_frame must consume exactly one frame");
+    assert_eq!(h.kind, kind);
+    assert_eq!(h.corr, corr);
+    assert_eq!(h.len as usize, bytes.len());
+    assert_eq!(body.len(), bytes.len() - HEADER);
+    (h, body)
+}
+
+fn sample_requests() -> Vec<Request> {
+    vec![
+        Request::Register,
+        Request::Lock {
+            txn: TxnId(7),
+            target: LockTarget::Object(obj(3, 9), ObjMode::X),
+            cached_psn: Some(Psn(41)),
+        },
+        Request::Lock {
+            txn: TxnId(8),
+            target: LockTarget::Page(PageId(5), ObjMode::S),
+            cached_psn: None,
+        },
+        Request::Lock {
+            txn: TxnId(9),
+            target: LockTarget::PageAdaptive(PageId(6), ObjMode::X, obj(6, 2)),
+            cached_psn: Some(Psn(0)),
+        },
+        Request::CancelWait { txn: TxnId(11) },
+        Request::CallbackComplete {
+            kind: CallbackKind::DeEscalatePage(PageId(4)),
+            retained: vec![(obj(4, 0), ObjMode::S), (obj(4, 3), ObjMode::X)],
+            page_copy: Some(page_buf(0xAB, 64)),
+        },
+        Request::CallbackComplete {
+            kind: CallbackKind::ReleaseObject(obj(2, 1)),
+            retained: vec![],
+            page_copy: None,
+        },
+        Request::FetchPage { page: PageId(12) },
+        Request::AllocatePage { txn: TxnId(13) },
+        Request::ShipPage {
+            bytes: page_buf(0x5A, 128),
+            replaced: true,
+        },
+        Request::ShipPage {
+            bytes: page_buf(0x00, 1),
+            replaced: false,
+        },
+        Request::ForcePage { page: PageId(14) },
+        Request::CommitShipLog {
+            records: vec![1, 2, 3, 4, 5],
+        },
+        Request::FetchClientLog,
+        Request::ClientCrashed,
+        Request::RecoveryBegin,
+        Request::RecoveryEnd,
+        Request::RecoveryFetch {
+            page: PageId(15),
+            need: Some((ClientId(2), Psn(77))),
+        },
+        Request::RecoveryFetch {
+            page: PageId(16),
+            need: None,
+        },
+        Request::RecoverClientPage { page: PageId(17) },
+        Request::PollRecoveryNeeds,
+        Request::InstallRecovered { bytes: vec![9; 32] },
+    ]
+}
+
+fn sample_wire_errors() -> Vec<WireError> {
+    vec![
+        WireError::Io("disk on fire".into()),
+        WireError::PageNotFound(PageId(3)),
+        WireError::ObjectNotFound(obj(3, 1)),
+        WireError::PageFull {
+            page: PageId(4),
+            needed: 96,
+            free: 12,
+        },
+        WireError::DeadlockVictim(TxnId(5)),
+        WireError::LockTimeout(TxnId(6)),
+        WireError::TxnAborted(TxnId(7)),
+        WireError::InvalidTxnState {
+            txn: TxnId(8),
+            state: "Committed".into(),
+        },
+        WireError::UnknownSavepoint("sp1".into()),
+        WireError::LogFull,
+        WireError::Corrupt("bad record".into()),
+        WireError::Disconnected("peer gone".into()),
+        WireError::Protocol("version skew".into()),
+        WireError::Config("page_size".into()),
+    ]
+}
+
+fn sample_replies() -> Vec<Reply> {
+    let mut replies = vec![
+        Reply::Unit,
+        Reply::LockGranted {
+            target: LockTarget::Object(obj(1, 2), ObjMode::S),
+            first_exclusive_on_page: true,
+            evidence: Some((ClientId(3), Psn(9))),
+        },
+        Reply::LockGranted {
+            target: LockTarget::PageAdaptive(PageId(2), ObjMode::X, obj(2, 4)),
+            first_exclusive_on_page: false,
+            evidence: None,
+        },
+        Reply::LockQueued,
+        Reply::Page {
+            bytes: vec![1; 256],
+            psn: Some(Psn(5)),
+        },
+        Reply::Page {
+            bytes: vec![],
+            psn: None,
+        },
+        Reply::PageImage(vec![2; 64]),
+        Reply::Bytes(vec![3, 1, 4, 1, 5]),
+        Reply::Handshake {
+            locks: vec![
+                LockTarget::Page(PageId(1), ObjMode::X),
+                LockTarget::Object(obj(2, 0), ObjMode::S),
+            ],
+            pages: vec![(PageId(1), Some(Psn(2))), (PageId(3), None)],
+            dct_complete: true,
+        },
+        Reply::Handshake {
+            locks: vec![],
+            pages: vec![],
+            dct_complete: false,
+        },
+        Reply::RecoverPlan {
+            base: vec![7; 32],
+            install_psn: Psn(10),
+            callback_list: vec![(obj(1, 1), Psn(4)), (obj(1, 2), Psn(6))],
+        },
+        Reply::Needs(vec![(PageId(9), Psn(1)), (PageId(10), Psn(2))]),
+    ];
+    replies.extend(sample_wire_errors().into_iter().map(Reply::Err));
+    replies
+}
+
+fn sample_callback_kinds() -> Vec<CallbackKind> {
+    vec![
+        CallbackKind::ReleaseObject(obj(1, 2)),
+        CallbackKind::DowngradeObject(obj(3, 4)),
+        CallbackKind::ReleasePage(PageId(5)),
+        CallbackKind::DowngradePage(PageId(6)),
+        CallbackKind::DeEscalatePage(PageId(7)),
+    ]
+}
+
+fn sample_callbacks() -> Vec<Callback> {
+    vec![
+        Callback::DeliverBatch(sample_callback_kinds()),
+        Callback::DeliverBatch(vec![]),
+        Callback::NotifyFlushed(PageId(8)),
+        Callback::ReportState,
+        Callback::CallbackListFor {
+            page: PageId(9),
+            for_client: ClientId(2),
+            from_lsn: Lsn(100),
+        },
+        Callback::ShipCachedPage(PageId(10)),
+        Callback::RecoverPage {
+            page: PageId(11),
+            base: vec![1; 64],
+            install_psn: Psn(12),
+            callback_list: vec![(obj(11, 0), Psn(3))],
+        },
+    ]
+}
+
+fn sample_outcomes() -> Vec<CallbackOutcome> {
+    vec![
+        CallbackOutcome::Done {
+            retained: vec![(obj(1, 1), ObjMode::S), (obj(1, 2), ObjMode::X)],
+            page_copy: Some(page_buf(4, 48)),
+        },
+        CallbackOutcome::Done {
+            retained: vec![],
+            page_copy: None,
+        },
+        CallbackOutcome::Deferred {
+            blockers: vec![TxnId(1), TxnId(2), TxnId(3)],
+        },
+    ]
+}
+
+fn sample_callback_replies() -> Vec<CallbackReplyMsg> {
+    vec![
+        CallbackReplyMsg::Outcomes(sample_outcomes()),
+        CallbackReplyMsg::Outcomes(vec![]),
+        CallbackReplyMsg::State(ClientStateReport {
+            dpt: vec![DptEntry {
+                page: PageId(1),
+                redo_lsn: Lsn(5),
+            }],
+            cached_pages: vec![(PageId(1), Psn(6)), (PageId(2), Psn(7))],
+            locks: vec![LockTarget::Object(obj(1, 0), ObjMode::X)],
+        }),
+        CallbackReplyMsg::State(ClientStateReport::default()),
+        CallbackReplyMsg::CallbackList(vec![(obj(2, 2), Psn(9))]),
+        CallbackReplyMsg::CachedPage(Some(page_buf(8, 32))),
+        CallbackReplyMsg::CachedPage(None),
+        CallbackReplyMsg::Recovered(RecoveredPageOutcome::Done(vec![1, 2, 3])),
+        CallbackReplyMsg::Recovered(RecoveredPageOutcome::Failed("no log".into())),
+    ]
+}
+
+fn sample_grants() -> Vec<GrantMsg> {
+    vec![
+        GrantMsg::Victim,
+        GrantMsg::Granted {
+            target: LockTarget::Object(obj(5, 3), ObjMode::X),
+            first_exclusive_on_page: true,
+            evidence: Some((ClientId(4), Psn(20))),
+        },
+        GrantMsg::Granted {
+            target: LockTarget::Page(PageId(6), ObjMode::S),
+            first_exclusive_on_page: false,
+            evidence: None,
+        },
+    ]
+}
+
+// ---- round trips + analytic sizing ----------------------------------------
+
+#[test]
+fn requests_round_trip() {
+    for (i, req) in sample_requests().iter().enumerate() {
+        let corr = 100 + i as u64;
+        let segs = frame::encode_request(corr, req).expect("encode");
+        assert_eq!(
+            frame::frame_len(&segs),
+            frame::request_frame_len(req),
+            "analytic size for {req:?}"
+        );
+        let (h, body) = read_back(&segs, FrameKind::Req, corr);
+        let back = frame::decode_request(&h, &body).expect("decode");
+        assert_eq!(&back, req);
+    }
+}
+
+#[test]
+fn replies_round_trip() {
+    for (i, reply) in sample_replies().iter().enumerate() {
+        let corr = 200 + i as u64;
+        let segs = frame::encode_reply(corr, reply).expect("encode");
+        assert_eq!(
+            frame::frame_len(&segs),
+            frame::reply_frame_len(reply),
+            "analytic size for {reply:?}"
+        );
+        let (h, body) = read_back(&segs, FrameKind::Resp, corr);
+        let back = frame::decode_reply(&h, &body).expect("decode");
+        assert_eq!(&back, reply);
+    }
+}
+
+#[test]
+fn callbacks_round_trip() {
+    for (i, cb) in sample_callbacks().iter().enumerate() {
+        let corr = 300 + i as u64;
+        let segs = frame::encode_callback(corr, cb).expect("encode");
+        assert_eq!(
+            frame::frame_len(&segs),
+            frame::callback_frame_len(cb),
+            "analytic size for {cb:?}"
+        );
+        let (h, body) = read_back(&segs, FrameKind::Cb, corr);
+        let back = frame::decode_callback(&h, &body).expect("decode");
+        assert_eq!(&back, cb);
+    }
+}
+
+#[test]
+fn callback_replies_round_trip() {
+    for (i, r) in sample_callback_replies().iter().enumerate() {
+        let corr = 400 + i as u64;
+        let segs = frame::encode_callback_reply(corr, r).expect("encode");
+        assert_eq!(
+            frame::frame_len(&segs),
+            frame::callback_reply_frame_len(r),
+            "analytic size for {r:?}"
+        );
+        let (h, body) = read_back(&segs, FrameKind::CbResp, corr);
+        let back = frame::decode_callback_reply(&h, &body).expect("decode");
+        assert_eq!(&back, r);
+    }
+}
+
+#[test]
+fn grants_round_trip() {
+    for (i, g) in sample_grants().iter().enumerate() {
+        let corr = 500 + i as u64;
+        let segs = frame::encode_grant(corr, g);
+        assert_eq!(
+            frame::frame_len(&segs),
+            frame::grant_frame_len(g),
+            "analytic size for {g:?}"
+        );
+        let (h, body) = read_back(&segs, FrameKind::Grant, corr);
+        let back = frame::decode_grant(&h, &body).expect("decode");
+        assert_eq!(&back, g);
+    }
+}
+
+#[test]
+fn hello_round_trips() {
+    let segs = frame::encode_hello(ClientId(42));
+    let (_, body) = read_back(&segs, FrameKind::Hello, 0);
+    assert_eq!(frame::decode_hello(&body).expect("decode"), ClientId(42));
+}
+
+#[test]
+fn hello_ack_round_trips_config() {
+    // Every field deliberately non-default: a skipped or reordered field
+    // in the handshake encoding fails one of the assertions below.
+    let cfg = SystemConfig {
+        page_size: 8192,
+        client_cache_pages: 17,
+        server_cache_pages: 333,
+        client_log_bytes: 1 << 20,
+        server_log_bytes: 3 << 20,
+        granularity: LockGranularity::Adaptive,
+        update_policy: UpdatePolicy::UpdateToken,
+        commit_policy: CommitPolicy::ShipPagesAtCommit,
+        logging_strategy: LoggingStrategyKind::Hybrid,
+        client_checkpoint_every: 123,
+        server_checkpoint_every: 456,
+        lock_timeout: Duration::from_millis(2500),
+        net_latency: Duration::from_micros(40),
+        disk_latency: Duration::from_micros(400),
+        server_shards: 4,
+        callback_batching: false,
+        group_commit: false,
+        obs_ring_entries: 512,
+        lazy_client_init: false,
+        transport: TransportKind::Tcp,
+    };
+
+    let segs = frame::encode_hello_ack(&cfg);
+    let (_, body) = read_back(&segs, FrameKind::HelloAck, 0);
+    let back = frame::decode_hello_ack(&body).expect("decode");
+    assert_eq!(back.page_size, cfg.page_size);
+    assert_eq!(back.client_cache_pages, cfg.client_cache_pages);
+    assert_eq!(back.server_cache_pages, cfg.server_cache_pages);
+    assert_eq!(back.client_log_bytes, cfg.client_log_bytes);
+    assert_eq!(back.server_log_bytes, cfg.server_log_bytes);
+    assert_eq!(back.granularity, cfg.granularity);
+    assert_eq!(back.update_policy, cfg.update_policy);
+    assert_eq!(back.commit_policy, cfg.commit_policy);
+    assert_eq!(back.logging_strategy, cfg.logging_strategy);
+    assert_eq!(back.transport, cfg.transport);
+    assert_eq!(back.client_checkpoint_every, cfg.client_checkpoint_every);
+    assert_eq!(back.server_checkpoint_every, cfg.server_checkpoint_every);
+    assert_eq!(back.lock_timeout, cfg.lock_timeout);
+    assert_eq!(back.net_latency, cfg.net_latency);
+    assert_eq!(back.disk_latency, cfg.disk_latency);
+    assert_eq!(back.server_shards, cfg.server_shards);
+    assert_eq!(back.callback_batching, cfg.callback_batching);
+    assert_eq!(back.group_commit, cfg.group_commit);
+    assert_eq!(back.lazy_client_init, cfg.lazy_client_init);
+    assert_eq!(back.obs_ring_entries, cfg.obs_ring_entries);
+}
+
+// ---- nominal-accounting identity ------------------------------------------
+
+#[test]
+fn callback_family_matches_nominal_accounting() {
+    // Callback batch: the real frame is exactly the bytes the sim fabric
+    // has always charged for a batch of n kinds.
+    let kinds = sample_callback_kinds();
+    let segs = frame::encode_callback(1, &Callback::DeliverBatch(kinds.clone())).unwrap();
+    assert_eq!(frame::frame_len(&segs), wire::callback_batch(kinds.len()));
+
+    // Callback reply: per-outcome bodies match `wire::outcome_body`.
+    let outcomes = sample_outcomes();
+    let segs =
+        frame::encode_callback_reply(2, &CallbackReplyMsg::Outcomes(outcomes.clone())).unwrap();
+    assert_eq!(frame::frame_len(&segs), wire::callback_reply(&outcomes));
+
+    // Deferred completion: kind + retentions + optional page copy.
+    let retained = vec![(obj(4, 0), ObjMode::S), (obj(4, 3), ObjMode::X)];
+    let page = page_buf(0xCD, 96);
+    let segs = frame::encode_request(
+        3,
+        &Request::CallbackComplete {
+            kind: CallbackKind::DeEscalatePage(PageId(4)),
+            retained: retained.clone(),
+            page_copy: Some(page.clone()),
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        frame::frame_len(&segs),
+        wire::callback_complete(retained.len(), Some(page.len()))
+    );
+}
+
+#[test]
+fn ship_page_shares_the_page_buffer() {
+    // The page payload must travel as the original shared buffer, not a
+    // copy: the send path writes segments straight from the `Arc<[u8]>`.
+    let bytes = page_buf(0x77, 256);
+    let segs = frame::encode_request(
+        9,
+        &Request::ShipPage {
+            bytes: bytes.clone(),
+            replaced: false,
+        },
+    )
+    .unwrap();
+    let shared = segs
+        .iter()
+        .find_map(|s| match s {
+            Seg::Shared(a) => Some(a.clone()),
+            Seg::Owned(_) => None,
+        })
+        .expect("page payload travels as a shared segment");
+    assert!(Arc::ptr_eq(&shared, &bytes));
+}
+
+// ---- truncation and malformed input ---------------------------------------
+
+/// A reader that trickles one byte per `read` call: exercises the
+/// short-read reassembly loops in `read_frame`.
+struct OneByte<'a>(&'a [u8]);
+
+impl Read for OneByte<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match (self.0.split_first(), buf.first_mut()) {
+            (Some((&b, rest)), Some(slot)) => {
+                *slot = b;
+                self.0 = rest;
+                Ok(1)
+            }
+            _ => Ok(0),
+        }
+    }
+}
+
+fn sample_frame() -> Vec<u8> {
+    let segs = frame::encode_request(
+        7,
+        &Request::Lock {
+            txn: TxnId(1),
+            target: LockTarget::Object(obj(2, 3), ObjMode::X),
+            cached_psn: Some(Psn(4)),
+        },
+    )
+    .unwrap();
+    frame::frame_bytes(&segs)
+}
+
+#[test]
+fn one_byte_reads_reassemble_frames() {
+    let bytes = sample_frame();
+    let (h, body) = frame::read_frame(&mut OneByte(&bytes)).expect("read");
+    assert_eq!(h.len as usize, bytes.len());
+    assert_eq!(body, bytes[HEADER..]);
+}
+
+#[test]
+fn eof_at_frame_boundary_is_a_clean_disconnect() {
+    let err = frame::read_frame(&mut &[][..]).unwrap_err();
+    assert!(
+        matches!(err, FglError::Disconnected(_)),
+        "clean EOF must not be Corrupt: {err:?}"
+    );
+}
+
+#[test]
+fn truncated_header_is_corrupt() {
+    let bytes = sample_frame();
+    for cut in 1..HEADER {
+        let err = frame::read_frame(&mut &bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, FglError::Corrupt(_)),
+            "{cut}-byte header must be Corrupt: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_body_is_corrupt() {
+    let bytes = sample_frame();
+    for cut in HEADER..bytes.len() {
+        let err = frame::read_frame(&mut &bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, FglError::Corrupt(_)),
+            "{cut}-byte frame must be Corrupt: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_length_prefix_is_corrupt() {
+    for len in [0u32, 1, (HEADER - 1) as u32, (MAX_FRAME + 1) as u32] {
+        let mut bytes = sample_frame();
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let err = frame::read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(
+            matches!(err, FglError::Corrupt(_)),
+            "length {len} must be Corrupt: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_frame_kind_is_corrupt() {
+    let mut bytes = sample_frame();
+    bytes[4] = 0xEE;
+    let err = frame::read_frame(&mut &bytes[..]).unwrap_err();
+    assert!(matches!(err, FglError::Corrupt(_)), "{err:?}");
+}
+
+#[test]
+fn unknown_variant_tags_are_corrupt() {
+    let bytes = sample_frame();
+    let (mut h, body) = frame::read_frame(&mut &bytes[..]).unwrap();
+    h.tag = 0xBEEF;
+    assert!(matches!(
+        frame::decode_request(&h, &body).unwrap_err(),
+        FglError::Corrupt(_)
+    ));
+    assert!(matches!(
+        frame::decode_reply(&h, &body).unwrap_err(),
+        FglError::Corrupt(_)
+    ));
+    assert!(matches!(
+        frame::decode_callback(&h, &body).unwrap_err(),
+        FglError::Corrupt(_)
+    ));
+    assert!(matches!(
+        frame::decode_callback_reply(&h, &body).unwrap_err(),
+        FglError::Corrupt(_)
+    ));
+    assert!(matches!(
+        frame::decode_grant(&h, &body).unwrap_err(),
+        FglError::Corrupt(_)
+    ));
+}
+
+#[test]
+fn trailing_bytes_after_body_are_corrupt() {
+    let bytes = sample_frame();
+    let (h, mut body) = frame::read_frame(&mut &bytes[..]).unwrap();
+    body.push(0x00);
+    let err = frame::decode_request(&h, &body).unwrap_err();
+    assert!(matches!(err, FglError::Corrupt(_)), "{err:?}");
+
+    // Fixed-size variants reject any body at all.
+    let segs = frame::encode_reply(1, &Reply::Unit).unwrap();
+    let (h, mut body) = frame::read_frame(&mut &frame::frame_bytes(&segs)[..]).unwrap();
+    body.push(0x00);
+    let err = frame::decode_reply(&h, &body).unwrap_err();
+    assert!(matches!(err, FglError::Corrupt(_)), "{err:?}");
+}
+
+#[test]
+fn callback_batch_body_must_be_a_multiple_of_the_kind_size() {
+    let segs = frame::encode_callback(1, &Callback::DeliverBatch(sample_callback_kinds())).unwrap();
+    let (h, mut body) = frame::read_frame(&mut &frame::frame_bytes(&segs)[..]).unwrap();
+    body.truncate(body.len() - 1);
+    let err = frame::decode_callback(&h, &body).unwrap_err();
+    assert!(matches!(err, FglError::Corrupt(_)), "{err:?}");
+}
+
+#[test]
+fn hello_rejects_bad_magic_and_version() {
+    let good = frame::frame_bytes(&frame::encode_hello(ClientId(1)));
+    let body = good[HEADER..].to_vec();
+
+    let mut bad_magic = body.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(frame::decode_hello(&bad_magic).is_err());
+
+    let mut bad_version = body;
+    bad_version[4] = 0xFF;
+    assert!(frame::decode_hello(&bad_version).is_err());
+}
+
+// ---- encoder limits --------------------------------------------------------
+
+#[test]
+fn encoders_refuse_counts_that_overflow_wire_fields() {
+    // A deferred completion carries its retained count in the 8-bit aux
+    // header byte.
+    let too_many_retained = Request::CallbackComplete {
+        kind: CallbackKind::DeEscalatePage(PageId(1)),
+        retained: vec![(obj(1, 0), ObjMode::S); 256],
+        page_copy: None,
+    };
+    let err = frame::encode_request(1, &too_many_retained).unwrap_err();
+    assert!(matches!(err, FglError::Protocol(_)), "{err:?}");
+
+    // A callback outcome carries its page length in a u16.
+    let oversized_page = CallbackReplyMsg::Outcomes(vec![CallbackOutcome::Done {
+        retained: vec![],
+        page_copy: Some(page_buf(0, (u16::MAX as usize) + 1)),
+    }]);
+    let err = frame::encode_callback_reply(1, &oversized_page).unwrap_err();
+    assert!(matches!(err, FglError::Protocol(_)), "{err:?}");
+
+    // A deferred outcome carries its blocker count in a u16.
+    let too_many_blockers = CallbackReplyMsg::Outcomes(vec![CallbackOutcome::Deferred {
+        blockers: vec![TxnId(0); (u16::MAX as usize) + 1],
+    }]);
+    let err = frame::encode_callback_reply(1, &too_many_blockers).unwrap_err();
+    assert!(matches!(err, FglError::Protocol(_)), "{err:?}");
+}
