@@ -246,6 +246,10 @@ impl ClientCore {
         // by the paper's one-transaction-at-a-time-per-client model.
         st.txns.reserve(8);
         st.in_transit.reserve(8);
+        // A refetch entry exists per stale-while-locked cached page; the
+        // steady state is a small fraction of the cache, never zero —
+        // pre-sizing keeps the lock path off the allocator.
+        st.refetch.reserve(8);
         st.warmed = true;
     }
 
@@ -399,7 +403,11 @@ impl ClientCore {
             self.strategy.commit_wait_durable(self, txn, upto)?;
         }
         if let Some(bytes) = ship_log {
-            self.server.commit_ship_log(self.id, bytes)?;
+            // The dirtied-page set doubles as the partition-routing hint:
+            // a multi-server front end ships only to the owners of these
+            // pages (one serialized force for a partition-local txn).
+            let touched: Vec<PageId> = dirtied.to_vec();
+            self.server.commit_ship_log(self.id, bytes, touched)?;
             if policy == CommitPolicy::ShipPagesAtCommit {
                 for page in &dirtied {
                     self.ship_page_copy(*page, false)?;
@@ -580,6 +588,51 @@ impl ClientCore {
             // there is still headroom for the checkpoint record it needs.
             let _ = self.reclaim_log_space();
         }
+        // Cross-server commit atomicity: end-of-transaction callback
+        // completions must land on every touched partition before the
+        // transaction's locks are considered released. Group by owning
+        // partition and drive the groups in parallel — the client paid
+        // its single WAL force already, so the partitions' round-trips
+        // overlap (max, not sum).
+        let instances = self.cfg.server_instances;
+        if instances > 1 && completions.len() > 1 {
+            let mut groups: Vec<Vec<_>> = (0..instances).map(|_| Vec::new()).collect();
+            for c in completions {
+                groups[(c.0.page().0 % instances as u64) as usize].push(c);
+            }
+            let groups: Vec<_> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+            if groups.len() > 1 {
+                let slots: Vec<Mutex<Option<Result<()>>>> =
+                    groups.iter().map(|_| Mutex::new(None)).collect();
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = groups
+                    .into_iter()
+                    .zip(&slots)
+                    .map(|(group, slot)| {
+                        Box::new(move || {
+                            *slot.lock() = Some(self.deliver_completions(group));
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                fgl_sched::fanout(jobs);
+                for slot in slots {
+                    slot.into_inner().expect("completion group ran")?;
+                }
+                return Ok(());
+            }
+            for group in groups {
+                self.deliver_completions(group)?;
+            }
+            return Ok(());
+        }
+        self.deliver_completions(completions)
+    }
+
+    /// Ship one partition's worth of deferred-callback completions, in
+    /// order, each with its page copy under WAL discipline.
+    fn deliver_completions(
+        &self,
+        completions: Vec<(CallbackKind, fgl_locks::glm::CallbackReply)>,
+    ) -> Result<()> {
         for (kind, reply) in completions {
             let retained = match reply {
                 fgl_locks::glm::CallbackReply::Done { retained } => retained,
@@ -907,7 +960,7 @@ impl ClientCore {
             return;
         }
         if let Some(t) = st.txns.get_mut(&txn) {
-            t.undo.push(UndoEntry {
+            t.cold_mut().undo.push(UndoEntry {
                 lsn,
                 object: oid,
                 before,
@@ -1466,8 +1519,8 @@ impl ClientCore {
                     txn,
                     state: "unknown",
                 })?;
-                match t.undo.last() {
-                    Some(u) if u.lsn > upto => t.undo.pop(),
+                match t.cold().and_then(|c| c.undo.last()) {
+                    Some(u) if u.lsn > upto => t.cold_mut().undo.pop(),
                     _ => None,
                 }
             };

@@ -136,9 +136,12 @@ fn spill_undo_for_page(
         }
         // The oldest undo entry per object carries the transaction's
         // first-touch before-image — the only one undo-from-log needs.
+        let Some(cold) = t.cold() else {
+            continue;
+        };
         let mut seen: HashSet<ObjectId> = HashSet::new();
-        for u in &t.undo {
-            if u.object.page != page || t.spilled.contains(&u.object) || !seen.insert(u.object) {
+        for u in &cold.undo {
+            if u.object.page != page || cold.spilled.contains(&u.object) || !seen.insert(u.object) {
                 continue;
             }
             spills.push(UndoSpillRecord {
@@ -156,7 +159,7 @@ fn spill_undo_for_page(
         let payload = StrategyRecord::UndoSpill(rec).into_payload(envelope_id);
         client.append(st, &payload, true)?;
         if let Some(t) = st.txns.get_mut(&txn) {
-            t.spilled.insert(object);
+            t.cold_mut().spilled.insert(object);
         }
     }
     Ok(true)

@@ -28,7 +28,7 @@ pub enum TxnLogMode {
     /// update record; undo walks the log chain.
     Physical,
     /// REDO-only logging (Sauer & Härder, arXiv 1409.3682): after-images
-    /// only; undo information lives in [`TxnState::undo`] and is spilled
+    /// only; undo information lives in [`TxnCold::undo`] and is spilled
     /// to the log only at the steal point.
     RedoOnly,
 }
@@ -44,6 +44,22 @@ pub struct UndoEntry {
     pub before: Option<Vec<u8>>,
 }
 
+/// Rollback-only transaction state, boxed out of [`TxnState`]: named
+/// savepoints (§3.2) and the RedoOnly in-memory undo stack exist for a
+/// minority of transactions, yet inline they tripled the size of every
+/// entry in the hot per-client `txns` map. The hot struct keeps one
+/// pointer; the first savepoint or undo entry pays the allocation.
+#[derive(Clone, Debug, Default)]
+pub struct TxnCold {
+    /// Named savepoints: (name, last_lsn at creation).
+    pub savepoints: Vec<(String, Lsn)>,
+    /// In-memory undo stack (RedoOnly mode only), oldest first.
+    pub undo: Vec<UndoEntry>,
+    /// Objects whose first-touch before-image was already spilled to the
+    /// log at a steal point (RedoOnly mode only).
+    pub spilled: HashSet<ObjectId>,
+}
+
 /// One active transaction.
 #[derive(Clone, Debug)]
 pub struct TxnState {
@@ -53,17 +69,12 @@ pub struct TxnState {
     pub last_lsn: Lsn,
     /// First log record (bounds log-space reclamation while active).
     pub first_lsn: Lsn,
-    /// Named savepoints: (name, last_lsn at creation).
-    pub savepoints: Vec<(String, Lsn)>,
     /// Pages this transaction dirtied.
     pub dirtied: HashSet<PageId>,
     /// Logging mode, fixed by the strategy at the first update.
     pub log_mode: Option<TxnLogMode>,
-    /// In-memory undo stack (RedoOnly mode only), oldest first.
-    pub undo: Vec<UndoEntry>,
-    /// Objects whose first-touch before-image was already spilled to the
-    /// log at a steal point (RedoOnly mode only).
-    pub spilled: HashSet<ObjectId>,
+    /// Cold rollback state, allocated on first use.
+    cold: Option<Box<TxnCold>>,
 }
 
 impl TxnState {
@@ -73,12 +84,22 @@ impl TxnState {
             status: TxnStatus::Active,
             last_lsn: Lsn::NIL,
             first_lsn: Lsn::NIL,
-            savepoints: Vec::new(),
-            dirtied: HashSet::new(),
+            // The update path inserts page ids per access; a handful of
+            // buckets up front keeps the first inserts rehash-free.
+            dirtied: HashSet::with_capacity(8),
             log_mode: None,
-            undo: Vec::new(),
-            spilled: HashSet::new(),
+            cold: None,
         }
+    }
+
+    /// The cold rollback state, allocating it on first touch.
+    pub fn cold_mut(&mut self) -> &mut TxnCold {
+        self.cold.get_or_insert_with(Default::default)
+    }
+
+    /// The cold rollback state, if any rollback bookkeeping happened.
+    pub fn cold(&self) -> Option<&TxnCold> {
+        self.cold.as_deref()
     }
 
     /// Record a newly appended log record of this transaction.
@@ -91,17 +112,20 @@ impl TxnState {
 
     /// Create (or move) a named savepoint at the current position.
     pub fn set_savepoint(&mut self, name: &str) {
-        if let Some(sp) = self.savepoints.iter_mut().find(|(n, _)| n == name) {
-            sp.1 = self.last_lsn;
+        let last = self.last_lsn;
+        let sps = &mut self.cold_mut().savepoints;
+        if let Some(sp) = sps.iter_mut().find(|(n, _)| n == name) {
+            sp.1 = last;
         } else {
-            self.savepoints.push((name.to_string(), self.last_lsn));
+            sps.push((name.to_string(), last));
         }
     }
 
     /// The rollback boundary for a savepoint; savepoints created after it
     /// are discarded by the caller once the rollback runs.
     pub fn savepoint_lsn(&self, name: &str) -> Option<Lsn> {
-        self.savepoints
+        self.cold()?
+            .savepoints
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, l)| *l)
@@ -109,13 +133,21 @@ impl TxnState {
 
     /// Drop savepoints established after `lsn` (they are rolled away).
     pub fn truncate_savepoints(&mut self, lsn: Lsn) {
-        self.savepoints.retain(|(_, l)| *l <= lsn);
+        if let Some(cold) = self.cold.as_deref_mut() {
+            cold.savepoints.retain(|(_, l)| *l <= lsn);
+        }
     }
 
     pub fn is_active(&self) -> bool {
         self.status == TxnStatus::Active
     }
 }
+
+// Static size guard: the hot per-client `txns` map entry must stay
+// within 96 bytes — boxing the cold rollback state bought the shrink;
+// growing the struct again needs a deliberate decision here.
+const _: () = assert!(std::mem::size_of::<TxnState>() <= 96);
+const _: () = assert!(std::mem::size_of::<Option<Box<TxnCold>>>() == 8);
 
 #[cfg(test)]
 mod tests {

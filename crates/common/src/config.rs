@@ -197,6 +197,13 @@ pub struct SystemConfig {
     /// table, buffer pool and DCT so requests on different pages never
     /// contend. `1` reproduces the unsharded server.
     pub server_shards: usize,
+    /// Number of independent server *instances* (partitioned scale-out).
+    /// Pages are partitioned across instances by `PageId %
+    /// server_instances`; each instance is a full `ServerCore` — its own
+    /// GLM shards, store partition, DCT, server log, checkpoints and §4.1
+    /// commit-log ship — and clients route requests through a
+    /// `PartitionedServer`. `1` reproduces the single-server system.
+    pub server_instances: usize,
     /// Ship callbacks emitted by one GLM decision as one batch message
     /// per destination client, delivered to distinct holders in parallel
     /// (a grant blocked on N holders resolves after max(RTT) instead of
@@ -246,6 +253,7 @@ impl Default for SystemConfig {
             net_latency: Duration::ZERO,
             disk_latency: Duration::ZERO,
             server_shards: 1,
+            server_instances: 1,
             callback_batching: true,
             group_commit: true,
             obs_ring_entries: 256,
@@ -288,6 +296,12 @@ impl SystemConfig {
             return Err(FglError::Config(format!(
                 "server_shards {} out of supported range [1, 256]",
                 self.server_shards
+            )));
+        }
+        if self.server_instances == 0 || self.server_instances > 64 {
+            return Err(FglError::Config(format!(
+                "server_instances {} out of supported range [1, 64]",
+                self.server_instances
             )));
         }
         if self.obs_ring_entries < 16 || self.obs_ring_entries > 1 << 20 {
@@ -342,6 +356,12 @@ impl SystemConfig {
     /// Builder-style setter for the server shard count.
     pub fn with_server_shards(mut self, n: usize) -> Self {
         self.server_shards = n;
+        self
+    }
+
+    /// Builder-style setter for the server instance (partition) count.
+    pub fn with_server_instances(mut self, n: usize) -> Self {
+        self.server_instances = n;
         self
     }
 
@@ -493,6 +513,26 @@ mod tests {
         assert!(big_uds.validate().is_err());
         let ok = SystemConfig::default().with_transport(TransportKind::Tcp);
         ok.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_or_excessive_instances() {
+        assert_eq!(SystemConfig::default().server_instances, 1);
+        let mut c = SystemConfig {
+            server_instances: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c.server_instances = 65;
+        assert!(c.validate().is_err());
+        c.server_instances = 4;
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            SystemConfig::default()
+                .with_server_instances(2)
+                .server_instances,
+            2
+        );
     }
 
     #[test]

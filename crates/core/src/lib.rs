@@ -47,9 +47,10 @@ pub use fgl_common::config::{
 };
 pub use fgl_common::{ClientId, FglError, Lsn, ObjectId, PageId, Psn, Result, SlotId, TxnId};
 pub use fgl_locks::mode::{LockTarget, Mode, ObjMode};
+pub use fgl_locks::DeadlockCoordinator;
 pub use fgl_net::stats::{MsgKind, NetSim, NetSnapshot, NetStats};
 pub use fgl_net::transport::socket::{RemoteServer, SocketServer};
-pub use fgl_net::ServerApi;
+pub use fgl_net::{PartitionedServer, ServerApi};
 pub use fgl_obs::{
     CaptureSink, Event, HistKind, HistSnapshot, LogOwner, Metrics, RecoveryPhase, Snapshot,
 };
@@ -59,8 +60,8 @@ pub use fgl_storage::page::Page;
 use fgl_storage::disk::{DiskBackend, MemDisk, SimDisk};
 use std::sync::Arc;
 
-/// A wired system: one page server plus N clients sharing a counted
-/// message fabric.
+/// A wired system: one *or more* page servers plus N clients sharing a
+/// counted message fabric.
 ///
 /// With `transport = sim` (the default) the clients call straight into
 /// the [`ServerCore`] and the wiring is exactly what it always was. With
@@ -69,8 +70,23 @@ use std::sync::Arc;
 /// connected [`RemoteServer`] stub instead — same process, real frames
 /// on a real socket, so the full codec and correlation machinery is
 /// exercised by ordinary [`System`] tests.
+///
+/// With `cfg.server_instances = N > 1` the builder stands up N
+/// independent server instances (instance `k` owns pages with
+/// `PageId % N == k`, each with its own GLM shards, store partition,
+/// DCT, server log and checkpoints), joins their wait graphs through a
+/// [`fgl_locks::DeadlockCoordinator`], and hands every client one
+/// [`PartitionedServer`] routing by page residue class — on either
+/// transport. [`System::server`] stays the instance-0 handle so
+/// single-server call sites keep working; [`System::servers`] holds all
+/// of them.
 pub struct System {
+    /// Instance 0 — *the* server of a single-instance system, and the
+    /// handle legacy call sites use.
     pub server: Arc<ServerCore>,
+    /// Every server instance, in partition order (length
+    /// `cfg.server_instances`; `servers[0]` is `server`).
+    pub servers: Vec<Arc<ServerCore>>,
     pub clients: Vec<Arc<ClientCore>>,
     pub net: Arc<NetSim>,
     /// Present when [`System::build`] wired the latency-injecting disk —
@@ -80,31 +96,41 @@ pub struct System {
     transport: Option<TransportHandle>,
 }
 
-/// Live socket-mode wiring: the accept loop plus one connected stub per
-/// client, all recording real encoded frame sizes into one shared
-/// wire-stats sink.
+/// Live socket-mode wiring: one accept loop **per server instance** plus
+/// each client's connected stubs, with per-partition wire-stats sinks
+/// recording real encoded frame sizes.
 struct TransportHandle {
     remotes: Vec<Arc<RemoteServer>>,
-    wire: Arc<NetStats>,
+    /// Real frame traffic per partition, index = instance.
+    wires: Vec<Arc<NetStats>>,
     /// Declared after `remotes` so the stubs disconnect first and every
-    /// connection thread exits on a clean EOF before the listener stops.
-    sock: SocketServer,
+    /// connection thread exits on a clean EOF before the listeners stop.
+    socks: Vec<SocketServer>,
 }
 
 impl TransportHandle {
-    fn connect(&mut self, id: ClientId, metrics: Arc<Metrics>) -> Result<Arc<RemoteServer>> {
-        let remote = if let Some(addr) = self.sock.local_addr() {
-            RemoteServer::connect_tcp(&addr.to_string(), id, self.wire.clone(), Some(metrics))?
-        } else {
-            let path = self
-                .sock
-                .uds_path()
-                .expect("socket server has either an address or a path")
-                .to_path_buf();
-            RemoteServer::connect_uds(&path, id, self.wire.clone(), Some(metrics))?
-        };
-        self.remotes.push(remote.clone());
-        Ok(remote)
+    /// Connect one client to every partition's listener (partition order).
+    fn connect(&mut self, id: ClientId, metrics: Arc<Metrics>) -> Result<Vec<Arc<RemoteServer>>> {
+        let mut connected = Vec::with_capacity(self.socks.len());
+        for (sock, wire) in self.socks.iter().zip(&self.wires) {
+            let remote = if let Some(addr) = sock.local_addr() {
+                RemoteServer::connect_tcp(
+                    &addr.to_string(),
+                    id,
+                    wire.clone(),
+                    Some(metrics.clone()),
+                )?
+            } else {
+                let path = sock
+                    .uds_path()
+                    .expect("socket server has either an address or a path")
+                    .to_path_buf();
+                RemoteServer::connect_uds(&path, id, wire.clone(), Some(metrics.clone()))?
+            };
+            self.remotes.push(remote.clone());
+            connected.push(remote);
+        }
+        Ok(connected)
     }
 }
 
@@ -113,6 +139,17 @@ impl Drop for TransportHandle {
         for r in &self.remotes {
             r.disconnect();
         }
+    }
+}
+
+/// Wrap per-partition `ServerApi` handles into the single handle a
+/// client holds: the bare backend for one instance, the router above it
+/// for several.
+fn route_partitions(parts: Vec<Arc<dyn ServerApi>>) -> Arc<dyn ServerApi> {
+    if parts.len() == 1 {
+        parts.into_iter().next().unwrap()
+    } else {
+        PartitionedServer::new(parts)
     }
 }
 
@@ -152,12 +189,18 @@ impl System {
         }
         let net = Arc::new(NetSim::new(cfg.net_latency));
         let disk_latency = cfg.disk_latency;
-        let server = ServerCore::new(cfg, net.clone(), disk);
+        let servers = Self::build_servers(&cfg, net.clone(), disk);
+        let api = route_partitions(
+            servers
+                .iter()
+                .map(|s| s.clone() as Arc<dyn ServerApi>)
+                .collect(),
+        );
         let clients = (0..n_clients)
             .map(|i| {
                 ClientCore::with_log_store(
                     ClientId(i as u32 + 1),
-                    server.clone(),
+                    api.clone(),
                     net.clone(),
                     Box::new(fgl_wal::store::SimLogStore::new(
                         Box::new(fgl_wal::store::MemLogStore::new()),
@@ -167,12 +210,46 @@ impl System {
             })
             .collect();
         Ok(System {
-            server,
+            server: servers[0].clone(),
+            servers,
             clients,
             net,
             sim_disk: None,
             transport: None,
         })
+    }
+
+    /// Stand up `cfg.server_instances` server instances over one disk and
+    /// one shared metrics registry; multi-instance systems additionally
+    /// join every instance's wait graph through a deadlock coordinator so
+    /// cycles spanning servers keep the youngest-victim policy.
+    fn build_servers(
+        cfg: &SystemConfig,
+        net: Arc<NetSim>,
+        disk: Arc<dyn DiskBackend>,
+    ) -> Vec<Arc<ServerCore>> {
+        let instances = cfg.server_instances.max(1);
+        if instances == 1 {
+            return vec![ServerCore::new(cfg.clone(), net, disk)];
+        }
+        let metrics = Arc::new(Metrics::new());
+        let servers: Vec<Arc<ServerCore>> = (0..instances)
+            .map(|k| {
+                ServerCore::new_instance(
+                    cfg.clone(),
+                    net.clone(),
+                    disk.clone(),
+                    k,
+                    instances,
+                    metrics.clone(),
+                )
+            })
+            .collect();
+        let coord = DeadlockCoordinator::new();
+        for s in &servers {
+            s.attach_coordinator(&coord);
+        }
+        servers
     }
 
     /// Socket-mode wiring: same [`ServerCore`], but served over a real
@@ -190,25 +267,36 @@ impl System {
         let net = Arc::new(NetSim::new(std::time::Duration::ZERO));
         let disk_latency = cfg.disk_latency;
         let transport = cfg.transport;
-        let server = ServerCore::new(cfg, net.clone(), disk);
-        let api: Arc<dyn ServerApi> = server.clone();
-        let sock = match transport {
-            TransportKind::Tcp => SocketServer::serve_tcp(api, "127.0.0.1:0")?,
-            TransportKind::Uds => SocketServer::serve_uds(api, &fresh_uds_path())?,
-            TransportKind::Sim => unreachable!("sim transport is handled by build_with_disk"),
-        };
+        let servers = Self::build_servers(&cfg, net.clone(), disk);
+        let mut socks = Vec::with_capacity(servers.len());
+        let mut wires = Vec::with_capacity(servers.len());
+        for server in &servers {
+            let api: Arc<dyn ServerApi> = server.clone();
+            socks.push(match transport {
+                TransportKind::Tcp => SocketServer::serve_tcp(api, "127.0.0.1:0")?,
+                TransportKind::Uds => SocketServer::serve_uds(api, &fresh_uds_path())?,
+                TransportKind::Sim => unreachable!("sim transport is handled by build_with_disk"),
+            });
+            wires.push(Arc::new(NetStats::default()));
+        }
         let mut handle = TransportHandle {
-            remotes: Vec::with_capacity(n_clients),
-            wire: Arc::new(NetStats::default()),
-            sock,
+            remotes: Vec::with_capacity(n_clients * servers.len()),
+            wires,
+            socks,
         };
         let mut clients = Vec::with_capacity(n_clients);
         for i in 0..n_clients {
             let id = ClientId(i as u32 + 1);
-            let remote = handle.connect(id, server.metrics())?;
+            let remotes = handle.connect(id, servers[0].metrics())?;
+            let api = route_partitions(
+                remotes
+                    .into_iter()
+                    .map(|r| r as Arc<dyn ServerApi>)
+                    .collect(),
+            );
             clients.push(ClientCore::with_log_store(
                 id,
-                remote,
+                api,
                 net.clone(),
                 Box::new(fgl_wal::store::SimLogStore::new(
                     Box::new(fgl_wal::store::MemLogStore::new()),
@@ -217,7 +305,8 @@ impl System {
             ));
         }
         Ok(System {
-            server,
+            server: servers[0].clone(),
+            servers,
             clients,
             net,
             sim_disk: None,
@@ -244,19 +333,39 @@ impl System {
     pub fn metrics_snapshot(&self) -> Snapshot {
         let mut snap = self.server.metrics().snapshot();
 
-        let s = self.server.stats();
-        snap.set_counter("server_lock_requests", s.lock_requests);
-        snap.set_counter("server_page_fetches", s.page_fetches);
-        snap.set_counter("server_pages_received", s.pages_received);
-        snap.set_counter("server_pages_flushed", s.pages_flushed);
-        snap.set_counter("server_replacement_records", s.replacement_records);
-        snap.set_counter("server_checkpoints", s.server_checkpoints);
-        snap.set_counter("server_commit_log_ships", s.commit_log_ships);
-        snap.set_counter("server_merges", s.merges);
-        for (i, sh) in s.per_shard.iter().enumerate() {
-            snap.set_counter(&format!("shard{i}_lock_requests"), sh.lock_requests);
-            snap.set_counter(&format!("shard{i}_page_fetches"), sh.page_fetches);
-            snap.set_counter(&format!("shard{i}_merges"), sh.merges);
+        // Server counters sum across instances; each instance also
+        // reports under its own `srv{k}_*` namespace, with shard
+        // counters nested as `srv{k}_shard{j}_*` — both axes explicit,
+        // so multi-instance runs cannot collide shard names across
+        // servers. Single-instance systems additionally keep the legacy
+        // flat `shard{j}_*` names E11 consumers read.
+        let per_instance: Vec<ServerStats> = self.servers.iter().map(|s| s.stats()).collect();
+        let sum = |f: fn(&ServerStats) -> u64| per_instance.iter().map(f).sum::<u64>();
+        snap.set_counter("server_lock_requests", sum(|s| s.lock_requests));
+        snap.set_counter("server_page_fetches", sum(|s| s.page_fetches));
+        snap.set_counter("server_pages_received", sum(|s| s.pages_received));
+        snap.set_counter("server_pages_flushed", sum(|s| s.pages_flushed));
+        snap.set_counter("server_replacement_records", sum(|s| s.replacement_records));
+        snap.set_counter("server_checkpoints", sum(|s| s.server_checkpoints));
+        snap.set_counter("server_commit_log_ships", sum(|s| s.commit_log_ships));
+        snap.set_counter("server_merges", sum(|s| s.merges));
+        let single = per_instance.len() == 1;
+        for (k, s) in per_instance.iter().enumerate() {
+            snap.set_counter(&format!("srv{k}_lock_requests"), s.lock_requests);
+            snap.set_counter(&format!("srv{k}_page_fetches"), s.page_fetches);
+            snap.set_counter(&format!("srv{k}_pages_received"), s.pages_received);
+            snap.set_counter(&format!("srv{k}_commit_log_ships"), s.commit_log_ships);
+            snap.set_counter(&format!("srv{k}_merges"), s.merges);
+            for (j, sh) in s.per_shard.iter().enumerate() {
+                snap.set_counter(&format!("srv{k}_shard{j}_lock_requests"), sh.lock_requests);
+                snap.set_counter(&format!("srv{k}_shard{j}_page_fetches"), sh.page_fetches);
+                snap.set_counter(&format!("srv{k}_shard{j}_merges"), sh.merges);
+                if single {
+                    snap.set_counter(&format!("shard{j}_lock_requests"), sh.lock_requests);
+                    snap.set_counter(&format!("shard{j}_page_fetches"), sh.page_fetches);
+                    snap.set_counter(&format!("shard{j}_merges"), sh.merges);
+                }
+            }
         }
 
         // Active-client set: clients that never ran a transaction report
@@ -310,7 +419,10 @@ impl System {
         // traffic next to the nominal accounting, same kind names under
         // a `wire_` prefix — E17 reads the ratio straight off these.
         if let Some(t) = &self.transport {
-            let w = t.wire.snapshot();
+            let per_wire: Vec<NetSnapshot> = t.wires.iter().map(|w| w.snapshot()).collect();
+            let w = per_wire
+                .iter()
+                .fold(NetSnapshot::default(), |acc, s| acc.merge(s));
             for (i, (&count, &bytes)) in w.counts.iter().zip(w.bytes.iter()).enumerate() {
                 let name = NetSnapshot::kind_name(i);
                 snap.set_counter(&format!("wire_{name}"), count);
@@ -318,6 +430,12 @@ impl System {
             }
             snap.set_counter("wire_total_messages", w.total_messages());
             snap.set_counter("wire_total_bytes", w.total_bytes());
+            if per_wire.len() > 1 {
+                for (k, w) in per_wire.iter().enumerate() {
+                    snap.set_counter(&format!("srv{k}_wire_total_messages"), w.total_messages());
+                    snap.set_counter(&format!("srv{k}_wire_total_bytes"), w.total_bytes());
+                }
+            }
         }
 
         if let Some(disk) = &self.sim_disk {
@@ -335,8 +453,10 @@ impl System {
                 *by_kind.entry(kind).or_insert(0) += bytes;
             }
         }
-        for (kind, bytes) in self.server.wal_bytes_by_kind() {
-            *by_kind.entry(kind).or_insert(0) += bytes;
+        for server in &self.servers {
+            for (kind, bytes) in server.wal_bytes_by_kind() {
+                *by_kind.entry(kind).or_insert(0) += bytes;
+            }
         }
         for (kind, bytes) in by_kind {
             snap.set_counter(&format!("wal_bytes_{kind}"), bytes);
@@ -348,9 +468,19 @@ impl System {
         snap.set_counter("ring_dropped_events", fgl_obs::ring::dropped_events());
         snap.set_counter(
             "contention_pages_tracked",
-            self.server.contention_pages_tracked() as u64,
+            self.servers
+                .iter()
+                .map(|s| s.contention_pages_tracked() as u64)
+                .sum(),
         );
-        for (rank, (page, c)) in self.server.contention_top(4).into_iter().enumerate() {
+        let mut hot: Vec<_> = self
+            .servers
+            .iter()
+            .flat_map(|s| s.contention_top(4))
+            .collect();
+        hot.sort_by_key(|e| std::cmp::Reverse(e.1.wait_us));
+        hot.truncate(4);
+        for (rank, (page, c)) in hot.into_iter().enumerate() {
             snap.set_counter(&format!("hot_page_rank{rank}_page"), page.0);
             snap.set_counter(&format!("hot_page_rank{rank}_wait_us"), c.wait_us);
             snap.set_counter(&format!("hot_page_rank{rank}_waits"), c.waits);
@@ -362,7 +492,12 @@ impl System {
     /// Real encoded wire traffic, both directions (socket transports
     /// only — `None` under the in-process sim fabric).
     pub fn wire_snapshot(&self) -> Option<NetSnapshot> {
-        self.transport.as_ref().map(|t| t.wire.snapshot())
+        self.transport.as_ref().map(|t| {
+            t.wires
+                .iter()
+                .map(|w| w.snapshot())
+                .fold(NetSnapshot::default(), |acc, s| acc.merge(&s))
+        })
     }
 
     /// Attach one more client to a running system.
@@ -370,12 +505,26 @@ impl System {
         let id = ClientId(self.clients.len() as u32 + 1);
         let metrics = self.server.metrics();
         let c = match &mut self.transport {
-            None => ClientCore::new(id, self.server.clone(), self.net.clone()),
+            None => {
+                let api = route_partitions(
+                    self.servers
+                        .iter()
+                        .map(|s| s.clone() as Arc<dyn ServerApi>)
+                        .collect(),
+                );
+                ClientCore::new(id, api, self.net.clone())
+            }
             Some(t) => {
-                let remote = t
+                let remotes = t
                     .connect(id, metrics)
                     .expect("socket transport: connecting a new client failed");
-                ClientCore::new(id, remote, self.net.clone())
+                let api = route_partitions(
+                    remotes
+                        .into_iter()
+                        .map(|r| r as Arc<dyn ServerApi>)
+                        .collect(),
+                );
+                ClientCore::new(id, api, self.net.clone())
             }
         };
         self.clients.push(c.clone());
@@ -955,6 +1104,238 @@ mod tests {
         let t = alice.begin().unwrap();
         assert_eq!(alice.read(t, oa).unwrap(), b"aaaa");
         assert_eq!(alice.read(t, ob).unwrap(), b"BOB!");
+        alice.commit(t).unwrap();
+    }
+
+    /// Allocate one page per partition: with the shared round-robin
+    /// allocation cursor the first two `create_page` calls land on
+    /// different residue classes.
+    fn two_pages_two_partitions(
+        sys: &System,
+        client: &Arc<ClientCore>,
+    ) -> (fgl_common::PageId, fgl_common::PageId) {
+        let t = client.begin().unwrap();
+        let pa = client.create_page(t).unwrap();
+        let pb = client.create_page(t).unwrap();
+        client.commit(t).unwrap();
+        assert_eq!(sys.servers.len(), 2);
+        assert_ne!(
+            pa.0 % 2,
+            pb.0 % 2,
+            "round-robin allocation must spread partitions"
+        );
+        assert!(sys.servers[(pa.0 % 2) as usize].owns_page(pa));
+        assert!(sys.servers[(pb.0 % 2) as usize].owns_page(pb));
+        (pa, pb)
+    }
+
+    /// Tentpole smoke: two server instances, a transaction spanning both,
+    /// callback-mediated sharing across clients — all through one routed
+    /// `ServerApi` handle.
+    #[test]
+    fn multi_instance_clients_share_across_partitions() {
+        let sys = System::build(quiet_cfg().with_server_instances(2), 2).unwrap();
+        let (alice, bob) = (sys.client(0), sys.client(1));
+        let (pa, pb) = two_pages_two_partitions(&sys, alice);
+
+        // One transaction writes both partitions, committing atomically
+        // from the client's single WAL force.
+        let t = alice.begin().unwrap();
+        let oa = alice.insert(t, pa, b"part-a").unwrap();
+        let ob = alice.insert(t, pb, b"part-b").unwrap();
+        alice.commit(t).unwrap();
+
+        // Bob takes both over via callbacks, updating cross-partition.
+        let t = bob.begin().unwrap();
+        bob.write(t, oa, b"BOB-a!").unwrap();
+        bob.write(t, ob, b"BOB-b!").unwrap();
+        bob.commit(t).unwrap();
+
+        let t = alice.begin().unwrap();
+        assert_eq!(alice.read(t, oa).unwrap(), b"BOB-a!");
+        assert_eq!(alice.read(t, ob).unwrap(), b"BOB-b!");
+        alice.commit(t).unwrap();
+
+        // Both instances actually served lock traffic.
+        let snap = sys.metrics_snapshot();
+        for k in 0..2 {
+            let served = snap
+                .counters
+                .get(&format!("srv{k}_lock_requests"))
+                .copied()
+                .unwrap_or(0);
+            assert!(served > 0, "instance {k} saw no lock traffic");
+        }
+    }
+
+    /// Satellite 2: multi-instance shard counters nest as
+    /// `srv{k}_shard{j}_*`; the flat legacy `shard{j}_*` names are
+    /// reserved for single-instance systems; per-instance counters sum to
+    /// the global `server_*` axis.
+    #[test]
+    fn multi_instance_metrics_nest_per_server_shards() {
+        let sys = System::build(
+            quiet_cfg().with_server_instances(2).with_server_shards(2),
+            1,
+        )
+        .unwrap();
+        let c = sys.client(0);
+        let (pa, pb) = two_pages_two_partitions(&sys, c);
+        let t = c.begin().unwrap();
+        c.insert(t, pa, b"aaaa").unwrap();
+        c.insert(t, pb, b"bbbb").unwrap();
+        c.commit(t).unwrap();
+
+        let snap = sys.metrics_snapshot();
+        for k in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    snap.counters
+                        .contains_key(&format!("srv{k}_shard{j}_lock_requests")),
+                    "missing srv{k}_shard{j}_lock_requests"
+                );
+            }
+        }
+        assert!(
+            !snap.counters.contains_key("shard0_lock_requests"),
+            "flat shard names must not leak out of single-instance mode"
+        );
+        let total = snap.counters.get("server_lock_requests").copied().unwrap();
+        let per: u64 = (0..2)
+            .map(|k| {
+                snap.counters
+                    .get(&format!("srv{k}_lock_requests"))
+                    .copied()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, per, "global axis must equal the instance sum");
+    }
+
+    /// The router composes with the socket transport: two server
+    /// processes' worth of listeners, each with its own wire accounting.
+    #[test]
+    fn multi_instance_socket_transport_routes_frames() {
+        let cfg = quiet_cfg()
+            .with_transport(TransportKind::Uds)
+            .with_server_instances(2);
+        let sys = System::build(cfg, 2).unwrap();
+        let (alice, bob) = (sys.client(0), sys.client(1));
+
+        // Socket mode gives each client its own allocation cursor, so
+        // alice's first two pages still alternate partitions.
+        let (pa, pb) = two_pages_two_partitions(&sys, alice);
+        let t = alice.begin().unwrap();
+        let oa = alice.insert(t, pa, b"sock-a").unwrap();
+        let ob = alice.insert(t, pb, b"sock-b").unwrap();
+        alice.commit(t).unwrap();
+
+        let t = bob.begin().unwrap();
+        assert_eq!(bob.read(t, oa).unwrap(), b"sock-a");
+        assert_eq!(bob.read(t, ob).unwrap(), b"sock-b");
+        bob.commit(t).unwrap();
+
+        let snap = sys.metrics_snapshot();
+        for k in 0..2 {
+            let frames = snap
+                .counters
+                .get(&format!("srv{k}_wire_total_messages"))
+                .copied()
+                .unwrap_or(0);
+            assert!(frames > 0, "partition {k} listener saw no frames");
+        }
+        let merged = sys.wire_snapshot().unwrap();
+        let per: u64 = (0..2)
+            .map(|k| {
+                snap.counters
+                    .get(&format!("srv{k}_wire_total_messages"))
+                    .copied()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(merged.total_messages(), per);
+    }
+
+    /// A deadlock cycle spanning two server instances: each instance's
+    /// local wait graph holds one edge, only the coordinator's merged
+    /// search can close the cycle — and it must kill the youngest
+    /// transaction, exactly as a single-server cycle would.
+    #[test]
+    fn cross_server_deadlock_picks_youngest_victim() {
+        let sys = System::build(quiet_cfg().with_server_instances(2), 2).unwrap();
+        let (alice, bob) = (sys.client(0), sys.client(1));
+        let (pa, pb) = two_pages_two_partitions(&sys, alice);
+        let t = alice.begin().unwrap();
+        let oa = alice.insert(t, pa, b"aaaa").unwrap();
+        let ob = alice.insert(t, pb, b"bbbb").unwrap();
+        alice.commit(t).unwrap();
+
+        // ta holds X on partition A's object and wants partition B's;
+        // tb holds the opposite — a cycle no single instance can see.
+        let ta = alice.begin().unwrap();
+        let tb = bob.begin().unwrap();
+        alice.write(ta, oa, b"AAAA").unwrap();
+        bob.write(tb, ob, b"BBBB").unwrap();
+
+        // Same youngest-victim rule the local search applies.
+        let expected = if (ta.local_seq(), ta.0) > (tb.local_seq(), tb.0) {
+            ta
+        } else {
+            tb
+        };
+
+        let barrier = std::sync::Barrier::new(2);
+        let cross = |c: &Arc<ClientCore>, t, o| -> Result<()> {
+            barrier.wait();
+            c.write(t, o, b"SWAP")?;
+            c.commit(t)
+        };
+        let (ra, rb) = std::thread::scope(|s| {
+            let ha = s.spawn(|| cross(alice, ta, ob));
+            let hb = s.spawn(|| cross(bob, tb, oa));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+
+        let (victim_res, survivor_res) = if expected == ta { (ra, rb) } else { (rb, ra) };
+        let err = victim_res.expect_err("the youngest transaction must die");
+        assert!(err.is_transaction_abort(), "unexpected error: {err:?}");
+        survivor_res.expect("the older transaction must commit");
+
+        // Killed by detection, not by the timeout backstop.
+        let (a, b) = (alice.stats(), bob.stats());
+        assert_eq!(a.deadlock_victims + b.deadlock_victims, 1);
+        assert_eq!(a.lock_timeouts + b.lock_timeouts, 0);
+    }
+
+    /// One partition restarts (§3.4 gather against only the clients that
+    /// touched it) while the other keeps serving uninterrupted.
+    #[test]
+    fn partition_restart_while_others_serve() {
+        let sys = System::build(quiet_cfg().with_server_instances(2), 2).unwrap();
+        let (alice, bob) = (sys.client(0), sys.client(1));
+        let (pa, pb) = two_pages_two_partitions(&sys, alice);
+        let t = alice.begin().unwrap();
+        let oa = alice.insert(t, pa, b"stay").unwrap();
+        let ob = alice.insert(t, pb, b"stay").unwrap();
+        alice.commit(t).unwrap();
+
+        let down = (pa.0 % 2) as usize;
+        let live = 1 - down;
+        sys.servers[down].crash();
+
+        // The other partition keeps serving while its sibling is down.
+        let t = bob.begin().unwrap();
+        bob.write(t, ob, b"live").unwrap();
+        bob.commit(t).unwrap();
+        assert!(sys.servers[live].owns_page(pb));
+
+        // The crashed partition recovers independently, gathering only
+        // its own residue class from the clients that touched it.
+        sys.servers[down].restart_recovery().unwrap();
+
+        let t = alice.begin().unwrap();
+        assert_eq!(alice.read(t, oa).unwrap(), b"stay");
+        assert_eq!(alice.read(t, ob).unwrap(), b"live");
         alice.commit(t).unwrap();
     }
 }

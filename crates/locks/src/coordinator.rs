@@ -1,0 +1,230 @@
+//! Cross-instance deadlock coordination for the multi-server page
+//! service.
+//!
+//! Each server instance keeps its own process-local [`WaitGraph`] exactly
+//! as before; a deadlock cycle can nonetheless thread through pages owned
+//! by *different instances* (txn A waits on a page of instance 0 while
+//! txn B waits on a page of instance 1). The [`DeadlockCoordinator`] is
+//! the lightweight merge point: every member graph exports its waits-for
+//! edges, the coordinator unions them on demand, and the cycle search —
+//! the very same youngest-victim DFS the single-instance graph runs —
+//! executes over the merged adjacency. Victims are therefore chosen by
+//! the same `(local_seq, raw id)` policy regardless of how many
+//! instances the cycle spans, which keeps the sim fabric deterministic.
+//!
+//! Merges are keyed on a **deferral epoch**: every member-graph mutation
+//! bumps a shared counter, and the merged adjacency is cached until the
+//! epoch moves. A detection pass that races no mutation reuses the last
+//! merge instead of re-exporting every graph.
+//!
+//! Victim teardown crosses instances through registered **abort hooks**:
+//! the instance whose GLM detected the cycle handles its local waiters as
+//! usual and then asks the coordinator to broadcast, which invokes every
+//! *other* member's hook (registered by the server runtime; the hook
+//! hunts the victim's parked waiter on that instance and cancels it).
+//! Hooks run with no coordinator lock held, so they may re-enter the
+//! coordinator freely.
+//!
+//! Locking order: `cache → members → graph.inner`. Graphs never call
+//! into the coordinator while holding their inner lock (mutations only
+//! touch the epoch atomic), so the order is acyclic.
+
+use crate::waitgraph::{victim_in, WaitGraph};
+use fgl_common::TxnId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cross-instance victim teardown callback. Invoked with no coordinator
+/// lock held; must be idempotent (the victim may already be gone).
+pub type AbortHook = Box<dyn Fn(TxnId) + Send + Sync>;
+
+struct Member {
+    graph: Arc<WaitGraph>,
+    abort: AbortHook,
+}
+
+struct MergedCache {
+    /// Epoch the cached adjacency was merged at; `u64::MAX` = never.
+    epoch: u64,
+    adj: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+/// The merge point for N instances' waits-for graphs. One per system;
+/// instances register their graph plus an abort hook at wiring time.
+pub struct DeadlockCoordinator {
+    members: Mutex<Vec<Arc<Member>>>,
+    /// Bumped by every member-graph mutation (deferral registered, queue
+    /// republished, waiter removed, …) — the merge invalidation key.
+    epoch: AtomicU64,
+    merge_passes: AtomicU64,
+    cache: Mutex<MergedCache>,
+}
+
+impl Default for DeadlockCoordinator {
+    fn default() -> Self {
+        DeadlockCoordinator {
+            members: Mutex::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+            merge_passes: AtomicU64::new(0),
+            cache: Mutex::new(MergedCache {
+                epoch: u64::MAX,
+                adj: HashMap::new(),
+            }),
+        }
+    }
+}
+
+impl DeadlockCoordinator {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Enroll one instance: its wait graph joins the merged cycle search
+    /// (the graph's own `find_victim` starts delegating here), and
+    /// `abort` is invoked for victims detected by *other* members.
+    /// Returns the member id the instance passes to
+    /// [`Self::broadcast_abort`] to skip itself.
+    pub fn register(self: &Arc<Self>, graph: Arc<WaitGraph>, abort: AbortHook) -> usize {
+        graph.attach_coordinator(self.clone());
+        let mut members = self.members.lock();
+        members.push(Arc::new(Member { graph, abort }));
+        self.epoch.fetch_add(1, Ordering::Release);
+        members.len() - 1
+    }
+
+    /// Current deferral epoch (diagnostics).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of full merge passes run so far (diagnostics — detection
+    /// passes between mutations reuse the cached merge).
+    pub fn merge_passes(&self) -> u64 {
+        self.merge_passes.load(Ordering::Relaxed)
+    }
+
+    /// A member graph mutated: invalidate the cached merge.
+    pub(crate) fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The merged cycle search: union every member's exported edges
+    /// (cached per epoch) and run the shared youngest-victim DFS.
+    pub(crate) fn find_victim(&self, start: TxnId) -> Option<TxnId> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut cache = self.cache.lock();
+        if cache.epoch != epoch {
+            let members: Vec<Arc<Member>> = self.members.lock().clone();
+            let mut adj: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+            for m in &members {
+                m.graph.export_edges_into(&mut adj);
+            }
+            cache.epoch = epoch;
+            cache.adj = adj;
+            self.merge_passes.fetch_add(1, Ordering::Relaxed);
+        }
+        victim_in(&cache.adj, start)
+    }
+
+    /// Tear the victim down on every member except `except` (the
+    /// instance that detected the cycle handles its own waiters inline).
+    /// Hooks run outside every coordinator lock and must be idempotent.
+    pub fn broadcast_abort(&self, victim: TxnId, except: usize) {
+        let members: Vec<Arc<Member>> = self.members.lock().clone();
+        for (i, m) in members.iter().enumerate() {
+            if i != except {
+                (m.abort)(victim);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgl_common::{ClientId, PageId};
+    use std::sync::atomic::AtomicUsize;
+
+    fn t(c: u32, seq: u32) -> TxnId {
+        TxnId::compose(ClientId(c), seq)
+    }
+
+    #[test]
+    fn merges_edges_across_member_graphs() {
+        let coord = DeadlockCoordinator::new();
+        let g0 = Arc::new(WaitGraph::new());
+        let g1 = Arc::new(WaitGraph::new());
+        coord.register(g0.clone(), Box::new(|_| {}));
+        coord.register(g1.clone(), Box::new(|_| {}));
+        // Half the cycle lives in each instance's graph: neither local
+        // graph alone contains it.
+        g0.add_deferrals(t(1, 5), &[t(2, 9)]);
+        g1.add_deferrals(t(2, 9), &[t(1, 5)]);
+        assert_eq!(g0.find_victim(t(1, 5)), Some(t(2, 9)), "youngest dies");
+        assert_eq!(g1.find_victim(t(2, 9)), Some(t(2, 9)));
+    }
+
+    #[test]
+    fn queue_edges_merge_too() {
+        let coord = DeadlockCoordinator::new();
+        let g0 = Arc::new(WaitGraph::new());
+        let g1 = Arc::new(WaitGraph::new());
+        coord.register(g0.clone(), Box::new(|_| {}));
+        coord.register(g1.clone(), Box::new(|_| {}));
+        g0.add_deferrals(t(1, 1), &[t(2, 2)]);
+        g1.publish_queue_edges(PageId(7), vec![(t(2, 2), t(1, 1))]);
+        assert_eq!(g0.find_victim(t(1, 1)), Some(t(2, 2)));
+        // Removing the queue contribution breaks the cycle.
+        g1.publish_queue_edges(PageId(7), Vec::new());
+        assert_eq!(g0.find_victim(t(1, 1)), None);
+    }
+
+    #[test]
+    fn epoch_caches_merges_between_mutations() {
+        let coord = DeadlockCoordinator::new();
+        let g0 = Arc::new(WaitGraph::new());
+        coord.register(g0.clone(), Box::new(|_| {}));
+        g0.add_deferrals(t(1, 1), &[t(2, 2)]);
+        let _ = g0.find_victim(t(1, 1));
+        let after_first = coord.merge_passes();
+        let _ = g0.find_victim(t(1, 1));
+        assert_eq!(
+            coord.merge_passes(),
+            after_first,
+            "no mutation between passes → cached merge reused"
+        );
+        g0.add_deferrals(t(2, 2), &[t(1, 1)]);
+        let _ = g0.find_victim(t(1, 1));
+        assert_eq!(coord.merge_passes(), after_first + 1);
+    }
+
+    #[test]
+    fn broadcast_abort_skips_the_detecting_member() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let coord = DeadlockCoordinator::new();
+        let g0 = Arc::new(WaitGraph::new());
+        let g1 = Arc::new(WaitGraph::new());
+        let c0 = calls.clone();
+        let me = coord.register(
+            g0,
+            Box::new(move |_| {
+                c0.fetch_add(100, Ordering::SeqCst);
+            }),
+        );
+        let c1 = calls.clone();
+        coord.register(
+            g1,
+            Box::new(move |_| {
+                c1.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        coord.broadcast_abort(t(1, 1), me);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "only the non-detecting member's hook runs"
+        );
+    }
+}

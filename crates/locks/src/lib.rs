@@ -19,12 +19,14 @@
 //! network layer, which keeps every protocol rule unit-testable.
 
 pub mod contention;
+pub mod coordinator;
 pub mod glm;
 pub mod llm;
 pub mod mode;
 pub mod waitgraph;
 
 pub use contention::{ContentionProfiler, PageContention};
+pub use coordinator::{AbortHook, DeadlockCoordinator};
 pub use glm::{CallbackAction, CallbackKind, CallbackReply, GlmCore, GlmEvent, LockOutcome};
 pub use llm::{LlmCore, LocalDecision};
 pub use mode::{LockTarget, Mode, ObjMode};

@@ -23,9 +23,11 @@
 //! one the unsharded GLM used: the youngest cycle member, by
 //! `(local_seq, raw id)`.
 
+use crate::coordinator::DeadlockCoordinator;
 use fgl_common::{PageId, TxnId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
 
 #[derive(Default)]
 struct Inner {
@@ -41,6 +43,35 @@ struct Inner {
 #[derive(Default)]
 pub struct WaitGraph {
     inner: Mutex<Inner>,
+    /// When this graph belongs to one instance of a multi-server system,
+    /// cycle searches delegate to the coordinator's merged adjacency.
+    /// Stored outside `inner` so it survives [`WaitGraph::clear`] across
+    /// a server crash.
+    coordinator: OnceLock<Arc<DeadlockCoordinator>>,
+}
+
+/// The youngest-victim cycle search shared by the single-instance graph
+/// and the cross-instance coordinator: DFS from `start` over `adj`; on a
+/// cycle through `start`, pick the youngest member (largest local
+/// sequence, tie-broken by raw id).
+pub(crate) fn victim_in(adj: &HashMap<TxnId, HashSet<TxnId>>, start: TxnId) -> Option<TxnId> {
+    let mut stack = vec![(start, vec![start])];
+    let mut visited: HashSet<TxnId> = HashSet::new();
+    while let Some((node, path)) = stack.pop() {
+        if let Some(nexts) = adj.get(&node) {
+            for &n in nexts {
+                if n == start {
+                    return path.iter().copied().max_by_key(|t| (t.local_seq(), t.0));
+                }
+                if visited.insert(n) {
+                    let mut p = path.clone();
+                    p.push(n);
+                    stack.push((n, p));
+                }
+            }
+        }
+    }
+    None
 }
 
 impl WaitGraph {
@@ -58,12 +89,15 @@ impl WaitGraph {
                 e.insert(*b);
             }
         }
+        drop(inner);
+        self.bump();
     }
 
     /// A queued request was granted: the txn no longer waits, so its
     /// outgoing deferral edges go away (it may still block others).
     pub fn remove_waiter_row(&self, txn: TxnId) {
         self.inner.lock().deferral.remove(&txn);
+        self.bump();
     }
 
     /// Forget a transaction entirely (abort, timeout, deadlock victim):
@@ -74,6 +108,8 @@ impl WaitGraph {
         for edges in inner.deferral.values_mut() {
             edges.remove(&txn);
         }
+        drop(inner);
+        self.bump();
     }
 
     /// Replace the queue edges contributed by `page` (the owning shard
@@ -86,45 +122,60 @@ impl WaitGraph {
         } else {
             inner.queue.insert(page, edges);
         }
+        drop(inner);
+        self.bump();
     }
 
-    /// DFS from `start` over the union of deferral and queue edges; on a
-    /// cycle through `start`, pick the youngest member (largest local
-    /// sequence, tie-broken by raw id) as victim.
+    /// Find a deadlock victim for a cycle through `start`. Standalone,
+    /// the search runs over this graph's own edges; attached to a
+    /// [`DeadlockCoordinator`], it runs over the merged adjacency of
+    /// every member instance so cycles spanning servers are caught by
+    /// the same youngest-victim policy.
     pub fn find_victim(&self, start: TxnId) -> Option<TxnId> {
+        if let Some(coord) = self.coordinator.get() {
+            return coord.find_victim(start);
+        }
+        let mut graph = HashMap::new();
+        self.export_edges_into(&mut graph);
+        victim_in(&graph, start)
+    }
+
+    /// Union this graph's deferral and queue edges into `adj` (the
+    /// coordinator's merge step; also the local search's snapshot).
+    pub(crate) fn export_edges_into(&self, adj: &mut HashMap<TxnId, HashSet<TxnId>>) {
         let inner = self.inner.lock();
-        let mut graph: HashMap<TxnId, HashSet<TxnId>> = inner.deferral.clone();
+        for (&from, tos) in &inner.deferral {
+            adj.entry(from).or_default().extend(tos.iter().copied());
+        }
         for edges in inner.queue.values() {
             for &(from, to) in edges {
-                graph.entry(from).or_default().insert(to);
+                adj.entry(from).or_default().insert(to);
             }
         }
-        drop(inner);
-        let mut stack = vec![(start, vec![start])];
-        let mut visited: HashSet<TxnId> = HashSet::new();
-        while let Some((node, path)) = stack.pop() {
-            if let Some(nexts) = graph.get(&node) {
-                for &n in nexts {
-                    if n == start {
-                        return path.iter().copied().max_by_key(|t| (t.local_seq(), t.0));
-                    }
-                    if visited.insert(n) {
-                        let mut p = path.clone();
-                        p.push(n);
-                        stack.push((n, p));
-                    }
-                }
-            }
-        }
-        None
+    }
+
+    /// Join a multi-server system's merged cycle search. Idempotent;
+    /// only the first attachment sticks.
+    pub(crate) fn attach_coordinator(&self, coord: Arc<DeadlockCoordinator>) {
+        let _ = self.coordinator.set(coord);
     }
 
     /// Drop every edge — a server crash wipes all volatile lock state,
-    /// the graph included.
+    /// the graph included. The coordinator attachment survives: the
+    /// restarted instance re-joins the merged search with an empty
+    /// contribution.
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.deferral.clear();
         inner.queue.clear();
+        drop(inner);
+        self.bump();
+    }
+
+    fn bump(&self) {
+        if let Some(coord) = self.coordinator.get() {
+            coord.bump_epoch();
+        }
     }
 
     /// Diagnostics: number of distinct waiting transactions with stored

@@ -81,7 +81,15 @@ pub trait ServerApi: Send + Sync {
     fn force_page(&self, client: ClientId, page: PageId) -> Result<()>;
 
     // ---- server-logging baselines (§4.1) ----
-    fn commit_ship_log(&self, client: ClientId, records: Vec<u8>) -> Result<()>;
+    /// §4.1 commit: force `records` to the server log. `touched` lists the
+    /// pages the transaction dirtied — a routing hint a partitioned front
+    /// end uses to ship only to owning instances (empty ⇒ ship everywhere).
+    fn commit_ship_log(
+        &self,
+        client: ClientId,
+        records: Vec<u8>,
+        touched: Vec<PageId>,
+    ) -> Result<()>;
     fn fetch_client_log(&self, client: ClientId) -> Result<Vec<u8>>;
     fn server_logging(&self) -> bool;
 
@@ -144,6 +152,8 @@ pub enum Request {
     },
     CommitShipLog {
         records: Vec<u8>,
+        /// Pages the committing transaction dirtied (partition routing hint).
+        touched: Vec<PageId>,
     },
     FetchClientLog,
     ClientCrashed,
@@ -460,7 +470,9 @@ pub fn dispatch(
         },
         Request::ShipPage { bytes, replaced } => unit(api.ship_page(client, bytes, replaced)),
         Request::ForcePage { page } => unit(api.force_page(client, page)),
-        Request::CommitShipLog { records } => unit(api.commit_ship_log(client, records)),
+        Request::CommitShipLog { records, touched } => {
+            unit(api.commit_ship_log(client, records, touched))
+        }
         Request::FetchClientLog => match api.fetch_client_log(client) {
             Ok(bytes) => Reply::Bytes(bytes),
             Err(e) => Reply::Err(WireError::from(&e)),

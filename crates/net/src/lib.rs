@@ -22,6 +22,7 @@
 //! `Grant` frame correlated with the original lock request.
 
 pub mod api;
+pub mod partition;
 pub mod peer;
 pub mod stats;
 pub mod transport;
@@ -32,6 +33,7 @@ pub use api::{
     Callback, CallbackReplyMsg, Dispatched, LockResponse, RecoverPagePlan, RecoveryHandshake,
     Reply, Request, ServerApi, WireError,
 };
+pub use partition::PartitionedServer;
 pub use peer::{CallbackOutcome, ClientPeer, ClientStateReport, RecoveredPageOutcome};
 pub use stats::{MsgKind, NetSim, NetSnapshot, NetStats};
 pub use wait::{GrantMsg, GrantSlot, GrantWaiter};

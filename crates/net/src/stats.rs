@@ -95,6 +95,17 @@ impl NetSnapshot {
         }
         out
     }
+
+    /// Element-wise sum (folding per-partition wire stats into a
+    /// system-wide view).
+    pub fn merge(&self, other: &NetSnapshot) -> NetSnapshot {
+        let mut out = NetSnapshot::default();
+        for i in 0..KINDS {
+            out.counts[i] = self.counts[i] + other.counts[i];
+            out.bytes[i] = self.bytes[i] + other.bytes[i];
+        }
+        out
+    }
 }
 
 impl NetStats {

@@ -54,7 +54,7 @@ pub const HEADER: usize = wire::HEADER;
 /// Handshake magic: `"FGLW"`.
 pub const MAGIC: u32 = 0x4647_4C57;
 /// Codec version carried in the handshake.
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 /// Upper bound on a single frame; larger length prefixes are corrupt.
 pub const MAX_FRAME: usize = 64 << 20;
 
@@ -777,7 +777,7 @@ pub fn request_frame_len(req: &Request) -> usize {
                     + page_copy.as_ref().map_or(0, |p| p.len())
             }
             Request::ShipPage { bytes, .. } => 1 + bytes.len(),
-            Request::CommitShipLog { records } => records.len(),
+            Request::CommitShipLog { records, touched } => 2 + 8 * touched.len() + records.len(),
             Request::RecoveryFetch { need, .. } => 8 + opt_evidence_len(need),
             Request::InstallRecovered { bytes } => bytes.len(),
         }
@@ -835,7 +835,19 @@ pub fn encode_request(corr: u64, req: &Request) -> Result<Vec<Seg>> {
             b.u8(*replaced as u8);
             b.shared(bytes.clone());
         }
-        Request::CommitShipLog { records } => b.bytes(records),
+        Request::CommitShipLog { records, touched } => {
+            if touched.len() > u16::MAX as usize {
+                return Err(FglError::Protocol(format!(
+                    "touched-page hint of {} entries exceeds the u16 frame field",
+                    touched.len()
+                )));
+            }
+            b.u16(touched.len() as u16);
+            for p in touched {
+                b.u64(p.0);
+            }
+            b.bytes(records);
+        }
         Request::RecoveryFetch { page, need } => {
             b.u64(page.0);
             put_opt_evidence(&mut b, need);
@@ -891,9 +903,17 @@ pub fn decode_request(h: &FrameHeader, body: &[u8]) -> Result<Request> {
         8 => Request::ForcePage {
             page: PageId(c.u64()?),
         },
-        9 => Request::CommitShipLog {
-            records: c.rest().to_vec(),
-        },
+        9 => {
+            let n = c.u16()? as usize;
+            let mut touched = Vec::with_capacity(n);
+            for _ in 0..n {
+                touched.push(PageId(c.u64()?));
+            }
+            Request::CommitShipLog {
+                records: c.rest().to_vec(),
+                touched,
+            }
+        }
         10 => Request::FetchClientLog,
         11 => Request::ClientCrashed,
         12 => Request::RecoveryBegin,
@@ -1508,6 +1528,7 @@ pub fn encode_hello_ack(cfg: &SystemConfig) -> Vec<Seg> {
     b.u64(cfg.net_latency.as_nanos() as u64);
     b.u64(cfg.disk_latency.as_nanos() as u64);
     b.u64(cfg.server_shards as u64);
+    b.u64(cfg.server_instances as u64);
     b.u8(cfg.callback_batching as u8);
     b.u8(cfg.group_commit as u8);
     b.u8(cfg.lazy_client_init as u8);
@@ -1565,6 +1586,7 @@ pub fn decode_hello_ack(body: &[u8]) -> Result<SystemConfig> {
     let net_latency = Duration::from_nanos(c.u64()?);
     let disk_latency = Duration::from_nanos(c.u64()?);
     let server_shards = c.u64()? as usize;
+    let server_instances = c.u64()? as usize;
     let callback_batching = c.u8()? != 0;
     let group_commit = c.u8()? != 0;
     let lazy_client_init = c.u8()? != 0;
@@ -1586,6 +1608,7 @@ pub fn decode_hello_ack(body: &[u8]) -> Result<SystemConfig> {
         net_latency,
         disk_latency,
         server_shards,
+        server_instances,
         callback_batching,
         group_commit,
         obs_ring_entries,

@@ -856,8 +856,13 @@ impl ServerApi for RemoteServer {
         self.call(Request::ForcePage { page }).and_then(expect_unit)
     }
 
-    fn commit_ship_log(&self, _client: ClientId, records: Vec<u8>) -> Result<()> {
-        self.call(Request::CommitShipLog { records })
+    fn commit_ship_log(
+        &self,
+        _client: ClientId,
+        records: Vec<u8>,
+        touched: Vec<PageId>,
+    ) -> Result<()> {
+        self.call(Request::CommitShipLog { records, touched })
             .and_then(expect_unit)
     }
 

@@ -64,19 +64,35 @@ impl ServerCore {
         });
         let mut dpt_by_client: HashMap<ClientId, Vec<(PageId, Lsn)>> = HashMap::new();
         let mut cached_by_client: HashMap<ClientId, HashMap<PageId, Psn>> = HashMap::new();
+        // Clients report their full state; a restarting *partition* of a
+        // multi-server system keeps only the slice in its residue class —
+        // locks, DPT entries and cached copies on other instances' pages
+        // are those servers' concern, and they kept serving throughout.
         for peer in &peers {
             let id = peer.client_id();
             self.net.msg(MsgKind::Recovery, 16);
             let report = peer.report_state();
             self.net.msg(MsgKind::Recovery, 64 + 24 * report.dpt.len());
-            for lock in &report.locks {
+            for lock in report.locks.iter().filter(|l| self.owns_page(l.page())) {
                 self.glm_for(lock.page()).install_holder(id, *lock);
             }
             dpt_by_client.insert(
                 id,
-                report.dpt.iter().map(|e| (e.page, e.redo_lsn)).collect(),
+                report
+                    .dpt
+                    .iter()
+                    .filter(|e| self.owns_page(e.page))
+                    .map(|e| (e.page, e.redo_lsn))
+                    .collect(),
             );
-            cached_by_client.insert(id, report.cached_pages.into_iter().collect());
+            cached_by_client.insert(
+                id,
+                report
+                    .cached_pages
+                    .into_iter()
+                    .filter(|(p, _)| self.owns_page(*p))
+                    .collect(),
+            );
         }
 
         // Pages needing replay: in a client's DPT but not in its cache.

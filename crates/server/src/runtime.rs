@@ -37,6 +37,7 @@ use crate::pagestore::PageStore;
 use fgl_common::config::CommitPolicy;
 use fgl_common::{ClientId, FglError, Lsn, PageId, Psn, Result, SystemConfig, TxnId};
 use fgl_locks::contention::{ContentionProfiler, PageContention};
+use fgl_locks::coordinator::DeadlockCoordinator;
 use fgl_locks::glm::{CallbackKind, CallbackReply, GlmCore, GlmEvent, LockOutcome};
 use fgl_locks::mode::{LockTarget, ObjMode};
 use fgl_locks::WaitGraph;
@@ -52,7 +53,7 @@ use fgl_wal::store::MemLogStore;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 
 // The request/response vocabulary lives with the RPC surface in
 // `fgl-net::api`; re-exported here so server-side callers keep their
@@ -122,11 +123,20 @@ pub struct ServerCore {
     /// per-client copies (see [`ServerCore::config_shared`]).
     cfg: Arc<SystemConfig>,
     pub net: Arc<NetSim>,
-    /// Hot-path partitions; a page belongs to `shards[page % len]`.
+    /// This server's partition index in a multi-instance system: it owns
+    /// pages with `PageId % instances == instance`. `(0, 1)` is the
+    /// single-server system.
+    instance: usize,
+    instances: usize,
+    /// Hot-path partitions; an owned page belongs to
+    /// `shards[(page / instances) % len]`.
     shards: Vec<Shard>,
     /// Process-global waits-for graph fed by every shard's GLM —
     /// cross-shard deadlock cycles are detected here.
     wait_graph: Arc<WaitGraph>,
+    /// Multi-server systems: the merged cycle search this instance's
+    /// graph joined, plus our member id (skipped on our own broadcasts).
+    coord: OnceLock<(Arc<DeadlockCoordinator>, usize)>,
     /// Round-robin cursor spreading fresh allocations across shards.
     alloc_next: AtomicU64,
     /// Server log: replacement records + server checkpoints (§3.1, §3.2).
@@ -165,11 +175,35 @@ pub struct ServerCore {
 
 impl ServerCore {
     pub fn new(cfg: SystemConfig, net: Arc<NetSim>, disk: Arc<dyn DiskBackend>) -> Arc<Self> {
+        let metrics = Arc::new(Metrics::new());
+        Self::new_instance(cfg, net, disk, 0, 1, metrics)
+    }
+
+    /// Build one instance of an N-way partitioned page service: the
+    /// instance owns pages in the residue class `PageId % instances ==
+    /// instance` and slices *those* across its own GLM shards by
+    /// `(PageId / instances) % shards`. Every instance gets its own
+    /// store partition, DCT, server log and §4.1 commit-log ship; the
+    /// metrics registry is shared so one snapshot covers the system.
+    /// `(0, 1)` with a fresh registry is exactly [`ServerCore::new`].
+    pub fn new_instance(
+        cfg: SystemConfig,
+        net: Arc<NetSim>,
+        disk: Arc<dyn DiskBackend>,
+        instance: usize,
+        instances: usize,
+        metrics: Arc<Metrics>,
+    ) -> Arc<Self> {
+        assert!(instances >= 1 && instance < instances);
         let n = cfg.server_shards.max(1);
         let wait_graph = Arc::new(WaitGraph::new());
         // Split the buffer pool evenly; every shard keeps at least one
         // frame so tiny pools still make progress.
         let pool_per_shard = (cfg.server_cache_pages / n).max(1);
+        // Shard i of instance k allocates ids ≡ i·instances + k modulo
+        // shards·instances: every id it hands out satisfies both
+        // `id % instances == k` (instance ownership) and
+        // `(id / instances) % shards == i` (shard ownership).
         let shards = (0..n)
             .map(|i| Shard {
                 glm: Mutex::new(GlmCore::with_graph(wait_graph.clone())),
@@ -177,8 +211,8 @@ impl ServerCore {
                     disk.clone(),
                     pool_per_shard,
                     cfg.page_size,
-                    i as u64,
-                    n as u64,
+                    (i * instances + instance) as u64,
+                    (n * instances) as u64,
                 )),
                 dct: Mutex::new(Dct::new()),
                 waiters: Mutex::new(HashMap::new()),
@@ -189,7 +223,6 @@ impl ServerCore {
                 merges: AtomicU64::new(0),
             })
             .collect();
-        let metrics = Arc::new(Metrics::new());
         let mut slog = LogManager::new(
             Box::new(fgl_wal::store::SimLogStore::new(
                 Box::new(MemLogStore::new()),
@@ -201,8 +234,11 @@ impl ServerCore {
         Arc::new(ServerCore {
             cfg: Arc::new(cfg),
             net,
+            instance,
+            instances,
             shards,
             wait_graph,
+            coord: OnceLock::new(),
             alloc_next: AtomicU64::new(0),
             slog: Mutex::new(slog),
             peers: RwLock::new(HashMap::new()),
@@ -241,8 +277,62 @@ impl ServerCore {
         self.shards.len()
     }
 
+    /// This server's partition index (`0` in a single-server system).
+    pub fn instance(&self) -> usize {
+        self.instance
+    }
+
+    /// Total server instances in the system this server belongs to.
+    pub fn instance_count(&self) -> usize {
+        self.instances
+    }
+
+    /// Whether `page` belongs to this instance's residue class. Requests
+    /// for pages of other instances are a routing bug upstream.
+    pub fn owns_page(&self, page: PageId) -> bool {
+        page.0 % self.instances as u64 == self.instance as u64
+    }
+
     fn shard_of(&self, page: PageId) -> &Shard {
-        &self.shards[(page.0 % self.shards.len() as u64) as usize]
+        debug_assert!(self.owns_page(page), "misrouted page {page:?}");
+        &self.shards[((page.0 / self.instances as u64) % self.shards.len() as u64) as usize]
+    }
+
+    /// Join a multi-server system's merged deadlock search: this
+    /// instance's wait graph starts feeding the coordinator, and victims
+    /// detected elsewhere are torn down here through the registered
+    /// abort hook (which hunts the victim's parked waiter across our
+    /// shards — idempotent when the victim never waited here).
+    pub fn attach_coordinator(self: &Arc<Self>, coord: &Arc<DeadlockCoordinator>) {
+        let weak: Weak<ServerCore> = Arc::downgrade(self);
+        let member = coord.register(
+            self.wait_graph.clone(),
+            Box::new(move |txn| {
+                if let Some(srv) = weak.upgrade() {
+                    srv.abort_parked(txn);
+                }
+            }),
+        );
+        let _ = self.coord.set((coord.clone(), member));
+    }
+
+    /// Cross-instance victim teardown: cancel `txn`'s parked waiter (if
+    /// any) on this instance and drive the resulting GLM events. Runs
+    /// with no server mutex held.
+    fn abort_parked(&self, txn: TxnId) {
+        if self.down.load(Ordering::Acquire) {
+            return;
+        }
+        let mut events = Vec::new();
+        for shard in &self.shards {
+            let slot = shard.waiters.lock().remove(&txn);
+            if let Some((slot, _)) = slot {
+                self.net.msg(MsgKind::Abort, 16);
+                slot.fulfil(GrantMsg::Victim);
+            }
+            events.extend(shard.glm.lock().cancel_wait(txn));
+        }
+        self.drive(events);
     }
 
     fn check_up(&self) -> Result<()> {
@@ -467,6 +557,12 @@ impl ServerCore {
                                 slot.fulfil(GrantMsg::Victim);
                             }
                             queue.extend(shard.glm.lock().cancel_wait(txn));
+                        }
+                        // A cross-*server* cycle's victim may be parked on
+                        // another instance entirely: broadcast so every
+                        // other member hunts (and cancels) it too.
+                        if let Some((coord, me)) = self.coord.get() {
+                            coord.broadcast_abort(txn, *me);
                         }
                     }
                 }
@@ -1404,7 +1500,14 @@ impl fgl_net::api::ServerApi for ServerCore {
         ServerCore::force_page(self, client, page)
     }
 
-    fn commit_ship_log(&self, client: ClientId, records: Vec<u8>) -> Result<()> {
+    fn commit_ship_log(
+        &self,
+        client: ClientId,
+        records: Vec<u8>,
+        _touched: Vec<PageId>,
+    ) -> Result<()> {
+        // The hint routes at the partition layer; a single instance logs
+        // everything it is handed.
         ServerCore::commit_ship_log(self, client, records)
     }
 

@@ -24,6 +24,9 @@ pub enum CrashKind {
     MultiClient(Vec<usize>),
     /// Server plus clients crash together — the complex crash (§3.5).
     Complex(Vec<usize>),
+    /// One server instance of a multi-server system restarts (§3.4
+    /// against its residue class only) while the others keep serving.
+    PartitionRestart(usize),
 }
 
 impl CrashKind {
@@ -33,6 +36,7 @@ impl CrashKind {
             CrashKind::Server => "server".into(),
             CrashKind::MultiClient(v) => format!("clients-x{}", v.len()),
             CrashKind::Complex(v) => format!("complex(server+{})", v.len()),
+            CrashKind::PartitionRestart(i) => format!("partition-{i}"),
         }
     }
 }
@@ -108,8 +112,15 @@ pub fn run_crash_scenario_with(
             sys.clients[*i].recover()?;
         }
         CrashKind::Server => {
-            sys.server.crash();
-            sys.server.restart_recovery()?;
+            // "The server" is the whole page service: every instance of a
+            // multi-server system drops and recovers (each against its own
+            // residue class). Identical to the classic scenario at N = 1.
+            for s in &sys.servers {
+                s.crash();
+            }
+            for s in &sys.servers {
+                s.restart_recovery()?;
+            }
         }
         CrashKind::MultiClient(ids) => {
             for i in ids {
@@ -123,13 +134,26 @@ pub fn run_crash_scenario_with(
             for i in ids {
                 sys.clients[*i].crash();
             }
-            sys.server.crash();
+            for s in &sys.servers {
+                s.crash();
+            }
             // Server restart runs against the operational clients (§3.5)…
-            sys.server.restart_recovery()?;
+            for s in &sys.servers {
+                s.restart_recovery()?;
+            }
             // …and the crashed clients then run client recovery — in
             // parallel, since one client's replay may need another's
             // partially recovered state (§3.4 step 3).
             recover_in_parallel(&sys, ids)?;
+        }
+        CrashKind::PartitionRestart(i) => {
+            assert!(
+                *i < sys.servers.len(),
+                "partition {i} does not exist (instances={})",
+                sys.servers.len()
+            );
+            sys.servers[*i].crash();
+            sys.servers[*i].restart_recovery()?;
         }
     }
     let recovery_elapsed = recovery_start.elapsed();
@@ -141,7 +165,7 @@ pub fn run_crash_scenario_with(
             let alive = (0..n_clients).find(|i| !ids.contains(i)).unwrap_or(0);
             sys.client(alive)
         }
-        CrashKind::Server => sys.client(0),
+        CrashKind::Server | CrashKind::PartitionRestart(_) => sys.client(0),
     };
     let verify_after_recovery = oracle.verify_via_reads(verifier)?;
 
@@ -235,6 +259,66 @@ mod tests {
             r.verify_after_recovery,
             r.verify_final
         );
+    }
+
+    /// Single-partition restart in a two-instance system, under both
+    /// driver schedulers: the restarting instance re-runs the §3.4 gather
+    /// for its residue class only, the sibling keeps serving, and the
+    /// oracle stays clean across both phases.
+    #[test]
+    fn partition_restart_scenario_is_clean_under_both_schedulers() {
+        for scheduler in [SchedulerKind::Threads, SchedulerKind::Event] {
+            for partition in 0..2 {
+                let r = run_crash_scenario_with(
+                    SystemConfig::default().with_server_instances(2),
+                    3,
+                    CrashKind::PartitionRestart(partition),
+                    spec(),
+                    10,
+                    4 + partition as u64,
+                    scheduler,
+                )
+                .unwrap();
+                assert!(
+                    r.is_clean(),
+                    "{scheduler:?}/partition {partition}: {:?} / {:?}",
+                    r.verify_after_recovery,
+                    r.verify_final
+                );
+                assert!(r.phase2.commits > 0);
+            }
+        }
+    }
+
+    /// The full matrix stays clean when every scenario runs against a
+    /// partitioned (two-instance) server on a cross-partition workload.
+    #[test]
+    fn crash_matrix_is_clean_with_two_server_instances() {
+        let kinds = [
+            CrashKind::Client(1),
+            CrashKind::Server,
+            CrashKind::MultiClient(vec![0, 2]),
+            CrashKind::Complex(vec![1]),
+            CrashKind::PartitionRestart(1),
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let name = kind.name();
+            let r = run_crash_scenario(
+                SystemConfig::default().with_server_instances(2),
+                3,
+                kind,
+                spec(),
+                10,
+                10 + i as u64,
+            )
+            .unwrap();
+            assert!(
+                r.is_clean(),
+                "{name}: {:?} / {:?}",
+                r.verify_after_recovery,
+                r.verify_final
+            );
+        }
     }
 
     #[test]

@@ -103,6 +103,15 @@ pub struct WorkloadSpec {
     pub hot_pages: usize,
     /// ZIPF: skew exponent θ (0 = uniform; 0.8–1.0 = classic hotspots).
     pub zipf_theta: f64,
+    /// Multi-server alignment (E18): when > 1, a transaction's pages are
+    /// confined to the committer's home residue class `client % stride`
+    /// of `PageId % stride` — i.e. to one server instance of a
+    /// `server_instances = stride` system. `0`/`1` disables alignment.
+    pub partition_stride: usize,
+    /// Probability that an aligned transaction ignores its home class
+    /// and roams the whole database (a cross-partition transaction).
+    /// Only consulted when `partition_stride > 1`.
+    pub cross_partition_probability: f64,
 }
 
 impl WorkloadSpec {
@@ -117,6 +126,21 @@ impl WorkloadSpec {
             hot_probability: 0.8,
             hot_pages: 4,
             zipf_theta: 0.9,
+            partition_stride: 0,
+            cross_partition_probability: 0.0,
+        }
+    }
+
+    /// Snap `page` into the committer's home residue class (see
+    /// [`Self::partition_stride`]), staying inside the database.
+    fn align_to_partition(&self, page: usize, client: usize) -> usize {
+        let stride = self.partition_stride;
+        let home = client % stride;
+        let aligned = page - (page % stride) + home;
+        if aligned >= self.pages {
+            aligned - stride
+        } else {
+            aligned
         }
     }
 
@@ -186,6 +210,10 @@ impl WorkloadSpec {
 
     /// Generate one transaction for `client` of `n_clients`.
     pub fn next_txn(&self, client: usize, n_clients: usize, rng: &mut DetRng) -> TxnTemplate {
+        // Per-transaction cross-partition draw: an aligned transaction
+        // stays on one server instance; a roaming one spans them. The
+        // short-circuit keeps legacy (stride-less) rng streams intact.
+        let aligned = self.partition_stride > 1 && !rng.chance(self.cross_partition_probability);
         let mut ops = Vec::with_capacity(self.ops_per_txn);
         for _ in 0..self.ops_per_txn {
             let mut writing = rng.chance(self.write_fraction);
@@ -193,7 +221,10 @@ impl WorkloadSpec {
                 // Only client 0 writes the feed.
                 writing = false;
             }
-            let page = self.pick_page(client, n_clients, writing, rng);
+            let mut page = self.pick_page(client, n_clients, writing, rng);
+            if aligned {
+                page = self.align_to_partition(page, client);
+            }
             let page_hot = self.kind == WorkloadKind::HiCon && page < self.hot_pages;
             let slot = self.pick_slot(client, n_clients, page_hot, rng);
             let obj = self.object(page, slot);
@@ -326,6 +357,40 @@ mod tests {
             head > head_u * 2,
             "zipf head {head} vs uniform head {head_u}"
         );
+    }
+
+    #[test]
+    fn partition_alignment_confines_txns_to_home_residue() {
+        let mut s = spec(WorkloadKind::Uniform);
+        s.partition_stride = 4;
+        let mut rng = DetRng::new(11);
+        for c in 0..8 {
+            for _ in 0..50 {
+                let t = s.next_txn(c, 8, &mut rng);
+                for op in &t.ops {
+                    let p = op.object().page.0 as usize;
+                    assert!(p < s.pages);
+                    assert_eq!(p % 4, c % 4, "client {c} strayed off its partition");
+                }
+            }
+        }
+        // With a cross probability, some transactions roam — but each
+        // transaction is all-or-nothing (the draw is per transaction).
+        s.cross_partition_probability = 0.5;
+        let mut roamed = 0;
+        for _ in 0..100 {
+            let t = s.next_txn(1, 8, &mut rng);
+            let off_home = t
+                .ops
+                .iter()
+                .filter(|o| o.object().page.0 as usize % 4 != 1)
+                .count();
+            if off_home > 0 {
+                roamed += 1;
+            }
+        }
+        assert!(roamed > 10, "cross-partition txns never materialized");
+        assert!(roamed < 90, "alignment never engaged");
     }
 
     #[test]

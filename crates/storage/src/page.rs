@@ -95,6 +95,24 @@ impl Page {
         p
     }
 
+    /// Read the page id straight out of a raw frame's header without
+    /// materializing (or validating) the whole page — what a partition
+    /// router needs to pick the owning server for a shipped copy.
+    pub fn peek_id(bytes: &[u8]) -> Result<PageId> {
+        if bytes.len() < PAGE_HEADER_SIZE {
+            return Err(FglError::Corrupt(
+                "page frame shorter than its header".into(),
+            ));
+        }
+        let magic = u32::from_le_bytes(bytes[OFF_MAGIC..OFF_MAGIC + 4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(FglError::Corrupt(format!("bad page magic {magic:#x}")));
+        }
+        Ok(PageId(u64::from_le_bytes(
+            bytes[OFF_PAGE_ID..OFF_PAGE_ID + 8].try_into().unwrap(),
+        )))
+    }
+
     /// Reconstruct a page from raw bytes (e.g. read from disk or received
     /// over the network), validating the header.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Page> {

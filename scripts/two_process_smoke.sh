@@ -6,6 +6,11 @@
 # object over the wire and compares against the oracle dumps the
 # clients wrote. Everything must exit 0.
 #
+# A second leg repeats the drill against a partitioned page service:
+# two server *processes* (--partition 0/2 and 1/2), two clients routing
+# across both over one connection per instance, and the verifier
+# merging both layout manifests.
+#
 # Usage: scripts/two_process_smoke.sh [path-to-fgl_node]
 # Builds the release binary when no path is given.
 set -euo pipefail
@@ -19,10 +24,15 @@ if [[ -z "$NODE" ]]; then
 fi
 
 DIR="$(mktemp -d "${TMPDIR:-/tmp}/fgl-smoke.XXXXXX")"
+DIR2="$(mktemp -d "${TMPDIR:-/tmp}/fgl-smoke-multi.XXXXXX")"
 SERVER_PID=
+MS0_PID=
+MS1_PID=
 cleanup() {
-    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
-    rm -rf "$DIR"
+    for pid in "$SERVER_PID" "$MS0_PID" "$MS1_PID"; do
+        [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$DIR" "$DIR2"
 }
 trap cleanup EXIT
 
@@ -50,3 +60,36 @@ wait "$SERVER_PID" || { echo "server exited non-zero" >&2; exit 1; }
 SERVER_PID=
 
 echo "two-process smoke: ok"
+
+# ---- multi-server leg: 2 server processes, 2 clients, 1 verifier ----------
+
+"$NODE" server --dir "$DIR2" --pages 6 --objects 8 --partition 0/2 --exit-when "$DIR2/stop" &
+MS0_PID=$!
+"$NODE" server --dir "$DIR2" --pages 6 --objects 8 --partition 1/2 --exit-when "$DIR2/stop" &
+MS1_PID=$!
+
+for _ in $(seq 1 300); do
+    [[ -f "$DIR2/layout-0" && -f "$DIR2/layout-1" ]] && break
+    for pid in "$MS0_PID" "$MS1_PID"; do
+        kill -0 "$pid" 2>/dev/null || { echo "a partition server died before publishing its layout" >&2; exit 1; }
+    done
+    sleep 0.2
+done
+[[ -f "$DIR2/layout-0" && -f "$DIR2/layout-1" ]] || { echo "partition servers never published layouts" >&2; exit 1; }
+
+"$NODE" client --dir "$DIR2" --id 1 --clients 2 --txns 30 --crash-at 10 --partitions 2 &
+M1=$!
+"$NODE" client --dir "$DIR2" --id 2 --clients 2 --txns 30 --partitions 2 &
+M2=$!
+wait "$M1" || { echo "multi-server client 1 failed" >&2; exit 1; }
+wait "$M2" || { echo "multi-server client 2 failed" >&2; exit 1; }
+
+"$NODE" verify --dir "$DIR2" --partitions 2 || { echo "multi-server verify failed" >&2; exit 1; }
+
+touch "$DIR2/stop"
+wait "$MS0_PID" || { echo "partition server 0 exited non-zero" >&2; exit 1; }
+MS0_PID=
+wait "$MS1_PID" || { echo "partition server 1 exited non-zero" >&2; exit 1; }
+MS1_PID=
+
+echo "two-process smoke (multi-server): ok"

@@ -201,6 +201,36 @@ def validate_e17(doc):
     return f"{len(rows)} e17 rows across {len(transports)} transports"
 
 
+def validate_e18(doc):
+    rows = rows_of(doc, "e18_multi_server_scaleout")
+    cells = {
+        (r["params"]["instances"], r["params"]["cross"], r["params"]["policy"])
+        for r in rows
+    }
+    assert len(cells) == len(rows), f"duplicate sweep cells: {sorted(cells)}"
+    instance_counts = {r["params"]["instances"] for r in rows}
+    assert 1 in instance_counts and max(instance_counts) >= 2, instance_counts
+    for row in rows:
+        p, m = row["params"], row["metrics"]
+        c = m["counters"]
+        n = p["instances"]
+        assert c["client_commits"] > 0, c
+        check_commit_hist(m)
+        # Per-instance nesting: every instance carries its own counters,
+        # and the per-instance commit attribution sums to the aggregate.
+        per_instance = [c[f"srv{k}_commits"] for k in range(n)]
+        assert sum(per_instance) == c["client_commits"], (per_instance, c["client_commits"])
+        for k in range(n):
+            assert f"srv{k}_lock_requests" in c, (n, sorted(c.keys()))
+        if n > 1:
+            # Aligned cells spread work across every instance.
+            assert all(v > 0 for v in per_instance), per_instance
+        if p["policy"] == "server-log":
+            ships = sum(c.get(f"srv{k}_commit_log_ships", 0) for k in range(n))
+            assert ships == c["server_commit_log_ships"] > 0, c
+    return f"{len(rows)} e18 cells (instances {sorted(instance_counts)})"
+
+
 VALIDATORS = {
     "e11_server_shard_scaling": validate_e11,
     "e12_callback_batching": validate_e12,
@@ -209,6 +239,7 @@ VALIDATORS = {
     "e15_trace_attribution": validate_e15,
     "e16_memory_cliff": validate_e16,
     "e17_wire_overhead": validate_e17,
+    "e18_multi_server_scaleout": validate_e18,
 }
 
 

@@ -4,9 +4,9 @@
 //! Three subcommands share a rendezvous directory:
 //!
 //! ```text
-//! fgl_node server --dir /tmp/demo [--tcp] [--pages 8] [--objects 8]
-//! fgl_node client --dir /tmp/demo --id 1 --clients 2 --txns 50 [--crash-at 25]
-//! fgl_node verify --dir /tmp/demo
+//! fgl_node server --dir /tmp/demo [--tcp] [--pages 8] [--objects 8] [--partition I/N]
+//! fgl_node client --dir /tmp/demo --id 1 --clients 2 --txns 50 [--crash-at 25] [--partitions N]
+//! fgl_node verify --dir /tmp/demo [--partitions N]
 //! ```
 //!
 //! The server populates a database, binds a Unix-domain socket at
@@ -23,10 +23,21 @@
 //! shutdown) and disconnects. `verify` then joins as one more client and
 //! checks *every* process's oracle against what the server-side state
 //! actually serves. Exit codes are the contract: 0 means clean.
+//!
+//! With `--partition I/N` the server process runs instance I of an N-way
+//! partitioned page service: it owns pages in the residue class
+//! `PageId % N == I`, populates its own residue locally, and publishes
+//! `layout-I` instead of `layout`. Clients and the verifier pass
+//! `--partitions N`, wait for all N manifests, and route through a
+//! [`PartitionedServer`] over one socket connection per instance. The
+//! in-process deadlock coordinator does not span OS processes — true
+//! cross-server deadlocks between separate server processes fall back to
+//! the lock-timeout backstop (see DESIGN §13).
 
 use fgl::{
-    ClientCore, ClientId, FglError, HistKind, NetSim, NetStats, ObjectId, PageId, RemoteServer,
-    Result, ServerApi, ServerCore, SlotId, SocketServer, SystemConfig, TransportKind,
+    ClientCore, ClientId, FglError, HistKind, Metrics, NetSim, NetSnapshot, NetStats, ObjectId,
+    PageId, PartitionedServer, RemoteServer, Result, ServerApi, ServerCore, SlotId, SocketServer,
+    SystemConfig, TransportKind,
 };
 use fgl_common::rng::DetRng;
 use fgl_sim::populate;
@@ -48,9 +59,10 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: fgl_node server --dir D [--tcp] [--pages N] [--objects N] \
-                 [--object-size B] [--exit-when FILE]\n       \
-                 fgl_node client --dir D --id K --clients N --txns T [--crash-at T2] [--seed S]\n       \
-                 fgl_node verify --dir D"
+                 [--object-size B] [--exit-when FILE] [--partition I/N]\n       \
+                 fgl_node client --dir D --id K --clients N --txns T [--crash-at T2] [--seed S] \
+                 [--partitions N]\n       \
+                 fgl_node verify --dir D [--partitions N]"
             );
             2
         }
@@ -102,6 +114,22 @@ impl<'a> Opts<'a> {
             .map(PathBuf::from)
             .ok_or_else(|| FglError::Config("--dir is required".into()))
     }
+
+    /// `--partition I/N` (server side): which instance this process runs.
+    fn partition(&self) -> Result<(usize, usize)> {
+        let Some(v) = self.value("--partition") else {
+            return Ok((0, 1));
+        };
+        let parsed = v
+            .split_once('/')
+            .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+        match parsed {
+            Some((i, n)) if n >= 1 && i < n => Ok((i, n)),
+            _ => Err(FglError::Config(format!(
+                "--partition wants I/N with I < N, got {v:?}"
+            ))),
+        }
+    }
 }
 
 // ---- server ----------------------------------------------------------------
@@ -118,19 +146,37 @@ fn server_cmd(args: &[String]) -> Result<bool> {
     let pages = o.num("--pages", 8)? as usize;
     let objects_per_page = o.num("--objects", 8)? as usize;
     let object_size = o.num("--object-size", 64)? as usize;
+    let (part, parts) = o.partition()?;
 
-    let cfg = SystemConfig::default().with_transport(transport);
+    let cfg = SystemConfig::default()
+        .with_transport(transport)
+        .with_server_instances(parts);
     cfg.validate()?;
     let net = Arc::new(NetSim::new(Duration::ZERO));
-    let server = ServerCore::new(cfg, net.clone(), Arc::new(MemDisk::new()));
+    let server = ServerCore::new_instance(
+        cfg,
+        net.clone(),
+        Arc::new(MemDisk::new()),
+        part,
+        parts,
+        Arc::new(Metrics::new()),
+    );
 
     // Populate through an in-process loader client, then harden so the
     // authoritative copies live at the server before anyone connects.
-    let loader = ClientCore::new(ClientId(LOADER_ID), server.clone(), net);
+    // Each instance populates locally: its allocator only hands out pages
+    // in its own residue class, so N processes build disjoint slices of
+    // one database without talking to each other.
+    let loader = ClientCore::new(ClientId(LOADER_ID + part as u32), server.clone(), net);
     let layout = populate(&loader, pages, objects_per_page, object_size)?;
     loader.harden()?;
 
     let api: Arc<dyn ServerApi> = server.clone();
+    let sock_name = if parts == 1 {
+        "fgl.sock".to_string()
+    } else {
+        format!("fgl.{part}.sock")
+    };
     let (_sock, endpoint) = match transport {
         TransportKind::Tcp => {
             let s = SocketServer::serve_tcp(api, "127.0.0.1:0")?;
@@ -138,7 +184,7 @@ fn server_cmd(args: &[String]) -> Result<bool> {
             (s, format!("tcp {addr}"))
         }
         _ => {
-            let path = dir.join("fgl.sock");
+            let path = dir.join(sock_name);
             let s = SocketServer::serve_uds(api, &path)?;
             (s, format!("uds {}", path.display()))
         }
@@ -146,13 +192,19 @@ fn server_cmd(args: &[String]) -> Result<bool> {
 
     // The manifest lands atomically and *after* the listener is up, so a
     // polling client that sees it can connect immediately.
-    let mut m = format!("endpoint {endpoint}\nobject_size {object_size}\n");
+    let mut m =
+        format!("endpoint {endpoint}\npartition {part} {parts}\nobject_size {object_size}\n");
     for ob in &layout.objects {
         m.push_str(&format!("obj {} {}\n", ob.page.0, ob.slot.0));
     }
-    write_atomic(&dir.join("layout"), &m)?;
+    let manifest_name = if parts == 1 {
+        "layout".to_string()
+    } else {
+        format!("layout-{part}")
+    };
+    write_atomic(&dir.join(manifest_name), &m)?;
     eprintln!(
-        "fgl_node server: {} objects on {} pages, serving on {endpoint}",
+        "fgl_node server[{part}/{parts}]: {} objects on {} pages, serving on {endpoint}",
         layout.objects.len(),
         layout.pages.len()
     );
@@ -172,7 +224,8 @@ fn server_cmd(args: &[String]) -> Result<bool> {
 // ---- client ----------------------------------------------------------------
 
 struct Manifest {
-    endpoint: String,
+    /// One endpoint per partition, in instance order.
+    endpoints: Vec<String>,
     objects: Vec<ObjectId>,
     object_size: usize,
 }
@@ -188,14 +241,15 @@ fn client_cmd(args: &[String]) -> Result<bool> {
         None => None,
     };
     let seed = o.num("--seed", 42)?;
+    let partitions = o.num("--partitions", 1)? as usize;
     if id == 0 || id as usize > n_clients {
         return Err(FglError::Config(format!(
             "--id must be in 1..=--clients, got {id}"
         )));
     }
 
-    let manifest = wait_for_manifest(&dir)?;
-    let (remote, core) = connect(&manifest, ClientId(id))?;
+    let manifest = wait_for_manifests(&dir, partitions)?;
+    let (remotes, core) = connect(&manifest, ClientId(id))?;
     let own: Vec<ObjectId> = manifest
         .objects
         .iter()
@@ -260,18 +314,24 @@ fn client_cmd(args: &[String]) -> Result<bool> {
     write_atomic(&dir.join(format!("oracle-{id}")), &m)?;
     core.harden()?;
 
-    let wire = remote.wire_stats().snapshot();
-    let snap = remote.metrics().snapshot();
+    let wire = remotes
+        .iter()
+        .map(|r| r.wire_stats().snapshot())
+        .fold(NetSnapshot::default(), |a, b| a.merge(&b));
+    let snap = remotes[0].metrics().snapshot();
     let rtt = snap.hist(HistKind::WireRtt);
     eprintln!(
         "fgl_node client {id}: {commits} commits, {aborts} aborts, {mismatches} mismatches; \
-         wire {} frames / {} bytes, rtt p50={}us p95={}us",
+         wire {} frames / {} bytes over {} connection(s), rtt p50={}us p95={}us",
         wire.total_messages(),
         wire.total_bytes(),
+        remotes.len(),
         rtt.map_or(0, |h| h.p50()),
         rtt.map_or(0, |h| h.p95()),
     );
-    remote.disconnect();
+    for r in &remotes {
+        r.disconnect();
+    }
     Ok(mismatches == 0)
 }
 
@@ -334,8 +394,9 @@ fn one_txn(
 fn verify_cmd(args: &[String]) -> Result<bool> {
     let o = Opts { args };
     let dir = o.dir()?;
-    let manifest = wait_for_manifest(&dir)?;
-    let (remote, core) = connect(&manifest, ClientId(VERIFIER_ID))?;
+    let partitions = o.num("--partitions", 1)? as usize;
+    let manifest = wait_for_manifests(&dir, partitions)?;
+    let (remotes, core) = connect(&manifest, ClientId(VERIFIER_ID))?;
 
     let mut expected: BTreeMap<ObjectId, Vec<u8>> = BTreeMap::new();
     let mut dumps = 0usize;
@@ -378,7 +439,9 @@ fn verify_cmd(args: &[String]) -> Result<bool> {
         }
     }
     core.commit(t)?;
-    remote.disconnect();
+    for r in &remotes {
+        r.disconnect();
+    }
     eprintln!(
         "fgl_node verify: {} objects from {dumps} client dumps, {mismatches} mismatches",
         expected.len()
@@ -388,28 +451,66 @@ fn verify_cmd(args: &[String]) -> Result<bool> {
 
 // ---- shared plumbing -------------------------------------------------------
 
-fn connect(manifest: &Manifest, id: ClientId) -> Result<(Arc<RemoteServer>, Arc<ClientCore>)> {
-    let wire = Arc::new(NetStats::default());
-    let mut parts = manifest.endpoint.split_whitespace();
-    let remote = match (parts.next(), parts.next()) {
-        (Some("uds"), Some(path)) => RemoteServer::connect_uds(Path::new(path), id, wire, None)?,
-        (Some("tcp"), Some(addr)) => RemoteServer::connect_tcp(addr, id, wire, None)?,
-        _ => {
-            return Err(FglError::Config(format!(
-                "bad endpoint line: {:?}",
-                manifest.endpoint
-            )))
-        }
+fn connect(manifest: &Manifest, id: ClientId) -> Result<(Vec<Arc<RemoteServer>>, Arc<ClientCore>)> {
+    let mut remotes: Vec<Arc<RemoteServer>> = Vec::with_capacity(manifest.endpoints.len());
+    for endpoint in &manifest.endpoints {
+        let wire = Arc::new(NetStats::default());
+        let mut parts = endpoint.split_whitespace();
+        let remote = match (parts.next(), parts.next()) {
+            (Some("uds"), Some(path)) => {
+                RemoteServer::connect_uds(Path::new(path), id, wire, None)?
+            }
+            (Some("tcp"), Some(addr)) => RemoteServer::connect_tcp(addr, id, wire, None)?,
+            _ => return Err(FglError::Config(format!("bad endpoint line: {endpoint:?}"))),
+        };
+        remotes.push(remote);
+    }
+    let api: Arc<dyn ServerApi> = if remotes.len() == 1 {
+        remotes[0].clone()
+    } else {
+        PartitionedServer::new(
+            remotes
+                .iter()
+                .map(|r| r.clone() as Arc<dyn ServerApi>)
+                .collect(),
+        )
     };
-    let core = ClientCore::new(id, remote.clone(), Arc::new(NetSim::new(Duration::ZERO)));
-    Ok((remote, core))
+    let core = ClientCore::new(id, api, Arc::new(NetSim::new(Duration::ZERO)));
+    Ok((remotes, core))
 }
 
-fn wait_for_manifest(dir: &Path) -> Result<Manifest> {
-    let path = dir.join("layout");
+/// Wait for all `parts` per-partition manifests (`layout` when single,
+/// `layout-K` otherwise) and merge them: endpoints in instance order,
+/// object lists concatenated and sorted so every process derives the
+/// same ownership assignment.
+fn wait_for_manifests(dir: &Path, parts: usize) -> Result<Manifest> {
+    let mut endpoints = Vec::with_capacity(parts);
+    let mut objects = Vec::new();
+    let mut object_size = 0usize;
+    for k in 0..parts {
+        let name = if parts == 1 {
+            "layout".to_string()
+        } else {
+            format!("layout-{k}")
+        };
+        let one = read_manifest(&dir.join(name), k, parts)?;
+        endpoints.push(one.0);
+        objects.extend(one.1);
+        object_size = one.2;
+    }
+    objects.sort_unstable();
+    Ok(Manifest {
+        endpoints,
+        objects,
+        object_size,
+    })
+}
+
+/// Poll one partition's manifest into (endpoint, objects, object_size).
+fn read_manifest(path: &Path, part: usize, parts: usize) -> Result<(String, Vec<ObjectId>, usize)> {
     let deadline = Instant::now() + Duration::from_secs(60);
     let text = loop {
-        match std::fs::read_to_string(&path) {
+        match std::fs::read_to_string(path) {
             Ok(t) => break t,
             Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
             Err(e) => {
@@ -427,6 +528,17 @@ fn wait_for_manifest(dir: &Path) -> Result<Manifest> {
         let mut f = line.split_whitespace();
         match f.next() {
             Some("endpoint") => endpoint = Some(line["endpoint ".len()..].to_string()),
+            Some("partition") => {
+                let (Some(i), Some(n)) = (f.next(), f.next()) else {
+                    return Err(FglError::Config(format!("bad manifest line: {line}")));
+                };
+                if parse(i)? as usize != part || parse(n)? as usize != parts {
+                    return Err(FglError::Config(format!(
+                        "manifest {} declares partition {i}/{n}, expected {part}/{parts}",
+                        path.display()
+                    )));
+                }
+            }
             Some("object_size") => {
                 object_size = parse(f.next().unwrap_or(""))? as usize;
             }
@@ -443,11 +555,7 @@ fn wait_for_manifest(dir: &Path) -> Result<Manifest> {
         }
     }
     match (endpoint, objects.is_empty()) {
-        (Some(endpoint), false) => Ok(Manifest {
-            endpoint,
-            objects,
-            object_size,
-        }),
+        (Some(endpoint), false) => Ok((endpoint, objects, object_size)),
         _ => Err(FglError::Config("incomplete layout manifest".into())),
     }
 }

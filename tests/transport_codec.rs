@@ -98,6 +98,11 @@ fn sample_requests() -> Vec<Request> {
         Request::ForcePage { page: PageId(14) },
         Request::CommitShipLog {
             records: vec![1, 2, 3, 4, 5],
+            touched: vec![PageId(4), PageId(9)],
+        },
+        Request::CommitShipLog {
+            records: vec![6, 7],
+            touched: vec![],
         },
         Request::FetchClientLog,
         Request::ClientCrashed,
@@ -384,6 +389,7 @@ fn hello_ack_round_trips_config() {
         net_latency: Duration::from_micros(40),
         disk_latency: Duration::from_micros(400),
         server_shards: 4,
+        server_instances: 3,
         callback_batching: false,
         group_commit: false,
         obs_ring_entries: 512,
@@ -410,6 +416,7 @@ fn hello_ack_round_trips_config() {
     assert_eq!(back.net_latency, cfg.net_latency);
     assert_eq!(back.disk_latency, cfg.disk_latency);
     assert_eq!(back.server_shards, cfg.server_shards);
+    assert_eq!(back.server_instances, cfg.server_instances);
     assert_eq!(back.callback_batching, cfg.callback_batching);
     assert_eq!(back.group_commit, cfg.group_commit);
     assert_eq!(back.lazy_client_init, cfg.lazy_client_init);
